@@ -1,0 +1,62 @@
+"""Figure 5 — convergence curves of NeuTraj vs NT-No-SAM on four measures.
+
+Expected shape (paper): both variants' losses decrease over epochs; the SAM
+model reaches its converged loss in no more epochs than the ablation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainingHistory, EpochStats
+from repro.experiments import format_table, run_convergence, train_variant
+
+
+@pytest.fixture(scope="module")
+def fig5(porto_workload):
+    return run_convergence(porto_workload)
+
+
+def test_fig5_convergence(benchmark, fig5, porto_workload, report,
+                          strict_shapes):
+    # Kernel: one training epoch equivalent — a single optimisation step.
+    from repro.core import PairSampler
+    from repro.core.trainer import training_step
+    from repro.nn.optim import Adam
+    model = train_variant("neutraj", porto_workload, "frechet", cache=False)
+    encoder = model.encoder
+    sampler = PairSampler(model.similarity_matrix,
+                          porto_workload.scale.sampling_num, weighted=True,
+                          rng=np.random.default_rng(0))
+    optimizer = Adam(encoder.parameters(), lr=0.008)
+    batch = [sampler.sample(a) for a in range(4)]
+    benchmark(lambda: training_step(encoder, porto_workload.seeds, batch,
+                                    optimizer, grad_clip=5.0))
+
+    epochs = len(fig5[0].losses)
+    rows = [[c.measure, c.variant]
+            + [f"{loss:.4f}" for loss in c.losses] for c in fig5]
+    report("fig5_convergence",
+           format_table("Fig 5: training-loss curves (per epoch)",
+                        ["measure", "variant"]
+                        + [f"ep{i}" for i in range(epochs)], rows))
+
+    if not strict_shapes:
+        return
+    for curve in fig5:
+        losses = np.array(curve.losses)
+        # Loss decreases overall (allowing local noise).
+        assert losses[-3:].mean() < losses[0], (curve.measure, curve.variant)
+
+    # SAM converges at least as fast as the ablation on a majority of
+    # measures (paper Fig. 5 conclusion).
+    by_key = {(c.measure, c.variant): c for c in fig5}
+    faster = 0
+    for measure in ("frechet", "hausdorff", "erp", "dtw"):
+        sam = TrainingHistory([EpochStats(i, l, 0.0, 0)
+                               for i, l in enumerate(by_key[(measure, "neutraj")].losses)])
+        plain = TrainingHistory([EpochStats(i, l, 0.0, 0)
+                                 for i, l in enumerate(by_key[(measure, "nt_no_sam")].losses)])
+        if (sam.epochs_to_converge(rel_tol=0.1)
+                <= plain.epochs_to_converge(rel_tol=0.1)):
+            faster += 1
+    assert faster >= 2

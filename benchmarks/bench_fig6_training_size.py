@@ -1,0 +1,48 @@
+"""Figure 6 — HR@10 versus training-data (seed-pool) size.
+
+Expected shape (paper): accuracy improves then stabilises as the seed pool
+grows, and the SAM model dominates the ablation especially at small sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (format_table, run_training_size_sweep,
+                               train_variant)
+
+FRACTIONS = (0.25, 1.0)
+MEASURES = ("frechet", "dtw")
+
+
+@pytest.fixture(scope="module")
+def fig6(porto_workload):
+    return run_training_size_sweep(porto_workload, fractions=FRACTIONS,
+                                   measures=MEASURES)
+
+
+def test_fig6_training_size(benchmark, fig6, porto_workload, report,
+                            strict_shapes):
+    model = train_variant("neutraj", porto_workload, "frechet")
+    emb = model.embed(porto_workload.database)
+    query = porto_workload.queries[0]
+    benchmark(lambda: model.top_k(query, emb, 10))
+
+    rows = []
+    for measure in MEASURES:
+        for variant in ("neutraj", "nt_no_sam"):
+            rows.append([measure, variant] + [
+                f"{fig6[(measure, variant, f)]:.4f}" for f in FRACTIONS])
+    num_seeds = [int(len(porto_workload.seeds) * f) for f in FRACTIONS]
+    report("fig6_training_size",
+           format_table("Fig 6: HR@10 vs training size",
+                        ["measure", "variant"]
+                        + [f"seeds={n}" for n in num_seeds], rows))
+
+    if not strict_shapes:
+        return
+    for measure in MEASURES:
+        for variant in ("neutraj", "nt_no_sam"):
+            small = fig6[(measure, variant, FRACTIONS[0])]
+            large = fig6[(measure, variant, FRACTIONS[-1])]
+            # More seeds should not make things dramatically worse.
+            assert large >= small - 0.15, (measure, variant)

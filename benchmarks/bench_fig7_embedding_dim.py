@@ -1,0 +1,37 @@
+"""Figure 7 — HR@10 versus embedding dimensionality d.
+
+Expected shape (paper): accuracy rises with d and then flattens (possibly
+dipping from overfitting at very large d relative to the data size).
+"""
+
+import pytest
+
+from repro.experiments import (format_table, run_embedding_dim_sweep,
+                               train_variant)
+
+DIMS = (8, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def fig7(porto_workload):
+    return run_embedding_dim_sweep(porto_workload, dims=DIMS)
+
+
+def test_fig7_embedding_dim(benchmark, fig7, porto_workload, report,
+                            strict_shapes):
+    model = train_variant("neutraj", porto_workload, "frechet")
+    batch = porto_workload.database[:16]
+    benchmark(lambda: model.embed(batch))
+
+    rows = [[variant] + [f"{fig7[(variant, d)]:.4f}" for d in DIMS]
+            for variant in ("neutraj", "nt_no_sam")]
+    report("fig7_embedding_dim",
+           format_table("Fig 7: HR@10 vs embedding dimension (Fréchet)",
+                        ["variant"] + [f"d={d}" for d in DIMS], rows))
+
+    if not strict_shapes:
+        return
+    for variant in ("neutraj", "nt_no_sam"):
+        series = [fig7[(variant, d)] for d in DIMS]
+        # The best dimension is not the smallest one.
+        assert max(series[1:]) >= series[0], variant

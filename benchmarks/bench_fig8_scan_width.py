@@ -1,0 +1,40 @@
+"""Figure 8 — HR@10 versus SAM scan width w.
+
+Expected shape (paper): quality first improves as w grows (more history is
+readable) and then flattens or dips when irrelevant cells enter the window.
+"""
+
+import pytest
+
+from repro.experiments import (format_table, run_scan_width_sweep,
+                               train_variant)
+
+WIDTHS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def fig8(porto_workload):
+    return run_scan_width_sweep(porto_workload, widths=WIDTHS)
+
+
+def test_fig8_scan_width(benchmark, fig8, porto_workload, report,
+                         strict_shapes):
+    # Kernel: a single SAM read — the operation whose cost grows with w.
+    import numpy as np
+    from repro.nn.tensor import Tensor
+    model = train_variant("neutraj", porto_workload, "frechet")
+    cell = model.encoder.rnn.cell
+    memory = model.encoder.memory
+    c_hat = Tensor(np.zeros((4, model.config.embedding_dim)))
+    cells = np.full((4, 2), 5)
+    benchmark(lambda: cell.read(c_hat, cells, memory))
+
+    rows = [["neutraj"] + [f"{fig8[w]:.4f}" for w in WIDTHS]]
+    report("fig8_scan_width",
+           format_table("Fig 8: HR@10 vs scan width w (Fréchet)",
+                        ["variant"] + [f"w={w}" for w in WIDTHS], rows))
+
+    if strict_shapes:
+        series = [fig8[w] for w in WIDTHS]
+        # A positive scan width should be at least as good as w=0 somewhere.
+        assert max(series[1:]) >= series[0] - 0.05

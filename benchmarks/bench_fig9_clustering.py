@@ -1,0 +1,51 @@
+"""Figure 9 — DBSCAN trajectory clustering: exact vs embedding distances.
+
+Expected shape (paper): the number of clusters under embedding distances
+tracks the exact-distance curve across the epsilon sweep, and partition
+agreement (homogeneity / completeness / V-measure / ARI) is high at the
+well-clustered settings (paper: best values > 0.8).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import dbscan
+from repro.experiments import format_table, run_clustering
+from repro.measures import pairwise_distances, get_measure
+
+
+@pytest.fixture(scope="module")
+def fig9(porto_workload):
+    max_items = min(len(porto_workload.database), 150)
+    return run_clustering(porto_workload, "frechet", max_items=max_items)
+
+
+def test_fig9_clustering(benchmark, fig9, porto_workload, report,
+                         strict_shapes):
+    # Kernel: one DBSCAN run on a precomputed matrix.
+    items = porto_workload.database[:60]
+    matrix = pairwise_distances(items, get_measure("hausdorff"))
+    eps = float(np.quantile(matrix[~np.eye(len(items), dtype=bool)], 0.05))
+    benchmark(lambda: dbscan(matrix, eps, 5))
+
+    rows = [[f"{p.eps_quantile:.2f}", f"{p.eps_exact:.0f}",
+             f"{p.eps_embed:.3f}", p.clusters_exact, p.clusters_embed,
+             f"{p.homogeneity:.3f}", f"{p.completeness:.3f}",
+             f"{p.v_measure:.3f}", f"{p.ari:.3f}"] for p in fig9]
+    report("fig9_clustering",
+           format_table("Fig 9: DBSCAN clustering, exact vs embedding "
+                        "(Fréchet, min_pts=5)",
+                        ["quantile", "eps_exact", "eps_embed", "#cl_exact",
+                         "#cl_embed", "homog", "compl", "V", "ARI"], rows))
+
+    # Shape: cluster counts move in the same direction across the sweep and
+    # the best agreement is substantial.
+    exact_counts = [p.clusters_exact for p in fig9]
+    embed_counts = [p.clusters_embed for p in fig9]
+    if strict_shapes:
+        assert max(p.v_measure for p in fig9) > 0.5
+        assert max(p.ari for p in fig9) > 0.3
+    # Both sweeps produce non-trivial clusterings somewhere.
+    if strict_shapes:
+        assert max(exact_counts) >= 2
+        assert max(embed_counts) >= 2

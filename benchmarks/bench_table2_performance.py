@@ -1,0 +1,72 @@
+"""Table II — performance comparison of AP / Siamese / NeuTraj.
+
+Reproduces the paper's headline quality table: HR@10, HR@50, R10@50 and
+distance distortions for every method on Fréchet, Hausdorff, ERP and DTW
+over both datasets. Expected shape (paper): NeuTraj >= Siamese > AP on the
+ranking metrics, with ERP carrying no AP column.
+
+The benchmarked kernel is NeuTraj's online primitive — embed a query and
+rank the database — which is what the linear-time claim is about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import embedding_knn
+from repro.experiments import (ALL_MEASURES, TABLE2_METHODS, format_results,
+                               run_cell, train_variant)
+
+
+@pytest.fixture(scope="module")
+def table2(porto_workload, geolife_workload):
+    results = {}
+    for dataset_name, workload in (("geolife", geolife_workload),
+                                   ("porto", porto_workload)):
+        for measure in ALL_MEASURES:
+            for method in TABLE2_METHODS:
+                key = (dataset_name, measure, method)
+                if method == "ap" and measure == "erp":
+                    results[key] = None
+                    continue
+                results[key] = run_cell(workload, measure, method)
+    return results
+
+
+def test_table2_performance_comparison(benchmark, table2, porto_workload,
+                                       report, strict_shapes):
+    model = train_variant("neutraj", porto_workload, "frechet")
+    database_emb = model.embed(porto_workload.database)
+    query = porto_workload.queries[0]
+
+    def query_kernel():
+        q_emb = model.embed([query])[0]
+        return embedding_knn(q_emb, database_emb, 50)
+
+    benchmark(query_kernel)
+
+    report("table2_performance",
+           format_results(table2, "Table II: performance comparison "
+                          "(AP / Siamese / NeuTraj)"))
+
+    # Shape assertions mirroring the paper's conclusions.
+    for dataset in ("geolife", "porto"):
+        for measure in ALL_MEASURES:
+            neutraj = table2[(dataset, measure, "neutraj")]
+            assert neutraj.hr10 > 0.0
+            assert neutraj.r10_at_50 >= neutraj.hr10
+    if strict_shapes:
+        # NeuTraj decisively beats the LSH-based AP on Fréchet and DTW
+        # (the paper's headline comparison).
+        for d in ("geolife", "porto"):
+            for m in ("frechet", "dtw"):
+                assert (table2[(d, m, "neutraj")].hr10
+                        > table2[(d, m, "ap")].hr10), (d, m)
+        # NeuTraj matches or beats the Siamese baseline within query noise
+        # on most cells (at our 20-query scale the two are statistically
+        # close; the paper's larger margins appear at full data scale —
+        # see EXPERIMENTS.md).
+        wins = sum(
+            table2[(d, m, "neutraj")].hr10
+            >= table2[(d, m, "siamese")].hr10 - 0.08
+            for d in ("geolife", "porto") for m in ALL_MEASURES)
+        assert wins >= 5, f"NeuTraj competitive on only {wins}/8 cells"

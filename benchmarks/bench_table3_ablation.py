@@ -1,0 +1,50 @@
+"""Table III — ablation study: NT-No-WS / NT-No-SAM / full NeuTraj.
+
+Expected shape (paper): the full model is the best variant on most cells;
+removing either module (weighted sampling, SAM) costs accuracy.
+"""
+
+import pytest
+
+from repro.experiments import (ALL_MEASURES, TABLE3_METHODS, format_results,
+                               run_cell, train_variant)
+
+
+@pytest.fixture(scope="module")
+def table3(porto_workload, geolife_workload):
+    results = {}
+    for dataset_name, workload in (("geolife", geolife_workload),
+                                   ("porto", porto_workload)):
+        for measure in ALL_MEASURES:
+            for method in TABLE3_METHODS:
+                results[(dataset_name, measure, method)] = run_cell(
+                    workload, measure, method)
+    return results
+
+
+def test_table3_ablations(benchmark, table3, porto_workload, report,
+                          strict_shapes):
+    # Kernel: one ablated-model embedding pass (same cost class as full).
+    model = train_variant("nt_no_sam", porto_workload, "frechet")
+    batch = porto_workload.database[:32]
+    benchmark(lambda: model.embed(batch))
+
+    report("table3_ablation",
+           format_results(table3, "Table III: ablation study "
+                          "(NT-No-WS / NT-No-SAM / NeuTraj)"))
+
+    # Shape: the paper's per-module gains are ~1-2 HR points — below the
+    # query noise (~5-8 points) of our 20-query scaled protocol, so we
+    # assert non-inferiority within noise rather than strict wins (see
+    # EXPERIMENTS.md, Table III).
+    if not strict_shapes:
+        return
+    cells = [(d, m) for d in ("geolife", "porto") for m in ALL_MEASURES]
+    for ablation in ("nt_no_ws", "nt_no_sam"):
+        close = sum(
+            table3[(d, m, "neutraj")].hr50
+            >= table3[(d, m, ablation)].hr50 - 0.08
+            for d, m in cells)
+        assert close >= len(cells) - 1, (
+            f"full NeuTraj non-inferior on only {close}/{len(cells)} "
+            f"vs {ablation}")

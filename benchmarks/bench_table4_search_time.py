@@ -1,0 +1,71 @@
+"""Table IV — online similarity-search time without an index.
+
+Per-query cost of BruteForce / AP / NT-No-SAM / NeuTraj across database
+sizes for all four measures. Expected shape (paper): BruteForce grows
+linearly in DB size with a large constant (quadratic per pair), the neural
+methods grow with a far smaller constant, AP sits in between, and the two
+neural variants are indistinguishable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (db_sizes_for_scale, format_table,
+                               run_search_time, train_variant)
+from repro.measures import get_measure
+
+MEASURES = ("frechet", "hausdorff", "erp", "dtw")
+
+
+@pytest.fixture(scope="module")
+def table4(porto_workload):
+    sizes = db_sizes_for_scale(porto_workload.scale)
+    return {m: run_search_time(m, porto_workload, db_sizes=sizes)
+            for m in MEASURES}, sizes
+
+
+def test_table4_search_time(benchmark, table4, porto_workload, report,
+                            strict_shapes):
+    results, sizes = table4
+
+    # Kernel: one exact Fréchet pair — the unit BruteForce pays per item.
+    measure = get_measure("frechet")
+    a = porto_workload.database[0].points
+    b = porto_workload.database[1].points
+    benchmark(lambda: measure.distance(a, b))
+
+    rows = []
+    for measure_name, timings in results.items():
+        methods = sorted({t.method for t in timings},
+                         key=lambda m: ["BruteForce", "AP", "NT-No-SAM",
+                                        "NeuTraj"].index(m))
+        for method in methods:
+            per_size = {t.db_size: t.seconds_per_query for t in timings
+                        if t.method == method}
+            rows.append([measure_name, method]
+                        + [f"{per_size[s]:.4f}s" for s in sizes])
+    report("table4_search_time",
+           format_table("Table IV: online search time without index "
+                        "(per query)", ["measure", "method"]
+                        + [f"db={s}" for s in sizes], rows))
+
+    # Shape assertions: NeuTraj beats BruteForce at the largest size, and
+    # the gap widens with database size. (Skipped at smoke scale where the
+    # largest database is too small for the constant factors to amortise.)
+    if not strict_shapes:
+        return
+    for measure_name, timings in results.items():
+        brute = {t.db_size: t.seconds_per_query for t in timings
+                 if t.method == "BruteForce"}
+        neural = {t.db_size: t.seconds_per_query for t in timings
+                  if t.method == "NeuTraj"}
+        largest = sizes[-1]
+        # Hausdorff is fully vectorised (no DP), so exact search is cheap
+        # and the neural speedup is the smallest — as in the paper, where
+        # Hausdorff shows 45x vs Fréchet's 1000x.
+        slack = 1.5 if measure_name == "hausdorff" else 1.0
+        assert neural[largest] < brute[largest] * slack, measure_name
+        speedup_small = brute[sizes[0]] / neural[sizes[0]]
+        speedup_large = brute[largest] / neural[largest]
+        assert speedup_large > speedup_small * 0.8, (
+            f"{measure_name}: speedup should not collapse with size")

@@ -1,0 +1,54 @@
+"""Table V — online similarity search with spatial indexes.
+
+Fréchet search through a bounding-box R-tree and a grid inverted index,
+ranking the candidates with BruteForce / AP / NeuTraj. Expected shape
+(paper): indexes shrink the involved-trajectory count below the DB size;
+NeuTraj is the fastest ranker under both indexes.
+"""
+
+import pytest
+
+from repro.experiments import (db_sizes_for_scale, format_table,
+                               run_indexed_search_time)
+from repro.index import RTree
+
+
+@pytest.fixture(scope="module")
+def table5(porto_workload):
+    sizes = db_sizes_for_scale(porto_workload.scale)
+    return run_indexed_search_time(porto_workload, db_sizes=sizes), sizes
+
+
+def test_table5_indexed_search(benchmark, table5, porto_workload, report):
+    results, sizes = table5
+
+    # Kernel: an R-tree range query over the database.
+    tree = RTree.from_trajectories(porto_workload.database)
+    window = porto_workload.queries[0].bbox
+    benchmark(lambda: tree.query(window))
+
+    rows = []
+    for index_name in ("rtree", "grid"):
+        for method in ("BruteForce", "AP", "NeuTraj"):
+            cells = {r.db_size: r for r in results
+                     if r.index_name == index_name and r.method == method}
+            rows.append(
+                [index_name, method]
+                + [f"{cells[s].seconds_per_query:.4f}s" for s in sizes])
+        involved = {r.db_size: r.involved for r in results
+                    if r.index_name == index_name and r.method == "BruteForce"}
+        rows.append([index_name, "# involved"]
+                    + [f"{involved[s]:.0f}" for s in sizes])
+    report("table5_indexed_search",
+           format_table("Table V: online search time with index (per query)",
+                        ["index", "method"] + [f"db={s}" for s in sizes],
+                        rows))
+
+    for index_name in ("rtree", "grid"):
+        for size in sizes:
+            brute = next(r for r in results if r.index_name == index_name
+                         and r.method == "BruteForce" and r.db_size == size)
+            neural = next(r for r in results if r.index_name == index_name
+                          and r.method == "NeuTraj" and r.db_size == size)
+            assert neural.seconds_per_query < brute.seconds_per_query
+            assert brute.involved <= size

@@ -1,0 +1,41 @@
+"""Table VII — case study: top-3 retrieval vs ground truth.
+
+Retrieval detail for one short and one long query (the paper shows T91 and
+T65): the top-3 ids from the ground truth and from NeuTraj, plus the
+per-query quality numbers printed in the table header.
+"""
+
+import pytest
+
+from repro.experiments import format_table, run_case_study, train_variant
+
+
+@pytest.fixture(scope="module")
+def table7(porto_workload):
+    return run_case_study(porto_workload, "frechet")
+
+
+def test_table7_case_study(benchmark, table7, porto_workload, report):
+    model = train_variant("neutraj", porto_workload, "frechet")
+    short_query = porto_workload.queries[table7[0].query_index]
+    benchmark(lambda: model.embed([short_query]))
+
+    rows = []
+    for study in table7:
+        rows.append([
+            f"T{study.query_index}", study.query_length,
+            str(study.truth_top3), str(study.neutraj_top3),
+            f"{study.hr10:.2f}", f"{study.hr50:.2f}",
+            f"{study.r10_at_50:.2f}",
+            f"{study.delta_h5:.0f}/{study.delta_h10:.0f}/{study.delta_r10:.0f}",
+        ])
+    report("table7_case_study",
+           format_table("Table VII: case study (short & long query, Fréchet)",
+                        ["query", "len", "GT top-3", "NeuTraj top-3",
+                         "HR@10", "HR@50", "R10@50", "dH5/dH10/dR10"], rows))
+
+    short, long_ = table7
+    assert short.query_length <= long_.query_length
+    for study in table7:
+        # NeuTraj recovers at least part of the true neighbourhood.
+        assert study.r10_at_50 > 0.0

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artefacts (workloads, trained models, distance matrices) are cached —
+in-process via session fixtures and on disk under ``.bench_cache`` — so the
+whole suite regenerates every paper table without retraining duplicates.
+
+Scale is controlled with ``REPRO_SCALE`` (smoke / small / medium); see
+``repro.experiments.workloads``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import build_workload, current_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def porto_workload(scale):
+    return build_workload("porto", scale=scale)
+
+
+@pytest.fixture(scope="session")
+def geolife_workload(scale):
+    return build_workload("geolife", scale=scale)
+
+
+@pytest.fixture(scope="session")
+def strict_shapes(scale):
+    """Whether to enforce the paper's quality orderings.
+
+    At ``smoke`` scale the models are deliberately under-trained (plumbing
+    check only), so ordering assertions between methods are skipped.
+    """
+    return scale.name != "smoke"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Persist a rendered table under results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Bypass pytest's capture so the table is visible in the terminal
+        # output / tee'd log as well as in results/.
+        import sys
+        sys.__stdout__.write(f"\n{text}\n[saved to {path}]\n")
+        sys.__stdout__.flush()
+
+    return write

@@ -1,0 +1,53 @@
+"""NeuTraj is generic: one framework, four similarity measures.
+
+The paper's central claim (§I) is that one architecture approximates *any*
+trajectory measure. This example trains four NeuTraj models — Fréchet,
+Hausdorff, ERP, DTW — on the same seed pool and reports rank correlation
+between embedding distances and each exact measure on held-out pairs.
+
+Run:  python examples/generic_measures.py
+"""
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+from repro.measures import get_measure
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    dataset = generate_porto(PortoConfig(num_trajectories=220, min_points=10,
+                                         max_points=25), seed=9)
+    seeds_ds, rest = dataset.split((0.35, 0.65), rng)
+    seeds, held_out = list(seeds_ds), list(rest)
+
+    pairs = [tuple(rng.choice(len(held_out), 2, replace=False))
+             for _ in range(200)]
+
+    print(f"{'measure':<10} {'spearman rho':>13} {'final loss':>11}")
+    centroid = np.concatenate([t.points for t in seeds]).mean(axis=0)
+    for name in ("frechet", "hausdorff", "erp", "dtw"):
+        measure = (get_measure("erp", gap=centroid) if name == "erp"
+                   else get_measure(name))
+        model = NeuTraj(NeuTrajConfig(measure=name, embedding_dim=32,
+                                      epochs=6, sampling_num=10,
+                                      batch_anchors=20, cell_size=250.0,
+                                      seed=0))
+        # Reuse the generic fit API; the exact measure only guides training.
+        from repro.measures import pairwise_distances
+        history = model.fit(seeds,
+                            distance_matrix=pairwise_distances(seeds, measure))
+
+        emb = model.embed(held_out)
+        exact = [measure(held_out[i], held_out[j]) for i, j in pairs]
+        approx = [np.linalg.norm(emb[i] - emb[j]) for i, j in pairs]
+        rho = spearmanr(exact, approx).statistic
+        print(f"{name:<10} {rho:>13.3f} {history.losses[-1]:>11.4f}")
+
+    print("\nhigh rho for every measure = one generic framework "
+          "approximates them all")
+
+
+if __name__ == "__main__":
+    main()

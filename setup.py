@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has no `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-use-pep517` uses this file."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Train a small NeuTraj on synthetic Porto-like data and run a top-k
+    search (the quickstart, self-contained).
+``measures``
+    List the registered trajectory measures.
+``experiment <name>``
+    Regenerate one of the paper's tables/figures (``table2`` .. ``fig10``)
+    at the scale given by ``--scale`` (smoke/small/medium).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from . import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+
+    dataset = generate_porto(
+        PortoConfig(num_trajectories=args.size, min_points=10,
+                    max_points=25), seed=0)
+    rng = np.random.default_rng(0)
+    seeds_ds, rest = dataset.split((0.3, 0.7), rng)
+    seeds, database = list(seeds_ds), list(rest)
+    print(f"training NeuTraj({args.measure}) on {len(seeds)} seeds ...")
+    model = NeuTraj(NeuTrajConfig(measure=args.measure, embedding_dim=16,
+                                  epochs=args.epochs, sampling_num=5,
+                                  batch_anchors=10, cell_size=400.0, seed=0))
+    history = model.fit(seeds)
+    print(f"done in {history.total_seconds:.1f}s "
+          f"(final loss {history.losses[-1]:.4f})")
+    embeddings = model.embed(database)
+    top = model.top_k(database[0], embeddings, k=5)
+    print(f"top-5 neighbours of trajectory 0: {top.tolist()}")
+    return 0
+
+
+def _cmd_measures(args: argparse.Namespace) -> int:
+    from .measures import available_measures, get_measure
+
+    for name in available_measures():
+        measure = get_measure(name)
+        kind = "metric" if measure.is_metric else "non-metric"
+        print(f"{name:<12} {kind}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table2": ("bench_table2_performance.py", "performance comparison"),
+    "table3": ("bench_table3_ablation.py", "ablation study"),
+    "table4": ("bench_table4_search_time.py", "online search time"),
+    "table5": ("bench_table5_indexed_search.py", "indexed search time"),
+    "table6": ("bench_table6_training_time.py", "offline training time"),
+    "table7": ("bench_table7_case_study.py", "case study"),
+    "fig5": ("bench_fig5_convergence.py", "convergence curves"),
+    "fig6": ("bench_fig6_training_size.py", "training-size sweep"),
+    "fig7": ("bench_fig7_embedding_dim.py", "embedding-dim sweep"),
+    "fig8": ("bench_fig8_scan_width.py", "scan-width sweep"),
+    "fig9": ("bench_fig9_clustering.py", "clustering comparison"),
+    "fig10": ("bench_fig10_zero_shot.py", "zero-shot learning"),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import subprocess
+    from pathlib import Path
+
+    try:
+        bench_file, description = _EXPERIMENTS[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {sorted(_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    bench_path = Path(__file__).resolve().parents[2] / "benchmarks" / bench_file
+    if not bench_path.exists():
+        print(f"benchmark file not found: {bench_path}", file=sys.stderr)
+        return 2
+    print(f"running {args.name} ({description}) at scale={args.scale} ...")
+    env = dict(os.environ, REPRO_SCALE=args.scale)
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", str(bench_path),
+         "--benchmark-only", "-q"], env=env)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NeuTraj reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="train + search on synthetic data")
+    demo.add_argument("--measure", default="frechet")
+    demo.add_argument("--size", type=int, default=120)
+    demo.add_argument("--epochs", type=int, default=3)
+    demo.set_defaults(func=_cmd_demo)
+
+    measures = sub.add_parser("measures", help="list registered measures")
+    measures.set_defaults(func=_cmd_measures)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", default="smoke",
+                            choices=["smoke", "small", "medium"])
+    experiment.set_defaults(func=_cmd_experiment)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Downstream trajectory-mining applications built on NeuTraj embeddings.
+
+These are the tasks the paper's introduction motivates NeuTraj with:
+similarity join and anomaly detection both need (near-)all-pairs distances
+and become tractable once pairs cost O(d) instead of O(L²).
+"""
+
+from .join import (JoinResult, calibrate_threshold, exact_join,
+                   similarity_join)
+from .anomaly import AnomalyResult, detect_anomalies, knn_outlier_scores
+
+__all__ = [
+    "JoinResult", "calibrate_threshold", "exact_join", "similarity_join",
+    "AnomalyResult", "detect_anomalies", "knn_outlier_scores",
+]

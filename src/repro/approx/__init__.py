@@ -1,0 +1,35 @@
+"""Approximate trajectory-distance algorithms (the paper's "AP" baselines)."""
+
+from .base import ApproximateMeasure
+from .lsh_curves import (CurveLSH, GridDTW, GridFrechet, LSHCurveDistance,
+                         snap_curve)
+from .hausdorff_embed import AnchorHausdorff
+from .fastdtw import FastDTW, fastdtw
+
+
+def get_approx(measure_name: str, bbox=None, delta: float = 100.0,
+               **kwargs) -> ApproximateMeasure:
+    """Instantiate the default AP comparator for a measure name.
+
+    ``frechet`` -> :class:`GridFrechet`, ``dtw`` -> :class:`FastDTW`,
+    ``hausdorff`` -> :class:`AnchorHausdorff` (needs ``bbox``).
+    ERP has no published approximate algorithm (paper §VII-A3) and raises.
+    """
+    if measure_name == "frechet":
+        return GridFrechet(delta=delta, **kwargs)
+    if measure_name == "dtw":
+        return FastDTW(**kwargs)
+    if measure_name == "hausdorff":
+        if bbox is None:
+            raise ValueError("AnchorHausdorff requires bbox")
+        return AnchorHausdorff(bbox, **kwargs)
+    if measure_name == "erp":
+        raise ValueError("ERP has no approximate algorithm (paper §VII-A3)")
+    raise KeyError(f"no approximate algorithm registered for {measure_name!r}")
+
+
+__all__ = [
+    "ApproximateMeasure", "CurveLSH", "GridDTW", "GridFrechet",
+    "LSHCurveDistance", "snap_curve",
+    "AnchorHausdorff", "FastDTW", "fastdtw", "get_approx",
+]

@@ -1,0 +1,39 @@
+"""Interface for approximate trajectory-distance algorithms (paper's "AP").
+
+Each algorithm targets one measure and splits work into a per-trajectory
+``preprocess`` (signature/sketch computation, done once per database entry)
+and a cheap ``signature_distance`` between sketches — mirroring how such
+algorithms are deployed for similarity search.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class ApproximateMeasure:
+    """Base class for approximate distance algorithms."""
+
+    #: registry-style name
+    name: str = ""
+    #: name of the exact measure being approximated
+    target_measure: str = ""
+
+    def preprocess(self, points: np.ndarray) -> Any:
+        """Per-trajectory sketch; override in subclasses."""
+        raise NotImplementedError
+
+    def signature_distance(self, sig_a: Any, sig_b: Any) -> float:
+        """Approximate distance between two sketches."""
+        raise NotImplementedError
+
+    def distance(self, a, b) -> float:
+        """Convenience: sketch both inputs and compare."""
+        a = np.asarray(getattr(a, "points", a))
+        b = np.asarray(getattr(b, "points", b))
+        return self.signature_distance(self.preprocess(a), self.preprocess(b))
+
+    def __call__(self, a, b) -> float:
+        return self.distance(a, b)

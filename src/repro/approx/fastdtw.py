@@ -1,0 +1,112 @@
+"""FastDTW (Salvador & Chan, 2007): linear-time approximate DTW.
+
+Recursively coarsen both sequences by 2x, solve the coarse problem, project
+the coarse warp path onto the finer grid and search only a ``radius``-wide
+corridor around it. Total work is O(L * radius) — the classic approximate
+DTW algorithm the paper cites via [1]/[26].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from .base import ApproximateMeasure
+
+
+def _reduce_by_half(points: np.ndarray) -> np.ndarray:
+    n = len(points) // 2 * 2
+    return (points[0:n:2] + points[1:n:2]) / 2.0
+
+
+def _constrained_dtw(a: np.ndarray, b: np.ndarray,
+                     window: List[Tuple[int, int]]
+                     ) -> Tuple[float, List[Tuple[int, int]]]:
+    """DTW restricted to ``window`` cells; returns (distance, warp path)."""
+    costs: Dict[Tuple[int, int], Tuple[float, Tuple[int, int]]] = {}
+    costs[(0, 0)] = (0.0, (0, 0))
+    window_set = set((i + 1, j + 1) for i, j in window)
+    for i, j in sorted(window_set):
+        dist = float(np.linalg.norm(a[i - 1] - b[j - 1]))
+        best = None
+        for prev in ((i - 1, j), (i, j - 1), (i - 1, j - 1)):
+            if prev in costs:
+                cand = costs[prev][0]
+                if best is None or cand < best[0]:
+                    best = (cand, prev)
+        if best is None:
+            continue
+        costs[(i, j)] = (best[0] + dist, best[1])
+    end = (len(a), len(b))
+    if end not in costs:
+        raise RuntimeError("window does not reach the end cell")
+    # Recover path.
+    path = []
+    cell = end
+    while cell != (0, 0):
+        path.append((cell[0] - 1, cell[1] - 1))
+        cell = costs[cell][1]
+    path.reverse()
+    return costs[end][0], path
+
+
+def _expand_window(path: List[Tuple[int, int]], len_a: int, len_b: int,
+                   radius: int) -> List[Tuple[int, int]]:
+    """Project a coarse warp path to the finer grid, padded by ``radius``."""
+    cells: Set[Tuple[int, int]] = set()
+    for i, j in path:
+        for di in range(-radius, radius + 1):
+            for dj in range(-radius, radius + 1):
+                cells.add((i + di, j + dj))
+    window: Set[Tuple[int, int]] = set()
+    for i, j in cells:
+        for fi in (2 * i, 2 * i + 1):
+            for fj in (2 * j, 2 * j + 1):
+                if 0 <= fi < len_a and 0 <= fj < len_b:
+                    window.add((fi, fj))
+    # Guarantee connectivity of the corridor at the corners.
+    window.add((0, 0))
+    window.add((len_a - 1, len_b - 1))
+    return sorted(window)
+
+
+def fastdtw(a: np.ndarray, b: np.ndarray, radius: int = 1
+            ) -> Tuple[float, List[Tuple[int, int]]]:
+    """Approximate DTW distance and warp path (Salvador & Chan)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    min_size = radius + 2
+    if len(a) <= min_size or len(b) <= min_size:
+        full = [(i, j) for i in range(len(a)) for j in range(len(b))]
+        return _constrained_dtw(a, b, full)
+    coarse_a = _reduce_by_half(a)
+    coarse_b = _reduce_by_half(b)
+    _, coarse_path = fastdtw(coarse_a, coarse_b, radius)
+    window = _expand_window(coarse_path, len(a), len(b), radius)
+    return _constrained_dtw(a, b, window)
+
+
+class FastDTW(ApproximateMeasure):
+    """ApproximateMeasure wrapper around :func:`fastdtw`.
+
+    Parameters
+    ----------
+    radius:
+        Corridor half-width; accuracy and cost grow with it.
+    """
+
+    name = "fastdtw"
+    target_measure = "dtw"
+
+    def __init__(self, radius: int = 1):
+        if radius < 0:
+            raise ValueError("radius must be >= 0")
+        self.radius = int(radius)
+
+    def preprocess(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=np.float64)
+
+    def signature_distance(self, sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        distance, _ = fastdtw(sig_a, sig_b, radius=self.radius)
+        return float(distance)

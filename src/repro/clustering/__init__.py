@@ -1,0 +1,10 @@
+"""Density clustering and partition-quality metrics."""
+
+from .dbscan import NOISE, dbscan, num_clusters
+from .metrics import (adjusted_rand_index, contingency_table,
+                      homogeneity_completeness_v)
+
+__all__ = [
+    "NOISE", "dbscan", "num_clusters",
+    "adjusted_rand_index", "contingency_table", "homogeneity_completeness_v",
+]

@@ -1,0 +1,72 @@
+"""DBSCAN over a precomputed distance matrix (paper §VII-F).
+
+The paper clusters trajectories with DBSCAN twice — once on exact pairwise
+distances, once on embedding distances — and compares the partitions. Since
+both runs operate on distance matrices, this implementation takes the
+matrix directly (no spatial pruning needed at experiment scale).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+NOISE = -1
+_UNVISITED = -2
+
+
+def dbscan(distance_matrix: np.ndarray, eps: float,
+           min_points: int) -> np.ndarray:
+    """Cluster by density reachability.
+
+    Parameters
+    ----------
+    distance_matrix:
+        Symmetric (N, N) pairwise distances.
+    eps:
+        Neighbourhood radius.
+    min_points:
+        Minimum neighbourhood size (including the point itself) for a core
+        point.
+
+    Returns
+    -------
+    Integer labels (N,) with clusters numbered from 0; noise points get -1.
+    """
+    d = np.asarray(distance_matrix, dtype=np.float64)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("distance matrix must be square")
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    if min_points < 1:
+        raise ValueError("min_points must be >= 1")
+    n = d.shape[0]
+    neighbours = [np.flatnonzero(d[i] <= eps) for i in range(n)]
+    is_core = np.array([len(nb) >= min_points for nb in neighbours])
+
+    labels = np.full(n, _UNVISITED, dtype=int)
+    cluster = 0
+    for start in range(n):
+        if labels[start] != _UNVISITED or not is_core[start]:
+            continue
+        labels[start] = cluster
+        queue = deque(neighbours[start])
+        while queue:
+            point = queue.popleft()
+            if labels[point] == NOISE:
+                labels[point] = cluster  # border point adopted by cluster
+            if labels[point] != _UNVISITED:
+                continue
+            labels[point] = cluster
+            if is_core[point]:
+                queue.extend(neighbours[point])
+        cluster += 1
+    labels[labels == _UNVISITED] = NOISE
+    return labels
+
+
+def num_clusters(labels: np.ndarray) -> int:
+    """Number of clusters (noise excluded)."""
+    labels = np.asarray(labels)
+    return int(len(set(labels[labels != NOISE])))

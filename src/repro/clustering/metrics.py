@@ -1,0 +1,90 @@
+"""Clustering comparison metrics (paper §VII-F, Fig. 9).
+
+Homogeneity, completeness, V-measure (Rosenberg & Hirschberg 2007) and the
+Adjusted Rand Index (Hubert & Arabie 1985), implemented from the
+contingency table — no sklearn available offline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.special import comb
+
+
+def contingency_table(labels_a: np.ndarray, labels_b: np.ndarray
+                      ) -> np.ndarray:
+    """Counts of co-assignments between two labelings."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError("labelings must have the same length")
+    classes_a, ia = np.unique(labels_a, return_inverse=True)
+    classes_b, ib = np.unique(labels_b, return_inverse=True)
+    table = np.zeros((len(classes_a), len(classes_b)), dtype=np.int64)
+    np.add.at(table, (ia, ib), 1)
+    return table
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log(p)).sum())
+
+
+def _conditional_entropy(table: np.ndarray) -> float:
+    """H(rows | columns) from a contingency table."""
+    total = table.sum()
+    if total == 0:
+        return 0.0
+    col_sums = table.sum(axis=0)
+    h = 0.0
+    for j in range(table.shape[1]):
+        if col_sums[j] == 0:
+            continue
+        h += (col_sums[j] / total) * _entropy(table[:, j])
+    return float(h)
+
+
+def homogeneity_completeness_v(truth: np.ndarray, predicted: np.ndarray
+                               ) -> Tuple[float, float, float]:
+    """(homogeneity, completeness, V-measure) of ``predicted`` vs ``truth``.
+
+    Homogeneity: each predicted cluster contains members of one true class.
+    Completeness: all members of a true class land in one predicted cluster.
+    V-measure: their harmonic mean. All are 1.0 for identical partitions and
+    degrade toward 0.
+    """
+    table = contingency_table(truth, predicted)
+    h_truth = _entropy(table.sum(axis=1))
+    h_pred = _entropy(table.sum(axis=0))
+    h_truth_given_pred = _conditional_entropy(table)
+    h_pred_given_truth = _conditional_entropy(table.T)
+    homogeneity = 1.0 if h_truth == 0 else 1.0 - h_truth_given_pred / h_truth
+    completeness = 1.0 if h_pred == 0 else 1.0 - h_pred_given_truth / h_pred
+    if homogeneity + completeness == 0:
+        v_measure = 0.0
+    else:
+        v_measure = (2.0 * homogeneity * completeness
+                     / (homogeneity + completeness))
+    return float(homogeneity), float(completeness), float(v_measure)
+
+
+def adjusted_rand_index(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """Adjusted Rand Index: chance-corrected pair-counting agreement."""
+    table = contingency_table(truth, predicted)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_cells = comb(table, 2).sum()
+    sum_rows = comb(table.sum(axis=1), 2).sum()
+    sum_cols = comb(table.sum(axis=0), 2).sum()
+    total_pairs = comb(n, 2)
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))

@@ -1,0 +1,24 @@
+"""NeuTraj core: seed-guided neural metric learning."""
+
+from .config import NeuTrajConfig
+from .encoder import TrajectoryEncoder
+from .loss import (dissimilar_loss, mse_pair_loss, ranking_loss, similar_loss)
+from .model import MetricModel, NeuTraj
+from .sampling import AnchorSamples, PairSampler, rank_weights
+from .siamese import SiameseTraj
+from .store import EmbeddingStore
+from .similarity import (distance_to_similarity, exponential_similarity,
+                         pair_similarity, suggest_alpha)
+from .trainer import (EpochStats, TrainingHistory, anchor_batches,
+                      train_epoch, training_step)
+
+__all__ = [
+    "NeuTrajConfig", "TrajectoryEncoder",
+    "dissimilar_loss", "mse_pair_loss", "ranking_loss", "similar_loss",
+    "EmbeddingStore", "MetricModel", "NeuTraj", "SiameseTraj",
+    "AnchorSamples", "PairSampler", "rank_weights",
+    "distance_to_similarity", "exponential_similarity",
+    "pair_similarity", "suggest_alpha",
+    "EpochStats", "TrainingHistory", "anchor_batches", "train_epoch",
+    "training_step",
+]

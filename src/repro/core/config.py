@@ -1,0 +1,95 @@
+"""Configuration for NeuTraj training (paper §VII-A5 defaults, scaled)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class NeuTrajConfig:
+    """Hyper-parameters of the NeuTraj model.
+
+    Attributes
+    ----------
+    measure:
+        Name of the target measure (``"frechet"``, ``"hausdorff"``,
+        ``"erp"``, ``"dtw"``); NeuTraj is generic over this choice.
+    embedding_dim:
+        Hidden size / embedding dimensionality ``d`` (paper default 128; our
+        scaled experiments default to 32).
+    bandwidth:
+        SAM scan half-width ``w`` (paper optimum 2).
+    cell_size:
+        Side of the SAM memory grid cells, in coordinate units (paper: 50 m).
+    alpha:
+        Similarity-transform sharpness; ``None`` selects it from the seed
+        distance distribution (see ``similarity.suggest_alpha``).
+    sampling_num:
+        ``n``, the number of similar and of dissimilar samples per anchor
+        (paper default 10).
+    batch_anchors:
+        Anchors per optimisation step (paper batch size 20).
+    epochs:
+        Training epochs.
+    learning_rate:
+        Adam step size.
+    grad_clip:
+        Global gradient-norm clip (0 disables).
+    row_normalize:
+        Use the paper text's row-normalised similarity transform instead of
+        the released implementation's plain exponential (default False; the
+        exponential converges markedly better — see DESIGN.md).
+    use_sam:
+        False gives the NT-No-SAM ablation (plain LSTM encoder).
+    use_weighted_sampling:
+        False gives the NT-No-WS ablation (uniform sampling).
+    incremental_seeds:
+        Fraction of seeds used in the first epoch when > 0; the pool grows
+        linearly to 100% (curriculum used by the released implementation).
+        0 uses all seeds from the start.
+    seed:
+        RNG seed for init and sampling.
+    """
+
+    measure: str = "frechet"
+    embedding_dim: int = 32
+    bandwidth: int = 2
+    cell_size: float = 100.0
+    alpha: Optional[float] = None
+    sampling_num: int = 10
+    batch_anchors: int = 20
+    epochs: int = 10
+    learning_rate: float = 0.01
+    grad_clip: float = 5.0
+    row_normalize: bool = False
+    use_sam: bool = True
+    use_weighted_sampling: bool = True
+    incremental_seeds: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim < 1:
+            raise ConfigurationError("embedding_dim must be >= 1")
+        if self.bandwidth < 0:
+            raise ConfigurationError("bandwidth must be >= 0")
+        if self.cell_size <= 0:
+            raise ConfigurationError("cell_size must be positive")
+        if self.sampling_num < 1:
+            raise ConfigurationError("sampling_num must be >= 1")
+        if self.batch_anchors < 1:
+            raise ConfigurationError("batch_anchors must be >= 1")
+        if self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if not 0.0 <= self.incremental_seeds <= 1.0:
+            raise ConfigurationError("incremental_seeds must be in [0, 1]")
+        if self.alpha is not None and self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+
+    def ablated(self, **changes) -> "NeuTrajConfig":
+        """Copy with fields replaced (convenience for ablation sweeps)."""
+        return replace(self, **changes)

@@ -1,0 +1,88 @@
+"""Trajectory encoder: grid + normaliser + (SAM-)LSTM -> embeddings (§IV, §V-A).
+
+The encoder owns everything needed to turn a raw trajectory into its
+d-dimensional embedding: the coordinate normaliser (RNN input scale), the
+spatial grid (SAM addressing), the recurrent network, and — when SAM is
+enabled — the external memory tensor. The final valid hidden state of the
+recurrent pass is the trajectory representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..datasets.grid import CoordinateNormalizer, Grid
+from ..datasets.trajectory import Trajectory, pad_batch
+from ..nn.module import Module
+from ..nn.rnn import LSTM
+from ..nn.sam import SAMLSTM, SpatialMemory
+from ..nn.tensor import Tensor
+from .config import NeuTrajConfig
+
+
+class TrajectoryEncoder(Module):
+    """Encode batches of trajectories into embeddings.
+
+    Parameters
+    ----------
+    grid:
+        Spatial grid used both for SAM memory addressing.
+    normalizer:
+        Coordinate normaliser fitted on the seed pool.
+    config:
+        Model hyper-parameters (``use_sam`` selects the cell type).
+    rng:
+        Generator for weight initialisation.
+    """
+
+    def __init__(self, grid: Grid, normalizer: CoordinateNormalizer,
+                 config: NeuTrajConfig, rng: np.random.Generator):
+        self.grid = grid
+        self.normalizer = normalizer
+        self.config = config
+        d = config.embedding_dim
+        if config.use_sam:
+            self.rnn = SAMLSTM(2, d, rng)
+            self.memory = SpatialMemory(grid.shape, d, bandwidth=config.bandwidth)
+        else:
+            self.rnn = LSTM(2, d, rng)
+            self.memory = None
+
+    @property
+    def uses_sam(self) -> bool:
+        return self.memory is not None
+
+    def encode(self, trajectories: Sequence[Trajectory],
+               update_memory: bool = False) -> Tensor:
+        """Differentiable batch encoding -> (B, d) embedding Tensor."""
+        coords, _, mask = pad_batch(trajectories)
+        inputs = self.normalizer.transform(coords)
+        if self.uses_sam:
+            cells = self.grid.to_cells(coords)
+            return self.rnn(inputs, cells, mask, self.memory,
+                            update_memory=update_memory)
+        return self.rnn(inputs, mask)
+
+    def embed(self, trajectories: Sequence[Trajectory],
+              batch_size: int = 128) -> np.ndarray:
+        """Inference embeddings (B, d) as a plain array.
+
+        Runs under :class:`~repro.nn.tensor.no_grad` (no tape) with the
+        memory read-only, so embeddings are deterministic and cheap.
+        """
+        from ..nn.tensor import no_grad
+        chunks: List[np.ndarray] = []
+        items = list(trajectories)
+        with no_grad():
+            for start in range(0, len(items), batch_size):
+                batch = items[start:start + batch_size]
+                chunks.append(self.encode(batch, update_memory=False).data)
+        if not chunks:
+            return np.zeros((0, self.config.embedding_dim))
+        return np.concatenate(chunks, axis=0)
+
+    def reset_memory(self) -> None:
+        if self.memory is not None:
+            self.memory.reset()

@@ -1,0 +1,46 @@
+"""NeuTraj's distance-weighted ranking loss (paper Eq. 8-9).
+
+For an anchor ``a`` with ranked similar samples and rank weights ``r``:
+
+``L_a^s = sum_l r_l * (g(a, l) - f(a, l))^2``            (regression, Eq. 8)
+``L_a^d = sum_l r_l * relu(g(a, l) - f(a, l))^2``        (margin, Eq. 9)
+
+The similar loss fits the predicted similarity to the ground truth; the
+dissimilar loss only pushes *too similar* predictions down (one-sided), so
+already-separated negatives contribute zero gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+
+def similar_loss(predicted: Tensor, truth: np.ndarray,
+                 weights: np.ndarray) -> Tensor:
+    """Rank-weighted MSE over a ranked similar list (Eq. 8)."""
+    diff = predicted - Tensor(np.asarray(truth, dtype=np.float64))
+    return (Tensor(np.asarray(weights, dtype=np.float64)) * diff * diff).sum()
+
+
+def dissimilar_loss(predicted: Tensor, truth: np.ndarray,
+                    weights: np.ndarray) -> Tensor:
+    """Rank-weighted one-sided margin loss over a dissimilar list (Eq. 9)."""
+    diff = (predicted - Tensor(np.asarray(truth, dtype=np.float64))).relu()
+    return (Tensor(np.asarray(weights, dtype=np.float64)) * diff * diff).sum()
+
+
+def ranking_loss(similar_pred: Tensor, similar_truth: np.ndarray,
+                 dissimilar_pred: Tensor, dissimilar_truth: np.ndarray,
+                 weights: np.ndarray) -> Tensor:
+    """Total per-anchor loss ``L_a^s + L_a^d`` (paper §V-B)."""
+    return (similar_loss(similar_pred, similar_truth, weights)
+            + dissimilar_loss(dissimilar_pred, dissimilar_truth, weights))
+
+
+def mse_pair_loss(predicted: Tensor, truth: np.ndarray) -> Tensor:
+    """Plain MSE over pairs — the Siamese baseline's objective."""
+    truth_t = Tensor(np.asarray(truth, dtype=np.float64))
+    diff = predicted - truth_t
+    return (diff * diff).mean()

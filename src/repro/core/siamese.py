@@ -1,0 +1,118 @@
+"""Siamese LSTM baseline (Pei et al. [24], instantiated per paper §VII-A3).
+
+The classic deep-metric-learning comparator: a shared LSTM encoder trained
+on *uniformly random* trajectory pairs with a plain MSE regression onto the
+target similarity. Differs from NeuTraj in exactly the two ablated
+dimensions — no spatial attention memory and no distance-weighted
+sampling/ranking loss — so it doubles as the "neither module" reference.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..datasets.grid import CoordinateNormalizer, Grid
+from ..datasets.trajectory import Trajectory, TrajectoryDataset
+from ..measures import get_measure, pairwise_distances
+from ..nn.layers import embedding_similarity
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor
+from .config import NeuTrajConfig
+from .encoder import TrajectoryEncoder
+from .model import MetricModel
+from .similarity import (distance_to_similarity, exponential_similarity,
+                         suggest_alpha)
+from .trainer import EpochStats, TrainingHistory
+
+
+class SiameseTraj(MetricModel):
+    """Siamese-network baseline sharing NeuTraj's inference API.
+
+    The ``use_sam`` flag of the config is forced off (plain LSTM backbone).
+    """
+
+    def __init__(self, config: Optional[NeuTrajConfig] = None):
+        config = (config or NeuTrajConfig()).ablated(
+            use_sam=False, use_weighted_sampling=False)
+        super().__init__(config)
+        self.history: Optional[TrainingHistory] = None
+
+    def fit(self, seeds: Union[TrajectoryDataset, Sequence[Trajectory]],
+            distance_matrix: Optional[np.ndarray] = None,
+            pairs_per_epoch: Optional[int] = None,
+            epoch_callback: Optional[Callable[[int, float], None]] = None
+            ) -> TrainingHistory:
+        """Train on uniformly sampled seed pairs with MSE regression.
+
+        ``pairs_per_epoch`` defaults to ``N * 2 * sampling_num`` so the
+        Siamese baseline sees exactly as many pairs per epoch as NeuTraj.
+        """
+        seed_list = list(seeds)
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        if len(seed_list) < 2:
+            raise ValueError("need at least two seeds")
+
+        if distance_matrix is None:
+            measure = get_measure(cfg.measure)
+            distance_matrix = pairwise_distances(seed_list, measure)
+        distance_matrix = np.asarray(distance_matrix, dtype=np.float64)
+
+        self.alpha = cfg.alpha or suggest_alpha(distance_matrix)
+        transform = (distance_to_similarity if cfg.row_normalize
+                     else exponential_similarity)
+        similarity = transform(distance_matrix, self.alpha)
+
+        dataset = TrajectoryDataset(seed_list)
+        grid = Grid.for_dataset(dataset, cfg.cell_size, margin=cfg.cell_size)
+        normalizer = CoordinateNormalizer.fit(seed_list)
+        self.encoder = TrajectoryEncoder(grid, normalizer, cfg, rng)
+        optimizer = Adam(self.encoder.parameters(), lr=cfg.learning_rate)
+
+        n = len(seed_list)
+        if pairs_per_epoch is None:
+            pairs_per_epoch = n * 2 * cfg.sampling_num
+        batch_pairs = cfg.batch_anchors * cfg.sampling_num
+
+        history = TrainingHistory()
+        for epoch in range(cfg.epochs):
+            start = time.perf_counter()
+            losses = []
+            remaining = pairs_per_epoch
+            while remaining > 0:
+                count = min(batch_pairs, remaining)
+                remaining -= count
+                left = rng.integers(0, n, size=count)
+                right = rng.integers(0, n, size=count)
+                losses.append(self._step(seed_list, similarity, left, right,
+                                         optimizer))
+            elapsed = time.perf_counter() - start
+            mean_loss = float(np.mean(losses)) if losses else 0.0
+            history.epochs.append(EpochStats(epoch=epoch, loss=mean_loss,
+                                             seconds=elapsed, num_anchors=n))
+            if epoch_callback is not None:
+                epoch_callback(epoch, mean_loss)
+        self.history = history
+        return history
+
+    def _step(self, seeds: Sequence[Trajectory], similarity: np.ndarray,
+              left: np.ndarray, right: np.ndarray, optimizer: Adam) -> float:
+        """One MSE step over uniformly sampled pairs."""
+        trajectories = [seeds[i] for i in left] + [seeds[j] for j in right]
+        embeddings = self.encoder.encode(trajectories)
+        count = len(left)
+        emb_left = embeddings.take_rows(np.arange(count))
+        emb_right = embeddings.take_rows(np.arange(count, 2 * count))
+        predicted = embedding_similarity(emb_left, emb_right)
+        truth = Tensor(similarity[left, right])
+        diff = predicted - truth
+        loss = (diff * diff).mean()
+        optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip > 0:
+            clip_grad_norm(optimizer.parameters, self.config.grad_clip)
+        optimizer.step()
+        return float(loss.item())

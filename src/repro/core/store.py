@@ -1,0 +1,125 @@
+"""Embedding store: an incremental similarity-search database.
+
+The deployment pattern from §VI-A: embed every database trajectory once,
+then answer ad-hoc queries in O(L + N·d). The store owns the embedding
+table, supports incremental inserts (new trajectories only pay their own
+O(L) encoding) and persists to ``.npz`` alongside the model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..datasets.trajectory import Trajectory
+from ..exceptions import NotFittedError
+from .model import MetricModel
+
+PathLike = Union[str, Path]
+
+
+class EmbeddingStore:
+    """Searchable collection of trajectory embeddings.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.model.MetricModel`; its encoder maps
+        every inserted trajectory to the store's embedding space.
+    """
+
+    def __init__(self, model: MetricModel):
+        model._require_fitted()
+        self.model = model
+        dim = model.config.embedding_dim
+        self._embeddings = np.zeros((0, dim))
+        self._ids: List[int] = []
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """(N, d) embedding table (read-only view)."""
+        view = self._embeddings.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def ids(self) -> List[int]:
+        return list(self._ids)
+
+    def add(self, trajectories: Sequence[Trajectory],
+            batch_size: int = 128) -> List[int]:
+        """Embed and insert trajectories; returns their assigned ids."""
+        items = list(trajectories)
+        if not items:
+            return []
+        new = self.model.embed(items, batch_size=batch_size)
+        assigned = list(range(self._next_id, self._next_id + len(items)))
+        self._next_id += len(items)
+        self._embeddings = np.concatenate([self._embeddings, new], axis=0)
+        self._ids.extend(assigned)
+        return assigned
+
+    def remove(self, ids: Sequence[int]) -> int:
+        """Remove entries by id; returns how many were removed."""
+        drop = set(ids)
+        keep = [i for i, item_id in enumerate(self._ids)
+                if item_id not in drop]
+        removed = len(self._ids) - len(keep)
+        self._embeddings = self._embeddings[keep]
+        self._ids = [self._ids[i] for i in keep]
+        return removed
+
+    def query(self, trajectory: Trajectory, k: int = 10
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k (ids, embedding distances) for a query trajectory."""
+        if len(self) == 0:
+            raise NotFittedError("the store is empty")
+        query_emb = self.model.embed([trajectory])[0]
+        diffs = self._embeddings - query_emb[None, :]
+        distances = np.sqrt((diffs * diffs).sum(axis=1))
+        k = min(k, len(distances))
+        order = np.argpartition(distances, k - 1)[:k]
+        order = order[np.argsort(distances[order], kind="stable")]
+        return (np.array([self._ids[i] for i in order]),
+                distances[order])
+
+    def query_radius(self, trajectory: Trajectory, radius: float
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """All (ids, distances) within an embedding-distance radius."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if len(self) == 0:
+            return np.array([], dtype=int), np.array([])
+        query_emb = self.model.embed([trajectory])[0]
+        diffs = self._embeddings - query_emb[None, :]
+        distances = np.sqrt((diffs * diffs).sum(axis=1))
+        hit = np.flatnonzero(distances <= radius)
+        order = hit[np.argsort(distances[hit], kind="stable")]
+        return (np.array([self._ids[i] for i in order]),
+                distances[order])
+
+    # ----------------------------------------------------------- persistence
+
+    def save(self, path: PathLike) -> None:
+        """Persist the embedding table (not the model) to ``.npz``."""
+        np.savez_compressed(path, embeddings=self._embeddings,
+                            ids=np.array(self._ids, dtype=np.int64),
+                            next_id=np.array(self._next_id))
+
+    @classmethod
+    def load(cls, path: PathLike, model: MetricModel) -> "EmbeddingStore":
+        """Restore a store saved by :meth:`save` (model supplied separately)."""
+        store = cls(model)
+        with np.load(path) as data:
+            store._embeddings = data["embeddings"].copy()
+            store._ids = data["ids"].tolist()
+            store._next_id = int(data["next_id"])
+        if store._embeddings.shape[1] != model.config.embedding_dim:
+            raise ValueError("store dimensionality does not match the model")
+        return store

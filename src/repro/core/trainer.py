@@ -1,0 +1,143 @@
+"""Training loop machinery for seed-guided metric learning (paper §V).
+
+Separated from the model class so individual steps are unit-testable:
+batch construction, the vectorised ranking-loss step, and the history
+bookkeeping used by the convergence experiments (Fig. 5, Table VI).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..datasets.trajectory import Trajectory
+from ..nn.layers import embedding_similarity
+from ..nn.optim import Optimizer, clip_grad_norm
+from ..nn.tensor import Tensor
+from .encoder import TrajectoryEncoder
+from .sampling import AnchorSamples, PairSampler, rank_weights
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Bookkeeping for one training epoch."""
+
+    epoch: int
+    loss: float
+    seconds: float
+    num_anchors: int
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics collected during ``fit``."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def losses(self) -> List[float]:
+        return [e.loss for e in self.epochs]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.epochs)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    def epochs_to_converge(self, rel_tol: float = 0.01) -> int:
+        """First epoch index whose loss is within ``rel_tol`` of the best."""
+        losses = self.losses
+        if not losses:
+            return 0
+        best = min(losses)
+        threshold = best * (1.0 + rel_tol) if best > 0 else best
+        for i, loss in enumerate(losses):
+            if loss <= threshold:
+                return i + 1
+        return len(losses)
+
+
+def anchor_batches(anchor_indices: np.ndarray, batch_size: int,
+                   rng: np.random.Generator) -> List[np.ndarray]:
+    """Shuffle anchors and split them into optimisation batches."""
+    order = rng.permutation(np.asarray(anchor_indices, dtype=int))
+    return [order[i:i + batch_size] for i in range(0, len(order), batch_size)]
+
+
+def training_step(encoder: TrajectoryEncoder, seeds: Sequence[Trajectory],
+                  batch: List[AnchorSamples], optimizer: Optimizer,
+                  grad_clip: float) -> float:
+    """One optimisation step over a batch of anchors.
+
+    Encodes every anchor and its 2n samples in a single padded batch
+    (memory writes enabled), evaluates the distance-weighted ranking loss
+    (Eq. 8-9) summed over the anchors, and applies an optimiser update.
+    Returns the mean per-anchor loss.
+    """
+    n = len(batch[0].similar)
+    weights = rank_weights(n)
+
+    trajectories: List[Trajectory] = []
+    anchor_pos, similar_pos, dissimilar_pos = [], [], []
+    similar_truth, dissimilar_truth = [], []
+    for samples in batch:
+        base = len(trajectories)
+        trajectories.append(seeds[samples.anchor])
+        for idx in samples.similar:
+            trajectories.append(seeds[idx])
+        for idx in samples.dissimilar:
+            trajectories.append(seeds[idx])
+        anchor_pos.append(base)
+        similar_pos.extend(range(base + 1, base + 1 + n))
+        dissimilar_pos.extend(range(base + 1 + n, base + 1 + 2 * n))
+        similar_truth.append(samples.similar_truth)
+        dissimilar_truth.append(samples.dissimilar_truth)
+
+    embeddings = encoder.encode(trajectories, update_memory=True)
+    anchors_rep = np.repeat(anchor_pos, n)
+    emb_anchor_s = embeddings.take_rows(anchors_rep)
+    emb_similar = embeddings.take_rows(np.asarray(similar_pos))
+    emb_anchor_d = embeddings.take_rows(anchors_rep)
+    emb_dissimilar = embeddings.take_rows(np.asarray(dissimilar_pos))
+
+    g_similar = embedding_similarity(emb_anchor_s, emb_similar)
+    g_dissimilar = embedding_similarity(emb_anchor_d, emb_dissimilar)
+
+    f_similar = np.concatenate(similar_truth)
+    f_dissimilar = np.concatenate(dissimilar_truth)
+    tiled_weights = Tensor(np.tile(weights, len(batch)))
+
+    diff_s = g_similar - Tensor(f_similar)
+    loss_s = (tiled_weights * diff_s * diff_s).sum()
+    diff_d = (g_dissimilar - Tensor(f_dissimilar)).relu()
+    loss_d = (tiled_weights * diff_d * diff_d).sum()
+    loss = (loss_s + loss_d) * (1.0 / len(batch))
+
+    optimizer.zero_grad()
+    loss.backward()
+    if grad_clip > 0:
+        clip_grad_norm(optimizer.parameters, grad_clip)
+    optimizer.step()
+    return float(loss.item())
+
+
+def train_epoch(encoder: TrajectoryEncoder, seeds: Sequence[Trajectory],
+                sampler: PairSampler, optimizer: Optimizer,
+                anchor_indices: np.ndarray, batch_size: int,
+                grad_clip: float, rng: np.random.Generator,
+                epoch: int) -> EpochStats:
+    """Run one epoch over the given anchors; returns its statistics."""
+    start = time.perf_counter()
+    losses = []
+    for batch_anchors_arr in anchor_batches(anchor_indices, batch_size, rng):
+        batch = [sampler.sample(int(a)) for a in batch_anchors_arr]
+        losses.append(training_step(encoder, seeds, batch, optimizer, grad_clip))
+    elapsed = time.perf_counter() - start
+    mean_loss = float(np.mean(losses)) if losses else 0.0
+    return EpochStats(epoch=epoch, loss=mean_loss, seconds=elapsed,
+                      num_anchors=len(anchor_indices))

@@ -1,0 +1,23 @@
+"""Trajectory data structures, grid discretisation and synthetic workloads."""
+
+from .trajectory import Trajectory, TrajectoryDataset, pad_batch
+from .grid import Grid, CoordinateNormalizer
+from .porto import PortoConfig, generate_porto
+from .geolife import GeolifeConfig, generate_geolife
+from .road_network import (RoadNetworkConfig, build_road_network,
+                           simulate_walks, generate_zero_shot_seeds)
+from .simplify import douglas_peucker, resample, simplify
+from .noise import add_outliers, drop_points, jitter_gps, resample_rate
+from .io import save_npz, load_npz, save_csv, load_csv
+
+__all__ = [
+    "Trajectory", "TrajectoryDataset", "pad_batch",
+    "Grid", "CoordinateNormalizer",
+    "PortoConfig", "generate_porto",
+    "GeolifeConfig", "generate_geolife",
+    "RoadNetworkConfig", "build_road_network", "simulate_walks",
+    "generate_zero_shot_seeds",
+    "douglas_peucker", "resample", "simplify",
+    "add_outliers", "drop_points", "jitter_gps", "resample_rate",
+    "save_npz", "load_npz", "save_csv", "load_csv",
+]

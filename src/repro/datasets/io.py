@@ -1,0 +1,65 @@
+"""Dataset persistence: npz (compact) and CSV (interchange) formats."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .trajectory import Trajectory, TrajectoryDataset
+
+PathLike = Union[str, Path]
+
+
+def save_npz(dataset: TrajectoryDataset, path: PathLike) -> None:
+    """Save a dataset as flat coordinate array + offsets (self-describing)."""
+    points = [t.points for t in dataset]
+    lengths = np.array([len(p) for p in points], dtype=np.int64)
+    ids = np.array([-1 if t.traj_id is None else t.traj_id for t in dataset],
+                   dtype=np.int64)
+    flat = (np.concatenate(points, axis=0) if points
+            else np.zeros((0, 2)))
+    np.savez_compressed(path, flat=flat, lengths=lengths, ids=ids)
+
+
+def load_npz(path: PathLike) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_npz`."""
+    with np.load(path) as data:
+        flat = data["flat"]
+        lengths = data["lengths"]
+        ids = data["ids"]
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    trajectories = []
+    for i, (start, stop) in enumerate(zip(offsets[:-1], offsets[1:])):
+        traj_id = None if ids[i] < 0 else int(ids[i])
+        trajectories.append(Trajectory(flat[start:stop], traj_id=traj_id))
+    return TrajectoryDataset(trajectories)
+
+
+def save_csv(dataset: TrajectoryDataset, path: PathLike) -> None:
+    """Write ``traj_id,point_index,x,y`` rows (one point per row)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["traj_id", "point_index", "x", "y"])
+        for i, traj in enumerate(dataset):
+            traj_id = traj.traj_id if traj.traj_id is not None else i
+            for j, (x, y) in enumerate(traj.points):
+                writer.writerow([traj_id, j, f"{x:.6f}", f"{y:.6f}"])
+
+
+def load_csv(path: PathLike) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_csv` (rows must be grouped)."""
+    groups: dict[int, list[tuple[float, float]]] = {}
+    order: list[int] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            traj_id = int(row["traj_id"])
+            if traj_id not in groups:
+                groups[traj_id] = []
+                order.append(traj_id)
+            groups[traj_id].append((float(row["x"]), float(row["y"])))
+    return TrajectoryDataset(
+        [Trajectory(np.array(groups[tid]), traj_id=tid) for tid in order])

@@ -1,0 +1,71 @@
+"""Failure injection: realistic corruptions of trajectory data.
+
+Real GPS pipelines lose points, emit outliers and change sampling rates;
+these utilities synthesise those failure modes so robustness can be tested
+(an embedding model is only useful if small corruptions move embeddings a
+small amount). Every function takes an explicit generator and returns a
+new :class:`Trajectory`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trajectory import Trajectory
+
+
+def drop_points(trajectory: Trajectory, fraction: float,
+                rng: np.random.Generator) -> Trajectory:
+    """Randomly delete a fraction of points (first/last always kept)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    n = len(trajectory)
+    if n <= 2:
+        return Trajectory(trajectory.points, traj_id=trajectory.traj_id)
+    interior = np.arange(1, n - 1)
+    keep_count = max(0, int(round(len(interior) * (1.0 - fraction))))
+    kept = np.sort(rng.choice(interior, size=keep_count, replace=False))
+    idx = np.concatenate([[0], kept, [n - 1]])
+    return Trajectory(trajectory.points[idx], traj_id=trajectory.traj_id)
+
+
+def add_outliers(trajectory: Trajectory, count: int, magnitude: float,
+                 rng: np.random.Generator) -> Trajectory:
+    """Displace ``count`` random points by a large jump (GPS glitches)."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    points = trajectory.points.copy()
+    count = min(count, len(points))
+    if count:
+        idx = rng.choice(len(points), size=count, replace=False)
+        offsets = rng.normal(scale=magnitude, size=(count, 2))
+        points[idx] += offsets
+    return Trajectory(points, traj_id=trajectory.traj_id)
+
+
+def resample_rate(trajectory: Trajectory, factor: float,
+                  rng: np.random.Generator) -> Trajectory:
+    """Change the sampling density by ``factor`` (duplicate-free).
+
+    ``factor > 1`` interpolates extra points; ``factor < 1`` keeps a
+    subset. At least two points always remain.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    from .synthesis import interpolate_path
+    n = len(trajectory)
+    if n < 2:
+        return Trajectory(trajectory.points, traj_id=trajectory.traj_id)
+    target = max(2, int(round(n * factor)))
+    return Trajectory(interpolate_path(trajectory.points, target),
+                      traj_id=trajectory.traj_id)
+
+
+def jitter_gps(trajectory: Trajectory, noise_std: float,
+               rng: np.random.Generator) -> Trajectory:
+    """Add isotropic GPS noise to every point."""
+    if noise_std < 0:
+        raise ValueError("noise_std must be >= 0")
+    points = trajectory.points + rng.normal(scale=noise_std,
+                                            size=trajectory.points.shape)
+    return Trajectory(points, traj_id=trajectory.traj_id)

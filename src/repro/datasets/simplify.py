@@ -1,0 +1,75 @@
+"""Trajectory simplification and resampling utilities.
+
+Standard preprocessing for trajectory pipelines: Douglas–Peucker
+polyline simplification (keeps shape within a tolerance while dropping
+redundant samples) and uniform arc-length resampling (normalises point
+counts before batching).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthesis import interpolate_path
+from .trajectory import Trajectory
+
+
+def _perpendicular_distances(points: np.ndarray, start: np.ndarray,
+                             end: np.ndarray) -> np.ndarray:
+    """Distance from each point to the segment (start, end)."""
+    direction = end - start
+    length_sq = float(direction @ direction)
+    if length_sq == 0.0:
+        return np.linalg.norm(points - start, axis=1)
+    t = np.clip(((points - start) @ direction) / length_sq, 0.0, 1.0)
+    projections = start + t[:, None] * direction
+    return np.linalg.norm(points - projections, axis=1)
+
+
+def douglas_peucker(points: np.ndarray, tolerance: float) -> np.ndarray:
+    """Douglas–Peucker simplification.
+
+    Returns the subset of ``points`` (in order, endpoints always kept) such
+    that every dropped point lies within ``tolerance`` of the simplified
+    polyline.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    n = len(points)
+    if n <= 2:
+        return points.copy()
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    # Iterative stack to avoid recursion limits on long trajectories.
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        inner = points[lo + 1:hi]
+        distances = _perpendicular_distances(inner, points[lo], points[hi])
+        worst = int(np.argmax(distances))
+        if distances[worst] > tolerance:
+            split = lo + 1 + worst
+            keep[split] = True
+            stack.append((lo, split))
+            stack.append((split, hi))
+    return points[keep]
+
+
+def simplify(trajectory: Trajectory, tolerance: float) -> Trajectory:
+    """Douglas–Peucker on a :class:`Trajectory` (id preserved)."""
+    return Trajectory(douglas_peucker(trajectory.points, tolerance),
+                      traj_id=trajectory.traj_id)
+
+
+def resample(trajectory: Trajectory, num_points: int) -> Trajectory:
+    """Uniform arc-length resampling to exactly ``num_points`` points."""
+    if num_points < 2:
+        raise ValueError("num_points must be >= 2")
+    if len(trajectory) == 1:
+        points = np.repeat(trajectory.points, num_points, axis=0)
+    else:
+        points = interpolate_path(trajectory.points, num_points)
+    return Trajectory(points, traj_id=trajectory.traj_id)

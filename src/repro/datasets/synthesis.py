@@ -1,0 +1,84 @@
+"""Shared helpers for the synthetic trajectory generators.
+
+The real Porto/Geolife datasets are unavailable offline; the generators in
+this package produce workloads with the same structural properties the
+paper's experiments rely on (see DESIGN.md "Environment substitutions"):
+families of near-duplicate routes, dispersed background traffic, variable
+lengths and GPS-like noise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def interpolate_path(waypoints: np.ndarray, num_points: int) -> np.ndarray:
+    """Resample a polyline to ``num_points`` evenly spaced points (arc length).
+
+    Parameters
+    ----------
+    waypoints:
+        (K, 2) polyline vertices, K >= 2.
+    num_points:
+        Number of output samples (>= 2).
+    """
+    waypoints = np.asarray(waypoints, dtype=np.float64)
+    if waypoints.ndim != 2 or waypoints.shape[0] < 2:
+        raise ValueError("need at least two waypoints")
+    if num_points < 2:
+        raise ValueError("num_points must be >= 2")
+    seg = np.diff(waypoints, axis=0)
+    seg_len = np.linalg.norm(seg, axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = cum[-1]
+    if total == 0.0:
+        return np.repeat(waypoints[:1], num_points, axis=0)
+    targets = np.linspace(0.0, total, num_points)
+    x = np.interp(targets, cum, waypoints[:, 0])
+    y = np.interp(targets, cum, waypoints[:, 1])
+    return np.stack([x, y], axis=1)
+
+
+def jitter(points: np.ndarray, noise_std: float,
+           rng: np.random.Generator) -> np.ndarray:
+    """Add isotropic Gaussian GPS noise."""
+    points = np.asarray(points, dtype=np.float64)
+    if noise_std <= 0:
+        return points.copy()
+    return points + rng.normal(scale=noise_std, size=points.shape)
+
+
+def random_waypoints(bbox, num: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random waypoints inside a bounding box."""
+    xmin, ymin, xmax, ymax = bbox
+    x = rng.uniform(xmin, xmax, size=num)
+    y = rng.uniform(ymin, ymax, size=num)
+    return np.stack([x, y], axis=1)
+
+
+def smooth_polyline(waypoints: np.ndarray, passes: int = 2) -> np.ndarray:
+    """Chaikin corner cutting to make street-like smooth routes."""
+    pts = np.asarray(waypoints, dtype=np.float64)
+    for _ in range(passes):
+        if len(pts) < 3:
+            break
+        q = 0.75 * pts[:-1] + 0.25 * pts[1:]
+        r = 0.25 * pts[:-1] + 0.75 * pts[1:]
+        mid = np.empty((2 * (len(pts) - 1), 2))
+        mid[0::2] = q
+        mid[1::2] = r
+        pts = np.concatenate([pts[:1], mid, pts[-1:]], axis=0)
+    return pts
+
+
+def trim_route(points: np.ndarray, rng: np.random.Generator,
+               max_trim_frac: float = 0.2) -> np.ndarray:
+    """Randomly trim a prefix/suffix (taxis join/leave routes mid-way)."""
+    n = len(points)
+    lo = rng.integers(0, max(1, int(n * max_trim_frac)) + 1)
+    hi = n - rng.integers(0, max(1, int(n * max_trim_frac)) + 1)
+    if hi - lo < 2:
+        return points
+    return points[lo:hi]

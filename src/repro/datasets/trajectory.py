@@ -1,0 +1,176 @@
+"""Trajectory and dataset containers.
+
+A trajectory is an ordered sequence of 2-D points (paper §III-A: time stamps
+are ignored; only shape matters). The dataset container offers the split /
+filter / batching helpers the experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidTrajectoryError
+
+
+class Trajectory:
+    """An immutable sequence of 2-D points.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape (L, 2) with ``L >= 1`` finite coordinates.
+    traj_id:
+        Optional integer identifier (kept through filtering/splitting so
+        results can be traced back to the source dataset).
+    """
+
+    __slots__ = ("points", "traj_id")
+
+    def __init__(self, points, traj_id: Optional[int] = None):
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise InvalidTrajectoryError(
+                f"expected shape (L, 2), got {arr.shape}")
+        if arr.shape[0] < 1:
+            raise InvalidTrajectoryError("trajectory must have at least one point")
+        if not np.all(np.isfinite(arr)):
+            raise InvalidTrajectoryError("trajectory contains non-finite coordinates")
+        arr.setflags(write=False)
+        self.points = arr
+        self.traj_id = traj_id
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Trajectory)
+                and self.points.shape == other.points.shape
+                and np.array_equal(self.points, other.points))
+
+    def __hash__(self) -> int:
+        return hash((self.points.shape, self.points.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Trajectory(len={len(self)}, id={self.traj_id})"
+
+    @property
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """Axis-aligned bounding box (xmin, ymin, xmax, ymax)."""
+        mins = self.points.min(axis=0)
+        maxs = self.points.max(axis=0)
+        return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+    @property
+    def length(self) -> float:
+        """Total path length (sum of segment lengths)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.linalg.norm(np.diff(self.points, axis=0), axis=1).sum())
+
+    def downsample(self, step: int) -> "Trajectory":
+        """Keep every ``step``-th point (always keeping the last point)."""
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        idx = list(range(0, len(self), step))
+        if idx[-1] != len(self) - 1:
+            idx.append(len(self) - 1)
+        return Trajectory(self.points[idx], traj_id=self.traj_id)
+
+
+class TrajectoryDataset:
+    """A list of trajectories with batching and split helpers."""
+
+    def __init__(self, trajectories: Iterable[Trajectory]):
+        self.trajectories: List[Trajectory] = list(trajectories)
+        for i, t in enumerate(self.trajectories):
+            if not isinstance(t, Trajectory):
+                raise TypeError(f"item {i} is not a Trajectory: {type(t)!r}")
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TrajectoryDataset(self.trajectories[index])
+        if isinstance(index, (list, np.ndarray)):
+            return TrajectoryDataset([self.trajectories[int(i)] for i in index])
+        return self.trajectories[index]
+
+    def __repr__(self) -> str:
+        return f"TrajectoryDataset(n={len(self)})"
+
+    @property
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """Bounding box covering every trajectory."""
+        if not self.trajectories:
+            raise ValueError("empty dataset has no bounding box")
+        boxes = np.array([t.bbox for t in self.trajectories])
+        return (float(boxes[:, 0].min()), float(boxes[:, 1].min()),
+                float(boxes[:, 2].max()), float(boxes[:, 3].max()))
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.array([len(t) for t in self.trajectories], dtype=int)
+
+    def filter_min_points(self, min_points: int) -> "TrajectoryDataset":
+        """Drop trajectories with fewer than ``min_points`` records (§VII-A1)."""
+        return TrajectoryDataset(
+            [t for t in self.trajectories if len(t) >= min_points])
+
+    def filter_bbox(self, xmin: float, ymin: float, xmax: float, ymax: float
+                    ) -> "TrajectoryDataset":
+        """Keep trajectories fully inside the given box (center-area crop)."""
+        kept = []
+        for t in self.trajectories:
+            bx0, by0, bx1, by1 = t.bbox
+            if bx0 >= xmin and by0 >= ymin and bx1 <= xmax and by1 <= ymax:
+                kept.append(t)
+        return TrajectoryDataset(kept)
+
+    def split(self, fractions: Sequence[float], rng: np.random.Generator
+              ) -> List["TrajectoryDataset"]:
+        """Random disjoint splits, e.g. ``(0.2, 0.1, 0.7)`` per the paper.
+
+        Fractions must sum to at most 1; the split sizes are rounded down and
+        any remainder goes to the last split.
+        """
+        total = sum(fractions)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fractions sum to {total} > 1")
+        n = len(self)
+        order = rng.permutation(n)
+        sizes = [int(f * n) for f in fractions]
+        sizes[-1] = n - sum(sizes[:-1]) if abs(total - 1.0) < 1e-9 else sizes[-1]
+        out, start = [], 0
+        for size in sizes:
+            idx = order[start:start + size]
+            out.append(self[idx])
+            start += size
+        return out
+
+    def sample(self, n: int, rng: np.random.Generator) -> "TrajectoryDataset":
+        """Sample ``n`` trajectories without replacement."""
+        if n > len(self):
+            raise ValueError(f"cannot sample {n} from {len(self)}")
+        idx = rng.choice(len(self), size=n, replace=False)
+        return self[idx]
+
+    def point_arrays(self) -> List[np.ndarray]:
+        return [t.points for t in self.trajectories]
+
+
+def pad_batch(trajectories: Sequence[Trajectory]
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad a batch into (coords (B,T,2), lengths (B,), mask (B,T))."""
+    lengths = np.array([len(t) for t in trajectories], dtype=int)
+    max_len = int(lengths.max())
+    coords = np.zeros((len(trajectories), max_len, 2))
+    for i, t in enumerate(trajectories):
+        coords[i, :len(t)] = t.points
+    mask = np.arange(max_len)[None, :] < lengths[:, None]
+    return coords, lengths, mask

@@ -1,0 +1,17 @@
+"""Evaluation: search-quality metrics, kNN primitives, timing harness."""
+
+from .metrics import (distortion, hitting_ratio, mean_over_queries, recall_at,
+                      refined_top)
+from .knn import (brute_force_knn, embedding_distance_matrix, embedding_knn,
+                  rerank_with_exact, sketch_knn, top_k_from_distances)
+from .protocol import SearchQuality, evaluate_ranking, rankings_from_matrix
+from .timing import Timing, measure, speedup
+
+__all__ = [
+    "distortion", "hitting_ratio", "mean_over_queries", "recall_at",
+    "refined_top",
+    "brute_force_knn", "embedding_distance_matrix", "embedding_knn",
+    "rerank_with_exact", "sketch_knn", "top_k_from_distances",
+    "SearchQuality", "evaluate_ranking", "rankings_from_matrix",
+    "Timing", "measure", "speedup",
+]

@@ -1,0 +1,84 @@
+"""k-nearest-neighbour search primitives used across experiments.
+
+Three search modes appear in the paper's evaluation:
+
+* brute-force exact search (ground truth and the BruteForce timing row),
+* embedding search (NeuTraj: vectorised Euclidean over the embedding table),
+* sketch search (AP baselines: approximate distance over precomputed
+  signatures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..approx.base import ApproximateMeasure
+from ..measures.base import TrajectoryMeasure
+
+
+def top_k_from_distances(distances: np.ndarray, k: int,
+                         exclude: int = -1) -> np.ndarray:
+    """Indices of the ``k`` smallest entries (optionally excluding one)."""
+    distances = np.asarray(distances, dtype=np.float64)
+    if exclude >= 0:
+        distances = distances.copy()
+        distances[exclude] = np.inf
+    k = min(k, (np.isfinite(distances)).sum())
+    idx = np.argpartition(distances, k - 1)[:k]
+    return idx[np.argsort(distances[idx], kind="stable")]
+
+
+def brute_force_knn(query, database: Sequence, measure: TrajectoryMeasure,
+                    k: int) -> np.ndarray:
+    """Exact top-k by scanning the database with the exact measure."""
+    query_points = np.asarray(getattr(query, "points", query))
+    distances = np.array([
+        measure.distance(query_points, np.asarray(getattr(t, "points", t)))
+        for t in database
+    ])
+    return top_k_from_distances(distances, k)
+
+
+def embedding_distance_matrix(embeddings: np.ndarray) -> np.ndarray:
+    """All-pairs Euclidean distances between embedding rows (N, N)."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    diff = embeddings[:, None, :] - embeddings[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def embedding_knn(query_embedding: np.ndarray, database_embeddings: np.ndarray,
+                  k: int) -> np.ndarray:
+    """Top-k by Euclidean distance in the embedding space (O(N d))."""
+    diffs = database_embeddings - np.asarray(query_embedding)[None, :]
+    distances = np.sqrt((diffs * diffs).sum(axis=1))
+    return top_k_from_distances(distances, k)
+
+
+def sketch_knn(query_sketch, database_sketches: List, approx: ApproximateMeasure,
+               k: int) -> np.ndarray:
+    """Top-k by approximate distance over precomputed sketches."""
+    distances = np.array([
+        approx.signature_distance(query_sketch, sketch)
+        for sketch in database_sketches
+    ])
+    return top_k_from_distances(distances, k)
+
+
+def rerank_with_exact(query, database: Sequence, candidates: Sequence[int],
+                      measure: TrajectoryMeasure, k: int) -> np.ndarray:
+    """Re-rank candidate indices by the exact measure; return best ``k``.
+
+    This is the paper's search protocol: retrieve top-50 with the fast
+    method, then compute the exact distance only for those 50.
+    """
+    query_points = np.asarray(getattr(query, "points", query))
+    candidates = np.asarray(list(candidates), dtype=int)
+    distances = np.array([
+        measure.distance(query_points,
+                         np.asarray(getattr(database[i], "points", database[i])))
+        for i in candidates
+    ])
+    order = np.argsort(distances, kind="stable")
+    return candidates[order[:k]]

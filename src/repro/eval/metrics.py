@@ -1,0 +1,76 @@
+"""Evaluation metrics for top-k similarity search (paper §VII-A4).
+
+* ``hitting_ratio`` — HR@k: overlap fraction between the predicted and the
+  ground-truth top-k lists.
+* ``recall_at`` — R10@50 style: fraction of the true top-``k_true`` found
+  anywhere in the predicted top-``k_pred``.
+* ``distortion`` — delta_H10 / delta_R10: how much larger the average exact
+  distance of the returned top-10 is compared to the ground truth top-10.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def hitting_ratio(predicted: Sequence[int], truth: Sequence[int]) -> float:
+    """HR@k = |predicted ∩ truth| / k with k = len(truth)."""
+    truth = list(truth)
+    if not truth:
+        raise ValueError("ground truth list is empty")
+    overlap = len(set(predicted) & set(truth))
+    return overlap / len(truth)
+
+
+def recall_at(predicted: Sequence[int], truth: Sequence[int]) -> float:
+    """Fraction of ``truth`` recovered anywhere in ``predicted``.
+
+    With ``len(truth)=10`` and ``len(predicted)=50`` this is the paper's
+    R10@50.
+    """
+    truth_set = set(truth)
+    if not truth_set:
+        raise ValueError("ground truth list is empty")
+    return len(truth_set & set(predicted)) / len(truth_set)
+
+
+def distortion(query_distances: np.ndarray, predicted: Sequence[int],
+               truth: Sequence[int], top: int = 10) -> float:
+    """delta: mean exact distance of predicted top-``top`` minus truth's.
+
+    Parameters
+    ----------
+    query_distances:
+        Exact distances from the query to every database trajectory.
+    predicted / truth:
+        Ranked candidate index lists (at least ``top`` long).
+    """
+    query_distances = np.asarray(query_distances, dtype=np.float64)
+    pred_top = list(predicted)[:top]
+    true_top = list(truth)[:top]
+    if len(pred_top) < top or len(true_top) < top:
+        raise ValueError(f"need at least top={top} entries in both lists")
+    return float(query_distances[pred_top].mean()
+                 - query_distances[true_top].mean())
+
+
+def refined_top(query_distances: np.ndarray, predicted: Sequence[int],
+                top: int = 10) -> np.ndarray:
+    """Re-rank a candidate list by exact distance, keep the best ``top``.
+
+    Used for delta_R10: take the predicted top-50, re-rank them by their
+    exact distances, then measure distortion of the best 10.
+    """
+    candidates = np.asarray(list(predicted), dtype=int)
+    order = np.argsort(np.asarray(query_distances)[candidates], kind="stable")
+    return candidates[order[:top]]
+
+
+def mean_over_queries(values: Sequence[float]) -> float:
+    """Average a per-query metric, validating non-emptiness."""
+    values = list(values)
+    if not values:
+        raise ValueError("no query results to average")
+    return float(np.mean(values))

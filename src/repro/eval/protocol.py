@@ -1,0 +1,83 @@
+"""The paper's top-k search evaluation protocol (Tables II & III).
+
+Given a query set and a database with exact query->database distances, a
+method produces a ranked candidate list per query; this module aggregates
+HR@10, HR@50, R10@50 and the two distance distortions delta_H10 / delta_R10
+exactly as defined in §VII-A4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .knn import top_k_from_distances
+from .metrics import distortion, hitting_ratio, recall_at, refined_top
+
+
+@dataclass(frozen=True)
+class SearchQuality:
+    """Aggregated search-quality metrics over a query set."""
+
+    hr10: float
+    hr50: float
+    r10_at_50: float
+    delta_h10: float
+    delta_r10: float
+
+    def row(self) -> str:
+        """Render as a table row matching the paper's format."""
+        return (f"HR@10={self.hr10:.4f}  HR@50={self.hr50:.4f}  "
+                f"R10@50={self.r10_at_50:.4f}  "
+                f"δH10/δR10={self.delta_h10:.0f}/{self.delta_r10:.0f}")
+
+
+def evaluate_ranking(exact_distances: np.ndarray,
+                     predicted_rankings: Sequence[Sequence[int]],
+                     k_small: int = 10, k_large: int = 50) -> SearchQuality:
+    """Score predicted rankings against exact query->database distances.
+
+    Parameters
+    ----------
+    exact_distances:
+        (Q, N) exact distances; row q defines query q's ground truth.
+    predicted_rankings:
+        Per query, a ranked list of at least ``k_large`` database indices.
+    """
+    exact_distances = np.asarray(exact_distances, dtype=np.float64)
+    if len(predicted_rankings) != exact_distances.shape[0]:
+        raise ValueError("one predicted ranking per query is required")
+    hr10s, hr50s, recalls, d_h10, d_r10 = [], [], [], [], []
+    for q, ranking in enumerate(predicted_rankings):
+        ranking = list(ranking)
+        if len(ranking) < k_large:
+            raise ValueError(
+                f"query {q}: ranking shorter than k_large={k_large}")
+        truth_large = top_k_from_distances(exact_distances[q], k_large)
+        truth_small = truth_large[:k_small]
+        pred_small = ranking[:k_small]
+        pred_large = ranking[:k_large]
+        hr10s.append(hitting_ratio(pred_small, truth_small))
+        hr50s.append(hitting_ratio(pred_large, truth_large))
+        recalls.append(recall_at(pred_large, truth_small))
+        d_h10.append(distortion(exact_distances[q], pred_small, truth_small,
+                                top=k_small))
+        refined = refined_top(exact_distances[q], pred_large, top=k_small)
+        d_r10.append(distortion(exact_distances[q], refined, truth_small,
+                                top=k_small))
+    return SearchQuality(
+        hr10=float(np.mean(hr10s)),
+        hr50=float(np.mean(hr50s)),
+        r10_at_50=float(np.mean(recalls)),
+        delta_h10=float(np.mean(d_h10)),
+        delta_r10=float(np.mean(d_r10)),
+    )
+
+
+def rankings_from_matrix(method_distances: np.ndarray,
+                         k: int = 50) -> list:
+    """Convert a (Q, N) approximate-distance matrix into top-k rankings."""
+    method_distances = np.asarray(method_distances, dtype=np.float64)
+    return [top_k_from_distances(row, k) for row in method_distances]

@@ -1,0 +1,43 @@
+"""Wall-clock measurement helpers for the efficiency study (Tables IV-VI)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Timing:
+    """A measured duration with repetition metadata."""
+
+    seconds: float
+    repetitions: int
+
+    @property
+    def per_call(self) -> float:
+        return self.seconds / max(self.repetitions, 1)
+
+    def __str__(self) -> str:
+        return f"{self.per_call:.4f}s"
+
+
+def measure(fn: Callable[[], object], repetitions: int = 1,
+            warmup: int = 0) -> Timing:
+    """Time ``fn`` over ``repetitions`` calls after ``warmup`` unmeasured ones."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    for _ in range(warmup):
+        fn()
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        fn()
+    elapsed = time.perf_counter() - start
+    return Timing(seconds=elapsed, repetitions=repetitions)
+
+
+def speedup(baseline: Timing, candidate: Timing) -> float:
+    """How many times faster ``candidate`` is than ``baseline``."""
+    if candidate.per_call <= 0:
+        return float("inf")
+    return baseline.per_call / candidate.per_call

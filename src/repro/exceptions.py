@@ -1,0 +1,17 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class InvalidTrajectoryError(ReproError):
+    """A trajectory failed validation (wrong shape, too short, non-finite)."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring training was called before ``fit``."""

@@ -1,0 +1,39 @@
+"""Experiment runners reproducing every table and figure of the paper.
+
+Each module maps to an evaluation artefact (see DESIGN.md's experiment
+index); ``benchmarks/`` wraps these runners with pytest-benchmark so the
+tables can be regenerated with one command.
+"""
+
+from .workloads import (SCALES, ExperimentScale, Workload, build_workload,
+                        current_scale)
+from .common import (VARIANTS, ap_comparator, ap_rankings, format_table,
+                     make_model, model_rankings, train_variant)
+from .search_quality import (ALL_MEASURES, TABLE2_METHODS, TABLE3_METHODS,
+                             format_results, run_cell, run_search_quality)
+from .efficiency import (IndexedTiming, SearchTiming, TrainingCost,
+                         db_sizes_for_scale, run_indexed_search_time,
+                         run_search_time, run_training_time)
+from .sensitivity import (ConvergenceCurve, format_series, run_convergence,
+                          run_embedding_dim_sweep, run_scan_width_sweep,
+                          run_training_size_sweep)
+from .clustering_exp import ClusteringPoint, run_clustering
+from .zero_shot import ZeroShotResult, run_zero_shot
+from .case_study import CaseStudy, pick_representative_queries, run_case_study
+
+__all__ = [
+    "SCALES", "ExperimentScale", "Workload", "build_workload",
+    "current_scale",
+    "VARIANTS", "ap_comparator", "ap_rankings", "format_table", "make_model",
+    "model_rankings", "train_variant",
+    "ALL_MEASURES", "TABLE2_METHODS", "TABLE3_METHODS", "format_results",
+    "run_cell", "run_search_quality",
+    "IndexedTiming", "SearchTiming", "TrainingCost", "db_sizes_for_scale",
+    "run_indexed_search_time", "run_search_time", "run_training_time",
+    "ConvergenceCurve", "format_series", "run_convergence",
+    "run_embedding_dim_sweep", "run_scan_width_sweep",
+    "run_training_size_sweep",
+    "ClusteringPoint", "run_clustering",
+    "ZeroShotResult", "run_zero_shot",
+    "CaseStudy", "pick_representative_queries", "run_case_study",
+]

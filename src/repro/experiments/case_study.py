@@ -1,0 +1,77 @@
+"""Case-study experiment (paper §VII-E, Table VII).
+
+For representative queries (one short, one long), compare the ground-truth
+top-k against NeuTraj's retrieved top-k and report the per-query quality
+metrics the paper prints under each plot (HR@10, HR@50, R10@50 and the
+top-5/10 average-distance distortions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..eval import (distortion, hitting_ratio, recall_at, refined_top,
+                    top_k_from_distances)
+from .common import model_rankings, train_variant
+from .workloads import Workload
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """Retrieval detail for one query trajectory."""
+
+    query_index: int
+    query_length: int
+    truth_top3: Tuple[int, ...]
+    neutraj_top3: Tuple[int, ...]
+    hr10: float
+    hr50: float
+    r10_at_50: float
+    delta_h5: float
+    delta_h10: float
+    delta_r10: float
+
+
+def pick_representative_queries(workload: Workload) -> Tuple[int, int]:
+    """Indices of a short and a long query (the paper shows T91 and T65)."""
+    lengths = np.array([len(q) for q in workload.queries])
+    return int(np.argmin(lengths)), int(np.argmax(lengths))
+
+
+def run_case_study(workload: Workload, measure: str = "frechet",
+                   query_indices: Optional[Sequence[int]] = None
+                   ) -> List[CaseStudy]:
+    """Run retrieval for the selected queries and collect the detail rows."""
+    from .common import quality_ks
+    k10, k50 = quality_ks(workload)
+    k5 = min(5, k10)
+    exact = workload.ground_truth(measure)
+    model = train_variant("neutraj", workload, measure)
+    rankings = model_rankings(model, workload, k=k50)
+    if query_indices is None:
+        query_indices = pick_representative_queries(workload)
+
+    studies = []
+    for qi in query_indices:
+        truth50 = top_k_from_distances(exact[qi], k50)
+        predicted = list(rankings[qi])
+        truth10 = truth50[:k10]
+        refined = refined_top(exact[qi], predicted, top=k10)
+        studies.append(CaseStudy(
+            query_index=qi,
+            query_length=len(workload.queries[qi]),
+            truth_top3=tuple(int(i) for i in truth50[:3]),
+            neutraj_top3=tuple(int(i) for i in predicted[:3]),
+            hr10=hitting_ratio(predicted[:k10], truth10),
+            hr50=hitting_ratio(predicted[:k50], truth50),
+            r10_at_50=recall_at(predicted[:k50], truth10),
+            delta_h5=distortion(exact[qi], predicted[:k5], truth50[:k5],
+                                top=k5),
+            delta_h10=distortion(exact[qi], predicted[:k10], truth10,
+                                 top=k10),
+            delta_r10=distortion(exact[qi], refined, truth10, top=k10),
+        ))
+    return studies

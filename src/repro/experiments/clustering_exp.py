@@ -1,0 +1,73 @@
+"""Trajectory-clustering experiment (paper §VII-F, Figure 9).
+
+Cluster the database twice with DBSCAN — once on exact pairwise distances,
+once on embedding distances from a trained NeuTraj — and compare cluster
+counts across an epsilon sweep plus partition quality at each epsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..clustering import (adjusted_rand_index, dbscan,
+                          homogeneity_completeness_v, num_clusters)
+from ..measures import pairwise_distances
+from .common import train_variant
+from .workloads import Workload, _measure_for
+
+
+@dataclass(frozen=True)
+class ClusteringPoint:
+    """One epsilon setting of the Fig. 9 sweep."""
+
+    eps_quantile: float
+    eps_exact: float
+    eps_embed: float
+    clusters_exact: int
+    clusters_embed: int
+    homogeneity: float
+    completeness: float
+    v_measure: float
+    ari: float
+
+
+def run_clustering(workload: Workload, measure_name: str = "frechet",
+                   quantiles: Sequence[float] = (0.02, 0.05, 0.1, 0.2),
+                   min_points: int = 5, max_items: Optional[int] = None
+                   ) -> List[ClusteringPoint]:
+    """Run the epsilon sweep.
+
+    Epsilon is chosen per distance space at matched *quantiles* of the
+    off-diagonal distance distribution — embedding distances live on a
+    different scale than exact metres, so comparing absolute epsilons
+    would be meaningless.
+    """
+    items = workload.database[:max_items] if max_items else workload.database
+    measure = _measure_for(measure_name, workload.bbox)
+    exact = pairwise_distances(items, measure)
+
+    from ..eval import embedding_distance_matrix
+    model = train_variant("neutraj", workload, measure_name)
+    embed = embedding_distance_matrix(model.embed(items))
+
+    n = len(items)
+    off = ~np.eye(n, dtype=bool)
+    points = []
+    for quantile in quantiles:
+        eps_exact = float(np.quantile(exact[off], quantile))
+        eps_embed = float(np.quantile(embed[off], quantile))
+        labels_exact = dbscan(exact, eps_exact, min_points)
+        labels_embed = dbscan(embed, eps_embed, min_points)
+        h, c, v = homogeneity_completeness_v(labels_exact, labels_embed)
+        points.append(ClusteringPoint(
+            eps_quantile=quantile,
+            eps_exact=eps_exact,
+            eps_embed=eps_embed,
+            clusters_exact=num_clusters(labels_exact),
+            clusters_embed=num_clusters(labels_embed),
+            homogeneity=h, completeness=c, v_measure=v,
+            ari=adjusted_rand_index(labels_exact, labels_embed)))
+    return points

@@ -1,0 +1,160 @@
+"""Shared machinery for the per-table/figure experiment runners.
+
+Provides the four trained model variants (NeuTraj, NT-No-SAM, NT-No-WS,
+Siamese), the AP comparator per measure, and helpers producing the ranked
+candidate lists each evaluation consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..approx import AnchorHausdorff, LSHCurveDistance
+from ..approx.base import ApproximateMeasure
+from ..core import NeuTraj, NeuTrajConfig, SiameseTraj
+from ..core.model import MetricModel
+from ..eval import rankings_from_matrix, top_k_from_distances
+from .workloads import Workload
+
+VARIANTS = ("neutraj", "nt_no_sam", "nt_no_ws", "siamese")
+
+
+def make_model(variant: str, config: NeuTrajConfig) -> MetricModel:
+    """Instantiate a model variant from a base NeuTraj config."""
+    if variant == "neutraj":
+        return NeuTraj(config)
+    if variant == "nt_no_sam":
+        return NeuTraj(config.ablated(use_sam=False))
+    if variant == "nt_no_ws":
+        return NeuTraj(config.ablated(use_weighted_sampling=False))
+    if variant == "siamese":
+        return SiameseTraj(config)
+    raise KeyError(f"unknown variant {variant!r}; choose from {VARIANTS}")
+
+
+def train_variant(variant: str, workload: Workload, measure: str,
+                  config: Optional[NeuTrajConfig] = None,
+                  cache: bool = True, num_seeds: Optional[int] = None
+                  ) -> MetricModel:
+    """Train a variant on the workload's seeds.
+
+    The seed distance matrix comes from the workload cache; trained models
+    (weights + training history) are additionally cached on disk keyed by
+    (variant, workload, config, seed count) so repeated benchmark
+    invocations skip identical trainings. ``num_seeds`` trains on a prefix
+    of the seed pool (the Fig. 6 sweep).
+    """
+    config = config or workload.scale.neutraj_config(measure)
+    path = _model_cache_path(variant, workload, measure, config, num_seeds)
+    cls = SiameseTraj if variant == "siamese" else NeuTraj
+    if cache and path is not None and path.exists():
+        try:
+            return cls.load(path)
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt/partial cache entry
+    seeds = workload.seeds
+    matrix = workload.seed_distances(measure)
+    if num_seeds is not None:
+        seeds = seeds[:num_seeds]
+        matrix = matrix[:num_seeds, :num_seeds]
+    model = make_model(variant, config)
+    model.fit(seeds, distance_matrix=matrix)
+    if cache and path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        model.save(path)
+    return model
+
+
+def _model_cache_path(variant: str, workload: Workload, measure: str,
+                      config: NeuTrajConfig,
+                      num_seeds: Optional[int] = None):
+    if workload._cache_dir is None:
+        return None
+    import hashlib
+    blob = repr(sorted(config.__dict__.items())) + f"|seeds={num_seeds}"
+    digest = hashlib.sha1(blob.encode()).hexdigest()[:12]
+    name = (f"model-{variant}-{workload.dataset_name}-"
+            f"{workload.scale.name}-{measure}-{digest}.npz")
+    return workload._cache_dir / name
+
+
+def ap_comparator(measure: str, workload: Workload) -> ApproximateMeasure:
+    """The paper's AP baseline for a measure (ERP has none).
+
+    Fréchet and DTW use the *literal* [12] algorithm — LSH collision-ladder
+    distance estimates — because that is what the paper compared against.
+    The repository also ships stronger approximators (GridFrechet, GridDTW,
+    FastDTW) which outperform the LSH by a wide margin at our scale; see
+    DESIGN.md "Divergences".
+    """
+    if measure in ("frechet", "dtw"):
+        return LSHCurveDistance(base_resolution=workload.scale.cell_size,
+                                levels=8, num_offsets=4, seed=0,
+                                target=measure)
+    if measure == "hausdorff":
+        return AnchorHausdorff(workload.bbox, num_anchors=32, seed=0)
+    raise KeyError(f"no AP baseline for measure {measure!r}")
+
+
+def quality_ks(workload: Workload) -> tuple:
+    """(k_small, k_large) clamped to the database size.
+
+    The paper uses (10, 50); tiny smoke/test workloads clamp down so the
+    protocol stays well-defined.
+    """
+    n = len(workload.database)
+    k_large = min(50, n)
+    k_small = min(10, k_large)
+    return k_small, k_large
+
+
+def evaluate_quality(workload: Workload, measure: str,
+                     rankings: Sequence) -> "SearchQuality":
+    """Score rankings against the workload's ground truth with clamped ks."""
+    from ..eval import evaluate_ranking
+    k_small, k_large = quality_ks(workload)
+    return evaluate_ranking(workload.ground_truth(measure), rankings,
+                            k_small=k_small, k_large=k_large)
+
+
+def model_rankings(model: MetricModel, workload: Workload,
+                   k: int = 50) -> List[np.ndarray]:
+    """Top-k database rankings per query via embedding search."""
+    database_emb = model.embed(workload.database)
+    return [model.top_k(q, database_emb, k) for q in workload.queries]
+
+
+def ap_rankings(approx: ApproximateMeasure, workload: Workload,
+                k: int = 50) -> List[np.ndarray]:
+    """Top-k rankings per query via the AP sketch distance."""
+    sketches = [approx.preprocess(t.points) for t in workload.database]
+    rankings = []
+    for query in workload.queries:
+        query_sketch = approx.preprocess(query.points)
+        distances = np.array([
+            approx.signature_distance(query_sketch, sketch)
+            for sketch in sketches
+        ])
+        rankings.append(top_k_from_distances(distances, k))
+    return rankings
+
+
+def exact_rankings(workload: Workload, measure: str,
+                   k: int = 50) -> List[np.ndarray]:
+    """Ground-truth rankings from the cached exact cross-distances."""
+    return rankings_from_matrix(workload.ground_truth(measure), k=k)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text table renderer used by every benchmark's output."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(headers))]
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Search-quality experiment runner (Tables II and III).
+
+For each (dataset, measure, method) cell: train the method on the seed
+pool, produce per-query top-50 rankings over the database, and score them
+against the exact ground truth with the §VII-A4 metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..eval import SearchQuality
+from .common import (VARIANTS, ap_comparator, ap_rankings, evaluate_quality,
+                     format_table, model_rankings, train_variant)
+from .workloads import ExperimentScale, Workload, build_workload
+
+TABLE2_METHODS = ("ap", "siamese", "neutraj")
+TABLE3_METHODS = ("nt_no_ws", "nt_no_sam", "neutraj")
+ALL_MEASURES = ("frechet", "hausdorff", "erp", "dtw")
+
+CellKey = Tuple[str, str, str]  # (dataset, measure, method)
+
+
+def run_cell(workload: Workload, measure: str, method: str,
+             k: int = 50) -> SearchQuality:
+    """Evaluate one method on one (dataset, measure) workload."""
+    if method == "ap":
+        if measure == "erp":
+            raise ValueError("ERP has no AP baseline (paper Table II dash)")
+        rankings = ap_rankings(ap_comparator(measure, workload), workload, k)
+    elif method in VARIANTS:
+        model = train_variant(method, workload, measure)
+        rankings = model_rankings(model, workload, k)
+    else:
+        raise KeyError(f"unknown method {method!r}")
+    return evaluate_quality(workload, measure, rankings)
+
+
+def run_search_quality(datasets: Sequence[str] = ("geolife", "porto"),
+                       measures: Sequence[str] = ALL_MEASURES,
+                       methods: Sequence[str] = TABLE2_METHODS,
+                       scale: Optional[ExperimentScale] = None,
+                       ) -> Dict[CellKey, Optional[SearchQuality]]:
+    """Full sweep; ERP x AP cells are None (dash in the paper)."""
+    results: Dict[CellKey, Optional[SearchQuality]] = {}
+    for dataset in datasets:
+        workload = build_workload(dataset, scale=scale)
+        for measure in measures:
+            for method in methods:
+                if method == "ap" and measure == "erp":
+                    results[(dataset, measure, method)] = None
+                    continue
+                results[(dataset, measure, method)] = run_cell(
+                    workload, measure, method)
+    return results
+
+
+def format_results(results: Dict[CellKey, Optional[SearchQuality]],
+                   title: str) -> str:
+    """Render the sweep in the paper's row layout."""
+    datasets = sorted({k[0] for k in results})
+    measures = [m for m in ALL_MEASURES if any(k[1] == m for k in results)]
+    methods: List[str] = []
+    for key in results:
+        if key[2] not in methods:
+            methods.append(key[2])
+    headers = ["data", "method"]
+    for measure in measures:
+        headers += [f"{measure}:HR@10", "HR@50", "R10@50", "dH10/dR10"]
+    rows = []
+    for dataset in datasets:
+        for method in methods:
+            row = [dataset, method]
+            for measure in measures:
+                cell = results.get((dataset, measure, method))
+                if cell is None:
+                    row += ["-", "-", "-", "-"]
+                else:
+                    row += [f"{cell.hr10:.4f}", f"{cell.hr50:.4f}",
+                            f"{cell.r10_at_50:.4f}",
+                            f"{cell.delta_h10:.0f}/{cell.delta_r10:.0f}"]
+            rows.append(row)
+    return format_table(title, headers, rows)

@@ -1,0 +1,110 @@
+"""Convergence and parameter-sensitivity experiments (Figures 5-8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .common import evaluate_quality, model_rankings, train_variant
+from .workloads import Workload
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """Per-epoch training losses of one variant under one measure."""
+
+    measure: str
+    variant: str
+    losses: Tuple[float, ...]
+
+
+def run_convergence(workload: Workload,
+                    measures: Sequence[str] = ("frechet", "hausdorff",
+                                               "erp", "dtw"),
+                    variants: Sequence[str] = ("neutraj", "nt_no_sam"),
+                    ) -> List[ConvergenceCurve]:
+    """Fig. 5: loss-vs-epoch for NeuTraj and NT-No-SAM on each measure."""
+    curves = []
+    for measure in measures:
+        for variant in variants:
+            model = train_variant(variant, workload, measure)
+            curves.append(ConvergenceCurve(
+                measure=measure, variant=variant,
+                losses=tuple(model.history.losses)))
+    return curves
+
+
+def _hr10(model, workload: Workload, measure: str) -> float:
+    rankings = model_rankings(model, workload, k=50)
+    return evaluate_quality(workload, measure, rankings).hr10
+
+
+def run_training_size_sweep(workload: Workload,
+                            fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+                            measures: Sequence[str] = ("frechet", "hausdorff",
+                                                       "dtw"),
+                            variants: Sequence[str] = ("neutraj", "nt_no_sam"),
+                            ) -> Dict[Tuple[str, str, float], float]:
+    """Fig. 6: HR@10 as the seed-pool size grows.
+
+    Returns ``{(measure, variant, fraction): hr10}``. The distance matrix is
+    sliced from the full cached seed matrix, so each point trains on a prefix
+    of the seed pool.
+    """
+    results: Dict[Tuple[str, str, float], float] = {}
+    all_seeds = workload.seeds
+    for measure in measures:
+        for fraction in fractions:
+            count = max(int(len(all_seeds) * fraction),
+                        workload.scale.sampling_num + 2)
+            for variant in variants:
+                subset = None if count >= len(all_seeds) else count
+                model = train_variant(variant, workload, measure,
+                                      num_seeds=subset)
+                results[(measure, variant, fraction)] = _hr10(
+                    model, workload, measure)
+    return results
+
+
+def run_embedding_dim_sweep(workload: Workload,
+                            dims: Sequence[int] = (8, 16, 32, 64),
+                            measure: str = "frechet",
+                            variants: Sequence[str] = ("neutraj",
+                                                       "nt_no_sam"),
+                            ) -> Dict[Tuple[str, int], float]:
+    """Fig. 7: HR@10 versus embedding dimensionality ``d``."""
+    results: Dict[Tuple[str, int], float] = {}
+    for dim in dims:
+        config = workload.scale.neutraj_config(measure, embedding_dim=dim)
+        for variant in variants:
+            model = train_variant(variant, workload, measure, config=config)
+            results[(variant, dim)] = _hr10(model, workload, measure)
+    return results
+
+
+def run_scan_width_sweep(workload: Workload,
+                         widths: Sequence[int] = (0, 1, 2, 3),
+                         measure: str = "frechet",
+                         ) -> Dict[int, float]:
+    """Fig. 8: HR@10 versus the SAM scan bandwidth ``w``."""
+    results: Dict[int, float] = {}
+    for width in widths:
+        config = workload.scale.neutraj_config(measure, bandwidth=width)
+        model = train_variant("neutraj", workload, measure, config=config)
+        results[width] = _hr10(model, workload, measure)
+    return results
+
+
+def format_series(title: str, series: Dict, x_label: str = "x",
+                  y_label: str = "hr10") -> str:
+    """Render a sweep dict as aligned text rows."""
+    lines = [title, f"{x_label:>24}  {y_label}"]
+    for key in sorted(series, key=str):
+        value = series[key]
+        if isinstance(value, float):
+            lines.append(f"{str(key):>24}  {value:.4f}")
+        else:
+            lines.append(f"{str(key):>24}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Standard experiment workloads and scaling presets.
+
+The paper evaluates on Geolife (8,203 trajectories) and Porto (601k, with a
+10k sample for ground truth) on GPU hardware. Our CPU/numpy substrate runs
+the same *protocol* at reduced scale; this module centralises the scaled
+workload definitions so every table/figure uses consistent data, and caches
+the expensive exact distance matrices on disk.
+
+Scale is selected with the ``REPRO_SCALE`` environment variable
+(``smoke`` < ``small`` < ``medium``); benchmarks default to ``small``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import NeuTrajConfig
+from ..datasets import (GeolifeConfig, PortoConfig, Trajectory,
+                        TrajectoryDataset, generate_geolife, generate_porto)
+from ..measures import cross_distances, get_measure, pairwise_distances
+
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_CACHE", Path(__file__).resolve().parents[3]
+                   / ".bench_cache"))
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that shrink the paper's experiments to CPU scale."""
+
+    name: str
+    num_trajectories: int     # full synthetic dataset size
+    seed_fraction: float      # paper: 20%
+    num_queries: int          # queries evaluated per cell
+    embedding_dim: int        # paper: 128
+    epochs: int
+    sampling_num: int         # paper: 10
+    batch_anchors: int        # paper: 20
+    cell_size: float
+    max_points: int
+
+    def neutraj_config(self, measure: str, **overrides) -> NeuTrajConfig:
+        """NeuTrajConfig pre-filled from this scale."""
+        base = dict(
+            measure=measure,
+            embedding_dim=self.embedding_dim,
+            epochs=self.epochs,
+            sampling_num=self.sampling_num,
+            batch_anchors=self.batch_anchors,
+            cell_size=self.cell_size,
+            learning_rate=0.008,
+            seed=0,
+        )
+        base.update(overrides)
+        return NeuTrajConfig(**base)
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke", num_trajectories=120, seed_fraction=0.4, num_queries=8,
+        embedding_dim=16, epochs=3, sampling_num=5, batch_anchors=10,
+        cell_size=400.0, max_points=24),
+    "small": ExperimentScale(
+        name="small", num_trajectories=300, seed_fraction=0.4, num_queries=20,
+        embedding_dim=32, epochs=16, sampling_num=10, batch_anchors=20,
+        cell_size=200.0, max_points=40),
+    "medium": ExperimentScale(
+        name="medium", num_trajectories=800, seed_fraction=0.3,
+        num_queries=40, embedding_dim=48, epochs=14, sampling_num=10,
+        batch_anchors=20, cell_size=150.0, max_points=60),
+}
+
+
+def current_scale() -> ExperimentScale:
+    """Scale selected by ``REPRO_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(f"unknown REPRO_SCALE={name!r}; "
+                       f"choose from {sorted(SCALES)}") from None
+
+
+@dataclass
+class Workload:
+    """A dataset split plus (lazily cached) exact distance structures."""
+
+    dataset_name: str
+    scale: ExperimentScale
+    seeds: List[Trajectory]
+    queries: List[Trajectory]
+    database: List[Trajectory]
+    bbox: Tuple[float, float, float, float]
+
+    _cache_dir: Optional[Path] = None
+
+    def _cache_path(self, kind: str, measure: str) -> Optional[Path]:
+        if self._cache_dir is None:
+            return None
+        key = f"{self.dataset_name}-{self.scale.name}-{measure}-{kind}"
+        digest = hashlib.sha1(key.encode()).hexdigest()[:16]
+        return self._cache_dir / f"{key}-{digest}.npy"
+
+    def _cached(self, kind: str, measure: str, compute) -> np.ndarray:
+        path = self._cache_path(kind, measure)
+        if path is not None and path.exists():
+            return np.load(path)
+        value = compute()
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            np.save(path, value)
+        return value
+
+    def seed_distances(self, measure_name: str) -> np.ndarray:
+        """Exact (N, N) seed distance matrix (the offline quadratic step)."""
+        measure = _measure_for(measure_name, self.bbox)
+        return self._cached("seedD", measure_name,
+                            lambda: pairwise_distances(self.seeds, measure))
+
+    def ground_truth(self, measure_name: str) -> np.ndarray:
+        """Exact (Q, N_db) query->database distances (search ground truth)."""
+        measure = _measure_for(measure_name, self.bbox)
+        return self._cached(
+            "gt", measure_name,
+            lambda: cross_distances(self.queries, self.database, measure))
+
+
+def _measure_for(measure_name: str, bbox):
+    """Instantiate a measure; ERP gets the area centroid as gap point."""
+    if measure_name == "erp":
+        gap = ((bbox[0] + bbox[2]) / 2.0, (bbox[1] + bbox[3]) / 2.0)
+        return get_measure("erp", gap=gap)
+    return get_measure(measure_name)
+
+
+def build_workload(dataset_name: str, scale: Optional[ExperimentScale] = None,
+                   cache: bool = True, seed: int = 0) -> Workload:
+    """Create the standard (seeds / queries / database) split.
+
+    ``dataset_name`` is ``"porto"`` or ``"geolife"``. The split follows the
+    paper: ``seed_fraction`` of trajectories are seeds (training), the rest
+    is the search database, from which ``num_queries`` queries are drawn.
+    """
+    scale = scale or current_scale()
+    if dataset_name == "porto":
+        dataset = generate_porto(
+            PortoConfig(num_trajectories=scale.num_trajectories,
+                        min_points=10, max_points=scale.max_points),
+            seed=seed)
+    elif dataset_name == "geolife":
+        dataset = generate_geolife(
+            GeolifeConfig(num_trajectories=scale.num_trajectories,
+                          min_points=10, max_points=scale.max_points),
+            seed=seed)
+    else:
+        raise KeyError(f"unknown dataset {dataset_name!r}")
+
+    rng = np.random.default_rng(seed)
+    seeds_ds, rest = dataset.split(
+        (scale.seed_fraction, 1.0 - scale.seed_fraction), rng)
+    rest_list = list(rest)
+    queries = rest_list[:scale.num_queries]
+    # Queries are held out of the database so no method gets the trivial
+    # self-match (the released implementation likewise excludes self).
+    database = rest_list[scale.num_queries:]
+
+    return Workload(
+        dataset_name=dataset_name,
+        scale=scale,
+        seeds=list(seeds_ds),
+        queries=queries,
+        database=database,
+        bbox=dataset.bbox,
+        _cache_dir=DEFAULT_CACHE_DIR if cache else None,
+    )

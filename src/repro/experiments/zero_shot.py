@@ -1,0 +1,75 @@
+"""Zero-shot learning experiment (paper §VII-G, Figure 10).
+
+Train NeuTraj with *synthetic* seeds simulated by random walks on a road
+network, then evaluate top-k search on real (Geolife-like) trajectories.
+"Best" is the same model trained on real seeds — the ceiling the zero-shot
+model is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core import NeuTraj
+from ..datasets import RoadNetworkConfig, generate_zero_shot_seeds
+from ..measures import pairwise_distances
+from .common import evaluate_quality, model_rankings, train_variant
+from .workloads import Workload, _measure_for
+
+
+@dataclass(frozen=True)
+class ZeroShotResult:
+    """Best-vs-zero-shot quality for one measure."""
+
+    measure: str
+    best_hr10: float
+    best_r10_at_50: float
+    zero_hr10: float
+    zero_r10_at_50: float
+
+
+def run_zero_shot(workload: Workload,
+                  measures: Sequence[str] = ("frechet", "hausdorff",
+                                             "erp", "dtw"),
+                  num_synthetic_seeds: Optional[int] = None,
+                  seed: int = 0) -> Dict[str, ZeroShotResult]:
+    """Figure 10: zero-shot vs best-case NeuTraj on a real-data workload.
+
+    ``workload`` should be a Geolife workload (the paper's target); the
+    synthetic seed count defaults to the workload's own seed count so both
+    models see equally many training trajectories.
+    """
+    num_synthetic_seeds = num_synthetic_seeds or len(workload.seeds)
+    extent = max(workload.bbox[2] - workload.bbox[0],
+                 workload.bbox[3] - workload.bbox[1])
+    _, synthetic = generate_zero_shot_seeds(
+        num_trajectories=num_synthetic_seeds, seed=seed,
+        config=RoadNetworkConfig(extent=extent))
+    synthetic_seeds = list(synthetic)
+
+    results: Dict[str, ZeroShotResult] = {}
+    for measure_name in measures:
+        config = workload.scale.neutraj_config(measure_name)
+
+        best = train_variant("neutraj", workload, measure_name,
+                             config=config)
+        best_quality = evaluate_quality(workload, measure_name,
+                                        model_rankings(best, workload))
+
+        measure = _measure_for(measure_name, workload.bbox)
+        synthetic_matrix = pairwise_distances(synthetic_seeds, measure)
+        zero = NeuTraj(config)
+        zero.fit(synthetic_seeds, distance_matrix=synthetic_matrix)
+        zero_quality = evaluate_quality(workload, measure_name,
+                                        model_rankings(zero, workload))
+
+        results[measure_name] = ZeroShotResult(
+            measure=measure_name,
+            best_hr10=best_quality.hr10,
+            best_r10_at_50=best_quality.r10_at_50,
+            zero_hr10=zero_quality.hr10,
+            zero_r10_at_50=zero_quality.r10_at_50)
+    return results

@@ -1,0 +1,13 @@
+"""Spatial indexes: STR R-tree, grid inverted index, search pipelines."""
+
+from .rtree import RTree, bbox_intersects, bbox_union, expand_bbox
+from .grid_index import GridInvertedIndex
+from .search import (IndexedSearchResult, candidates_for_query, search_approx,
+                     search_embedding, search_exact)
+
+__all__ = [
+    "RTree", "bbox_intersects", "bbox_union", "expand_bbox",
+    "GridInvertedIndex",
+    "IndexedSearchResult", "candidates_for_query", "search_approx",
+    "search_embedding", "search_exact",
+]

@@ -1,0 +1,137 @@
+"""Bounding-box R-tree over trajectory MBRs (paper Table V, first index).
+
+A static R-tree built with Sort-Tile-Recursive (STR) bulk loading — the
+standard approach for index-once/query-many trajectory workloads (cf. [19]).
+Range queries return the ids of every trajectory whose minimum bounding
+rectangle intersects the query window; those are the "involved
+trajectories" the paper counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+BBox = Tuple[float, float, float, float]
+
+
+def bbox_intersects(a: BBox, b: BBox) -> bool:
+    """Whether two (xmin, ymin, xmax, ymax) boxes overlap (touch counts)."""
+    return not (a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1])
+
+
+def bbox_union(boxes: Sequence[BBox]) -> BBox:
+    arr = np.asarray(boxes, dtype=np.float64)
+    return (float(arr[:, 0].min()), float(arr[:, 1].min()),
+            float(arr[:, 2].max()), float(arr[:, 3].max()))
+
+
+def expand_bbox(box: BBox, margin: float) -> BBox:
+    return (box[0] - margin, box[1] - margin, box[2] + margin, box[3] + margin)
+
+
+@dataclass
+class _Node:
+    bbox: BBox
+    children: List["_Node"]
+    entries: List[Tuple[BBox, int]]  # leaf payload: (mbr, trajectory id)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class RTree:
+    """Static STR-packed R-tree.
+
+    Parameters
+    ----------
+    boxes:
+        One MBR per item, in id order (ids are the positions).
+    leaf_capacity:
+        Max entries per leaf / children per internal node.
+    """
+
+    def __init__(self, boxes: Sequence[BBox], leaf_capacity: int = 16):
+        if leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be >= 2")
+        self.leaf_capacity = int(leaf_capacity)
+        self.size = len(boxes)
+        entries = [(tuple(map(float, box)), i) for i, box in enumerate(boxes)]
+        self.root: Optional[_Node] = (self._pack_leaves(entries)
+                                      if entries else None)
+
+    @classmethod
+    def from_trajectories(cls, trajectories: Sequence,
+                          leaf_capacity: int = 16) -> "RTree":
+        """Index trajectories by their MBR (ids = positions)."""
+        return cls([t.bbox for t in trajectories], leaf_capacity=leaf_capacity)
+
+    # ------------------------------------------------------------------ build
+
+    def _pack_leaves(self, entries: List[Tuple[BBox, int]]) -> _Node:
+        leaves = [
+            _Node(bbox=bbox_union([e[0] for e in group]), children=[],
+                  entries=list(group))
+            for group in _str_tiles(entries, key=lambda e: e[0],
+                                    capacity=self.leaf_capacity)
+        ]
+        return self._pack_upward(leaves)
+
+    def _pack_upward(self, nodes: List[_Node]) -> _Node:
+        while len(nodes) > 1:
+            nodes = [
+                _Node(bbox=bbox_union([n.bbox for n in group]),
+                      children=list(group), entries=[])
+                for group in _str_tiles(nodes, key=lambda n: n.bbox,
+                                        capacity=self.leaf_capacity)
+            ]
+        return nodes[0]
+
+    # ------------------------------------------------------------------ query
+
+    def query(self, window: BBox) -> List[int]:
+        """Ids of all items whose MBR intersects ``window``."""
+        if self.root is None:
+            return []
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not bbox_intersects(node.bbox, window):
+                continue
+            if node.is_leaf:
+                out.extend(i for box, i in node.entries
+                           if bbox_intersects(box, window))
+            else:
+                stack.extend(node.children)
+        return sorted(out)
+
+    @property
+    def height(self) -> int:
+        """Tree height (0 for an empty tree, 1 for a single leaf)."""
+        node, levels = self.root, 0
+        while node is not None:
+            levels += 1
+            node = node.children[0] if node.children else None
+        return levels
+
+
+def _str_tiles(items: list, key, capacity: int) -> List[list]:
+    """Sort-Tile-Recursive grouping of items into capacity-sized tiles."""
+    def center(box: BBox) -> Tuple[float, float]:
+        return ((box[0] + box[2]) / 2.0, (box[1] + box[3]) / 2.0)
+
+    items = sorted(items, key=lambda it: center(key(it))[0])
+    num_groups = int(np.ceil(len(items) / capacity))
+    slice_count = int(np.ceil(np.sqrt(num_groups)))
+    slice_size = int(np.ceil(len(items) / slice_count))
+    groups: List[list] = []
+    for s in range(0, len(items), slice_size):
+        vertical = sorted(items[s:s + slice_size],
+                          key=lambda it: center(key(it))[1])
+        for g in range(0, len(vertical), capacity):
+            groups.append(vertical[g:g + capacity])
+    return groups

@@ -1,0 +1,81 @@
+"""Index-accelerated top-k search pipelines (paper §VII-C1, Table V).
+
+NeuTraj is *elastic*: because embeddings preserve spatial locality, any
+spatial index can first shrink the candidate set, after which the ranker —
+exact measure, AP sketch, or NeuTraj embeddings — only touches the
+candidates. These pipelines reproduce the three Table V rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..approx.base import ApproximateMeasure
+from ..eval.knn import top_k_from_distances
+from ..measures.base import TrajectoryMeasure
+from .grid_index import GridInvertedIndex
+from .rtree import RTree, expand_bbox
+
+
+@dataclass(frozen=True)
+class IndexedSearchResult:
+    """Top-k ids plus the candidate count the index produced."""
+
+    ids: np.ndarray
+    num_candidates: int
+
+
+def candidates_for_query(index, query, margin: float = 0.0,
+                         ring: int = 1) -> List[int]:
+    """Candidate ids from either index type for a query trajectory."""
+    if isinstance(index, RTree):
+        return index.query(expand_bbox(query.bbox, margin))
+    if isinstance(index, GridInvertedIndex):
+        return index.query(query.points, ring=ring)
+    raise TypeError(f"unsupported index type: {type(index)!r}")
+
+
+def search_exact(index, query, database: Sequence,
+                 measure: TrajectoryMeasure, k: int,
+                 margin: float = 0.0) -> IndexedSearchResult:
+    """Index + brute-force exact ranking over the candidates."""
+    cand = candidates_for_query(index, query, margin=margin)
+    distances = np.array([
+        measure.distance(query.points, database[i].points) for i in cand
+    ]) if cand else np.array([])
+    top = top_k_from_distances(distances, min(k, len(cand))) if cand else []
+    return IndexedSearchResult(ids=np.array([cand[i] for i in top], dtype=int),
+                               num_candidates=len(cand))
+
+
+def search_approx(index, query, database: Sequence,
+                  approx: ApproximateMeasure, sketches: List, k: int,
+                  margin: float = 0.0) -> IndexedSearchResult:
+    """Index + AP sketch ranking over the candidates."""
+    cand = candidates_for_query(index, query, margin=margin)
+    query_sketch = approx.preprocess(query.points)
+    distances = np.array([
+        approx.signature_distance(query_sketch, sketches[i]) for i in cand
+    ]) if cand else np.array([])
+    top = top_k_from_distances(distances, min(k, len(cand))) if cand else []
+    return IndexedSearchResult(ids=np.array([cand[i] for i in top], dtype=int),
+                               num_candidates=len(cand))
+
+
+def search_embedding(index, query, query_embedding: np.ndarray,
+                     database_embeddings: np.ndarray, k: int,
+                     margin: float = 0.0) -> IndexedSearchResult:
+    """Index + NeuTraj embedding ranking over the candidates."""
+    cand = candidates_for_query(index, query, margin=margin)
+    if cand:
+        cand_arr = np.asarray(cand, dtype=int)
+        diffs = database_embeddings[cand_arr] - query_embedding[None, :]
+        distances = np.sqrt((diffs * diffs).sum(axis=1))
+        top = top_k_from_distances(distances, min(k, len(cand)))
+        ids = cand_arr[top]
+    else:
+        ids = np.array([], dtype=int)
+    return IndexedSearchResult(ids=ids, num_candidates=len(cand))

@@ -1,0 +1,23 @@
+"""Exact trajectory similarity measures.
+
+The paper evaluates DTW, Fréchet, Hausdorff and ERP; EDR and LCSS are
+included as extension measures exercising the generic registry."""
+
+from .base import (TrajectoryMeasure, available_measures, get_measure,
+                   point_distances, register_measure)
+from .dtw import DTWDistance
+from .frechet import FrechetDistance
+from .hausdorff import HausdorffDistance
+from .erp import ERPDistance
+from .edr import EDRDistance
+from .lcss import LCSSDistance
+from .sspd import SSPDDistance, point_to_segments
+from .matrix import cross_distances, pairwise_distances
+
+__all__ = [
+    "TrajectoryMeasure", "available_measures", "get_measure",
+    "point_distances", "register_measure",
+    "DTWDistance", "FrechetDistance", "HausdorffDistance", "ERPDistance",
+    "EDRDistance", "LCSSDistance", "SSPDDistance", "point_to_segments",
+    "cross_distances", "pairwise_distances",
+]

@@ -1,0 +1,83 @@
+"""Measure interface and registry.
+
+NeuTraj is *generic*: any trajectory measure can guide training (paper §I).
+Measures implement :class:`TrajectoryMeasure` and register under a string
+name so experiment configs can select them (``get_measure("dtw")``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+import numpy as np
+
+
+def point_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs Euclidean distances between two point sequences.
+
+    Parameters
+    ----------
+    a, b:
+        Arrays of shape (n, 2) and (m, 2).
+
+    Returns
+    -------
+    (n, m) distance matrix.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+class TrajectoryMeasure:
+    """Base class: a distance function over point arrays.
+
+    Sub-classes implement :meth:`distance` on raw (L, 2) arrays; the
+    convenience ``__call__`` also accepts :class:`~repro.datasets.Trajectory`.
+    """
+
+    #: registry name, set by subclasses
+    name: str = ""
+    #: True when the measure is a metric (symmetric + triangle inequality)
+    is_metric: bool = True
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def __call__(self, a, b) -> float:
+        a = getattr(a, "points", a)
+        b = getattr(b, "points", b)
+        return self.distance(np.asarray(a), np.asarray(b))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Callable[..., TrajectoryMeasure]] = {}
+
+
+def register_measure(name: str):
+    """Class decorator adding a measure to the registry under ``name``."""
+
+    def decorator(cls: Type[TrajectoryMeasure]) -> Type[TrajectoryMeasure]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_measure(name: str, **kwargs) -> TrajectoryMeasure:
+    """Instantiate a registered measure by name (e.g. ``"frechet"``)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown measure {name!r}; available: {sorted(_REGISTRY)}") from None
+    return factory(**kwargs)
+
+
+def available_measures() -> list:
+    """Names of all registered measures."""
+    return sorted(_REGISTRY)

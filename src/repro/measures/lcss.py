@@ -1,0 +1,68 @@
+"""Longest Common SubSequence similarity for trajectories (Vlachos et al.).
+
+LCSS counts the longest subsequence of points that match within a spatial
+tolerance ``epsilon`` (optionally constrained to a temporal band
+``delta`` on the index offset). The associated *distance* is
+``1 - LCSS / min(n, m)`` in [0, 1]; not a metric.
+
+Like EDR, this is beyond the paper's evaluated four but demonstrates the
+generic-measure registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import TrajectoryMeasure, register_measure
+
+
+@register_measure("lcss")
+class LCSSDistance(TrajectoryMeasure):
+    """LCSS distance ``1 - |LCSS| / min(n, m)``.
+
+    Parameters
+    ----------
+    epsilon:
+        Spatial match threshold (L-infinity, per Vlachos et al.).
+    delta:
+        Optional index-offset band: points ``a_i``/``b_j`` may only match
+        when ``|i - j| <= delta``. ``None`` disables the constraint.
+    """
+
+    is_metric = False
+
+    def __init__(self, epsilon: float = 1.0, delta: Optional[int] = None):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if delta is not None and delta < 0:
+            raise ValueError("delta must be None or >= 0")
+        self.epsilon = float(epsilon)
+        self.delta = delta
+
+    def lcss_length(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Length of the longest common subsequence under the tolerances."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        n, m = len(a), len(b)
+        close = np.all(np.abs(a[:, None, :] - b[None, :, :]) <= self.epsilon,
+                       axis=-1)
+        if self.delta is not None:
+            i = np.arange(n)[:, None]
+            j = np.arange(m)[None, :]
+            close = close & (np.abs(i - j) <= self.delta)
+        table = np.zeros((n + 1, m + 1), dtype=np.int64)
+        for k in range(2, n + m + 1):
+            i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+            j = k - i
+            carried = np.maximum(table[i - 1, j], table[i, j - 1])
+            matched = table[i - 1, j - 1] + close[i - 1, j - 1]
+            table[i, j] = np.maximum(carried, matched)
+        return int(table[n, m])
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        n, m = len(a), len(b)
+        if min(n, m) == 0:
+            return 1.0
+        return 1.0 - self.lcss_length(a, b) / min(n, m)

@@ -1,0 +1,54 @@
+"""Pairwise and cross distance-matrix drivers.
+
+Computing the exact seed distance matrix ``D`` (paper §III-B) is the
+quadratic pre-processing step NeuTraj amortises; these helpers centralise it
+with symmetry exploitation and an optional progress callback so long runs
+stay observable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .base import TrajectoryMeasure
+
+
+def _points(trajectories: Sequence) -> list:
+    return [np.asarray(getattr(t, "points", t)) for t in trajectories]
+
+
+def pairwise_distances(trajectories: Sequence, measure: TrajectoryMeasure,
+                       progress: Optional[Callable[[int, int], None]] = None
+                       ) -> np.ndarray:
+    """Symmetric (N, N) matrix of exact distances between all pairs.
+
+    All four paper measures are symmetric, so only the upper triangle is
+    computed. ``progress(done, total)`` is invoked after each row.
+    """
+    points = _points(trajectories)
+    n = len(points)
+    matrix = np.zeros((n, n))
+    total = n * (n - 1) // 2
+    done = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = measure.distance(points[i], points[j])
+        matrix[i + 1:, i] = matrix[i, i + 1:]
+        done += n - i - 1
+        if progress is not None:
+            progress(done, total)
+    return matrix
+
+
+def cross_distances(queries: Sequence, database: Sequence,
+                    measure: TrajectoryMeasure) -> np.ndarray:
+    """(Q, N) matrix of distances from each query to each database entry."""
+    q_points = _points(queries)
+    d_points = _points(database)
+    matrix = np.zeros((len(q_points), len(d_points)))
+    for i, qp in enumerate(q_points):
+        for j, dp in enumerate(d_points):
+            matrix[i, j] = measure.distance(qp, dp)
+    return matrix

@@ -1,0 +1,21 @@
+"""Numpy-based neural-network substrate (autodiff, layers, RNNs, SAM, optim).
+
+Replaces the PyTorch dependency of the original NeuTraj implementation with a
+self-contained tape-based autodiff engine. See ``DESIGN.md`` for rationale.
+"""
+
+from .tensor import Tensor, as_tensor, concat, stack, where, gradient_check
+from .module import Module, Parameter
+from .layers import Linear, euclidean_distance, embedding_similarity
+from .rnn import LSTM, LSTMCell, lengths_to_mask
+from .sam import SAMLSTM, SAMLSTMCell, SpatialMemory
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+
+__all__ = [
+    "Tensor", "as_tensor", "concat", "stack", "where", "gradient_check",
+    "Module", "Parameter",
+    "Linear", "euclidean_distance", "embedding_similarity",
+    "LSTM", "LSTMCell", "lengths_to_mask",
+    "SAMLSTM", "SAMLSTMCell", "SpatialMemory",
+    "SGD", "Adam", "Optimizer", "clip_grad_norm",
+]

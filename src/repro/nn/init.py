@@ -1,0 +1,45 @@
+"""Weight initialization schemes used by the recurrent encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-1], shape[-2]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (standard for recurrent weight matrices)."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal init needs at least 2 dimensions")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols].reshape(shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def lstm_forget_bias(bias: np.ndarray, hidden_size: int, value: float = 1.0) -> np.ndarray:
+    """Set the forget-gate slice of a concatenated LSTM bias to ``value``.
+
+    The gate layout is ``[forget, input, (spatial,) output]`` with the forget
+    gate first, matching :class:`repro.nn.rnn.LSTMCell` and
+    :class:`repro.nn.sam.SAMLSTMCell`.
+    """
+    out = bias.copy()
+    out[:hidden_size] = value
+    return out

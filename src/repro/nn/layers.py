@@ -1,0 +1,47 @@
+"""Basic feed-forward layers built on the autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W^T + b`` over the last axis.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    rng:
+        Generator for Xavier initialization.
+    bias:
+        Include the additive bias (default True).
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+def euclidean_distance(a: Tensor, b: Tensor, eps: float = 1e-8) -> Tensor:
+    """Row-wise Euclidean distance between two (B, d) tensors."""
+    diff = a - b
+    return (diff * diff).sum(axis=-1).sqrt(eps=eps)
+
+
+def embedding_similarity(a: Tensor, b: Tensor, eps: float = 1e-8) -> Tensor:
+    """NeuTraj's embedding similarity ``g = exp(-||E_i - E_j||)`` (§V-B)."""
+    return (-euclidean_distance(a, b, eps=eps)).exp()

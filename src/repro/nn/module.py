@@ -1,0 +1,80 @@
+"""Module/Parameter containers for the numpy autodiff engine.
+
+Mirrors the small subset of ``torch.nn.Module`` the reproduction needs:
+named parameter registration (recursive through sub-modules), zeroing of
+gradients, and flat state-dict save/load for checkpointing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires grad)."""
+
+    def __init__(self, data):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Base class for neural modules.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances as
+    attributes; they are discovered automatically for optimization and
+    checkpointing.
+    """
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            qualified = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield qualified, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{qualified}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{qualified}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{qualified}.{i}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by its qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{value.shape} vs {param.data.shape}")
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

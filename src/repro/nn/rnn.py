@@ -1,0 +1,88 @@
+"""Batched LSTM over variable-length coordinate sequences.
+
+This is the backbone shared by the Siamese baseline and the NT-No-SAM
+ablation; :mod:`repro.nn.sam` extends the same structure with the spatial
+attention memory. Gate layout follows the paper's Eq. 1-2 with the spatial
+gate removed: a single sigmoid block produces ``[forget, input, output]``
+and a separate tanh block produces the candidate cell state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, where
+
+
+class LSTMCell(Module):
+    """Single LSTM step. Inputs ``x``: (B, input_size); states: (B, hidden)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        d = hidden_size
+        self.w_gates = Parameter(init.xavier_uniform((3 * d, input_size), rng))
+        self.u_gates = Parameter(init.orthogonal((3 * d, d), rng))
+        self.b_gates = Parameter(init.lstm_forget_bias(init.zeros(3 * d), d))
+        self.w_cand = Parameter(init.xavier_uniform((d, input_size), rng))
+        self.u_cand = Parameter(init.orthogonal((d, d), rng))
+        self.b_cand = Parameter(init.zeros(d))
+
+    def forward(self, x: Tensor, h_prev: Tensor, c_prev: Tensor
+                ) -> Tuple[Tensor, Tensor]:
+        d = self.hidden_size
+        gates = (x @ self.w_gates.transpose()
+                 + h_prev @ self.u_gates.transpose() + self.b_gates).sigmoid()
+        f_t = gates[:, 0 * d:1 * d]
+        i_t = gates[:, 1 * d:2 * d]
+        o_t = gates[:, 2 * d:3 * d]
+        cand = (x @ self.w_cand.transpose()
+                + h_prev @ self.u_cand.transpose() + self.b_cand).tanh()
+        c_t = f_t * c_prev + i_t * cand
+        h_t = o_t * c_t.tanh()
+        return h_t, c_t
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over padded sequences with a validity mask.
+
+    ``forward`` consumes coordinates of shape (B, T, input_size) and a boolean
+    mask (B, T); padded steps carry the previous state through so the final
+    state equals the state at each sequence's true end.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+
+    def forward(self, inputs: np.ndarray, mask: np.ndarray,
+                return_sequence: bool = False):
+        inputs = np.asarray(inputs, dtype=np.float64)
+        mask = np.asarray(mask, dtype=bool)
+        batch, steps, _ = inputs.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(steps):
+            x_t = Tensor(inputs[:, t, :])
+            h_new, c_new = self.cell(x_t, h, c)
+            step_mask = mask[:, t][:, None]
+            h = where(step_mask, h_new, h)
+            c = where(step_mask, c_new, c)
+            if return_sequence:
+                outputs.append(h)
+        if return_sequence:
+            return h, outputs
+        return h
+
+
+def lengths_to_mask(lengths: np.ndarray, max_len: Optional[int] = None) -> np.ndarray:
+    """Boolean mask (B, T) that is True for valid positions."""
+    lengths = np.asarray(lengths, dtype=int)
+    if max_len is None:
+        max_len = int(lengths.max()) if lengths.size else 0
+    return np.arange(max_len)[None, :] < lengths[:, None]

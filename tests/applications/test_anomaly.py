@@ -1,0 +1,70 @@
+"""Tests for embedding-based anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro import NeuTraj, NeuTrajConfig, PortoConfig, Trajectory, generate_porto
+from repro.applications import detect_anomalies, knn_outlier_scores
+
+
+class TestKnnOutlierScores:
+    def test_isolated_point_scores_highest(self):
+        emb = np.concatenate([np.random.default_rng(0).normal(0, 0.1, (20, 4)),
+                              np.full((1, 4), 10.0)])
+        scores = knn_outlier_scores(emb, k=3)
+        assert np.argmax(scores) == 20
+
+    def test_uniform_cluster_similar_scores(self, rng):
+        emb = rng.normal(size=(30, 4))
+        scores = knn_outlier_scores(emb, k=5)
+        assert scores.std() < scores.mean() * 2
+
+    def test_rejects_too_small_corpus(self):
+        with pytest.raises(ValueError):
+            knn_outlier_scores(np.zeros((3, 4)), k=5)
+
+    def test_score_excludes_self(self):
+        emb = np.zeros((10, 4))
+        scores = knn_outlier_scores(emb, k=3)
+        np.testing.assert_allclose(scores, 0.0)  # all identical, d=0
+
+
+class TestDetectAnomalies:
+    @pytest.fixture(scope="class")
+    def model_and_corpus(self):
+        rng = np.random.default_rng(77)
+        dataset = generate_porto(
+            PortoConfig(num_trajectories=70, min_points=8, max_points=16,
+                        num_route_families=5, family_fraction=1.0,
+                        noise_std=10.0), seed=77)
+        seeds_ds, rest = dataset.split((0.4, 0.6), rng)
+        model = NeuTraj(NeuTrajConfig(measure="hausdorff", embedding_dim=16,
+                                      epochs=4, sampling_num=5,
+                                      batch_anchors=10, cell_size=500.0,
+                                      seed=0))
+        model.fit(list(seeds_ds))
+        # Corpus: normal route trips + one wild zig-zag anomaly.
+        corpus = list(rest)
+        zigzag = np.array([[100.0 + 4000 * (i % 2), 100.0 + 300 * i]
+                           for i in range(12)])
+        corpus.append(Trajectory(zigzag, traj_id=999))
+        return model, corpus
+
+    def test_planted_anomaly_flagged(self, model_and_corpus):
+        model, corpus = model_and_corpus
+        result = detect_anomalies(model, corpus, k=5, quantile=0.9)
+        planted = len(corpus) - 1
+        assert planted in result.anomalies.tolist()
+
+    def test_scores_shape_and_order(self, model_and_corpus):
+        model, corpus = model_and_corpus
+        result = detect_anomalies(model, corpus, k=5, quantile=0.8)
+        assert result.scores.shape == (len(corpus),)
+        flagged_scores = result.scores[result.anomalies]
+        assert np.all(np.diff(flagged_scores) <= 1e-12)  # descending
+        assert np.all(flagged_scores > result.threshold)
+
+    def test_quantile_validation(self, model_and_corpus):
+        model, corpus = model_and_corpus
+        with pytest.raises(ValueError):
+            detect_anomalies(model, corpus, quantile=1.0)

@@ -1,0 +1,85 @@
+"""Tests for the embedding-accelerated similarity join."""
+
+import numpy as np
+import pytest
+
+from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+from repro.applications import (calibrate_threshold, exact_join,
+                                similarity_join)
+from repro.measures import get_measure, pairwise_distances
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(55)
+    dataset = generate_porto(
+        PortoConfig(num_trajectories=80, min_points=8, max_points=16,
+                    num_route_families=6, family_fraction=0.9,
+                    noise_std=15.0), seed=55)
+    seeds_ds, rest = dataset.split((0.4, 0.6), rng)
+    seeds, items = list(seeds_ds), list(rest)
+    measure = get_measure("hausdorff")
+    seed_matrix = pairwise_distances(seeds, measure)
+    model = NeuTraj(NeuTrajConfig(measure="hausdorff", embedding_dim=16,
+                                  epochs=4, sampling_num=5, batch_anchors=10,
+                                  cell_size=500.0, seed=0))
+    model.fit(seeds, distance_matrix=seed_matrix)
+    return model, seeds, seed_matrix, items, measure
+
+
+def test_exact_join_reference(world):
+    _, _, _, items, measure = world
+    threshold = 400.0
+    pairs = exact_join(items, measure, threshold)
+    for i, j in pairs:
+        assert i < j
+        assert measure(items[i], items[j]) <= threshold
+
+
+def test_calibrated_join_recall(world):
+    model, seeds, seed_matrix, items, measure = world
+    threshold = 800.0  # wide enough for a stable positive-pair population
+    embedding_threshold = calibrate_threshold(
+        model, seeds, seed_matrix, threshold, target_recall=0.98)
+    result = similarity_join(model, items, measure, threshold,
+                             embedding_threshold)
+    truth = set(exact_join(items, measure, threshold))
+    found = set(result.pairs)
+    assert found <= truth  # refine stage guarantees precision 1.0
+    assert truth, "workload produced no true join pairs"
+    recall = len(found & truth) / len(truth)
+    assert recall >= 0.5, f"join recall too low: {recall:.2f}"
+
+
+def test_join_saves_exact_computations(world):
+    model, seeds, seed_matrix, items, measure = world
+    threshold = 400.0
+    embedding_threshold = calibrate_threshold(model, seeds, seed_matrix,
+                                              threshold)
+    result = similarity_join(model, items, measure, threshold,
+                             embedding_threshold)
+    all_pairs = len(items) * (len(items) - 1) // 2
+    assert result.num_exact_computations < all_pairs
+
+
+def test_calibrate_threshold_recall_monotone(world):
+    model, seeds, seed_matrix, _, _ = world
+    low = calibrate_threshold(model, seeds, seed_matrix, 400.0,
+                              target_recall=0.5)
+    high = calibrate_threshold(model, seeds, seed_matrix, 400.0,
+                               target_recall=0.99)
+    assert high >= low
+
+
+def test_calibrate_threshold_no_positives_falls_back(world):
+    model, seeds, seed_matrix, _, _ = world
+    out = calibrate_threshold(model, seeds, seed_matrix,
+                              distance_threshold=1e-9)
+    assert out > 0.0
+
+
+def test_calibrate_rejects_bad_recall(world):
+    model, seeds, seed_matrix, _, _ = world
+    with pytest.raises(ValueError):
+        calibrate_threshold(model, seeds, seed_matrix, 100.0,
+                            target_recall=0.0)

@@ -1,0 +1,214 @@
+"""Tests for the approximate-distance baselines (AP)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (AnchorHausdorff, CurveLSH, FastDTW, GridDTW,
+                          GridFrechet, fastdtw, get_approx, snap_curve)
+from repro.measures import get_measure
+
+
+@pytest.fixture
+def curve_pair(rng):
+    a = np.cumsum(rng.normal(size=(40, 2)) * 20, axis=0) + 2000.0
+    b = a + rng.normal(size=a.shape) * 15.0
+    return a, b
+
+
+class TestSnapCurve:
+    def test_dedupes_consecutive(self):
+        pts = np.array([[0.1, 0.1], [0.2, 0.2], [5.1, 5.1]])
+        cells = snap_curve(pts, delta=1.0)
+        assert len(cells) == 2
+        np.testing.assert_array_equal(cells, [[0, 0], [5, 5]])
+
+    def test_offset_shifts_cells(self):
+        pts = np.array([[0.9, 0.9]])
+        assert snap_curve(pts, 1.0)[0].tolist() == [0, 0]
+        assert snap_curve(pts, 1.0, offset=0.2)[0].tolist() == [1, 1]
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            snap_curve(np.zeros((2, 2)), 0.0)
+
+
+class TestGridFrechet:
+    def test_error_bounded_by_delta(self, curve_pair):
+        a, b = curve_pair
+        exact = get_measure("frechet").distance(a, b)
+        for delta in (10.0, 50.0):
+            approx = GridFrechet(delta=delta).distance(a, b)
+            assert abs(approx - exact) <= np.sqrt(2) * delta + 1e-9
+
+    def test_simplification_shortens(self, curve_pair):
+        a, _ = curve_pair
+        sig = GridFrechet(delta=200.0).preprocess(a)
+        assert len(sig) < len(a)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            GridFrechet(delta=-1.0)
+
+
+class TestGridDTW:
+    def test_roughly_tracks_exact(self, curve_pair):
+        a, b = curve_pair
+        exact = get_measure("dtw").distance(a, b)
+        approx = GridDTW(delta=20.0).distance(a, b)
+        assert approx == pytest.approx(exact, rel=0.7)
+
+
+class TestFastDTW:
+    def test_exact_on_short_inputs(self, rng):
+        dtw = get_measure("dtw")
+        a = rng.normal(size=(4, 2))
+        b = rng.normal(size=(3, 2))
+        assert FastDTW(radius=1).distance(a, b) == pytest.approx(
+            dtw.distance(a, b))
+
+    def test_upper_bounds_exact(self, curve_pair):
+        """FastDTW restricts the warp corridor, so it never undershoots."""
+        a, b = curve_pair
+        exact = get_measure("dtw").distance(a, b)
+        assert FastDTW(radius=1).distance(a, b) >= exact - 1e-9
+
+    def test_larger_radius_is_tighter(self, curve_pair):
+        a, b = curve_pair
+        loose = FastDTW(radius=0).distance(a, b)
+        tight = FastDTW(radius=4).distance(a, b)
+        assert tight <= loose + 1e-9
+
+    def test_close_to_exact_for_moderate_radius(self, curve_pair):
+        a, b = curve_pair
+        exact = get_measure("dtw").distance(a, b)
+        assert FastDTW(radius=3).distance(a, b) == pytest.approx(exact, rel=0.2)
+
+    def test_path_endpoints(self, rng):
+        a = rng.normal(size=(16, 2))
+        b = rng.normal(size=(12, 2))
+        _, path = fastdtw(a, b, radius=1)
+        assert path[0] == (0, 0)
+        assert path[-1] == (15, 11)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            FastDTW(radius=-1)
+
+
+class TestAnchorHausdorff:
+    def test_lower_bounds_exact(self, rng):
+        bbox = (0.0, 0.0, 1000.0, 1000.0)
+        approx = AnchorHausdorff(bbox, num_anchors=64, seed=0)
+        exact = get_measure("hausdorff")
+        for _ in range(10):
+            a = rng.uniform(0, 1000, size=(15, 2))
+            b = rng.uniform(0, 1000, size=(12, 2))
+            assert approx.distance(a, b) <= exact.distance(a, b) + 1e-9
+
+    def test_more_anchors_tighter(self, rng):
+        bbox = (0.0, 0.0, 1000.0, 1000.0)
+        exact = get_measure("hausdorff")
+        gaps_few, gaps_many = [], []
+        for i in range(10):
+            r = np.random.default_rng(i)
+            a = r.uniform(0, 1000, size=(15, 2))
+            b = r.uniform(0, 1000, size=(12, 2))
+            true = exact.distance(a, b)
+            gaps_few.append(true - AnchorHausdorff(bbox, 9, seed=0).distance(a, b))
+            gaps_many.append(true - AnchorHausdorff(bbox, 400, seed=0).distance(a, b))
+        assert np.mean(gaps_many) < np.mean(gaps_few)
+
+    def test_sketch_is_anchor_count(self):
+        approx = AnchorHausdorff((0, 0, 10, 10), num_anchors=16, seed=0)
+        sig = approx.preprocess(np.zeros((5, 2)))
+        assert sig.shape == (16,)
+
+    def test_rejects_bad_anchor_count(self):
+        with pytest.raises(ValueError):
+            AnchorHausdorff((0, 0, 1, 1), num_anchors=0)
+
+
+class TestCurveLSH:
+    def test_identical_curves_collide_at_finest(self, rng):
+        a = rng.uniform(0, 100, size=(10, 2))
+        lsh = CurveLSH([1.0, 10.0, 100.0], num_offsets=3, seed=0)
+        assert lsh.distance(a, a) == 1.0
+
+    def test_far_curves_do_not_collide_finely(self, rng):
+        a = rng.uniform(0, 10, size=(10, 2))
+        b = a + 500.0
+        lsh = CurveLSH([1.0, 10.0], num_offsets=2, seed=0)
+        assert lsh.distance(a, b) == float("inf")
+
+    def test_resolution_ladder_monotone_requirement(self):
+        with pytest.raises(ValueError):
+            CurveLSH([10.0, 1.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CurveLSH([0.0, 1.0])
+
+    def test_close_curves_collide_earlier(self, rng):
+        a = np.cumsum(rng.normal(size=(20, 2)), axis=0)
+        near = a + 0.05
+        far = a + 30.0
+        lsh = CurveLSH([0.5, 2.0, 8.0, 32.0, 128.0], num_offsets=4, seed=1)
+        assert lsh.distance(a, near) <= lsh.distance(a, far)
+
+
+class TestGetApprox:
+    def test_dispatch(self):
+        assert isinstance(get_approx("frechet"), GridFrechet)
+        assert isinstance(get_approx("dtw"), FastDTW)
+        assert isinstance(get_approx("hausdorff", bbox=(0, 0, 1, 1)),
+                          AnchorHausdorff)
+
+    def test_erp_unsupported(self):
+        with pytest.raises(ValueError):
+            get_approx("erp")
+
+    def test_hausdorff_requires_bbox(self):
+        with pytest.raises(ValueError):
+            get_approx("hausdorff")
+
+    def test_unknown_measure(self):
+        with pytest.raises(KeyError):
+            get_approx("nope")
+
+
+class TestLSHCurveDistance:
+    def test_self_collides_at_finest(self, rng):
+        from repro.approx import LSHCurveDistance
+        ap = LSHCurveDistance(base_resolution=1.0, levels=5, seed=0)
+        a = rng.uniform(0, 50, size=(12, 2))
+        assert ap.distance(a, a) == 1.0
+
+    def test_far_pairs_report_beyond_ladder(self, rng):
+        from repro.approx import LSHCurveDistance
+        ap = LSHCurveDistance(base_resolution=1.0, levels=3, seed=0)
+        a = rng.uniform(0, 5, size=(8, 2))
+        b = a + 1000.0
+        assert ap.distance(a, b) == 2.0 * 4.0  # 2x coarsest resolution
+
+    def test_ordering_monotone_with_offset(self, rng):
+        from repro.approx import LSHCurveDistance
+        ap = LSHCurveDistance(base_resolution=2.0, levels=8, seed=1)
+        a = np.cumsum(rng.normal(size=(20, 2)), axis=0)
+        near = a + 0.2
+        far = a + 60.0
+        assert ap.distance(a, near) <= ap.distance(a, far)
+
+    def test_estimates_quantised_to_ladder(self, rng):
+        from repro.approx import LSHCurveDistance
+        ap = LSHCurveDistance(base_resolution=1.0, levels=4, seed=0)
+        ladder = {1.0, 2.0, 4.0, 8.0, 16.0}
+        for i in range(8):
+            r = np.random.default_rng(i)
+            a = r.uniform(0, 30, size=(10, 2))
+            b = r.uniform(0, 30, size=(10, 2))
+            assert ap.distance(a, b) in ladder
+
+    def test_rejects_bad_levels(self):
+        from repro.approx import LSHCurveDistance
+        with pytest.raises(ValueError):
+            LSHCurveDistance(base_resolution=1.0, levels=0)

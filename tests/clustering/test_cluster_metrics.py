@@ -1,0 +1,114 @@
+"""Tests for clustering-quality metrics (homogeneity / completeness / V / ARI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (adjusted_rand_index, contingency_table,
+                              homogeneity_completeness_v)
+
+
+class TestContingency:
+    def test_counts(self):
+        table = contingency_table([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_table([0, 1], [0])
+
+
+class TestHomogeneityCompleteness:
+    def test_identical_partitions_perfect(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        h, c, v = homogeneity_completeness_v(labels, labels)
+        assert (h, c, v) == (1.0, 1.0, 1.0)
+
+    def test_relabeling_invariant(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([5, 5, 2, 2])
+        h, c, v = homogeneity_completeness_v(truth, pred)
+        assert (h, c, v) == (1.0, 1.0, 1.0)
+
+    def test_oversplit_is_homogeneous_not_complete(self):
+        truth = np.array([0, 0, 0, 0])
+        pred = np.array([0, 0, 1, 1])
+        h, c, v = homogeneity_completeness_v(truth, pred)
+        assert h == 1.0
+        assert c < 1.0
+        assert 0.0 <= v < 1.0
+
+    def test_merged_is_complete_not_homogeneous(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([0, 0, 0, 0])
+        h, c, v = homogeneity_completeness_v(truth, pred)
+        assert c == 1.0
+        assert h < 1.0
+
+    def test_v_is_harmonic_mean(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([0, 0, 1, 2, 2, 2])
+        h, c, v = homogeneity_completeness_v(truth, pred)
+        assert v == pytest.approx(2 * h * c / (h + c))
+
+    def test_range(self, rng):
+        for _ in range(20):
+            truth = rng.integers(0, 4, size=30)
+            pred = rng.integers(0, 4, size=30)
+            h, c, v = homogeneity_completeness_v(truth, pred)
+            assert 0.0 <= h <= 1.0
+            assert 0.0 <= c <= 1.0
+            assert 0.0 <= v <= 1.0
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 1, 1, 2])
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_relabeling_invariant(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [7, 7, 3, 3]) == 1.0
+
+    def test_random_near_zero(self, rng):
+        values = []
+        for i in range(50):
+            r = np.random.default_rng(i)
+            truth = r.integers(0, 3, size=60)
+            pred = r.permutation(truth)
+            values.append(adjusted_rand_index(truth, pred))
+        assert abs(np.mean(values)) < 0.05
+
+    def test_known_value(self):
+        # Classic example: ARI symmetric, bounded by 1.
+        truth = [0, 0, 0, 1, 1, 1]
+        pred = [0, 0, 1, 1, 2, 2]
+        ab = adjusted_rand_index(truth, pred)
+        ba = adjusted_rand_index(pred, truth)
+        assert ab == pytest.approx(ba)
+        assert ab < 1.0
+
+    def test_single_point(self):
+        assert adjusted_rand_index([0], [0]) == 1.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_property_self_comparison_perfect(labels):
+    labels = np.array(labels)
+    h, c, v = homogeneity_completeness_v(labels, labels)
+    assert v == pytest.approx(1.0)
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                max_size=30),
+       st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_property_ari_symmetric(a, b):
+    n = min(len(a), len(b))
+    a, b = np.array(a[:n]), np.array(b[:n])
+    assert adjusted_rand_index(a, b) == pytest.approx(
+        adjusted_rand_index(b, a))

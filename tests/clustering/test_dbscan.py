@@ -1,0 +1,88 @@
+"""Tests for DBSCAN on precomputed distance matrices."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import NOISE, dbscan, num_clusters
+
+
+def _distance_matrix(points):
+    points = np.asarray(points, dtype=np.float64)
+    return np.linalg.norm(points[:, None] - points[None, :], axis=2)
+
+
+def test_two_well_separated_blobs(rng):
+    a = rng.normal(0.0, 0.3, size=(20, 2))
+    b = rng.normal(10.0, 0.3, size=(20, 2))
+    d = _distance_matrix(np.concatenate([a, b]))
+    labels = dbscan(d, eps=1.0, min_points=3)
+    assert num_clusters(labels) == 2
+    assert len(set(labels[:20])) == 1
+    assert len(set(labels[20:])) == 1
+    assert labels[0] != labels[20]
+
+
+def test_outlier_is_noise(rng):
+    pts = np.concatenate([rng.normal(0.0, 0.2, size=(15, 2)),
+                          [[100.0, 100.0]]])
+    labels = dbscan(_distance_matrix(pts), eps=1.0, min_points=3)
+    assert labels[-1] == NOISE
+    assert num_clusters(labels) == 1
+
+
+def test_everything_noise_with_tiny_eps(rng):
+    pts = rng.uniform(0, 100, size=(20, 2))
+    labels = dbscan(_distance_matrix(pts), eps=1e-9, min_points=3)
+    assert num_clusters(labels) == 0
+    assert np.all(labels == NOISE)
+
+
+def test_single_cluster_with_huge_eps(rng):
+    pts = rng.uniform(0, 10, size=(20, 2))
+    labels = dbscan(_distance_matrix(pts), eps=1e9, min_points=3)
+    assert num_clusters(labels) == 1
+    assert np.all(labels == 0)
+
+
+def test_min_points_controls_cores(rng):
+    # A sparse chain: with high min_points nothing is core.
+    pts = np.arange(10.0)[:, None] * np.array([[1.0, 0.0]])
+    d = _distance_matrix(pts)
+    strict = dbscan(d, eps=1.2, min_points=5)
+    loose = dbscan(d, eps=1.2, min_points=2)
+    assert num_clusters(strict) == 0
+    assert num_clusters(loose) == 1
+
+
+def test_border_point_adoption(rng):
+    """A point near a core but without enough neighbours joins the cluster."""
+    cluster = np.stack([np.arange(5) * 0.1, np.zeros(5)], axis=1)
+    border = np.array([[0.85, 0.0]])
+    pts = np.concatenate([cluster, border])
+    labels = dbscan(_distance_matrix(pts), eps=0.5, min_points=4)
+    assert labels[-1] == labels[0]
+
+
+def test_deterministic(rng):
+    pts = rng.uniform(0, 10, size=(30, 2))
+    d = _distance_matrix(pts)
+    a = dbscan(d, eps=2.0, min_points=3)
+    b = dbscan(d, eps=2.0, min_points=3)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        dbscan(np.zeros((2, 3)), eps=1.0, min_points=2)
+    with pytest.raises(ValueError):
+        dbscan(np.zeros((2, 2)), eps=-1.0, min_points=2)
+    with pytest.raises(ValueError):
+        dbscan(np.zeros((2, 2)), eps=1.0, min_points=0)
+
+
+def test_labels_are_contiguous_from_zero(rng):
+    pts = np.concatenate([rng.normal(i * 20, 0.3, size=(10, 2))
+                          for i in range(4)])
+    labels = dbscan(_distance_matrix(pts), eps=2.0, min_points=3)
+    found = sorted(set(labels[labels != NOISE]))
+    assert found == list(range(len(found)))

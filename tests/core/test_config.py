@@ -1,0 +1,46 @@
+"""Tests for NeuTrajConfig validation."""
+
+import pytest
+
+from repro.core.config import NeuTrajConfig
+from repro.exceptions import ConfigurationError
+
+
+def test_defaults_are_valid():
+    cfg = NeuTrajConfig()
+    assert cfg.measure == "frechet"
+    assert cfg.use_sam and cfg.use_weighted_sampling
+
+
+@pytest.mark.parametrize("field,value", [
+    ("embedding_dim", 0),
+    ("bandwidth", -1),
+    ("cell_size", 0.0),
+    ("sampling_num", 0),
+    ("batch_anchors", 0),
+    ("epochs", 0),
+    ("learning_rate", 0.0),
+    ("incremental_seeds", 1.5),
+    ("incremental_seeds", -0.1),
+    ("alpha", 0.0),
+])
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        NeuTrajConfig(**{field: value})
+
+
+def test_alpha_none_allowed():
+    assert NeuTrajConfig(alpha=None).alpha is None
+
+
+def test_ablated_copies():
+    cfg = NeuTrajConfig(embedding_dim=64)
+    no_sam = cfg.ablated(use_sam=False)
+    assert not no_sam.use_sam
+    assert no_sam.embedding_dim == 64
+    assert cfg.use_sam  # original untouched
+
+
+def test_ablated_validates():
+    with pytest.raises(ConfigurationError):
+        NeuTrajConfig().ablated(epochs=-1)

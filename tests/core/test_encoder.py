@@ -1,0 +1,88 @@
+"""Tests for the trajectory encoder wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NeuTrajConfig
+from repro.core.encoder import TrajectoryEncoder
+from repro.datasets import Grid, Trajectory
+from repro.datasets.grid import CoordinateNormalizer
+
+
+def _encoder(use_sam: bool, seed: int = 0, dim: int = 8):
+    grid = Grid((0.0, 0.0, 1000.0, 1000.0), cell_size=100.0)
+    normalizer = CoordinateNormalizer(mean=[500.0, 500.0], std=[250.0, 250.0])
+    cfg = NeuTrajConfig(embedding_dim=dim, use_sam=use_sam, cell_size=100.0,
+                        seed=seed)
+    return TrajectoryEncoder(grid, normalizer, cfg,
+                             np.random.default_rng(seed))
+
+
+@pytest.fixture
+def trajectories(rng):
+    return [Trajectory(rng.uniform(100, 900, size=(n, 2)))
+            for n in (5, 9, 3)]
+
+
+@pytest.mark.parametrize("use_sam", [True, False])
+def test_encode_shape(use_sam, trajectories):
+    enc = _encoder(use_sam)
+    out = enc.encode(trajectories)
+    assert out.shape == (3, 8)
+
+
+@pytest.mark.parametrize("use_sam", [True, False])
+def test_embed_matches_encode(use_sam, trajectories):
+    enc = _encoder(use_sam)
+    np.testing.assert_allclose(enc.embed(trajectories),
+                               enc.encode(trajectories).data)
+
+
+def test_embed_batching_consistent(trajectories):
+    enc = _encoder(True)
+    full = enc.embed(trajectories, batch_size=128)
+    small = enc.embed(trajectories, batch_size=1)
+    np.testing.assert_allclose(full, small)
+
+
+def test_embed_empty_returns_zero_rows():
+    enc = _encoder(False)
+    out = enc.embed([])
+    assert out.shape == (0, 8)
+
+
+def test_sam_flag(trajectories):
+    assert _encoder(True).uses_sam
+    assert not _encoder(False).uses_sam
+
+
+def test_inference_is_memory_readonly(trajectories):
+    enc = _encoder(True)
+    enc.embed(trajectories)
+    assert enc.memory.occupancy() == 0.0
+
+
+def test_training_encode_writes_memory(trajectories):
+    enc = _encoder(True)
+    enc.encode(trajectories, update_memory=True)
+    assert enc.memory.occupancy() > 0.0
+
+
+def test_reset_memory(trajectories):
+    enc = _encoder(True)
+    enc.encode(trajectories, update_memory=True)
+    enc.reset_memory()
+    assert enc.memory.occupancy() == 0.0
+
+
+def test_deterministic_across_instances(trajectories):
+    a = _encoder(True, seed=3)
+    b = _encoder(True, seed=3)
+    np.testing.assert_allclose(a.embed(trajectories), b.embed(trajectories))
+
+
+def test_embedding_order_independent_when_readonly(trajectories):
+    enc = _encoder(True)
+    fwd = enc.embed(trajectories)
+    rev = enc.embed(list(reversed(trajectories)))
+    np.testing.assert_allclose(fwd, rev[::-1])

@@ -1,0 +1,72 @@
+"""Tests for the ranking / margin / MSE losses (paper Eq. 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import (dissimilar_loss, mse_pair_loss, ranking_loss,
+                             similar_loss)
+from repro.core.sampling import rank_weights
+from repro.nn.tensor import Tensor
+
+
+def test_similar_loss_zero_at_perfect_fit():
+    truth = np.array([0.5, 0.3, 0.1])
+    loss = similar_loss(Tensor(truth.copy()), truth, rank_weights(3))
+    assert loss.item() == pytest.approx(0.0)
+
+
+def test_similar_loss_weighted_by_rank():
+    truth = np.zeros(2)
+    w = rank_weights(2)
+    # Error of 1 on rank-1 position costs w[0]; on rank-2 costs w[1] < w[0].
+    first = similar_loss(Tensor([1.0, 0.0]), truth, w).item()
+    second = similar_loss(Tensor([0.0, 1.0]), truth, w).item()
+    assert first == pytest.approx(w[0])
+    assert second == pytest.approx(w[1])
+    assert first > second
+
+
+def test_dissimilar_loss_one_sided():
+    truth = np.array([0.5])
+    w = rank_weights(1)
+    # Predicted below truth: already separated -> zero loss.
+    below = dissimilar_loss(Tensor([0.2]), truth, w).item()
+    above = dissimilar_loss(Tensor([0.9]), truth, w).item()
+    assert below == 0.0
+    assert above == pytest.approx(w[0] * 0.4 ** 2)
+
+
+def test_dissimilar_loss_gradient_flows_only_when_violating():
+    truth = np.array([0.5, 0.5])
+    w = rank_weights(2)
+    pred = Tensor(np.array([0.9, 0.1]), requires_grad=True)
+    dissimilar_loss(pred, truth, w).backward()
+    assert pred.grad[0] != 0.0
+    assert pred.grad[1] == 0.0
+
+
+def test_ranking_loss_is_sum():
+    w = rank_weights(2)
+    s_pred = Tensor([0.4, 0.2])
+    d_pred = Tensor([0.8, 0.1])
+    s_truth = np.array([0.5, 0.25])
+    d_truth = np.array([0.3, 0.2])
+    total = ranking_loss(s_pred, s_truth, d_pred, d_truth, w).item()
+    expected = (similar_loss(s_pred, s_truth, w).item()
+                + dissimilar_loss(d_pred, d_truth, w).item())
+    assert total == pytest.approx(expected)
+
+
+def test_mse_pair_loss_mean():
+    pred = Tensor([1.0, 3.0])
+    truth = np.array([0.0, 0.0])
+    assert mse_pair_loss(pred, truth).item() == pytest.approx(5.0)
+
+
+def test_losses_are_differentiable():
+    w = rank_weights(3)
+    pred = Tensor(np.array([0.5, 0.4, 0.3]), requires_grad=True)
+    truth = np.array([0.6, 0.2, 0.9])
+    similar_loss(pred, truth, w).backward()
+    assert pred.grad is not None
+    np.testing.assert_allclose(pred.grad, 2 * w * (pred.data - truth))

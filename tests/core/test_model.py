@@ -1,0 +1,189 @@
+"""Tests for the NeuTraj model API: fit / embed / search / save / load."""
+
+import numpy as np
+import pytest
+
+from repro import NeuTraj, NeuTrajConfig
+from repro.core.trainer import TrainingHistory
+from repro.exceptions import NotFittedError
+from repro.measures import get_measure, pairwise_distances
+
+FAST = NeuTrajConfig(measure="hausdorff", embedding_dim=8, epochs=2,
+                     sampling_num=3, batch_anchors=8, cell_size=500.0,
+                     seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """One trained model shared across the read-only tests in this module."""
+    from repro.datasets import PortoConfig, generate_porto
+    ds = generate_porto(PortoConfig(num_trajectories=30, min_points=8,
+                                    max_points=16), seed=11)
+    seeds = list(ds)
+    model = NeuTraj(FAST)
+    history = model.fit(seeds)
+    return model, seeds, history
+
+
+def test_unfitted_raises():
+    model = NeuTraj(FAST)
+    with pytest.raises(NotFittedError):
+        model.embed([])
+
+
+def test_fit_returns_history(fitted):
+    _, _, history = fitted
+    assert isinstance(history, TrainingHistory)
+    assert history.num_epochs == 2
+    assert all(np.isfinite(history.losses))
+
+
+def test_embed_shape(fitted):
+    model, seeds, _ = fitted
+    emb = model.embed(seeds)
+    assert emb.shape == (30, 8)
+    assert np.all(np.isfinite(emb))
+
+
+def test_similarity_range_and_self(fitted):
+    model, seeds, _ = fitted
+    assert model.similarity(seeds[0], seeds[0]) == pytest.approx(1.0)
+    value = model.similarity(seeds[0], seeds[1])
+    assert 0.0 < value <= 1.0
+
+
+def test_distance_symmetric(fitted):
+    model, seeds, _ = fitted
+    d_ab = model.distance(seeds[0], seeds[1])
+    d_ba = model.distance(seeds[1], seeds[0])
+    assert d_ab == pytest.approx(d_ba)
+
+
+def test_top_k_returns_self_first(fitted):
+    model, seeds, _ = fitted
+    emb = model.embed(seeds)
+    top = model.top_k(seeds[4], emb, k=5)
+    assert len(top) == 5
+    assert top[0] == 4
+
+
+def test_top_k_clamps_k(fitted):
+    model, seeds, _ = fitted
+    emb = model.embed(seeds[:3])
+    assert len(model.top_k(seeds[0], emb, k=10)) == 3
+
+
+def test_precomputed_distance_matrix_used(fitted):
+    """Passing the matrix must produce the same model as recomputing it."""
+    _, seeds, _ = fitted
+    measure = get_measure("hausdorff")
+    matrix = pairwise_distances(seeds, measure)
+    a = NeuTraj(FAST)
+    a.fit(seeds, distance_matrix=matrix)
+    b = NeuTraj(FAST)
+    b.fit(seeds)
+    np.testing.assert_allclose(a.embed(seeds), b.embed(seeds))
+
+
+def test_distance_matrix_shape_validated(fitted):
+    _, seeds, _ = fitted
+    with pytest.raises(ValueError):
+        NeuTraj(FAST).fit(seeds, distance_matrix=np.zeros((3, 3)))
+
+
+def test_too_few_seeds_rejected(fitted):
+    _, seeds, _ = fitted
+    with pytest.raises(ValueError):
+        NeuTraj(FAST).fit(seeds[:3])  # sampling_num=3 needs > 3 seeds
+
+
+def test_epoch_callback_invoked(fitted):
+    _, seeds, _ = fitted
+    calls = []
+    model = NeuTraj(FAST)
+    model.fit(seeds, epoch_callback=lambda e, l: calls.append((e, l)))
+    assert [e for e, _ in calls] == [0, 1]
+
+
+def test_deterministic_given_seed(fitted):
+    _, seeds, _ = fitted
+    a = NeuTraj(FAST)
+    a.fit(seeds)
+    b = NeuTraj(FAST)
+    b.fit(seeds)
+    np.testing.assert_allclose(a.embed(seeds), b.embed(seeds))
+
+
+def test_save_load_roundtrip(fitted, tmp_path):
+    model, seeds, _ = fitted
+    path = tmp_path / "model.npz"
+    model.save(path)
+    loaded = NeuTraj.load(path)
+    np.testing.assert_allclose(loaded.embed(seeds), model.embed(seeds))
+    assert loaded.alpha == pytest.approx(model.alpha)
+    assert loaded.config.measure == model.config.measure
+
+
+def test_save_unfitted_raises(tmp_path):
+    with pytest.raises(NotFittedError):
+        NeuTraj(FAST).save(tmp_path / "x.npz")
+
+
+def test_alpha_suggested_when_none(fitted):
+    model, _, _ = fitted
+    assert model.alpha is not None and model.alpha > 0
+
+
+def test_explicit_alpha_respected(fitted):
+    _, seeds, _ = fitted
+    model = NeuTraj(FAST.ablated(alpha=0.123))
+    model.fit(seeds)
+    assert model.alpha == 0.123
+
+
+def test_similarity_matrix_stored(fitted):
+    model, seeds, _ = fitted
+    s = model.similarity_matrix
+    assert s.shape == (30, 30)
+    # Default transform is the symmetric exponential with unit diagonal.
+    np.testing.assert_allclose(np.diag(s), 1.0)
+    np.testing.assert_allclose(s, s.T)
+
+
+def test_row_normalize_option(fitted):
+    _, seeds, _ = fitted
+    model = NeuTraj(FAST.ablated(row_normalize=True))
+    model.fit(seeds)
+    np.testing.assert_allclose(model.similarity_matrix.sum(axis=1), 1.0)
+
+
+def test_incremental_curriculum_restricts_anchors(fitted):
+    _, seeds, _ = fitted
+    cfg = FAST.ablated(incremental_seeds=0.3, epochs=3)
+    model = NeuTraj(cfg)
+    rng = np.random.default_rng(0)
+    first = model._epoch_anchors(30, 0, rng)
+    last = model._epoch_anchors(30, 2, rng)
+    assert len(first) == 9
+    assert len(last) == 30
+
+
+def test_save_load_preserves_history(fitted, tmp_path):
+    model, seeds, history = fitted
+    path = tmp_path / "with_history.npz"
+    model.save(path)
+    loaded = NeuTraj.load(path)
+    assert loaded.history is not None
+    assert loaded.history.losses == history.losses
+    assert loaded.history.num_epochs == history.num_epochs
+    assert loaded.history.total_seconds == pytest.approx(
+        history.total_seconds)
+
+
+def test_save_is_atomic_leaves_no_tmp(fitted, tmp_path):
+    model, _, _ = fitted
+    path = tmp_path / "atomic.npz"
+    model.save(path)
+    assert path.exists()
+    leftovers = [p for p in tmp_path.iterdir() if "tmp" in p.name]
+    assert leftovers == []

@@ -1,0 +1,114 @@
+"""Tests for the distance-weighted pair sampler and rank weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import PairSampler, rank_weights
+from repro.core.similarity import distance_to_similarity
+
+
+@pytest.fixture
+def similarity(rng):
+    x = rng.uniform(0, 100, size=(30, 2))
+    d = np.linalg.norm(x[:, None] - x[None, :], axis=2)
+    return distance_to_similarity(d, alpha=0.05)
+
+
+class TestRankWeights:
+    def test_reciprocal_shape(self):
+        w = rank_weights(4)
+        raw = np.array([1.0, 0.5, 1 / 3, 0.25])
+        np.testing.assert_allclose(w, raw / raw.sum())
+
+    def test_normalised(self):
+        assert rank_weights(10).sum() == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        w = rank_weights(8)
+        assert np.all(np.diff(w) < 0)
+
+    def test_single(self):
+        np.testing.assert_allclose(rank_weights(1), [1.0])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            rank_weights(0)
+
+
+class TestPairSampler:
+    def test_sample_sizes(self, similarity, rng):
+        sampler = PairSampler(similarity, 5, weighted=True, rng=rng)
+        out = sampler.sample(0)
+        assert len(out.similar) == 5
+        assert len(out.dissimilar) == 5
+
+    def test_excludes_anchor(self, similarity, rng):
+        sampler = PairSampler(similarity, 8, weighted=True, rng=rng)
+        for anchor in range(10):
+            out = sampler.sample(anchor)
+            assert anchor not in out.similar
+            assert anchor not in out.dissimilar
+
+    def test_distinct_samples(self, similarity, rng):
+        sampler = PairSampler(similarity, 10, weighted=True, rng=rng)
+        out = sampler.sample(3)
+        assert len(set(out.similar)) == 10
+        assert len(set(out.dissimilar)) == 10
+
+    def test_similar_ranked_descending(self, similarity, rng):
+        sampler = PairSampler(similarity, 6, weighted=True, rng=rng)
+        out = sampler.sample(2)
+        assert np.all(np.diff(out.similar_truth) <= 0)
+
+    def test_dissimilar_ranked_ascending(self, similarity, rng):
+        sampler = PairSampler(similarity, 6, weighted=True, rng=rng)
+        out = sampler.sample(2)
+        assert np.all(np.diff(out.dissimilar_truth) >= 0)
+
+    def test_truth_matches_matrix(self, similarity, rng):
+        sampler = PairSampler(similarity, 4, weighted=True, rng=rng)
+        out = sampler.sample(7)
+        np.testing.assert_allclose(out.similar_truth,
+                                   similarity[7, out.similar])
+        np.testing.assert_allclose(out.dissimilar_truth,
+                                   similarity[7, out.dissimilar])
+
+    def test_weighted_prefers_similar(self, similarity):
+        """Over many draws, the most similar seed appears in the similar
+        list far more often under weighted sampling than uniform."""
+        anchor = 0
+        best = int(np.argsort(-similarity[anchor])[1])  # skip self
+        hits = {True: 0, False: 0}
+        for weighted in (True, False):
+            rng = np.random.default_rng(0)
+            sampler = PairSampler(similarity, 3, weighted=weighted, rng=rng)
+            for _ in range(300):
+                out = sampler.sample(anchor)
+                if best in out.similar:
+                    hits[weighted] += 1
+        assert hits[True] > hits[False] * 1.5
+
+    def test_uniform_mode_covers_everything(self, similarity):
+        rng = np.random.default_rng(1)
+        sampler = PairSampler(similarity, 5, weighted=False, rng=rng)
+        seen = set()
+        for _ in range(200):
+            out = sampler.sample(0)
+            seen |= set(out.similar.tolist())
+        assert seen == set(range(1, 30))
+
+    def test_rejects_oversampling(self, similarity, rng):
+        with pytest.raises(ValueError):
+            PairSampler(similarity, 30, weighted=True, rng=rng)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError):
+            PairSampler(np.zeros((3, 4)), 1, weighted=True, rng=rng)
+
+    def test_deterministic_given_rng(self, similarity):
+        a = PairSampler(similarity, 4, weighted=True,
+                        rng=np.random.default_rng(5)).sample(2)
+        b = PairSampler(similarity, 4, weighted=True,
+                        rng=np.random.default_rng(5)).sample(2)
+        np.testing.assert_array_equal(a.similar, b.similar)
+        np.testing.assert_array_equal(a.dissimilar, b.dissimilar)

@@ -1,0 +1,73 @@
+"""Tests for the Siamese LSTM baseline."""
+
+import numpy as np
+import pytest
+
+from repro import NeuTrajConfig, SiameseTraj
+from repro.datasets import PortoConfig, generate_porto
+
+CFG = NeuTrajConfig(measure="hausdorff", embedding_dim=8, epochs=2,
+                    sampling_num=3, batch_anchors=8, cell_size=500.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    ds = generate_porto(PortoConfig(num_trajectories=25, min_points=8,
+                                    max_points=16), seed=21)
+    return list(ds)
+
+
+def test_forces_plain_lstm_and_uniform_sampling():
+    model = SiameseTraj(NeuTrajConfig(use_sam=True,
+                                      use_weighted_sampling=True))
+    assert not model.config.use_sam
+    assert not model.config.use_weighted_sampling
+
+
+def test_fit_and_embed(seeds):
+    model = SiameseTraj(CFG)
+    history = model.fit(seeds)
+    assert history.num_epochs == 2
+    emb = model.embed(seeds)
+    assert emb.shape == (25, 8)
+    assert np.all(np.isfinite(emb))
+
+
+def test_loss_finite_and_decreasing_tendency(seeds):
+    model = SiameseTraj(CFG.ablated(epochs=4))
+    history = model.fit(seeds)
+    losses = history.losses
+    assert all(np.isfinite(losses))
+    assert losses[-1] <= losses[0] * 2  # no divergence
+
+
+def test_pairs_per_epoch_override(seeds):
+    model = SiameseTraj(CFG)
+    history = model.fit(seeds, pairs_per_epoch=10)
+    assert history.num_epochs == 2
+
+
+def test_deterministic(seeds):
+    a = SiameseTraj(CFG)
+    a.fit(seeds)
+    b = SiameseTraj(CFG)
+    b.fit(seeds)
+    np.testing.assert_allclose(a.embed(seeds), b.embed(seeds))
+
+
+def test_rejects_too_few_seeds(seeds):
+    with pytest.raises(ValueError):
+        SiameseTraj(CFG).fit(seeds[:1])
+
+
+def test_shares_inference_api(seeds, tmp_path):
+    model = SiameseTraj(CFG)
+    model.fit(seeds)
+    assert 0.0 < model.similarity(seeds[0], seeds[1]) <= 1.0
+    emb = model.embed(seeds)
+    top = model.top_k(seeds[2], emb, k=3)
+    assert top[0] == 2
+    path = tmp_path / "siamese.npz"
+    model.save(path)
+    loaded = SiameseTraj.load(path)
+    np.testing.assert_allclose(loaded.embed(seeds), model.embed(seeds))

@@ -1,0 +1,95 @@
+"""Tests for the distance->similarity transform."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (distance_to_similarity, pair_similarity,
+                                   suggest_alpha)
+
+
+@pytest.fixture
+def distance_matrix(rng):
+    x = rng.uniform(0, 100, size=(8, 2))
+    d = np.linalg.norm(x[:, None] - x[None, :], axis=2)
+    return d
+
+
+def test_rows_sum_to_one(distance_matrix):
+    s = distance_to_similarity(distance_matrix, alpha=0.1)
+    np.testing.assert_allclose(s.sum(axis=1), 1.0)
+
+
+def test_values_in_unit_interval(distance_matrix):
+    s = distance_to_similarity(distance_matrix, alpha=0.1)
+    assert np.all(s > 0.0) and np.all(s <= 1.0)
+
+
+def test_diagonal_is_row_maximum(distance_matrix):
+    s = distance_to_similarity(distance_matrix, alpha=0.1)
+    assert np.all(np.argmax(s, axis=1) == np.arange(len(s)))
+
+
+def test_order_preserving_within_row(distance_matrix):
+    """Smaller distance => larger similarity, row-wise."""
+    s = distance_to_similarity(distance_matrix, alpha=0.05)
+    for i in range(len(s)):
+        order_d = np.argsort(distance_matrix[i])
+        order_s = np.argsort(-s[i])
+        np.testing.assert_array_equal(order_d, order_s)
+
+
+def test_alpha_sharpens(distance_matrix):
+    soft = distance_to_similarity(distance_matrix, alpha=0.001)
+    sharp = distance_to_similarity(distance_matrix, alpha=1.0)
+    # Sharper alpha concentrates more mass on the diagonal.
+    assert np.all(np.diag(sharp) >= np.diag(soft))
+
+
+def test_numerical_stability_large_distances():
+    d = np.array([[0.0, 1e6], [1e6, 0.0]])
+    s = distance_to_similarity(d, alpha=10.0)
+    assert np.all(np.isfinite(s))
+    np.testing.assert_allclose(s.sum(axis=1), 1.0)
+
+
+def test_rejects_negative_distances():
+    with pytest.raises(ValueError):
+        distance_to_similarity(np.array([[0.0, -1.0], [-1.0, 0.0]]), alpha=1.0)
+
+
+def test_rejects_non_square():
+    with pytest.raises(ValueError):
+        distance_to_similarity(np.zeros((2, 3)), alpha=1.0)
+
+
+def test_rejects_bad_alpha(distance_matrix):
+    with pytest.raises(ValueError):
+        distance_to_similarity(distance_matrix, alpha=0.0)
+
+
+class TestSuggestAlpha:
+    def test_scales_inverse_to_distance_magnitude(self, distance_matrix):
+        small = suggest_alpha(distance_matrix)
+        large = suggest_alpha(distance_matrix * 10.0)
+        assert small == pytest.approx(10.0 * large)
+
+    def test_sharpness_parameter(self, distance_matrix):
+        assert suggest_alpha(distance_matrix, sharpness=16.0) == pytest.approx(
+            2.0 * suggest_alpha(distance_matrix, sharpness=8.0))
+
+    def test_rejects_tiny_matrix(self):
+        with pytest.raises(ValueError):
+            suggest_alpha(np.zeros((1, 1)))
+
+    def test_rejects_zero_distances(self):
+        with pytest.raises(ValueError):
+            suggest_alpha(np.zeros((3, 3)))
+
+
+def test_pair_similarity_consistent_with_matrix(distance_matrix):
+    alpha = 0.1
+    s = distance_to_similarity(distance_matrix, alpha)
+    i, j = 2, 5
+    normaliser = np.exp(-alpha * distance_matrix[i]).sum()
+    assert pair_similarity(distance_matrix[i, j], alpha,
+                           normaliser) == pytest.approx(s[i, j])

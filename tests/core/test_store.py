@@ -1,0 +1,154 @@
+"""Tests for the incremental EmbeddingStore."""
+
+import numpy as np
+import pytest
+
+from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+from repro.core.store import EmbeddingStore
+from repro.exceptions import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def world():
+    ds = generate_porto(PortoConfig(num_trajectories=40, min_points=8,
+                                    max_points=14), seed=31)
+    seeds = list(ds)[:20]
+    rest = list(ds)[20:]
+    model = NeuTraj(NeuTrajConfig(measure="hausdorff", embedding_dim=8,
+                                  epochs=2, sampling_num=3, batch_anchors=8,
+                                  cell_size=500.0, seed=0))
+    model.fit(seeds)
+    return model, rest
+
+
+def test_requires_fitted_model():
+    with pytest.raises(NotFittedError):
+        EmbeddingStore(NeuTraj(NeuTrajConfig()))
+
+
+def test_add_assigns_sequential_ids(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    first = store.add(items[:5])
+    second = store.add(items[5:8])
+    assert first == [0, 1, 2, 3, 4]
+    assert second == [5, 6, 7]
+    assert len(store) == 8
+
+
+def test_add_empty_is_noop(world):
+    model, _ = world
+    store = EmbeddingStore(model)
+    assert store.add([]) == []
+    assert len(store) == 0
+
+
+def test_query_returns_inserted_item_first(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    ids = store.add(items[:10])
+    found, distances = store.query(items[3], k=3)
+    assert found[0] == ids[3]
+    assert distances[0] == pytest.approx(0.0, abs=1e-9)
+    assert np.all(np.diff(distances) >= -1e-12)
+
+
+def test_query_matches_model_topk(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items)
+    emb = model.embed(items)
+    expected = model.top_k(items[0], emb, 5)
+    found, _ = store.query(items[0], k=5)
+    np.testing.assert_array_equal(found, expected)
+
+
+def test_query_empty_store_raises(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    with pytest.raises(NotFittedError):
+        store.query(items[0], k=3)
+
+
+def test_query_clamps_k(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    found, _ = store.query(items[0], k=100)
+    assert len(found) == 3
+
+
+def test_remove(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    ids = store.add(items[:6])
+    assert store.remove([ids[1], ids[4], 999]) == 2
+    assert len(store) == 4
+    found, _ = store.query(items[1], k=10)
+    assert ids[1] not in found
+
+
+def test_ids_continue_after_remove(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    store.remove([0, 1, 2])
+    new = store.add(items[3:5])
+    assert new == [3, 4]
+
+
+def test_query_radius(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:10])
+    ids, distances = store.query_radius(items[2], radius=1e-9)
+    assert 2 in ids  # itself
+    all_ids, _ = store.query_radius(items[2], radius=1e9)
+    assert len(all_ids) == 10
+
+
+def test_query_radius_rejects_negative(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    with pytest.raises(ValueError):
+        store.query_radius(items[0], radius=-1.0)
+
+
+def test_embeddings_view_readonly(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    with pytest.raises(ValueError):
+        store.embeddings[0, 0] = 5.0
+
+
+def test_save_load_roundtrip(world, tmp_path):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:7])
+    store.remove([2])
+    path = tmp_path / "store.npz"
+    store.save(path)
+    loaded = EmbeddingStore.load(path, model)
+    assert len(loaded) == 6
+    assert loaded.ids == store.ids
+    found_a, _ = store.query(items[0], k=4)
+    found_b, _ = loaded.query(items[0], k=4)
+    np.testing.assert_array_equal(found_a, found_b)
+    # New inserts continue from the persisted id counter.
+    assert loaded.add(items[7:8]) == [7]
+
+
+def test_load_rejects_dim_mismatch(world, tmp_path):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:2])
+    path = tmp_path / "store.npz"
+    store.save(path)
+    other = NeuTraj(NeuTrajConfig(measure="hausdorff", embedding_dim=4,
+                                  epochs=1, sampling_num=3, batch_anchors=8,
+                                  cell_size=500.0, seed=0))
+    other.fit(items[:10])
+    with pytest.raises(ValueError):
+        EmbeddingStore.load(path, other)

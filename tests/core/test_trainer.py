@@ -1,0 +1,110 @@
+"""Tests for the training-loop machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NeuTrajConfig
+from repro.core.encoder import TrajectoryEncoder
+from repro.core.sampling import PairSampler
+from repro.core.similarity import distance_to_similarity, suggest_alpha
+from repro.core.trainer import (EpochStats, TrainingHistory, anchor_batches,
+                                train_epoch, training_step)
+from repro.datasets import Grid, Trajectory, TrajectoryDataset
+from repro.datasets.grid import CoordinateNormalizer
+from repro.measures import get_measure, pairwise_distances
+from repro.nn.optim import Adam
+
+
+@pytest.fixture
+def setup(rng):
+    trajs = [Trajectory(rng.uniform(0, 1000, size=(rng.integers(5, 12), 2)))
+             for _ in range(20)]
+    matrix = pairwise_distances(trajs, get_measure("hausdorff"))
+    similarity = distance_to_similarity(matrix, suggest_alpha(matrix))
+    cfg = NeuTrajConfig(embedding_dim=8, sampling_num=3, cell_size=200.0)
+    dataset = TrajectoryDataset(trajs)
+    grid = Grid.for_dataset(dataset, cfg.cell_size, margin=cfg.cell_size)
+    encoder = TrajectoryEncoder(grid, CoordinateNormalizer.fit(trajs), cfg,
+                                np.random.default_rng(0))
+    sampler = PairSampler(similarity, cfg.sampling_num, weighted=True,
+                          rng=np.random.default_rng(1))
+    return trajs, encoder, sampler, cfg
+
+
+class TestAnchorBatches:
+    def test_partition(self, rng):
+        batches = anchor_batches(np.arange(10), 3, rng)
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        flat = np.concatenate(batches)
+        assert sorted(flat.tolist()) == list(range(10))
+
+    def test_shuffled(self):
+        batches = anchor_batches(np.arange(100), 100,
+                                 np.random.default_rng(0))
+        assert not np.array_equal(batches[0], np.arange(100))
+
+
+class TestTrainingStep:
+    def test_returns_finite_loss_and_updates(self, setup):
+        trajs, encoder, sampler, cfg = setup
+        optimizer = Adam(encoder.parameters(), lr=0.01)
+        before = encoder.state_dict()
+        batch = [sampler.sample(a) for a in (0, 1, 2)]
+        loss = training_step(encoder, trajs, batch, optimizer, grad_clip=5.0)
+        assert np.isfinite(loss) and loss >= 0.0
+        after = encoder.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_writes_memory(self, setup):
+        trajs, encoder, sampler, cfg = setup
+        optimizer = Adam(encoder.parameters(), lr=0.01)
+        batch = [sampler.sample(0)]
+        training_step(encoder, trajs, batch, optimizer, grad_clip=0.0)
+        assert encoder.memory.occupancy() > 0.0
+
+    def test_loss_decreases_over_repeated_steps(self, setup):
+        trajs, encoder, sampler, cfg = setup
+        optimizer = Adam(encoder.parameters(), lr=0.01)
+        batch = [sampler.sample(a) for a in range(6)]
+        first = training_step(encoder, trajs, batch, optimizer, grad_clip=5.0)
+        last = first
+        for _ in range(15):
+            last = training_step(encoder, trajs, batch, optimizer,
+                                 grad_clip=5.0)
+        assert last < first
+
+
+class TestTrainEpoch:
+    def test_stats_fields(self, setup):
+        trajs, encoder, sampler, cfg = setup
+        optimizer = Adam(encoder.parameters(), lr=0.01)
+        stats = train_epoch(encoder, trajs, sampler, optimizer,
+                            np.arange(len(trajs)), batch_size=5,
+                            grad_clip=5.0, rng=np.random.default_rng(0),
+                            epoch=3)
+        assert stats.epoch == 3
+        assert stats.num_anchors == 20
+        assert stats.seconds > 0.0
+        assert np.isfinite(stats.loss)
+
+
+class TestTrainingHistory:
+    def _history(self, losses):
+        return TrainingHistory(epochs=[
+            EpochStats(epoch=i, loss=l, seconds=1.0, num_anchors=10)
+            for i, l in enumerate(losses)
+        ])
+
+    def test_losses_and_totals(self):
+        h = self._history([3.0, 2.0, 1.0])
+        assert h.losses == [3.0, 2.0, 1.0]
+        assert h.total_seconds == 3.0
+        assert h.num_epochs == 3
+
+    def test_epochs_to_converge(self):
+        h = self._history([5.0, 1.05, 1.0, 1.0])
+        assert h.epochs_to_converge(rel_tol=0.1) == 2
+        assert h.epochs_to_converge(rel_tol=0.01) == 3
+
+    def test_empty_history(self):
+        assert TrainingHistory().epochs_to_converge() == 0

@@ -1,0 +1,80 @@
+"""Tests for the synthetic Porto / Geolife workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (GeolifeConfig, PortoConfig, generate_geolife,
+                            generate_porto)
+from repro.measures import get_measure
+
+
+class TestPorto:
+    def test_count_and_ids(self):
+        ds = generate_porto(PortoConfig(num_trajectories=25), seed=0)
+        assert len(ds) == 25
+        assert [t.traj_id for t in ds] == list(range(25))
+
+    def test_lengths_in_range(self):
+        cfg = PortoConfig(num_trajectories=30, min_points=10, max_points=40)
+        ds = generate_porto(cfg, seed=1)
+        lengths = ds.lengths
+        assert lengths.min() >= 10 and lengths.max() <= 40
+
+    def test_within_extent(self):
+        cfg = PortoConfig(num_trajectories=20, extent=5000.0)
+        ds = generate_porto(cfg, seed=2)
+        xmin, ymin, xmax, ymax = ds.bbox
+        assert xmin >= 0.0 and ymin >= 0.0
+        assert xmax <= 5000.0 and ymax <= 5000.0
+
+    def test_deterministic_per_seed(self):
+        a = generate_porto(PortoConfig(num_trajectories=10), seed=3)
+        b = generate_porto(PortoConfig(num_trajectories=10), seed=3)
+        for ta, tb in zip(a, b):
+            np.testing.assert_array_equal(ta.points, tb.points)
+
+    def test_different_seeds_differ(self):
+        a = generate_porto(PortoConfig(num_trajectories=5), seed=4)
+        b = generate_porto(PortoConfig(num_trajectories=5), seed=5)
+        assert any(not np.array_equal(ta.points, tb.points)
+                   for ta, tb in zip(a, b))
+
+    def test_route_families_create_near_duplicates(self):
+        """The generator must reproduce Porto's near-duplicate structure:
+        some pairs should be far closer than the typical pair."""
+        cfg = PortoConfig(num_trajectories=80, family_fraction=0.9,
+                          num_route_families=5, noise_std=10.0)
+        ds = generate_porto(cfg, seed=6)
+        hausdorff = get_measure("hausdorff")
+        dists = [hausdorff(ds[i], ds[j])
+                 for i in range(0, 40) for j in range(i + 1, 40)]
+        dists = np.array(dists)
+        assert dists.min() < 0.15 * np.median(dists)
+
+
+class TestGeolife:
+    def test_count(self):
+        ds = generate_geolife(GeolifeConfig(num_trajectories=15), seed=0)
+        assert len(ds) == 15
+
+    def test_lengths_in_range(self):
+        cfg = GeolifeConfig(num_trajectories=30, min_points=12, max_points=50)
+        ds = generate_geolife(cfg, seed=1)
+        assert ds.lengths.min() >= 12 and ds.lengths.max() <= 50
+
+    def test_deterministic_per_seed(self):
+        a = generate_geolife(GeolifeConfig(num_trajectories=8), seed=2)
+        b = generate_geolife(GeolifeConfig(num_trajectories=8), seed=2)
+        for ta, tb in zip(a, b):
+            np.testing.assert_array_equal(ta.points, tb.points)
+
+    def test_variable_lengths(self):
+        ds = generate_geolife(GeolifeConfig(num_trajectories=50), seed=3)
+        assert len(set(ds.lengths.tolist())) > 5
+
+    def test_within_extent(self):
+        cfg = GeolifeConfig(num_trajectories=20, extent=4000.0)
+        ds = generate_geolife(cfg, seed=4)
+        xmin, ymin, xmax, ymax = ds.bbox
+        assert xmin >= 0.0 and xmax <= 4000.0
+        assert ymin >= 0.0 and ymax <= 4000.0

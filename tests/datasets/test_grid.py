@@ -1,0 +1,86 @@
+"""Tests for grid discretisation and coordinate normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Grid, Trajectory, TrajectoryDataset
+from repro.datasets.grid import CoordinateNormalizer
+
+
+class TestGrid:
+    def test_shape_from_bbox(self):
+        grid = Grid((0.0, 0.0, 100.0, 50.0), cell_size=10.0)
+        assert grid.shape == (10, 5)
+        assert grid.num_cells == 50
+
+    def test_shape_rounds_up(self):
+        grid = Grid((0.0, 0.0, 95.0, 45.0), cell_size=10.0)
+        assert grid.shape == (10, 5)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            Grid((0, 0, 1, 1), cell_size=0.0)
+
+    def test_rejects_degenerate_bbox(self):
+        with pytest.raises(ValueError):
+            Grid((0, 0, 0, 1), cell_size=1.0)
+
+    def test_to_cells_known(self):
+        grid = Grid((0.0, 0.0, 100.0, 100.0), cell_size=10.0)
+        cells = grid.to_cells(np.array([[5.0, 5.0], [15.0, 95.0]]))
+        np.testing.assert_array_equal(cells, [[0, 0], [1, 9]])
+
+    def test_to_cells_clips_outside(self):
+        grid = Grid((0.0, 0.0, 100.0, 100.0), cell_size=10.0)
+        cells = grid.to_cells(np.array([[-50.0, 500.0]]))
+        np.testing.assert_array_equal(cells, [[0, 9]])
+
+    def test_cell_center_roundtrip(self):
+        grid = Grid((0.0, 0.0, 100.0, 100.0), cell_size=10.0)
+        pts = np.array([[12.0, 37.0], [88.0, 3.0]])
+        centers = grid.cell_center(grid.to_cells(pts))
+        # Center is within half a cell of the original point.
+        assert np.all(np.abs(centers - pts) <= 5.0)
+
+    def test_discretize_trajectory(self):
+        grid = Grid((0.0, 0.0, 10.0, 10.0), cell_size=1.0)
+        t = Trajectory([[0.5, 0.5], [2.5, 3.5]])
+        np.testing.assert_array_equal(grid.discretize(t), [[0, 0], [2, 3]])
+
+    def test_for_dataset_with_margin(self):
+        ds = TrajectoryDataset([Trajectory([[0.0, 0.0], [10.0, 10.0]])])
+        grid = Grid.for_dataset(ds, cell_size=1.0, margin=5.0)
+        assert grid.bbox == (-5.0, -5.0, 15.0, 15.0)
+
+    def test_batched_to_cells(self):
+        grid = Grid((0.0, 0.0, 10.0, 10.0), cell_size=1.0)
+        batch = np.zeros((2, 3, 2)) + 4.5
+        cells = grid.to_cells(batch)
+        assert cells.shape == (2, 3, 2)
+        assert np.all(cells == 4)
+
+
+class TestCoordinateNormalizer:
+    def test_fit_transform_standardises(self, rng):
+        pts = rng.normal(loc=[100.0, -50.0], scale=[5.0, 20.0], size=(500, 2))
+        trajs = [Trajectory(pts[i:i + 50]) for i in range(0, 500, 50)]
+        norm = CoordinateNormalizer.fit(trajs)
+        z = norm.transform(pts)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        norm = CoordinateNormalizer(mean=[10.0, 20.0], std=[2.0, 4.0])
+        pts = rng.normal(size=(20, 2))
+        np.testing.assert_allclose(
+            norm.inverse_transform(norm.transform(pts)), pts)
+
+    def test_zero_std_guard(self):
+        norm = CoordinateNormalizer(mean=[0.0, 0.0], std=[0.0, 1.0])
+        out = norm.transform(np.array([[3.0, 3.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_batched_transform(self):
+        norm = CoordinateNormalizer(mean=[1.0, 1.0], std=[2.0, 2.0])
+        batch = np.ones((2, 3, 2))
+        np.testing.assert_allclose(norm.transform(batch), 0.0)

@@ -1,0 +1,56 @@
+"""Tests for dataset persistence (npz / csv)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (Trajectory, TrajectoryDataset, load_csv, load_npz,
+                            save_csv, save_npz)
+
+
+@pytest.fixture
+def dataset(rng):
+    return TrajectoryDataset([
+        Trajectory(rng.normal(size=(n, 2)) * 100, traj_id=i)
+        for i, n in enumerate([3, 7, 12])
+    ])
+
+
+def test_npz_roundtrip(dataset, tmp_path):
+    path = tmp_path / "data.npz"
+    save_npz(dataset, path)
+    loaded = load_npz(path)
+    assert len(loaded) == len(dataset)
+    for orig, back in zip(dataset, loaded):
+        np.testing.assert_allclose(back.points, orig.points)
+        assert back.traj_id == orig.traj_id
+
+
+def test_npz_roundtrip_without_ids(tmp_path):
+    ds = TrajectoryDataset([Trajectory([[0.0, 0.0], [1.0, 1.0]])])
+    path = tmp_path / "noid.npz"
+    save_npz(ds, path)
+    assert load_npz(path)[0].traj_id is None
+
+
+def test_csv_roundtrip(dataset, tmp_path):
+    path = tmp_path / "data.csv"
+    save_csv(dataset, path)
+    loaded = load_csv(path)
+    assert len(loaded) == len(dataset)
+    for orig, back in zip(dataset, loaded):
+        np.testing.assert_allclose(back.points, orig.points, atol=1e-5)
+        assert back.traj_id == orig.traj_id
+
+
+def test_csv_header(dataset, tmp_path):
+    path = tmp_path / "data.csv"
+    save_csv(dataset, path)
+    with open(path) as handle:
+        assert handle.readline().strip() == "traj_id,point_index,x,y"
+
+
+def test_csv_assigns_position_as_missing_id(tmp_path):
+    ds = TrajectoryDataset([Trajectory([[0.0, 0.0], [1.0, 1.0]])])
+    path = tmp_path / "noid.csv"
+    save_csv(ds, path)
+    assert load_csv(path)[0].traj_id == 0

@@ -1,0 +1,146 @@
+"""Tests for failure injection and model robustness under corruption."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (Trajectory, add_outliers, drop_points,
+                            jitter_gps, resample_rate)
+
+
+@pytest.fixture
+def walk(rng):
+    return Trajectory(np.cumsum(rng.normal(size=(30, 2)) * 10, axis=0),
+                      traj_id=5)
+
+
+class TestDropPoints:
+    def test_keeps_endpoints(self, walk, rng):
+        out = drop_points(walk, 0.5, rng)
+        np.testing.assert_allclose(out.points[0], walk.points[0])
+        np.testing.assert_allclose(out.points[-1], walk.points[-1])
+
+    def test_fraction_removed(self, walk, rng):
+        out = drop_points(walk, 0.5, rng)
+        assert len(out) == pytest.approx(2 + 28 * 0.5, abs=1)
+
+    def test_zero_fraction_identity(self, walk, rng):
+        out = drop_points(walk, 0.0, rng)
+        np.testing.assert_allclose(out.points, walk.points)
+
+    def test_preserves_id(self, walk, rng):
+        assert drop_points(walk, 0.3, rng).traj_id == 5
+
+    def test_order_preserved(self, walk, rng):
+        out = drop_points(walk, 0.4, rng)
+        original = [tuple(p) for p in walk.points]
+        positions = [original.index(tuple(p)) for p in out.points]
+        assert positions == sorted(positions)
+
+    def test_rejects_bad_fraction(self, walk, rng):
+        with pytest.raises(ValueError):
+            drop_points(walk, 1.0, rng)
+
+    def test_tiny_trajectory_passthrough(self, rng):
+        t = Trajectory([[0.0, 0.0], [1.0, 1.0]])
+        assert len(drop_points(t, 0.9, rng)) == 2
+
+
+class TestAddOutliers:
+    def test_count_displaced(self, walk, rng):
+        out = add_outliers(walk, 3, magnitude=1000.0, rng=rng)
+        moved = np.any(out.points != walk.points, axis=1).sum()
+        assert moved == 3
+
+    def test_zero_count_identity(self, walk, rng):
+        out = add_outliers(walk, 0, magnitude=1000.0, rng=rng)
+        np.testing.assert_allclose(out.points, walk.points)
+
+    def test_count_clamped(self, walk, rng):
+        out = add_outliers(walk, 500, magnitude=10.0, rng=rng)
+        assert len(out) == len(walk)
+
+    def test_rejects_negative(self, walk, rng):
+        with pytest.raises(ValueError):
+            add_outliers(walk, -1, 1.0, rng)
+
+
+class TestResampleRate:
+    def test_upsample(self, walk, rng):
+        out = resample_rate(walk, 2.0, rng)
+        assert len(out) == 60
+
+    def test_downsample(self, walk, rng):
+        out = resample_rate(walk, 0.5, rng)
+        assert len(out) == 15
+
+    def test_minimum_two_points(self, walk, rng):
+        out = resample_rate(walk, 0.01, rng)
+        assert len(out) >= 2
+
+    def test_rejects_nonpositive(self, walk, rng):
+        with pytest.raises(ValueError):
+            resample_rate(walk, 0.0, rng)
+
+    def test_endpoints_preserved(self, walk, rng):
+        out = resample_rate(walk, 1.5, rng)
+        np.testing.assert_allclose(out.points[0], walk.points[0])
+        np.testing.assert_allclose(out.points[-1], walk.points[-1])
+
+
+class TestJitter:
+    def test_zero_noise_identity(self, walk, rng):
+        out = jitter_gps(walk, 0.0, rng)
+        np.testing.assert_allclose(out.points, walk.points)
+
+    def test_rejects_negative(self, walk, rng):
+        with pytest.raises(ValueError):
+            jitter_gps(walk, -1.0, rng)
+
+
+class TestModelRobustness:
+    """Failure injection against a trained model: small corruptions must
+    produce small embedding displacement relative to typical inter-
+    trajectory distances."""
+
+    @pytest.fixture(scope="class")
+    def model_and_data(self):
+        from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+        ds = generate_porto(PortoConfig(num_trajectories=40, min_points=15,
+                                        max_points=25), seed=41)
+        seeds = list(ds)[:25]
+        test = list(ds)[25:]
+        model = NeuTraj(NeuTrajConfig(measure="hausdorff", embedding_dim=16,
+                                      epochs=3, sampling_num=5,
+                                      batch_anchors=10, cell_size=500.0,
+                                      seed=0))
+        model.fit(seeds)
+        emb = model.embed(test)
+        diff = emb[:, None, :] - emb[None, :, :]
+        spread = np.median(np.sqrt((diff ** 2).sum(-1)))
+        return model, test, spread
+
+    def test_robust_to_gps_jitter(self, model_and_data, rng):
+        model, test, spread = model_and_data
+        shifts = []
+        for t in test[:6]:
+            noisy = jitter_gps(t, 10.0, rng)  # 10 m noise on a 10 km frame
+            shifts.append(model.distance(t, noisy))
+        assert np.median(shifts) < 0.5 * spread
+
+    def test_robust_to_point_dropout(self, model_and_data, rng):
+        model, test, spread = model_and_data
+        shifts = []
+        for t in test[:6]:
+            dropped = drop_points(t, 0.2, rng)
+            shifts.append(model.distance(t, dropped))
+        assert np.median(shifts) < 0.75 * spread
+
+    def test_outliers_move_embedding_more_than_jitter(self, model_and_data,
+                                                      rng):
+        model, test, _ = model_and_data
+        jitter_shift, outlier_shift = [], []
+        for t in test[:6]:
+            jitter_shift.append(model.distance(t, jitter_gps(t, 10.0, rng)))
+            outlier_shift.append(model.distance(
+                t, add_outliers(t, 3, magnitude=3000.0, rng=rng)))
+        assert np.median(outlier_shift) > np.median(jitter_shift)

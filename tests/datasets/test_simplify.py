@@ -1,0 +1,127 @@
+"""Tests for Douglas-Peucker simplification and resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datasets import Trajectory, douglas_peucker, resample, simplify
+from repro.datasets.simplify import _perpendicular_distances
+
+
+class TestPerpendicularDistance:
+    def test_point_on_segment(self):
+        d = _perpendicular_distances(np.array([[0.5, 0.0]]),
+                                     np.array([0.0, 0.0]),
+                                     np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(0.0)
+
+    def test_point_above_segment(self):
+        d = _perpendicular_distances(np.array([[0.5, 2.0]]),
+                                     np.array([0.0, 0.0]),
+                                     np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(2.0)
+
+    def test_point_beyond_endpoint_uses_endpoint(self):
+        d = _perpendicular_distances(np.array([[4.0, 0.0]]),
+                                     np.array([0.0, 0.0]),
+                                     np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(3.0)
+
+    def test_degenerate_segment(self):
+        d = _perpendicular_distances(np.array([[3.0, 4.0]]),
+                                     np.array([0.0, 0.0]),
+                                     np.array([0.0, 0.0]))
+        assert d[0] == pytest.approx(5.0)
+
+
+class TestDouglasPeucker:
+    def test_collinear_collapses_to_endpoints(self):
+        points = np.array([[float(i), 0.0] for i in range(10)])
+        out = douglas_peucker(points, tolerance=0.01)
+        assert len(out) == 2
+        np.testing.assert_allclose(out, [[0.0, 0.0], [9.0, 0.0]])
+
+    def test_corner_is_kept(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        out = douglas_peucker(points, tolerance=0.1)
+        assert len(out) == 3
+
+    def test_zero_tolerance_keeps_non_collinear(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 2))
+        out = douglas_peucker(points, tolerance=0.0)
+        assert len(out) == 20
+
+    def test_short_inputs_pass_through(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_allclose(douglas_peucker(points, 1.0), points)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            douglas_peucker(np.zeros((3, 2)), -1.0)
+
+    @given(arrays(np.float64, (15, 2),
+                  elements=st.floats(-50, 50, allow_nan=False, width=64)),
+           st.floats(0.01, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_error_bounded(self, points, tolerance):
+        """Every dropped point is within tolerance of the kept polyline."""
+        kept = douglas_peucker(points, tolerance)
+        # Map each original point to its distance from the simplified line.
+        worst = 0.0
+        for p in points:
+            best = min(
+                _perpendicular_distances(p[None, :], kept[s], kept[s + 1])[0]
+                for s in range(len(kept) - 1))
+            worst = max(worst, best)
+        assert worst <= tolerance + 1e-9
+
+    @given(arrays(np.float64, (12, 2),
+                  elements=st.floats(-50, 50, allow_nan=False, width=64)))
+    @settings(max_examples=30, deadline=None)
+    def test_property_endpoints_kept(self, points):
+        out = douglas_peucker(points, 5.0)
+        np.testing.assert_allclose(out[0], points[0])
+        np.testing.assert_allclose(out[-1], points[-1])
+
+
+class TestSimplifyResample:
+    def test_simplify_preserves_id(self):
+        t = Trajectory(np.random.default_rng(1).normal(size=(30, 2)),
+                       traj_id=9)
+        assert simplify(t, 0.5).traj_id == 9
+
+    def test_resample_count(self):
+        t = Trajectory(np.random.default_rng(2).normal(size=(7, 2)))
+        assert len(resample(t, 25)) == 25
+
+    def test_resample_endpoints(self):
+        t = Trajectory([[0.0, 0.0], [4.0, 4.0]])
+        out = resample(t, 5)
+        np.testing.assert_allclose(out.points[0], [0.0, 0.0])
+        np.testing.assert_allclose(out.points[-1], [4.0, 4.0])
+
+    def test_resample_single_point(self):
+        t = Trajectory([[2.0, 3.0]])
+        out = resample(t, 4)
+        assert len(out) == 4
+        np.testing.assert_allclose(out.points, [[2.0, 3.0]] * 4)
+
+    def test_resample_rejects_small_count(self):
+        with pytest.raises(ValueError):
+            resample(Trajectory([[0.0, 0.0], [1.0, 1.0]]), 1)
+
+    def test_simplify_then_hausdorff_small(self):
+        """Simplification at tolerance t keeps Hausdorff within t."""
+        from repro.measures import get_measure
+        rng = np.random.default_rng(3)
+        walk = np.cumsum(rng.normal(size=(50, 2)), axis=0)
+        t = Trajectory(walk)
+        s = simplify(t, tolerance=1.0)
+        assert len(s) < len(t)
+        directed = get_measure("hausdorff").directed(t.points, s.points)
+        # Not exactly bounded by DP tolerance (Hausdorff is point-to-point
+        # while DP measures point-to-segment), but close for dense walks.
+        assert directed < 3.0

@@ -1,0 +1,78 @@
+"""Tests for the shared trajectory-synthesis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthesis
+
+
+class TestInterpolatePath:
+    def test_endpoint_preservation(self):
+        way = np.array([[0.0, 0.0], [10.0, 0.0]])
+        out = synthesis.interpolate_path(way, 5)
+        np.testing.assert_allclose(out[0], [0.0, 0.0])
+        np.testing.assert_allclose(out[-1], [10.0, 0.0])
+
+    def test_uniform_spacing_on_line(self):
+        way = np.array([[0.0, 0.0], [9.0, 0.0]])
+        out = synthesis.interpolate_path(way, 10)
+        np.testing.assert_allclose(np.diff(out[:, 0]), 1.0)
+
+    def test_count(self):
+        way = np.array([[0.0, 0.0], [1.0, 2.0], [5.0, 5.0]])
+        assert len(synthesis.interpolate_path(way, 17)) == 17
+
+    def test_degenerate_zero_length(self):
+        way = np.array([[1.0, 1.0], [1.0, 1.0]])
+        out = synthesis.interpolate_path(way, 4)
+        assert len(out) == 4
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_rejects_single_waypoint(self):
+        with pytest.raises(ValueError):
+            synthesis.interpolate_path(np.array([[0.0, 0.0]]), 5)
+
+    def test_rejects_single_output_point(self):
+        with pytest.raises(ValueError):
+            synthesis.interpolate_path(np.zeros((2, 2)), 1)
+
+
+class TestJitter:
+    def test_zero_noise_is_copy(self, rng):
+        pts = rng.normal(size=(5, 2))
+        out = synthesis.jitter(pts, 0.0, rng)
+        np.testing.assert_array_equal(out, pts)
+        assert out is not pts
+
+    def test_noise_scale(self, rng):
+        pts = np.zeros((10000, 2))
+        out = synthesis.jitter(pts, 3.0, rng)
+        assert out.std() == pytest.approx(3.0, rel=0.05)
+
+
+class TestSmoothing:
+    def test_chaikin_keeps_endpoints(self, rng):
+        way = rng.normal(size=(5, 2))
+        out = synthesis.smooth_polyline(way, passes=3)
+        np.testing.assert_allclose(out[0], way[0])
+        np.testing.assert_allclose(out[-1], way[-1])
+
+    def test_chaikin_grows_points(self, rng):
+        way = rng.normal(size=(5, 2))
+        assert len(synthesis.smooth_polyline(way, passes=2)) > len(way)
+
+    def test_short_polyline_passthrough(self):
+        way = np.array([[0.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_allclose(synthesis.smooth_polyline(way), way)
+
+
+class TestTrimAndWaypoints:
+    def test_trim_bounds(self, rng):
+        pts = np.arange(40.0).reshape(20, 2)
+        out = synthesis.trim_route(pts, rng, max_trim_frac=0.3)
+        assert 2 <= len(out) <= 20
+
+    def test_random_waypoints_inside_bbox(self, rng):
+        pts = synthesis.random_waypoints((10.0, 20.0, 30.0, 40.0), 100, rng)
+        assert pts[:, 0].min() >= 10.0 and pts[:, 0].max() <= 30.0
+        assert pts[:, 1].min() >= 20.0 and pts[:, 1].max() <= 40.0

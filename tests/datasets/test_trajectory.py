@@ -1,0 +1,170 @@
+"""Tests for Trajectory / TrajectoryDataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Trajectory, TrajectoryDataset, pad_batch
+from repro.exceptions import InvalidTrajectoryError
+
+
+class TestTrajectory:
+    def test_basic_construction(self):
+        t = Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=3)
+        assert len(t) == 2
+        assert t.traj_id == 3
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([[1.0, 2.0, 3.0]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory(np.zeros((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([[0.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([[0.0, np.inf]])
+
+    def test_points_are_immutable(self):
+        t = Trajectory([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            t.points[0, 0] = 5.0
+
+    def test_bbox(self):
+        t = Trajectory([[1.0, 2.0], [-1.0, 5.0], [0.0, 0.0]])
+        assert t.bbox == (-1.0, 0.0, 1.0, 5.0)
+
+    def test_path_length(self):
+        t = Trajectory([[0.0, 0.0], [3.0, 4.0], [3.0, 4.0]])
+        assert t.length == pytest.approx(5.0)
+
+    def test_single_point_length_zero(self):
+        assert Trajectory([[1.0, 1.0]]).length == 0.0
+
+    def test_equality_and_hash(self):
+        a = Trajectory([[0.0, 0.0], [1.0, 1.0]])
+        b = Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=9)
+        c = Trajectory([[0.0, 0.0], [2.0, 2.0]])
+        assert a == b  # id not part of equality
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_downsample(self):
+        t = Trajectory(np.arange(20.0).reshape(10, 2))
+        d = t.downsample(3)
+        assert len(d) == 4  # indices 0, 3, 6, 9
+        np.testing.assert_allclose(d.points[-1], t.points[-1])
+
+    def test_downsample_keeps_last(self):
+        t = Trajectory(np.arange(22.0).reshape(11, 2))
+        d = t.downsample(3)
+        np.testing.assert_allclose(d.points[-1], t.points[-1])
+
+    def test_downsample_rejects_zero_step(self):
+        with pytest.raises(ValueError):
+            Trajectory([[0.0, 0.0], [1.0, 1.0]]).downsample(0)
+
+
+class TestTrajectoryDataset:
+    def _make(self, lengths):
+        return TrajectoryDataset([
+            Trajectory(np.random.default_rng(i).normal(size=(n, 2)), traj_id=i)
+            for i, n in enumerate(lengths)
+        ])
+
+    def test_len_iter_getitem(self):
+        ds = self._make([3, 4, 5])
+        assert len(ds) == 3
+        assert [len(t) for t in ds] == [3, 4, 5]
+        assert len(ds[1]) == 4
+
+    def test_slice_returns_dataset(self):
+        ds = self._make([3, 4, 5])
+        assert isinstance(ds[:2], TrajectoryDataset)
+        assert len(ds[:2]) == 2
+
+    def test_index_array(self):
+        ds = self._make([3, 4, 5])
+        sub = ds[np.array([2, 0])]
+        assert [t.traj_id for t in sub] == [2, 0]
+
+    def test_rejects_non_trajectory(self):
+        with pytest.raises(TypeError):
+            TrajectoryDataset([np.zeros((3, 2))])
+
+    def test_lengths(self):
+        np.testing.assert_array_equal(self._make([3, 7]).lengths, [3, 7])
+
+    def test_bbox_covers_all(self):
+        ds = TrajectoryDataset([
+            Trajectory([[0.0, 0.0], [1.0, 1.0]]),
+            Trajectory([[5.0, -2.0], [6.0, 3.0]]),
+        ])
+        assert ds.bbox == (0.0, -2.0, 6.0, 3.0)
+
+    def test_empty_bbox_raises(self):
+        with pytest.raises(ValueError):
+            TrajectoryDataset([]).bbox
+
+    def test_filter_min_points(self):
+        ds = self._make([3, 10, 20])
+        assert len(ds.filter_min_points(10)) == 2
+
+    def test_filter_bbox(self):
+        ds = TrajectoryDataset([
+            Trajectory([[0.5, 0.5], [0.6, 0.6]]),
+            Trajectory([[5.0, 5.0], [6.0, 6.0]]),
+        ])
+        assert len(ds.filter_bbox(0.0, 0.0, 1.0, 1.0)) == 1
+
+    def test_split_sizes(self, rng):
+        ds = self._make([5] * 100)
+        train, val, test = ds.split((0.2, 0.1, 0.7), rng)
+        assert len(train) == 20
+        assert len(val) == 10
+        assert len(test) == 70
+
+    def test_split_disjoint(self, rng):
+        ds = self._make([5] * 50)
+        a, b = ds.split((0.5, 0.5), rng)
+        ids_a = {t.traj_id for t in a}
+        ids_b = {t.traj_id for t in b}
+        assert not ids_a & ids_b
+        assert len(ids_a | ids_b) == 50
+
+    def test_split_rejects_over_one(self, rng):
+        with pytest.raises(ValueError):
+            self._make([5] * 10).split((0.8, 0.8), rng)
+
+    def test_sample_without_replacement(self, rng):
+        ds = self._make([5] * 30)
+        sub = ds.sample(10, rng)
+        ids = [t.traj_id for t in sub]
+        assert len(ids) == len(set(ids)) == 10
+
+    def test_sample_too_many_raises(self, rng):
+        with pytest.raises(ValueError):
+            self._make([5] * 3).sample(10, rng)
+
+
+class TestPadBatch:
+    def test_shapes_and_mask(self):
+        trajs = [Trajectory(np.ones((3, 2))), Trajectory(np.ones((5, 2)))]
+        coords, lengths, mask = pad_batch(trajs)
+        assert coords.shape == (2, 5, 2)
+        np.testing.assert_array_equal(lengths, [3, 5])
+        assert mask[0, :3].all() and not mask[0, 3:].any()
+        assert mask[1].all()
+
+    def test_padding_is_zero(self):
+        trajs = [Trajectory(np.ones((2, 2))), Trajectory(np.ones((4, 2)))]
+        coords, _, _ = pad_batch(trajs)
+        np.testing.assert_allclose(coords[0, 2:], 0.0)

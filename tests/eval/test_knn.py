@@ -1,0 +1,97 @@
+"""Tests for kNN search primitives."""
+
+import numpy as np
+import pytest
+
+from repro.approx import AnchorHausdorff
+from repro.eval import (brute_force_knn, embedding_knn, rerank_with_exact,
+                        sketch_knn, top_k_from_distances)
+from repro.measures import get_measure
+
+
+class TestTopKFromDistances:
+    def test_sorted_ascending(self):
+        d = np.array([5.0, 1.0, 3.0, 0.5])
+        np.testing.assert_array_equal(top_k_from_distances(d, 3), [3, 1, 2])
+
+    def test_exclude(self):
+        d = np.array([0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(top_k_from_distances(d, 2, exclude=0),
+                                      [1, 2])
+
+    def test_k_clamped(self):
+        d = np.array([1.0, 2.0])
+        assert len(top_k_from_distances(d, 10)) == 2
+
+    def test_infinite_entries_excluded_from_clamp(self):
+        d = np.array([1.0, np.inf, 2.0])
+        np.testing.assert_array_equal(top_k_from_distances(d, 3), [0, 2])
+
+
+class TestBruteForce(object):
+    def test_self_is_nearest(self, small_dataset):
+        trajs = list(small_dataset)[:15]
+        top = brute_force_knn(trajs[4], trajs, get_measure("hausdorff"), 3)
+        assert top[0] == 4
+
+    def test_matches_manual_scan(self, small_dataset):
+        trajs = list(small_dataset)[:10]
+        measure = get_measure("frechet")
+        top = brute_force_knn(trajs[0], trajs, measure, 5)
+        manual = np.argsort([measure(trajs[0], t) for t in trajs])[:5]
+        np.testing.assert_array_equal(sorted(top), sorted(manual))
+
+
+class TestEmbeddingKnn:
+    def test_exact_euclidean_ranking(self, rng):
+        db = rng.normal(size=(50, 8))
+        q = db[7] + 0.001
+        top = embedding_knn(q, db, 5)
+        assert top[0] == 7
+        dists = np.linalg.norm(db - q, axis=1)
+        np.testing.assert_array_equal(top, np.argsort(dists)[:5])
+
+
+class TestSketchKnn:
+    def test_with_anchor_hausdorff(self, small_dataset):
+        trajs = list(small_dataset)[:12]
+        approx = AnchorHausdorff(small_dataset.bbox, num_anchors=64, seed=0)
+        sketches = [approx.preprocess(t.points) for t in trajs]
+        top = sketch_knn(sketches[3], sketches, approx, 4)
+        assert top[0] == 3
+
+
+class TestRerank:
+    def test_rerank_restores_exact_order(self, small_dataset):
+        trajs = list(small_dataset)[:12]
+        measure = get_measure("hausdorff")
+        candidates = [5, 2, 9, 0, 7]
+        out = rerank_with_exact(trajs[0], trajs, candidates, measure, 3)
+        dists = {i: measure(trajs[0], trajs[i]) for i in candidates}
+        expected = sorted(candidates, key=lambda i: dists[i])[:3]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_rerank_only_touches_candidates(self, small_dataset):
+        trajs = list(small_dataset)[:12]
+        out = rerank_with_exact(trajs[0], trajs, [4, 8],
+                                get_measure("hausdorff"), 2)
+        assert set(out) <= {4, 8}
+
+
+class TestEmbeddingDistanceMatrix:
+    def test_symmetric_zero_diagonal(self, rng):
+        from repro.eval import embedding_distance_matrix
+        emb = rng.normal(size=(12, 6))
+        d = embedding_distance_matrix(emb)
+        assert d.shape == (12, 12)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-12)
+
+    def test_matches_pairwise_norm(self, rng):
+        from repro.eval import embedding_distance_matrix
+        emb = rng.normal(size=(6, 4))
+        d = embedding_distance_matrix(emb)
+        for i in range(6):
+            for j in range(6):
+                assert d[i, j] == pytest.approx(
+                    np.linalg.norm(emb[i] - emb[j]))

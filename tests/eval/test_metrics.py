@@ -1,0 +1,72 @@
+"""Tests for search-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (distortion, hitting_ratio, mean_over_queries,
+                        recall_at, refined_top)
+
+
+class TestHittingRatio:
+    def test_perfect(self):
+        assert hitting_ratio([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_order_irrelevant(self):
+        assert hitting_ratio([3, 2, 1], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert hitting_ratio([1, 2, 9], [1, 2, 3]) == pytest.approx(2 / 3)
+
+    def test_zero(self):
+        assert hitting_ratio([7, 8, 9], [1, 2, 3]) == 0.0
+
+    def test_empty_truth_raises(self):
+        with pytest.raises(ValueError):
+            hitting_ratio([1], [])
+
+
+class TestRecallAt:
+    def test_truth_subset_of_prediction(self):
+        assert recall_at([1, 2, 3, 4, 5], [2, 4]) == 1.0
+
+    def test_partial(self):
+        assert recall_at([1, 2, 3], [3, 9]) == 0.5
+
+    def test_empty_truth_raises(self):
+        with pytest.raises(ValueError):
+            recall_at([1], [])
+
+
+class TestDistortion:
+    def test_zero_for_identical_lists(self):
+        d = np.arange(10.0, 0.0, -1.0)
+        assert distortion(d, [9, 8], [9, 8], top=2) == 0.0
+
+    def test_positive_when_prediction_worse(self):
+        d = np.array([1.0, 2.0, 100.0])
+        assert distortion(d, [0, 2], [0, 1], top=2) == pytest.approx(49.0)
+
+    def test_requires_enough_entries(self):
+        with pytest.raises(ValueError):
+            distortion(np.zeros(5), [0], [0, 1], top=2)
+
+
+class TestRefinedTop:
+    def test_reranks_by_exact(self):
+        d = np.array([5.0, 1.0, 3.0, 0.5])
+        out = refined_top(d, [0, 1, 2, 3], top=2)
+        np.testing.assert_array_equal(out, [3, 1])
+
+    def test_subset_of_candidates(self):
+        d = np.array([5.0, 1.0, 3.0, 0.5])
+        out = refined_top(d, [0, 2], top=2)
+        np.testing.assert_array_equal(out, [2, 0])
+
+
+def test_mean_over_queries():
+    assert mean_over_queries([1.0, 0.0]) == 0.5
+
+
+def test_mean_over_queries_empty_raises():
+    with pytest.raises(ValueError):
+        mean_over_queries([])

@@ -1,0 +1,70 @@
+"""Tests for the Table II evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (SearchQuality, evaluate_ranking,
+                        rankings_from_matrix, top_k_from_distances)
+
+
+@pytest.fixture
+def exact(rng):
+    return rng.uniform(1.0, 100.0, size=(6, 80))
+
+
+def test_perfect_rankings_score_one(exact):
+    perfect = [top_k_from_distances(row, 50) for row in exact]
+    q = evaluate_ranking(exact, perfect)
+    assert q.hr10 == 1.0
+    assert q.hr50 == 1.0
+    assert q.r10_at_50 == 1.0
+    assert q.delta_h10 == pytest.approx(0.0)
+    assert q.delta_r10 == pytest.approx(0.0)
+
+
+def test_random_rankings_score_low(exact):
+    rng = np.random.default_rng(0)
+    random_rankings = [rng.permutation(80)[:50] for _ in range(6)]
+    q = evaluate_ranking(exact, random_rankings)
+    assert q.hr10 < 0.6
+    assert q.delta_h10 > 0.0
+
+
+def test_reversed_rankings_are_worst(exact):
+    worst = [top_k_from_distances(-row, 50) for row in exact]
+    q = evaluate_ranking(exact, worst)
+    assert q.hr10 == 0.0
+
+
+def test_delta_r10_le_delta_h10(exact):
+    """Re-ranking the top-50 by exact distance can only improve the top-10."""
+    rng = np.random.default_rng(1)
+    noisy = [top_k_from_distances(row + rng.normal(scale=20.0, size=80), 50)
+             for row in exact]
+    q = evaluate_ranking(exact, noisy)
+    assert q.delta_r10 <= q.delta_h10 + 1e-9
+
+
+def test_requires_one_ranking_per_query(exact):
+    with pytest.raises(ValueError):
+        evaluate_ranking(exact, [np.arange(50)])
+
+
+def test_requires_k_large_entries(exact):
+    with pytest.raises(ValueError):
+        evaluate_ranking(exact, [np.arange(10)] * 6)
+
+
+def test_rankings_from_matrix(exact):
+    rankings = rankings_from_matrix(exact, k=50)
+    assert len(rankings) == 6
+    q = evaluate_ranking(exact, rankings)
+    assert q.hr10 == 1.0
+
+
+def test_row_format():
+    q = SearchQuality(hr10=0.5, hr50=0.6, r10_at_50=0.7, delta_h10=12.3,
+                      delta_r10=4.5)
+    row = q.row()
+    assert "HR@10=0.5000" in row
+    assert "12/4" in row.replace(" ", "")

@@ -1,0 +1,45 @@
+"""Tests for the timing harness."""
+
+import time
+
+import pytest
+
+from repro.eval import Timing, measure, speedup
+
+
+def test_measure_counts_repetitions():
+    calls = []
+    t = measure(lambda: calls.append(1), repetitions=5)
+    assert len(calls) == 5
+    assert t.repetitions == 5
+
+
+def test_warmup_not_measured_in_reps():
+    calls = []
+    measure(lambda: calls.append(1), repetitions=2, warmup=3)
+    assert len(calls) == 5
+
+
+def test_per_call_division():
+    t = Timing(seconds=1.0, repetitions=4)
+    assert t.per_call == 0.25
+
+
+def test_measure_positive_duration():
+    t = measure(lambda: time.sleep(0.001), repetitions=3)
+    assert t.per_call >= 0.001
+
+
+def test_rejects_zero_repetitions():
+    with pytest.raises(ValueError):
+        measure(lambda: None, repetitions=0)
+
+
+def test_speedup():
+    base = Timing(seconds=10.0, repetitions=1)
+    fast = Timing(seconds=1.0, repetitions=1)
+    assert speedup(base, fast) == 10.0
+
+
+def test_str_format():
+    assert str(Timing(seconds=0.5, repetitions=1)) == "0.5000s"

@@ -1,0 +1,108 @@
+"""Tests for experiment common helpers (variants, caching, rankings)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import AnchorHausdorff, LSHCurveDistance
+from repro.core import NeuTraj, SiameseTraj
+from repro.experiments import (ap_comparator, ap_rankings, format_table,
+                               make_model, model_rankings, train_variant)
+from repro.experiments.workloads import ExperimentScale, build_workload
+
+TINY = ExperimentScale(name="tiny", num_trajectories=50, seed_fraction=0.4,
+                       num_queries=4, embedding_dim=8, epochs=2,
+                       sampling_num=3, batch_anchors=8, cell_size=500.0,
+                       max_points=14)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("porto", scale=TINY, cache=False)
+
+
+class TestMakeModel:
+    def test_variants(self):
+        cfg = TINY.neutraj_config("frechet")
+        assert isinstance(make_model("neutraj", cfg), NeuTraj)
+        assert isinstance(make_model("siamese", cfg), SiameseTraj)
+        no_sam = make_model("nt_no_sam", cfg)
+        assert not no_sam.config.use_sam
+        no_ws = make_model("nt_no_ws", cfg)
+        assert not no_ws.config.use_weighted_sampling
+        assert no_ws.config.use_sam
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            make_model("transformer", TINY.neutraj_config("dtw"))
+
+
+class TestTrainVariant:
+    def test_trains_and_embeds(self, workload):
+        model = train_variant("neutraj", workload, "hausdorff")
+        emb = model.embed(workload.database)
+        assert emb.shape == (len(workload.database), TINY.embedding_dim)
+
+    def test_disk_cache_roundtrip(self, workload, tmp_path):
+        workload._cache_dir = tmp_path
+        try:
+            first = train_variant("nt_no_sam", workload, "hausdorff")
+            cached = train_variant("nt_no_sam", workload, "hausdorff")
+            np.testing.assert_allclose(cached.embed(workload.queries),
+                                       first.embed(workload.queries))
+            assert any(p.name.startswith("model-nt_no_sam")
+                       for p in tmp_path.glob("*.npz"))
+        finally:
+            workload._cache_dir = None
+
+    def test_cache_false_retrains(self, workload, tmp_path):
+        workload._cache_dir = tmp_path
+        try:
+            model = train_variant("neutraj", workload, "hausdorff",
+                                  cache=False)
+            assert model.history is not None  # history only exists on fit
+            assert not any(p.name.startswith("model-neutraj")
+                           for p in tmp_path.glob("*.npz"))
+        finally:
+            workload._cache_dir = None
+
+
+class TestApComparator:
+    def test_per_measure(self, workload):
+        assert isinstance(ap_comparator("frechet", workload),
+                          LSHCurveDistance)
+        assert isinstance(ap_comparator("dtw", workload), LSHCurveDistance)
+        assert isinstance(ap_comparator("hausdorff", workload),
+                          AnchorHausdorff)
+
+    def test_erp_has_none(self, workload):
+        with pytest.raises(KeyError):
+            ap_comparator("erp", workload)
+
+
+class TestRankings:
+    def test_model_rankings_shape(self, workload):
+        model = train_variant("neutraj", workload, "hausdorff")
+        rankings = model_rankings(model, workload, k=10)
+        assert len(rankings) == len(workload.queries)
+        assert all(len(r) == 10 for r in rankings)
+        for r in rankings:
+            assert len(set(r.tolist())) == 10
+
+    def test_ap_rankings_shape(self, workload):
+        approx = ap_comparator("hausdorff", workload)
+        rankings = ap_rankings(approx, workload, k=10)
+        assert len(rankings) == len(workload.queries)
+        assert all(len(r) == 10 for r in rankings)
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        text = format_table("Title", ["a", "bb"], [["1", "2"], ["33", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = format_table("T", ["col"], [])
+        assert "col" in text

@@ -1,0 +1,130 @@
+"""Tests for the per-table/figure experiment runners (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (run_case_study, run_cell, run_clustering,
+                               run_convergence, run_indexed_search_time,
+                               run_scan_width_sweep, run_search_time,
+                               run_training_time, run_zero_shot)
+from repro.experiments.search_quality import format_results
+from repro.experiments.workloads import ExperimentScale, build_workload
+
+TINY = ExperimentScale(name="tiny", num_trajectories=50, seed_fraction=0.4,
+                       num_queries=4, embedding_dim=8, epochs=2,
+                       sampling_num=3, batch_anchors=8, cell_size=500.0,
+                       max_points=14)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("porto", scale=TINY, cache=False)
+
+
+class TestSearchQualityRunner:
+    def test_run_cell_neutraj(self, workload):
+        quality = run_cell(workload, "hausdorff", "neutraj")
+        assert 0.0 <= quality.hr10 <= 1.0
+        assert quality.hr50 <= 1.0
+        assert quality.r10_at_50 >= quality.hr10 - 1e-9
+
+    def test_run_cell_ap(self, workload):
+        quality = run_cell(workload, "hausdorff", "ap")
+        assert 0.0 <= quality.hr10 <= 1.0
+
+    def test_erp_ap_rejected(self, workload):
+        with pytest.raises(ValueError):
+            run_cell(workload, "erp", "ap")
+
+    def test_unknown_method(self, workload):
+        with pytest.raises(KeyError):
+            run_cell(workload, "dtw", "magic")
+
+    def test_format_results_renders_dash(self, workload):
+        results = {("porto", "erp", "ap"): None,
+                   ("porto", "erp", "neutraj"): run_cell(workload, "erp",
+                                                         "neutraj")}
+        text = format_results(results, "T")
+        assert "-" in text
+        assert "neutraj" in text
+
+
+class TestEfficiencyRunners:
+    def test_search_time_rows(self, workload):
+        rows = run_search_time("hausdorff", workload, db_sizes=[30],
+                               num_queries=2)
+        methods = {r.method for r in rows}
+        assert methods == {"BruteForce", "AP", "NT-No-SAM", "NeuTraj"}
+        assert all(r.seconds_per_query > 0 for r in rows)
+
+    def test_search_time_erp_has_no_ap(self, workload):
+        rows = run_search_time("erp", workload, db_sizes=[30], num_queries=2)
+        assert "AP" not in {r.method for r in rows}
+
+    def test_indexed_search_rows(self, workload):
+        rows = run_indexed_search_time(workload, db_sizes=[30],
+                                       num_queries=2)
+        assert {r.index_name for r in rows} == {"rtree", "grid"}
+        assert all(0 <= r.involved <= 30 for r in rows)
+
+    def test_training_time_rows(self, workload):
+        rows = run_training_time(workload, "hausdorff", embed_count=20)
+        assert [r.method for r in rows] == ["siamese", "neutraj",
+                                            "nt_no_sam", "nt_no_ws"]
+        assert all(r.total_seconds > 0 for r in rows)
+        assert all(r.embed_seconds > 0 for r in rows)
+        assert all(1 <= r.epochs_to_converge <= TINY.epochs for r in rows)
+
+
+class TestSensitivityRunners:
+    def test_convergence_curves(self, workload):
+        curves = run_convergence(workload, measures=("hausdorff",))
+        assert len(curves) == 2
+        assert all(len(c.losses) == TINY.epochs for c in curves)
+        assert all(np.isfinite(c.losses).all() for c in curves)
+
+    def test_scan_width_sweep(self, workload):
+        out = run_scan_width_sweep(workload, widths=(0, 1),
+                                   measure="hausdorff")
+        assert set(out) == {0, 1}
+        assert all(0.0 <= v <= 1.0 for v in out.values())
+
+
+class TestClusteringRunner:
+    def test_points_structure(self, workload):
+        points = run_clustering(workload, "hausdorff",
+                                quantiles=(0.05, 0.2), max_items=25)
+        assert len(points) == 2
+        for p in points:
+            assert p.eps_exact > 0 and p.eps_embed > 0
+            assert 0.0 <= p.v_measure <= 1.0
+            assert -1.0 <= p.ari <= 1.0
+
+    def test_identical_partitions_when_trivial(self, workload):
+        # Huge eps quantile -> both sides collapse to one cluster -> ARI 1.
+        points = run_clustering(workload, "hausdorff", quantiles=(0.999,),
+                                max_items=20)
+        assert points[0].clusters_exact <= 1
+        assert points[0].clusters_embed <= 1
+
+
+class TestZeroShotRunner:
+    def test_result_structure(self):
+        geolife = build_workload("geolife", scale=TINY, cache=False)
+        out = run_zero_shot(geolife, measures=("hausdorff",),
+                            num_synthetic_seeds=20)
+        result = out["hausdorff"]
+        assert 0.0 <= result.zero_hr10 <= 1.0
+        assert 0.0 <= result.best_r10_at_50 <= 1.0
+
+
+class TestCaseStudyRunner:
+    def test_short_and_long_queries(self, workload):
+        studies = run_case_study(workload, "hausdorff")
+        assert len(studies) == 2
+        short, long_ = studies
+        assert short.query_length <= long_.query_length
+        for s in studies:
+            assert len(s.truth_top3) == 3
+            assert len(s.neutraj_top3) == 3
+            assert 0.0 <= s.hr10 <= 1.0

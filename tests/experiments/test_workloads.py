@@ -1,0 +1,96 @@
+"""Tests for experiment workloads and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES, build_workload, current_scale
+from repro.experiments.workloads import ExperimentScale, _measure_for
+
+TINY = ExperimentScale(name="tiny", num_trajectories=60, seed_fraction=0.4,
+                       num_queries=5, embedding_dim=8, epochs=2,
+                       sampling_num=3, batch_anchors=8, cell_size=500.0,
+                       max_points=16)
+
+
+class TestScales:
+    def test_registry_names(self):
+        assert set(SCALES) == {"smoke", "small", "medium"}
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert current_scale().name == "medium"
+
+    def test_current_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_unknown_scale_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(KeyError):
+            current_scale()
+
+    def test_neutraj_config_from_scale(self):
+        cfg = TINY.neutraj_config("dtw", embedding_dim=4)
+        assert cfg.measure == "dtw"
+        assert cfg.embedding_dim == 4  # override wins
+        assert cfg.epochs == TINY.epochs
+
+
+class TestBuildWorkload:
+    def test_split_sizes(self):
+        w = build_workload("porto", scale=TINY, cache=False)
+        assert len(w.seeds) == 24   # 40% of 60
+        assert len(w.queries) == 5
+        assert len(w.database) == 60 - 24 - 5
+
+    def test_queries_not_in_database(self):
+        w = build_workload("porto", scale=TINY, cache=False)
+        db_ids = {t.traj_id for t in w.database}
+        assert all(q.traj_id not in db_ids for q in w.queries)
+
+    def test_geolife_variant(self):
+        w = build_workload("geolife", scale=TINY, cache=False)
+        assert w.dataset_name == "geolife"
+        assert len(w.seeds) > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_workload("tokyo", scale=TINY, cache=False)
+
+    def test_deterministic(self):
+        a = build_workload("porto", scale=TINY, cache=False)
+        b = build_workload("porto", scale=TINY, cache=False)
+        np.testing.assert_array_equal(a.seeds[0].points, b.seeds[0].points)
+
+
+class TestDistanceCaching:
+    def test_seed_distances_shape(self, tmp_path):
+        w = build_workload("porto", scale=TINY, cache=False)
+        w._cache_dir = tmp_path
+        matrix = w.seed_distances("hausdorff")
+        assert matrix.shape == (len(w.seeds), len(w.seeds))
+        # Second call loads from disk and matches.
+        again = w.seed_distances("hausdorff")
+        np.testing.assert_allclose(matrix, again)
+        assert list(tmp_path.glob("*.npy"))
+
+    def test_ground_truth_shape(self, tmp_path):
+        w = build_workload("porto", scale=TINY, cache=False)
+        w._cache_dir = tmp_path
+        gt = w.ground_truth("hausdorff")
+        assert gt.shape == (len(w.queries), len(w.database))
+
+    def test_no_cache_mode(self):
+        w = build_workload("porto", scale=TINY, cache=False)
+        assert w._cache_dir is None
+        matrix = w.seed_distances("hausdorff")
+        assert matrix.shape[0] == len(w.seeds)
+
+
+def test_measure_for_erp_uses_centroid_gap():
+    measure = _measure_for("erp", (0.0, 0.0, 100.0, 200.0))
+    np.testing.assert_allclose(measure.gap, [50.0, 100.0])
+
+
+def test_measure_for_plain():
+    assert _measure_for("dtw", (0, 0, 1, 1)).name == "dtw"

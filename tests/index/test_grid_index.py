@@ -1,0 +1,62 @@
+"""Tests for the grid inverted index."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Grid, Trajectory
+from repro.index import GridInvertedIndex
+
+
+@pytest.fixture
+def grid():
+    return Grid((0.0, 0.0, 100.0, 100.0), cell_size=10.0)
+
+
+def test_insert_and_query_cells(grid):
+    index = GridInvertedIndex(grid)
+    index.insert(0, np.array([[5.0, 5.0], [15.0, 5.0]]))
+    index.insert(1, np.array([[95.0, 95.0]]))
+    assert index.query_cells([(0, 0)]) == [0]
+    assert index.query_cells([(1, 0)]) == [0]
+    assert index.query_cells([(9, 9)]) == [1]
+    assert index.query_cells([(5, 5)]) == []
+
+
+def test_query_includes_self(grid, small_dataset):
+    scaled = Grid.for_dataset(small_dataset, cell_size=500.0)
+    index = GridInvertedIndex.from_trajectories(list(small_dataset), scaled)
+    for i in (0, 5, 11):
+        assert i in index.query(small_dataset[i].points, ring=0)
+
+
+def test_ring_expands_candidates(grid):
+    index = GridInvertedIndex(grid)
+    index.insert(0, np.array([[5.0, 5.0]]))    # cell (0,0)
+    index.insert(1, np.array([[25.0, 5.0]]))   # cell (2,0)
+    q = np.array([[15.0, 5.0]])                # cell (1,0)
+    assert index.query(q, ring=0) == []
+    assert index.query(q, ring=1) == [0, 1]
+
+
+def test_candidate_monotone_in_ring(small_dataset):
+    grid = Grid.for_dataset(small_dataset, cell_size=300.0)
+    index = GridInvertedIndex.from_trajectories(list(small_dataset), grid)
+    q = small_dataset[0].points
+    c0 = set(index.query(q, ring=0))
+    c1 = set(index.query(q, ring=1))
+    c2 = set(index.query(q, ring=2))
+    assert c0 <= c1 <= c2
+
+
+def test_size_and_occupied_cells(grid):
+    index = GridInvertedIndex(grid)
+    index.insert(0, np.array([[5.0, 5.0], [5.1, 5.1]]))  # same cell twice
+    assert index.size == 1
+    assert index.num_occupied_cells == 1
+
+
+def test_from_trajectories_ids_are_positions(grid):
+    trajs = [Trajectory([[5.0, 5.0]]), Trajectory([[15.0, 15.0]])]
+    index = GridInvertedIndex.from_trajectories(trajs, grid)
+    assert index.query_cells([(0, 0)]) == [0]
+    assert index.query_cells([(1, 1)]) == [1]

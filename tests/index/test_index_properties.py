@@ -1,0 +1,70 @@
+"""Hypothesis property tests for the spatial indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Grid, Trajectory
+from repro.index import GridInvertedIndex, RTree, bbox_intersects
+
+coord = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=64)
+
+
+@st.composite
+def boxes(draw, count=st.integers(min_value=1, max_value=40)):
+    n = draw(count)
+    out = []
+    for _ in range(n):
+        x1, x2 = sorted((draw(coord), draw(coord)))
+        y1, y2 = sorted((draw(coord), draw(coord)))
+        out.append((x1, y1, x2, y2))
+    return out
+
+
+@given(boxes(), st.tuples(coord, coord, coord, coord))
+@settings(max_examples=50, deadline=None)
+def test_rtree_equals_linear_scan(items, raw_window):
+    x1, x2 = sorted((raw_window[0], raw_window[2]))
+    y1, y2 = sorted((raw_window[1], raw_window[3]))
+    window = (x1, y1, x2, y2)
+    tree = RTree(items, leaf_capacity=4)
+    expected = sorted(i for i, b in enumerate(items)
+                      if bbox_intersects(b, window))
+    assert tree.query(window) == expected
+
+
+@given(boxes())
+@settings(max_examples=30, deadline=None)
+def test_rtree_universe_returns_everything(items):
+    tree = RTree(items, leaf_capacity=4)
+    assert tree.query((-1e9, -1e9, 1e9, 1e9)) == list(range(len(items)))
+
+
+@st.composite
+def trajectories(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    pts = [(draw(coord), draw(coord)) for _ in range(n)]
+    return np.array(pts)
+
+
+@given(st.lists(trajectories(), min_size=1, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_grid_index_self_retrieval(point_lists):
+    grid = Grid((0.0, 0.0, 100.0, 100.0), cell_size=10.0)
+    trajs = [Trajectory(p) for p in point_lists]
+    index = GridInvertedIndex.from_trajectories(trajs, grid)
+    for i, t in enumerate(trajs):
+        assert i in index.query(t.points, ring=0)
+
+
+@given(st.lists(trajectories(), min_size=2, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_grid_index_ring_monotone(point_lists):
+    grid = Grid((0.0, 0.0, 100.0, 100.0), cell_size=10.0)
+    trajs = [Trajectory(p) for p in point_lists]
+    index = GridInvertedIndex.from_trajectories(trajs, grid)
+    probe = trajs[0].points
+    assert (set(index.query(probe, ring=0))
+            <= set(index.query(probe, ring=1))
+            <= set(index.query(probe, ring=2)))

@@ -1,0 +1,80 @@
+"""Tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.index import RTree, bbox_intersects, bbox_union, expand_bbox
+
+
+def _random_boxes(rng, n):
+    centers = rng.uniform(0, 1000, size=(n, 2))
+    sizes = rng.uniform(1, 50, size=(n, 2))
+    return [(c[0] - s[0], c[1] - s[1], c[0] + s[0], c[1] + s[1])
+            for c, s in zip(centers, sizes)]
+
+
+def _brute(boxes, window):
+    return sorted(i for i, b in enumerate(boxes) if bbox_intersects(b, window))
+
+
+class TestBBoxHelpers:
+    def test_intersects_overlap(self):
+        assert bbox_intersects((0, 0, 2, 2), (1, 1, 3, 3))
+
+    def test_intersects_touching(self):
+        assert bbox_intersects((0, 0, 1, 1), (1, 1, 2, 2))
+
+    def test_disjoint(self):
+        assert not bbox_intersects((0, 0, 1, 1), (2, 2, 3, 3))
+
+    def test_union(self):
+        assert bbox_union([(0, 0, 1, 1), (2, -1, 3, 4)]) == (0, -1, 3, 4)
+
+    def test_expand(self):
+        assert expand_bbox((0, 0, 1, 1), 2.0) == (-2.0, -2.0, 3.0, 3.0)
+
+
+class TestRTree:
+    def test_query_matches_brute_force(self, rng):
+        boxes = _random_boxes(rng, 300)
+        tree = RTree(boxes, leaf_capacity=8)
+        for _ in range(25):
+            w = tuple(np.sort(rng.uniform(0, 1000, size=2)).tolist()
+                      + np.sort(rng.uniform(0, 1000, size=2)).tolist())
+            window = (w[0], w[2], w[1], w[3])
+            assert tree.query(window) == _brute(boxes, window)
+
+    def test_all_items_returned_for_universe(self, rng):
+        boxes = _random_boxes(rng, 100)
+        tree = RTree(boxes)
+        assert tree.query((-1e9, -1e9, 1e9, 1e9)) == list(range(100))
+
+    def test_empty_window_misses(self, rng):
+        boxes = _random_boxes(rng, 50)
+        tree = RTree(boxes)
+        assert tree.query((5000.0, 5000.0, 5001.0, 5001.0)) == []
+
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert tree.query((0, 0, 1, 1)) == []
+        assert tree.height == 0
+
+    def test_single_item(self):
+        tree = RTree([(0.0, 0.0, 1.0, 1.0)])
+        assert tree.query((0.5, 0.5, 2.0, 2.0)) == [0]
+        assert tree.height == 1
+
+    def test_height_grows_logarithmically(self, rng):
+        boxes = _random_boxes(rng, 1000)
+        tree = RTree(boxes, leaf_capacity=10)
+        assert 2 <= tree.height <= 4
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            RTree([], leaf_capacity=1)
+
+    def test_from_trajectories(self, small_dataset):
+        tree = RTree.from_trajectories(list(small_dataset))
+        assert tree.size == len(small_dataset)
+        everything = tree.query(small_dataset.bbox)
+        assert everything == list(range(len(small_dataset)))

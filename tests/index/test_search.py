@@ -1,0 +1,88 @@
+"""Tests for indexed search pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.approx import AnchorHausdorff
+from repro.datasets import Grid
+from repro.index import (GridInvertedIndex, RTree, candidates_for_query,
+                         search_approx, search_embedding, search_exact)
+from repro.measures import get_measure
+
+
+@pytest.fixture
+def database(small_dataset):
+    return list(small_dataset)
+
+
+@pytest.fixture
+def rtree(database):
+    return RTree.from_trajectories(database)
+
+
+@pytest.fixture
+def grid_index(database, small_dataset):
+    grid = Grid.for_dataset(small_dataset, cell_size=500.0)
+    return GridInvertedIndex.from_trajectories(database, grid)
+
+
+def test_candidates_rtree_vs_grid(database, rtree, grid_index):
+    q = database[3]
+    c_rtree = candidates_for_query(rtree, q, margin=100.0)
+    c_grid = candidates_for_query(grid_index, q, ring=1)
+    assert 3 in c_rtree
+    assert 3 in c_grid
+
+
+def test_candidates_rejects_unknown_index(database):
+    with pytest.raises(TypeError):
+        candidates_for_query(object(), database[0])
+
+
+def test_search_exact_returns_sorted_by_measure(database, rtree):
+    measure = get_measure("hausdorff")
+    result = search_exact(rtree, database[0], database, measure, k=5,
+                          margin=200.0)
+    assert result.ids[0] == 0
+    dists = [measure(database[0], database[i]) for i in result.ids]
+    assert dists == sorted(dists)
+    assert result.num_candidates >= len(result.ids)
+
+
+def test_search_exact_subset_of_candidates(database, rtree):
+    measure = get_measure("hausdorff")
+    result = search_exact(rtree, database[0], database, measure, k=50)
+    cand = set(candidates_for_query(rtree, database[0]))
+    assert set(result.ids.tolist()) <= cand
+
+
+def test_search_approx_pipeline(database, rtree, small_dataset):
+    approx = AnchorHausdorff(small_dataset.bbox, num_anchors=36, seed=0)
+    sketches = [approx.preprocess(t.points) for t in database]
+    result = search_approx(rtree, database[2], database, approx, sketches,
+                           k=5, margin=200.0)
+    assert result.ids[0] == 2  # identical sketch distance 0
+    assert len(result.ids) <= 5
+
+
+def test_search_embedding_pipeline(database, grid_index, rng):
+    embeddings = rng.normal(size=(len(database), 8))
+    query_emb = embeddings[4] + 1e-6
+    result = search_embedding(grid_index, database[4], query_emb, embeddings,
+                              k=5)
+    assert result.ids[0] == 4
+
+
+def test_empty_candidates_give_empty_result(database):
+    # An R-tree over far-away boxes yields no candidates for our query.
+    far = RTree([(1e7, 1e7, 1e7 + 1, 1e7 + 1)] * 3)
+    measure = get_measure("hausdorff")
+    result = search_exact(far, database[0], database[:3], measure, k=5)
+    assert len(result.ids) == 0
+    assert result.num_candidates == 0
+
+
+def test_index_prunes_relative_to_full_scan(database, rtree):
+    """A localised query should involve fewer candidates than the DB size."""
+    counts = [len(candidates_for_query(rtree, q)) for q in database[:10]]
+    assert min(counts) < len(database)

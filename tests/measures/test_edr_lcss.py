@@ -1,0 +1,135 @@
+"""Tests for the extension measures EDR and LCSS."""
+
+import numpy as np
+import pytest
+
+from repro.measures import EDRDistance, LCSSDistance, get_measure
+
+LINE = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+
+
+def naive_edr(a, b, eps):
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1))
+    table[0, :] = np.arange(m + 1)
+    table[:, 0] = np.arange(n + 1)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            match = 0 if np.all(np.abs(a[i - 1] - b[j - 1]) <= eps) else 1
+            table[i, j] = min(table[i - 1, j] + 1, table[i, j - 1] + 1,
+                              table[i - 1, j - 1] + match)
+    return table[n, m]
+
+
+def naive_lcss(a, b, eps):
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1), dtype=int)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if np.all(np.abs(a[i - 1] - b[j - 1]) <= eps):
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return table[n, m]
+
+
+class TestEDR:
+    def test_identical_is_zero(self):
+        assert EDRDistance(epsilon=0.5).distance(LINE, LINE) == 0.0
+
+    def test_matches_naive(self, rng):
+        edr = EDRDistance(epsilon=0.8, normalize=False)
+        for _ in range(10):
+            a = rng.normal(size=(rng.integers(2, 10), 2))
+            b = rng.normal(size=(rng.integers(2, 10), 2))
+            assert edr.distance(a, b) == pytest.approx(naive_edr(a, b, 0.8))
+
+    def test_normalized_in_unit_interval(self, rng):
+        edr = EDRDistance(epsilon=0.5)
+        for _ in range(5):
+            a = rng.normal(size=(8, 2))
+            b = rng.normal(size=(5, 2))
+            assert 0.0 <= edr.distance(a, b) <= 1.0
+
+    def test_epsilon_widens_matches(self, rng):
+        a = rng.normal(size=(8, 2))
+        b = a + 0.3
+        strict = EDRDistance(epsilon=0.01, normalize=False).distance(a, b)
+        loose = EDRDistance(epsilon=1.0, normalize=False).distance(a, b)
+        assert loose <= strict
+
+    def test_totally_disjoint_costs_max(self):
+        a = np.zeros((3, 2))
+        b = np.ones((4, 2)) * 100
+        # Best strategy: substitute 3, insert 1 -> 4 edits = max(n, m).
+        assert EDRDistance(epsilon=0.5,
+                           normalize=False).distance(a, b) == 4.0
+
+    def test_registry(self):
+        assert isinstance(get_measure("edr", epsilon=2.0), EDRDistance)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            EDRDistance(epsilon=0.0)
+
+    def test_not_metric_flag(self):
+        assert not EDRDistance().is_metric
+
+
+class TestLCSS:
+    def test_identical_distance_zero(self):
+        assert LCSSDistance(epsilon=0.5).distance(LINE, LINE) == 0.0
+
+    def test_length_matches_naive(self, rng):
+        lcss = LCSSDistance(epsilon=0.8)
+        for _ in range(10):
+            a = rng.normal(size=(rng.integers(2, 10), 2))
+            b = rng.normal(size=(rng.integers(2, 10), 2))
+            assert lcss.lcss_length(a, b) == naive_lcss(a, b, 0.8)
+
+    def test_distance_in_unit_interval(self, rng):
+        lcss = LCSSDistance(epsilon=0.5)
+        a = rng.normal(size=(9, 2))
+        b = rng.normal(size=(6, 2))
+        assert 0.0 <= lcss.distance(a, b) <= 1.0
+
+    def test_disjoint_distance_one(self):
+        a = np.zeros((3, 2))
+        b = np.ones((3, 2)) * 50
+        assert LCSSDistance(epsilon=1.0).distance(a, b) == 1.0
+
+    def test_delta_band_restricts(self, rng):
+        a = rng.normal(size=(10, 2))
+        b = np.concatenate([rng.normal(size=(5, 2)) + 50, a[:5]])
+        free = LCSSDistance(epsilon=0.1).lcss_length(a, b)
+        banded = LCSSDistance(epsilon=0.1, delta=1).lcss_length(a, b)
+        assert banded <= free
+
+    def test_subsequence_detected(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        b = a[[0, 2]]  # subsequence of a
+        assert LCSSDistance(epsilon=0.1).lcss_length(a, b) == 2
+        assert LCSSDistance(epsilon=0.1).distance(a, b) == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LCSSDistance(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            LCSSDistance(epsilon=1.0, delta=-2)
+
+
+def test_neutraj_trains_on_extension_measures(small_dataset):
+    """The genericity claim: new registry measures train out of the box."""
+    from repro import NeuTraj, NeuTrajConfig
+    from repro.measures import pairwise_distances
+
+    seeds = list(small_dataset)[:20]
+    edr = get_measure("edr", epsilon=200.0)
+    matrix = pairwise_distances(seeds, edr)
+    model = NeuTraj(NeuTrajConfig(measure="edr", embedding_dim=8, epochs=2,
+                                  sampling_num=3, batch_anchors=6,
+                                  cell_size=500.0, seed=0))
+    history = model.fit(seeds, distance_matrix=matrix)
+    assert np.isfinite(history.losses).all()
+    emb = model.embed(seeds)
+    assert emb.shape == (20, 8)

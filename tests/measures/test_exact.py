@@ -1,0 +1,214 @@
+"""Unit tests for the four exact measures against hand-computed values and
+naive reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.measures import (DTWDistance, ERPDistance, FrechetDistance,
+                            HausdorffDistance, available_measures, get_measure,
+                            point_distances)
+
+LINE = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+SHIFTED = np.array([[0.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
+
+
+def naive_dtw(a, b):
+    n, m = len(a), len(b)
+    table = np.full((n + 1, m + 1), np.inf)
+    table[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            d = np.linalg.norm(a[i - 1] - b[j - 1])
+            table[i, j] = d + min(table[i - 1, j], table[i, j - 1],
+                                  table[i - 1, j - 1])
+    return table[n, m]
+
+
+def naive_frechet(a, b):
+    n, m = len(a), len(b)
+    memo = {}
+
+    def rec(i, j):
+        if (i, j) in memo:
+            return memo[(i, j)]
+        d = np.linalg.norm(a[i] - b[j])
+        if i == 0 and j == 0:
+            out = d
+        elif i == 0:
+            out = max(rec(0, j - 1), d)
+        elif j == 0:
+            out = max(rec(i - 1, 0), d)
+        else:
+            out = max(min(rec(i - 1, j), rec(i, j - 1), rec(i - 1, j - 1)), d)
+        memo[(i, j)] = out
+        return out
+
+    return rec(n - 1, m - 1)
+
+
+def naive_erp(a, b, gap):
+    n, m = len(a), len(b)
+    table = np.full((n + 1, m + 1), np.inf)
+    table[0, 0] = 0.0
+    for i in range(1, n + 1):
+        table[i, 0] = table[i - 1, 0] + np.linalg.norm(a[i - 1] - gap)
+    for j in range(1, m + 1):
+        table[0, j] = table[0, j - 1] + np.linalg.norm(b[j - 1] - gap)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            table[i, j] = min(
+                table[i - 1, j - 1] + np.linalg.norm(a[i - 1] - b[j - 1]),
+                table[i - 1, j] + np.linalg.norm(a[i - 1] - gap),
+                table[i, j - 1] + np.linalg.norm(b[j - 1] - gap))
+    return table[n, m]
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_measures() == ["dtw", "edr", "erp", "frechet",
+                                        "hausdorff", "lcss", "sspd"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_measure("nope")
+
+    def test_metric_flags(self):
+        assert not get_measure("dtw").is_metric
+        assert get_measure("frechet").is_metric
+        assert get_measure("hausdorff").is_metric
+        assert get_measure("erp").is_metric
+
+    def test_callable_accepts_trajectory(self, tiny_trajectories):
+        measure = get_measure("hausdorff")
+        assert measure(tiny_trajectories[0], tiny_trajectories[1]) == 1.0
+
+
+class TestPointDistances:
+    def test_known(self):
+        d = point_distances(np.array([[0.0, 0.0]]), np.array([[3.0, 4.0]]))
+        assert d[0, 0] == pytest.approx(5.0)
+
+    def test_shape(self):
+        d = point_distances(np.zeros((3, 2)), np.zeros((5, 2)))
+        assert d.shape == (3, 5)
+
+
+class TestDTW:
+    def test_parallel_lines(self):
+        assert DTWDistance().distance(LINE, SHIFTED) == pytest.approx(3.0)
+
+    def test_identical_is_zero(self):
+        assert DTWDistance().distance(LINE, LINE) == 0.0
+
+    def test_matches_naive(self, rng):
+        dtw = DTWDistance()
+        for _ in range(10):
+            a = rng.normal(size=(rng.integers(2, 12), 2))
+            b = rng.normal(size=(rng.integers(2, 12), 2))
+            assert dtw.distance(a, b) == pytest.approx(naive_dtw(a, b))
+
+    def test_different_lengths(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]])
+        # Perfect warp alignment: 0 + 0.5 + 0 = 0.5.
+        assert DTWDistance().distance(a, b) == pytest.approx(0.5)
+
+    def test_window_constrains(self, rng):
+        a = rng.normal(size=(20, 2))
+        b = rng.normal(size=(20, 2))
+        unconstrained = DTWDistance().distance(a, b)
+        constrained = DTWDistance(window=1).distance(a, b)
+        assert constrained >= unconstrained - 1e-12
+
+    def test_window_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DTWDistance(window=-1)
+
+    def test_single_points(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert DTWDistance().distance(a, b) == pytest.approx(5.0)
+
+
+class TestFrechet:
+    def test_parallel_lines(self):
+        assert FrechetDistance().distance(LINE, SHIFTED) == pytest.approx(1.0)
+
+    def test_identical_is_zero(self):
+        assert FrechetDistance().distance(LINE, LINE) == 0.0
+
+    def test_matches_naive(self, rng):
+        frechet = FrechetDistance()
+        for _ in range(10):
+            a = rng.normal(size=(rng.integers(2, 12), 2))
+            b = rng.normal(size=(rng.integers(2, 12), 2))
+            assert frechet.distance(a, b) == pytest.approx(naive_frechet(a, b))
+
+    def test_at_least_endpoint_distances(self, rng):
+        """Fréchet >= max(d(a0,b0), d(aN,bM)) — endpoints must pair up."""
+        frechet = FrechetDistance()
+        a = rng.normal(size=(8, 2))
+        b = rng.normal(size=(6, 2))
+        lower = max(np.linalg.norm(a[0] - b[0]), np.linalg.norm(a[-1] - b[-1]))
+        assert frechet.distance(a, b) >= lower - 1e-12
+
+    def test_reversal_usually_increases(self):
+        a = np.array([[0.0, 0.0], [5.0, 0.0]])
+        assert (FrechetDistance().distance(a, a[::-1].copy())
+                > FrechetDistance().distance(a, a))
+
+
+class TestHausdorff:
+    def test_parallel_lines(self):
+        assert HausdorffDistance().distance(LINE, SHIFTED) == pytest.approx(1.0)
+
+    def test_order_invariant(self, rng):
+        """Hausdorff treats trajectories as point sets."""
+        h = HausdorffDistance()
+        a = rng.normal(size=(10, 2))
+        b = rng.normal(size=(8, 2))
+        shuffled = a[rng.permutation(10)]
+        assert h.distance(a, b) == pytest.approx(h.distance(shuffled, b))
+
+    def test_directed_le_symmetric(self, rng):
+        h = HausdorffDistance()
+        a = rng.normal(size=(7, 2))
+        b = rng.normal(size=(9, 2))
+        assert h.directed(a, b) <= h.distance(a, b) + 1e-12
+
+    def test_subset_directed_zero(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        assert HausdorffDistance().directed(a, b) == 0.0
+
+
+class TestERP:
+    def test_matches_naive_origin_gap(self, rng):
+        erp = ERPDistance()
+        for _ in range(10):
+            a = rng.normal(size=(rng.integers(2, 10), 2))
+            b = rng.normal(size=(rng.integers(2, 10), 2))
+            assert erp.distance(a, b) == pytest.approx(
+                naive_erp(a, b, np.zeros(2)))
+
+    def test_matches_naive_custom_gap(self, rng):
+        gap = np.array([2.0, -1.0])
+        erp = ERPDistance(gap=gap)
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=(9, 2))
+        assert erp.distance(a, b) == pytest.approx(naive_erp(a, b, gap))
+
+    def test_identical_is_zero(self, rng):
+        a = rng.normal(size=(5, 2))
+        assert ERPDistance().distance(a, a) == pytest.approx(0.0)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            ERPDistance(gap=[1.0, 2.0, 3.0])
+
+    def test_empty_alignment_cost(self):
+        """Against a single far point, ERP deletes cheaply via the gap."""
+        a = np.array([[1.0, 0.0], [2.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        # match (1,0)<->(1,0) = 0, delete (2,0) = |(2,0)| = 2.
+        assert ERPDistance().distance(a, b) == pytest.approx(2.0)

@@ -1,0 +1,49 @@
+"""Tests for the pairwise / cross distance-matrix drivers."""
+
+import numpy as np
+import pytest
+
+from repro.measures import (cross_distances, get_measure, pairwise_distances)
+
+
+def test_pairwise_symmetric_zero_diagonal(small_dataset):
+    measure = get_measure("hausdorff")
+    trajs = list(small_dataset)[:12]
+    matrix = pairwise_distances(trajs, measure)
+    assert matrix.shape == (12, 12)
+    np.testing.assert_allclose(matrix, matrix.T)
+    np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+
+def test_pairwise_matches_direct_calls(small_dataset):
+    measure = get_measure("frechet")
+    trajs = list(small_dataset)[:6]
+    matrix = pairwise_distances(trajs, measure)
+    for i in range(6):
+        for j in range(6):
+            assert matrix[i, j] == pytest.approx(measure(trajs[i], trajs[j]))
+
+
+def test_pairwise_progress_callback(small_dataset):
+    calls = []
+    trajs = list(small_dataset)[:5]
+    pairwise_distances(trajs, get_measure("hausdorff"),
+                       progress=lambda done, total: calls.append((done, total)))
+    assert calls[-1] == (10, 10)
+    assert len(calls) == 5
+
+
+def test_cross_distances_shape_and_values(small_dataset):
+    measure = get_measure("dtw")
+    queries = list(small_dataset)[:3]
+    database = list(small_dataset)[:7]
+    matrix = cross_distances(queries, database, measure)
+    assert matrix.shape == (3, 7)
+    assert matrix[1, 1] == pytest.approx(0.0)
+    assert matrix[0, 5] == pytest.approx(measure(queries[0], database[5]))
+
+
+def test_accepts_raw_arrays(rng):
+    arrays = [rng.normal(size=(5, 2)) for _ in range(4)]
+    matrix = pairwise_distances(arrays, get_measure("hausdorff"))
+    assert matrix.shape == (4, 4)

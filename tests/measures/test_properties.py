@@ -1,0 +1,97 @@
+"""Hypothesis property tests for measure invariants.
+
+Verifies, over random trajectories: non-negativity, identity, symmetry for
+all four measures; the triangle inequality for the metric ones (Fréchet,
+Hausdorff, ERP); and known orderings (DTW >= Fréchet-style lower bounds).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.measures import get_measure
+
+coords = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False, width=64)
+
+
+def trajectories(min_len=1, max_len=12):
+    return st.integers(min_value=min_len, max_value=max_len).flatmap(
+        lambda n: arrays(np.float64, (n, 2), elements=coords))
+
+
+MEASURES = ["dtw", "frechet", "hausdorff", "erp", "edr", "lcss", "sspd"]
+METRICS = ["frechet", "hausdorff", "erp"]
+
+
+@pytest.mark.parametrize("name", MEASURES)
+@given(a=trajectories(), b=trajectories())
+@settings(max_examples=30, deadline=None)
+def test_non_negative(name, a, b):
+    assert get_measure(name).distance(a, b) >= 0.0
+
+
+@pytest.mark.parametrize("name", MEASURES)
+@given(a=trajectories())
+@settings(max_examples=30, deadline=None)
+def test_identity(name, a):
+    assert get_measure(name).distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("name", MEASURES)
+@given(a=trajectories(), b=trajectories())
+@settings(max_examples=30, deadline=None)
+def test_symmetry(name, a, b):
+    measure = get_measure(name)
+    assert measure.distance(a, b) == pytest.approx(measure.distance(b, a),
+                                                   rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("name", METRICS)
+@given(a=trajectories(), b=trajectories(), c=trajectories())
+@settings(max_examples=30, deadline=None)
+def test_triangle_inequality(name, a, b, c):
+    measure = get_measure(name)
+    ab = measure.distance(a, b)
+    bc = measure.distance(b, c)
+    ac = measure.distance(a, c)
+    assert ac <= ab + bc + 1e-6
+
+
+@given(a=trajectories(min_len=2), b=trajectories(min_len=2))
+@settings(max_examples=30, deadline=None)
+def test_dtw_at_least_frechet(a, b):
+    """DTW sums per-step costs, so DTW >= max step cost >= ... >= Fréchet
+    is not generally true; but DTW >= Fréchet holds because the Fréchet
+    bottleneck cost appears as one of the summed alignment steps."""
+    dtw = get_measure("dtw").distance(a, b)
+    frechet = get_measure("frechet").distance(a, b)
+    assert dtw >= frechet - 1e-9
+
+
+@given(a=trajectories(), b=trajectories())
+@settings(max_examples=30, deadline=None)
+def test_frechet_at_least_hausdorff(a, b):
+    """Discrete Fréchet upper-bounds Hausdorff on the sample points."""
+    frechet = get_measure("frechet").distance(a, b)
+    hausdorff = get_measure("hausdorff").distance(a, b)
+    assert frechet >= hausdorff - 1e-9
+
+
+@pytest.mark.parametrize("name", MEASURES)
+@given(a=trajectories(), b=trajectories(),
+       shift=st.tuples(coords, coords))
+@settings(max_examples=20, deadline=None)
+def test_translation_invariance(name, a, b, shift):
+    """All measures except ERP are translation invariant (ERP's gap point
+    breaks it); translating both inputs by the same vector must preserve
+    the distance for the others."""
+    if name == "erp":
+        return
+    measure = get_measure(name)
+    offset = np.array(shift)
+    original = measure.distance(a, b)
+    translated = measure.distance(a + offset, b + offset)
+    assert translated == pytest.approx(original, rel=1e-6, abs=1e-6)

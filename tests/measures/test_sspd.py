@@ -1,0 +1,104 @@
+"""Tests for the SSPD segment-path measure."""
+
+import numpy as np
+import pytest
+
+from repro.measures import SSPDDistance, get_measure
+from repro.measures.sspd import point_to_segments
+
+
+class TestPointToSegments:
+    def test_point_on_polyline_zero(self):
+        line = np.array([[0.0, 0.0], [10.0, 0.0]])
+        d = point_to_segments(np.array([[5.0, 0.0]]), line)
+        assert d[0] == pytest.approx(0.0)
+
+    def test_perpendicular_distance(self):
+        line = np.array([[0.0, 0.0], [10.0, 0.0]])
+        d = point_to_segments(np.array([[5.0, 3.0]]), line)
+        assert d[0] == pytest.approx(3.0)
+
+    def test_beyond_endpoint_uses_endpoint(self):
+        line = np.array([[0.0, 0.0], [10.0, 0.0]])
+        d = point_to_segments(np.array([[14.0, 3.0]]), line)
+        assert d[0] == pytest.approx(5.0)
+
+    def test_interior_of_segment_beats_vertices(self):
+        """The segment interior matters: vertex-only distance would be
+        larger for a point across the middle of a long segment."""
+        line = np.array([[0.0, 0.0], [100.0, 0.0]])
+        d = point_to_segments(np.array([[50.0, 1.0]]), line)
+        assert d[0] == pytest.approx(1.0)
+        vertex_only = min(np.linalg.norm([50.0, 1.0]),
+                          np.linalg.norm([50.0 - 100.0, 1.0]))
+        assert d[0] < vertex_only
+
+    def test_single_vertex_polyline(self):
+        d = point_to_segments(np.array([[3.0, 4.0]]), np.array([[0.0, 0.0]]))
+        assert d[0] == pytest.approx(5.0)
+
+    def test_degenerate_zero_length_segment(self):
+        line = np.array([[1.0, 1.0], [1.0, 1.0]])
+        d = point_to_segments(np.array([[4.0, 5.0]]), line)
+        assert d[0] == pytest.approx(5.0)
+
+    def test_multiple_points_shape(self, rng):
+        pts = rng.normal(size=(7, 2))
+        line = rng.normal(size=(5, 2))
+        assert point_to_segments(pts, line).shape == (7,)
+
+
+class TestSSPD:
+    def test_identical_zero(self, rng):
+        a = rng.normal(size=(8, 2))
+        assert SSPDDistance().distance(a, a) == pytest.approx(0.0)
+
+    def test_symmetric(self, rng):
+        sspd = SSPDDistance()
+        a = rng.normal(size=(8, 2))
+        b = rng.normal(size=(5, 2))
+        assert sspd.distance(a, b) == pytest.approx(sspd.distance(b, a))
+
+    def test_parallel_lines(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        b = a + [0.0, 1.0]
+        assert SSPDDistance().distance(a, b) == pytest.approx(1.0)
+
+    def test_robust_to_resampling(self, rng):
+        """Densifying one trajectory barely changes SSPD (unlike DTW)."""
+        from repro.datasets import Trajectory, resample
+        from repro.measures import get_measure
+        walk = np.cumsum(rng.normal(size=(15, 2)), axis=0)
+        other = walk + rng.normal(scale=0.2, size=walk.shape)
+        dense = resample(Trajectory(other), 60).points
+        sspd = SSPDDistance()
+        before = sspd.distance(walk, other)
+        after = sspd.distance(walk, dense)
+        assert after == pytest.approx(before, abs=0.3)
+        dtw = get_measure("dtw")
+        assert (abs(dtw.distance(walk, dense) - dtw.distance(walk, other))
+                > abs(after - before))
+
+    def test_spd_one_sided(self):
+        sspd = SSPDDistance()
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 2.0], [1.0, 2.0], [1.0, 50.0]])
+        # a's points are 2 away from b's polyline; b has a far excursion.
+        assert sspd.spd(a, b) == pytest.approx(2.0)
+        assert sspd.spd(b, a) > sspd.spd(a, b)
+
+    def test_registered(self):
+        assert get_measure("sspd").name == "sspd"
+        assert not get_measure("sspd").is_metric
+
+    def test_trains_neutraj(self, small_dataset):
+        from repro import NeuTraj, NeuTrajConfig
+        from repro.measures import pairwise_distances
+        seeds = list(small_dataset)[:15]
+        matrix = pairwise_distances(seeds, SSPDDistance())
+        model = NeuTraj(NeuTrajConfig(measure="sspd", embedding_dim=8,
+                                      epochs=1, sampling_num=3,
+                                      batch_anchors=8, cell_size=500.0,
+                                      seed=0))
+        history = model.fit(seeds, distance_matrix=matrix)
+        assert np.isfinite(history.losses).all()

@@ -1,0 +1,86 @@
+"""Tests for Linear, embedding similarity, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.nn.layers import Linear, embedding_similarity, euclidean_distance
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(3, 5, rng)
+        out = layer(Tensor(np.zeros((4, 3))))
+        assert out.shape == (4, 5)
+
+    def test_zero_bias_at_init(self, rng):
+        layer = Linear(3, 5, rng)
+        np.testing.assert_allclose(layer.bias.data, 0.0)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(3, 5, rng, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 3))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_batched_input(self, rng):
+        layer = Linear(3, 2, rng)
+        out = layer(Tensor(np.zeros((5, 4, 3))))
+        assert out.shape == (5, 4, 2)
+
+
+class TestDistances:
+    def test_euclidean_known_value(self):
+        a = Tensor([[0.0, 0.0], [1.0, 1.0]])
+        b = Tensor([[3.0, 4.0], [1.0, 1.0]])
+        np.testing.assert_allclose(euclidean_distance(a, b).data, [5.0, 0.0],
+                                   atol=1e-6)
+
+    def test_similarity_identical_is_one(self):
+        a = Tensor([[1.0, 2.0]])
+        np.testing.assert_allclose(embedding_similarity(a, a).data, [1.0],
+                                   atol=1e-6)
+
+    def test_similarity_decreases_with_distance(self):
+        a = Tensor([[0.0, 0.0]])
+        near = Tensor([[0.1, 0.0]])
+        far = Tensor([[5.0, 0.0]])
+        assert (embedding_similarity(a, near).item()
+                > embedding_similarity(a, far).item())
+
+    def test_similarity_range(self, rng):
+        a = Tensor(rng.normal(size=(10, 4)))
+        b = Tensor(rng.normal(size=(10, 4)))
+        values = embedding_similarity(a, b).data
+        assert np.all(values > 0.0) and np.all(values <= 1.0)
+
+
+class TestInit:
+    def test_xavier_bound(self, rng):
+        w = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_orthogonal_columns(self, rng):
+        w = init.orthogonal((8, 8), rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_tall(self, rng):
+        w = init.orthogonal((10, 4), rng)
+        np.testing.assert_allclose(w.T @ w, np.eye(4), atol=1e-10)
+
+    def test_orthogonal_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            init.orthogonal((5,), rng)
+
+    def test_forget_bias_slice(self):
+        bias = init.lstm_forget_bias(np.zeros(12), hidden_size=4, value=2.0)
+        np.testing.assert_allclose(bias[:4], 2.0)
+        np.testing.assert_allclose(bias[4:], 0.0)

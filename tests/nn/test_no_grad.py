@@ -1,0 +1,59 @@
+"""Tests for the no_grad inference mode."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def test_enabled_by_default():
+    assert is_grad_enabled()
+
+
+def test_ops_inside_no_grad_detached():
+    t = Tensor([1.0, 2.0], requires_grad=True)
+    with no_grad():
+        out = (t * 2).sum()
+    assert not out.requires_grad
+    with pytest.raises(RuntimeError):
+        out.backward()
+
+
+def test_restored_after_exit():
+    t = Tensor([1.0], requires_grad=True)
+    with no_grad():
+        pass
+    out = (t * 2).sum()
+    out.backward()
+    np.testing.assert_allclose(t.grad, [2.0])
+
+
+def test_restored_after_exception():
+    try:
+        with no_grad():
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert is_grad_enabled()
+
+
+def test_nested_contexts():
+    with no_grad():
+        with no_grad():
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_forward_values_identical():
+    t = Tensor(np.array([0.3, -0.7]), requires_grad=True)
+    with_tape = (t.sigmoid() * t.tanh()).sum().item()
+    with no_grad():
+        without = (t.sigmoid() * t.tanh()).sum().item()
+    assert with_tape == without
+
+
+def test_leaf_requires_grad_untouched():
+    with no_grad():
+        t = Tensor([1.0], requires_grad=True)
+    assert t.requires_grad  # explicit leaves keep their flag

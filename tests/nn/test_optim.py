@@ -1,0 +1,96 @@
+"""Tests for SGD/Adam optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+
+
+def _quadratic_step(param):
+    """Gradient of f(x) = 0.5 * ||x - 3||^2."""
+    param.grad = param.data - 3.0
+
+
+def test_sgd_descends_quadratic():
+    p = Parameter(np.zeros(4))
+    opt = SGD([p], lr=0.1)
+    for _ in range(200):
+        _quadratic_step(p)
+        opt.step()
+    np.testing.assert_allclose(p.data, 3.0, atol=1e-6)
+
+
+def test_sgd_momentum_descends():
+    p = Parameter(np.zeros(4))
+    opt = SGD([p], lr=0.05, momentum=0.9)
+    for _ in range(200):
+        _quadratic_step(p)
+        opt.step()
+    np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+
+def test_adam_descends_quadratic():
+    p = Parameter(np.zeros(4))
+    opt = Adam([p], lr=0.1)
+    for _ in range(500):
+        _quadratic_step(p)
+        opt.step()
+    np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+
+def test_adam_first_step_size_is_lr():
+    # With bias correction, |first update| == lr regardless of grad scale.
+    p = Parameter(np.zeros(2))
+    opt = Adam([p], lr=0.01)
+    p.grad = np.array([1000.0, 0.001])
+    opt.step()
+    np.testing.assert_allclose(np.abs(p.data), 0.01, rtol=1e-3)
+
+
+def test_step_skips_parameters_without_grad():
+    p1 = Parameter(np.zeros(2))
+    p2 = Parameter(np.ones(2))
+    opt = Adam([p1, p2], lr=0.1)
+    p1.grad = np.ones(2)
+    opt.step()
+    np.testing.assert_allclose(p2.data, 1.0)
+    assert not np.allclose(p1.data, 0.0)
+
+
+def test_zero_grad():
+    p = Parameter(np.zeros(2))
+    p.grad = np.ones(2)
+    opt = SGD([p], lr=0.1)
+    opt.zero_grad()
+    assert p.grad is None
+
+
+def test_optimizer_rejects_empty_params():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_clip_grad_norm_scales_down():
+    p = Parameter(np.zeros(3))
+    p.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+    total = clip_grad_norm([p], max_norm=1.0)
+    assert total == pytest.approx(5.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_clip_grad_norm_leaves_small_grads():
+    p = Parameter(np.zeros(3))
+    p.grad = np.array([0.1, 0.0, 0.0])
+    clip_grad_norm([p], max_norm=1.0)
+    np.testing.assert_allclose(p.grad, [0.1, 0.0, 0.0])
+
+
+def test_clip_grad_norm_global_across_params():
+    p1 = Parameter(np.zeros(1))
+    p2 = Parameter(np.zeros(1))
+    p1.grad = np.array([3.0])
+    p2.grad = np.array([4.0])
+    clip_grad_norm([p1, p2], max_norm=1.0)
+    total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+    assert total == pytest.approx(1.0, rel=1e-6)

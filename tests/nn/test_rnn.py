@@ -1,0 +1,106 @@
+"""Tests for the batched masked LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.nn.rnn import LSTM, LSTMCell, lengths_to_mask
+from repro.nn.tensor import Tensor, numerical_gradient
+
+
+def test_lengths_to_mask():
+    mask = lengths_to_mask(np.array([3, 1]), max_len=4)
+    expected = np.array([[True, True, True, False],
+                         [True, False, False, False]])
+    np.testing.assert_array_equal(mask, expected)
+
+
+def test_lengths_to_mask_infers_max():
+    mask = lengths_to_mask(np.array([2, 5]))
+    assert mask.shape == (2, 5)
+
+
+def test_cell_output_shapes(rng):
+    cell = LSTMCell(2, 8, rng)
+    h, c = cell(Tensor(np.zeros((3, 2))), Tensor(np.zeros((3, 8))),
+                Tensor(np.zeros((3, 8))))
+    assert h.shape == (3, 8)
+    assert c.shape == (3, 8)
+
+
+def test_cell_hidden_bounded(rng):
+    cell = LSTMCell(2, 8, rng)
+    h, _ = cell(Tensor(rng.normal(size=(5, 2)) * 100),
+                Tensor(np.zeros((5, 8))), Tensor(np.zeros((5, 8))))
+    assert np.all(np.abs(h.data) <= 1.0)
+
+
+def test_final_state_equals_state_at_length(rng):
+    """Padded steps must not change the final state."""
+    lstm = LSTM(2, 6, rng)
+    seq = rng.normal(size=(1, 5, 2))
+    # Full run over 3 steps only.
+    short = lstm(seq[:, :3, :], np.ones((1, 3), dtype=bool))
+    # Same 3 valid steps followed by 2 masked-out (garbage) steps.
+    garbage = seq.copy()
+    garbage[:, 3:, :] = 1e6
+    padded = lstm(garbage, lengths_to_mask(np.array([3]), 5))
+    np.testing.assert_allclose(short.data, padded.data)
+
+
+def test_batch_matches_individual_runs(rng):
+    lstm = LSTM(2, 6, rng)
+    a = rng.normal(size=(4, 2))
+    b = rng.normal(size=(7, 2))
+    coords = np.zeros((2, 7, 2))
+    coords[0, :4] = a
+    coords[1, :7] = b
+    mask = lengths_to_mask(np.array([4, 7]), 7)
+    batched = lstm(coords, mask).data
+    solo_a = lstm(a[None, :, :], np.ones((1, 4), dtype=bool)).data
+    solo_b = lstm(b[None, :, :], np.ones((1, 7), dtype=bool)).data
+    np.testing.assert_allclose(batched[0], solo_a[0])
+    np.testing.assert_allclose(batched[1], solo_b[0])
+
+
+def test_return_sequence_length(rng):
+    lstm = LSTM(2, 4, rng)
+    final, outputs = lstm(np.zeros((2, 5, 2)), np.ones((2, 5), dtype=bool),
+                          return_sequence=True)
+    assert len(outputs) == 5
+    np.testing.assert_allclose(outputs[-1].data, final.data)
+
+
+def test_deterministic_given_seed():
+    a = LSTM(2, 4, np.random.default_rng(42))
+    b = LSTM(2, 4, np.random.default_rng(42))
+    x = np.random.default_rng(0).normal(size=(2, 3, 2))
+    mask = np.ones((2, 3), dtype=bool)
+    np.testing.assert_allclose(a(x, mask).data, b(x, mask).data)
+
+
+def test_bptt_gradient_matches_numerical(rng):
+    lstm = LSTM(2, 5, rng)
+    coords = rng.normal(size=(2, 4, 2))
+    mask = lengths_to_mask(np.array([4, 2]), 4)
+    param = lstm.cell.u_cand
+    base = param.data.copy()
+
+    out = (lstm(coords, mask) ** 2).sum()
+    lstm.zero_grad()
+    out.backward()
+    analytic = param.grad.copy()
+
+    def evaluate(arr):
+        param.data = arr
+        return float((lstm(coords, mask).data ** 2).sum())
+
+    numeric = numerical_gradient(evaluate, base.copy())
+    param.data = base
+    err = np.max(np.abs(analytic - numeric)) / max(1.0, np.max(np.abs(numeric)))
+    assert err < 1e-6
+
+
+def test_forget_bias_initialised_to_one(rng):
+    cell = LSTMCell(2, 4, rng)
+    np.testing.assert_allclose(cell.b_gates.data[:4], 1.0)
+    np.testing.assert_allclose(cell.b_gates.data[4:], 0.0)

@@ -1,0 +1,218 @@
+"""Tests for the spatial attention memory and SAM-augmented LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.nn.sam import SAMLSTM, SAMLSTMCell, SpatialMemory
+from repro.nn.rnn import lengths_to_mask
+from repro.nn.tensor import Tensor, numerical_gradient
+
+
+class TestSpatialMemory:
+    def test_starts_zeroed(self):
+        mem = SpatialMemory((5, 5), 4, bandwidth=1)
+        assert mem.occupancy() == 0.0
+        np.testing.assert_allclose(mem.data, 0.0)
+
+    def test_window_size(self):
+        assert SpatialMemory((5, 5), 4, bandwidth=2).window_size == 25
+        assert SpatialMemory((5, 5), 4, bandwidth=0).window_size == 1
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialMemory((5, 5), 4, bandwidth=-1)
+
+    def test_gather_center(self):
+        mem = SpatialMemory((5, 5), 3, bandwidth=1)
+        mem.data[2, 2] = [1.0, 2.0, 3.0]
+        window = mem.gather(np.array([[2, 2]]))
+        assert window.shape == (1, 9, 3)
+        # Row-major scan order: center is position 4 of 9.
+        np.testing.assert_allclose(window[0, 4], [1.0, 2.0, 3.0])
+
+    def test_gather_out_of_bounds_reads_zero(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1)
+        mem.data[:] = 7.0
+        window = mem.gather(np.array([[0, 0]]))
+        # Positions outside the grid must be zero, inside are 7.
+        outside = [0, 1, 2, 3, 6]  # offsets with x-1 or y-1 < 0
+        inside = [4, 5, 7, 8]
+        np.testing.assert_allclose(window[0, outside], 0.0)
+        np.testing.assert_allclose(window[0, inside], 7.0)
+
+    def test_write_blends_by_gate(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1, bounded=False)
+        mem.data[1, 1] = [1.0, 1.0]
+        big = 100.0  # sigmoid ~ 1
+        mem.write(np.array([[1, 1]]), np.array([[5.0, 5.0]]),
+                  np.array([[big, big]]))
+        np.testing.assert_allclose(mem.data[1, 1], [5.0, 5.0], atol=1e-8)
+
+    def test_bounded_write_stores_tanh(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1, bounded=True)
+        mem.write(np.array([[1, 1]]), np.array([[5.0, -5.0]]),
+                  np.array([[100.0, 100.0]]))
+        np.testing.assert_allclose(mem.data[1, 1],
+                                   [np.tanh(5.0), np.tanh(-5.0)], atol=1e-8)
+
+    def test_bounded_keeps_magnitude_below_one(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            mem.write(rng.integers(0, 3, size=(4, 2)),
+                      rng.normal(scale=50.0, size=(4, 2)),
+                      rng.normal(size=(4, 2)))
+        assert np.abs(mem.data).max() <= 1.0
+
+    def test_write_gate_zero_keeps_old(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1)
+        mem.data[1, 1] = [1.0, 1.0]
+        mem.write(np.array([[1, 1]]), np.array([[5.0, 5.0]]),
+                  np.array([[-100.0, -100.0]]))
+        np.testing.assert_allclose(mem.data[1, 1], [1.0, 1.0], atol=1e-8)
+
+    def test_write_respects_mask(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1)
+        mem.write(np.array([[1, 1]]), np.array([[5.0, 5.0]]),
+                  np.array([[100.0, 100.0]]), mask=np.array([False]))
+        np.testing.assert_allclose(mem.data, 0.0)
+
+    def test_write_out_of_bounds_ignored(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1)
+        mem.write(np.array([[9, 9]]), np.array([[5.0, 5.0]]),
+                  np.array([[100.0, 100.0]]))
+        np.testing.assert_allclose(mem.data, 0.0)
+
+    def test_sequential_batch_writes(self):
+        """A later batch entry overwrites an earlier one at the same cell."""
+        mem = SpatialMemory((3, 3), 1, bandwidth=0, bounded=False)
+        cells = np.array([[1, 1], [1, 1]])
+        values = np.array([[2.0], [4.0]])
+        gates = np.array([[100.0], [100.0]])
+        mem.write(cells, values, gates)
+        np.testing.assert_allclose(mem.data[1, 1], [4.0], atol=1e-6)
+
+    def test_reset_and_copy(self):
+        mem = SpatialMemory((3, 3), 2, bandwidth=1)
+        mem.data[0, 0] = 1.0
+        clone = mem.copy()
+        mem.reset()
+        assert mem.occupancy() == 0.0
+        assert clone.occupancy() > 0.0
+
+    def test_occupancy_fraction(self):
+        mem = SpatialMemory((2, 2), 2, bandwidth=0)
+        mem.data[0, 0] = 1.0
+        assert mem.occupancy() == pytest.approx(0.25)
+
+
+class TestGateBias:
+    def test_spatial_gate_bias_negative(self, rng):
+        from repro.nn.sam import SPATIAL_GATE_BIAS
+        cell = SAMLSTMCell(2, 4, rng)
+        d = 4
+        np.testing.assert_allclose(cell.b_gates.data[2 * d:3 * d],
+                                   SPATIAL_GATE_BIAS)
+        # forget gate still at +1, others 0.
+        np.testing.assert_allclose(cell.b_gates.data[:d], 1.0)
+        np.testing.assert_allclose(cell.b_gates.data[3 * d:], 0.0)
+
+
+class TestSAMLSTM:
+    def test_output_shape(self, rng):
+        sam = SAMLSTM(2, 6, rng)
+        mem = SpatialMemory((8, 8), 6, bandwidth=2)
+        coords = rng.normal(size=(3, 5, 2))
+        cells = rng.integers(0, 8, size=(3, 5, 2))
+        mask = np.ones((3, 5), dtype=bool)
+        out = sam(coords, cells, mask, mem)
+        assert out.shape == (3, 6)
+
+    def test_readonly_forward_leaves_memory(self, rng):
+        sam = SAMLSTM(2, 6, rng)
+        mem = SpatialMemory((8, 8), 6, bandwidth=1)
+        coords = rng.normal(size=(2, 4, 2))
+        cells = rng.integers(0, 8, size=(2, 4, 2))
+        mask = np.ones((2, 4), dtype=bool)
+        sam(coords, cells, mask, mem, update_memory=False)
+        assert mem.occupancy() == 0.0
+
+    def test_training_forward_writes_memory(self, rng):
+        sam = SAMLSTM(2, 6, rng)
+        mem = SpatialMemory((8, 8), 6, bandwidth=1)
+        coords = rng.normal(size=(2, 4, 2))
+        cells = rng.integers(0, 8, size=(2, 4, 2))
+        mask = np.ones((2, 4), dtype=bool)
+        sam(coords, cells, mask, mem, update_memory=True)
+        assert mem.occupancy() > 0.0
+
+    def test_empty_memory_matches_zero_window(self, rng):
+        """With an all-zero memory, read gives tanh(W_his [c_hat; 0])."""
+        cell = SAMLSTMCell(2, 4, rng)
+        mem = SpatialMemory((6, 6), 4, bandwidth=1)
+        c_hat = Tensor(rng.normal(size=(2, 4)))
+        out = cell.read(c_hat, np.array([[3, 3], [1, 1]]), mem)
+        # mix is exactly zero -> output depends only on c_hat part.
+        from repro.nn.tensor import concat
+        expected = cell.read_proj(
+            concat([c_hat, Tensor(np.zeros((2, 4)))], axis=-1)).tanh()
+        np.testing.assert_allclose(out.data, expected.data)
+
+    def test_memory_influences_encoding(self, rng):
+        """Same trajectory encodes differently once memory holds history."""
+        sam = SAMLSTM(2, 6, rng)
+        coords = rng.normal(size=(1, 5, 2))
+        cells = rng.integers(2, 5, size=(1, 5, 2))
+        mask = np.ones((1, 5), dtype=bool)
+        empty = SpatialMemory((8, 8), 6, bandwidth=2)
+        before = sam(coords, cells, mask, empty).data.copy()
+        warm = SpatialMemory((8, 8), 6, bandwidth=2)
+        warm.data[:] = rng.normal(size=warm.data.shape)
+        after = sam(coords, cells, mask, warm).data
+        assert not np.allclose(before, after)
+
+    def test_masked_steps_do_not_write(self, rng):
+        sam = SAMLSTM(2, 6, rng)
+        mem = SpatialMemory((8, 8), 6, bandwidth=0)
+        coords = rng.normal(size=(1, 4, 2))
+        cells = np.full((1, 4, 2), 7)  # all steps at cell (7,7)
+        mask = lengths_to_mask(np.array([0]), 4)  # everything masked
+        sam(coords, cells, mask, mem, update_memory=True)
+        assert mem.occupancy() == 0.0
+
+    def test_gradcheck_through_sam_unroll(self, rng):
+        sam = SAMLSTM(2, 4, rng)
+        mem = SpatialMemory((6, 6), 4, bandwidth=1)
+        mem.data[:] = rng.normal(size=mem.data.shape) * 0.3
+        coords = rng.normal(size=(2, 3, 2))
+        cells = rng.integers(0, 6, size=(2, 3, 2))
+        mask = np.ones((2, 3), dtype=bool)
+        param = sam.cell.read_proj.weight
+        base = param.data.copy()
+
+        out = (sam(coords, cells, mask, mem) ** 2).sum()
+        sam.zero_grad()
+        out.backward()
+        analytic = param.grad.copy()
+
+        def evaluate(arr):
+            param.data = arr
+            return float((sam(coords, cells, mask, mem).data ** 2).sum())
+
+        numeric = numerical_gradient(evaluate, base.copy())
+        param.data = base
+        err = (np.max(np.abs(analytic - numeric))
+               / max(1.0, np.max(np.abs(numeric))))
+        assert err < 1e-6
+
+    def test_bandwidth_zero_reads_single_cell(self, rng):
+        cell = SAMLSTMCell(2, 4, rng)
+        mem = SpatialMemory((6, 6), 4, bandwidth=0)
+        mem.data[3, 3] = [1.0, 2.0, 3.0, 4.0]
+        c_hat = Tensor(np.zeros((1, 4)))
+        out = cell.read(c_hat, np.array([[3, 3]]), mem)
+        # Attention over a single cell is a no-op mix of that cell.
+        from repro.nn.tensor import concat
+        expected = cell.read_proj(
+            concat([c_hat, Tensor(mem.data[3, 3][None, :])], axis=-1)).tanh()
+        np.testing.assert_allclose(out.data, expected.data)

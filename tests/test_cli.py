@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_measures_command(capsys):
+    assert main(["measures"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dtw", "frechet", "hausdorff", "erp", "edr", "lcss"):
+        assert name in out
+    assert "non-metric" in out
+    assert "metric" in out
+
+
+def test_demo_command_small(capsys):
+    assert main(["demo", "--size", "40", "--epochs", "1",
+                 "--measure", "hausdorff"]) == 0
+    out = capsys.readouterr().out
+    assert "top-5 neighbours" in out
+
+
+def test_experiment_unknown_name_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "tableX"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

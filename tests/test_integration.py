@@ -1,0 +1,166 @@
+"""End-to-end integration tests across modules.
+
+Each test exercises a complete user workflow: data generation -> training
+-> embedding -> downstream task (search / clustering / persistence /
+indexed search), asserting cross-module invariants rather than unit
+behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (NeuTraj, NeuTrajConfig, PortoConfig, SiameseTraj,
+                   generate_porto, get_measure, pairwise_distances)
+from repro.clustering import adjusted_rand_index, dbscan
+from repro.datasets import Grid
+from repro.eval import (embedding_knn, evaluate_ranking, rerank_with_exact,
+                        top_k_from_distances)
+from repro.index import GridInvertedIndex, RTree, search_embedding
+from repro.measures import cross_distances
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Shared trained model + workload for the integration tests."""
+    rng = np.random.default_rng(100)
+    dataset = generate_porto(
+        PortoConfig(num_trajectories=120, min_points=8, max_points=20,
+                    num_route_families=8, family_fraction=0.85), seed=100)
+    seeds_ds, rest = dataset.split((0.35, 0.65), rng)
+    seeds, rest = list(seeds_ds), list(rest)
+    queries, database = rest[:6], rest[6:]
+    model = NeuTraj(NeuTrajConfig(measure="hausdorff", embedding_dim=16,
+                                  epochs=4, sampling_num=5, batch_anchors=10,
+                                  cell_size=500.0, seed=0))
+    model.fit(seeds)
+    return model, seeds, queries, database
+
+
+def test_search_quality_beats_random(world):
+    """Trained embeddings rank significantly better than chance."""
+    model, _, queries, database = world
+    measure = get_measure("hausdorff")
+    exact = cross_distances(queries, database, measure)
+    emb = model.embed(database)
+    rankings = [model.top_k(q, emb, 50) for q in queries]
+    quality = evaluate_ranking(exact, rankings)
+
+    rng = np.random.default_rng(0)
+    random_rankings = [rng.permutation(len(database))[:50] for _ in queries]
+    random_quality = evaluate_ranking(exact, random_rankings)
+    assert quality.r10_at_50 > random_quality.r10_at_50
+    assert quality.delta_h10 < random_quality.delta_h10
+
+
+def test_embedding_distance_correlates_with_measure(world):
+    model, _, _, database = world
+    measure = get_measure("hausdorff")
+    emb = model.embed(database)
+    rng = np.random.default_rng(1)
+    exact, approx = [], []
+    for _ in range(80):
+        i, j = rng.choice(len(database), 2, replace=False)
+        exact.append(measure(database[i], database[j]))
+        approx.append(np.linalg.norm(emb[i] - emb[j]))
+    from scipy.stats import spearmanr
+    rho = spearmanr(exact, approx).statistic
+    assert rho > 0.3, f"rank correlation too weak: {rho:.3f}"
+
+
+def test_rerank_pipeline_improves_top10(world):
+    """Embedding top-50 + exact rerank beats raw embedding top-10."""
+    model, _, queries, database = world
+    measure = get_measure("hausdorff")
+    exact = cross_distances(queries, database, measure)
+    emb = model.embed(database)
+    raw_delta, reranked_delta = [], []
+    for qi, query in enumerate(queries):
+        truth10 = top_k_from_distances(exact[qi], 10)
+        raw50 = model.top_k(query, emb, 50)
+        reranked = rerank_with_exact(query, database, raw50, measure, 10)
+        truth_mean = exact[qi][truth10].mean()
+        raw_delta.append(exact[qi][raw50[:10]].mean() - truth_mean)
+        reranked_delta.append(exact[qi][reranked].mean() - truth_mean)
+    assert np.mean(reranked_delta) <= np.mean(raw_delta) + 1e-9
+
+
+def test_indexed_search_consistent_with_full_scan(world):
+    """R-tree pre-filtering returns the same top hits when the true
+    neighbours fall inside the window."""
+    model, _, queries, database = world
+    emb = model.embed(database)
+    tree = RTree.from_trajectories(database)
+    for query in queries[:3]:
+        q_emb = model.embed([query])[0]
+        full = embedding_knn(q_emb, emb, 5)
+        indexed = search_embedding(tree, query, q_emb, emb, 5, margin=3000.0)
+        # With a generous margin the index candidates contain the full-scan
+        # winners, so the results agree.
+        assert set(indexed.ids.tolist()) & set(full.tolist())
+
+
+def test_grid_index_pipeline(world):
+    model, _, queries, database = world
+    bbox = (0.0, 0.0, 10_000.0, 10_000.0)
+    grid = Grid(bbox, cell_size=1000.0)
+    index = GridInvertedIndex.from_trajectories(database, grid)
+    emb = model.embed(database)
+    q = queries[0]
+    q_emb = model.embed([q])[0]
+    result = search_embedding(index, q, q_emb, emb, 10)
+    assert result.num_candidates <= len(database)
+    assert len(result.ids) <= 10
+
+
+def test_model_roundtrip_preserves_search_results(world, tmp_path):
+    model, _, queries, database = world
+    path = tmp_path / "model.npz"
+    model.save(path)
+    loaded = NeuTraj.load(path)
+    emb_a = model.embed(database)
+    emb_b = loaded.embed(database)
+    np.testing.assert_allclose(emb_a, emb_b)
+    for q in queries[:2]:
+        np.testing.assert_array_equal(model.top_k(q, emb_a, 10),
+                                      loaded.top_k(q, emb_b, 10))
+
+
+def test_clustering_pipeline_agreement(world):
+    """Embedding-based DBSCAN roughly agrees with exact-distance DBSCAN."""
+    model, _, _, database = world
+    items = database[:60]
+    measure = get_measure("hausdorff")
+    exact = pairwise_distances(items, measure)
+    emb = model.embed(items)
+    diff = emb[:, None, :] - emb[None, :, :]
+    approx = np.sqrt((diff ** 2).sum(-1))
+    off = ~np.eye(len(items), dtype=bool)
+    labels_exact = dbscan(exact, float(np.quantile(exact[off], 0.05)), 4)
+    labels_embed = dbscan(approx, float(np.quantile(approx[off], 0.05)), 4)
+    ari = adjusted_rand_index(labels_exact, labels_embed)
+    assert ari > 0.05, f"clustering agreement too weak: {ari:.3f}"
+
+
+def test_siamese_shares_pipeline(world):
+    """The baseline plugs into the same downstream machinery."""
+    _, seeds, queries, database = world
+    siamese = SiameseTraj(NeuTrajConfig(measure="hausdorff",
+                                        embedding_dim=16, epochs=2,
+                                        sampling_num=5, batch_anchors=10,
+                                        cell_size=500.0, seed=0))
+    siamese.fit(seeds)
+    emb = siamese.embed(database)
+    top = siamese.top_k(queries[0], emb, 5)
+    assert len(top) == 5
+
+
+def test_measure_generic_training(world):
+    """NeuTraj trains against a non-metric (DTW) without code changes."""
+    _, seeds, _, database = world
+    model = NeuTraj(NeuTrajConfig(measure="dtw", embedding_dim=16, epochs=2,
+                                  sampling_num=5, batch_anchors=10,
+                                  cell_size=500.0, seed=0))
+    history = model.fit(seeds)
+    assert np.isfinite(history.losses).all()
+    emb = model.embed(database[:10])
+    assert np.isfinite(emb).all()
