@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Guard against kernel performance regressions.
+
+Re-runs ``benchmarks/bench_kernels.py`` and compares each kernel's
+optimised-path time (``after_s``) against the committed
+``benchmarks/BENCH_kernels.json`` baseline. Exits non-zero when
+
+* any kernel's fresh ``after_s`` is more than ``--threshold`` (default
+  1.5×) slower than the committed baseline, or
+* any kernel's old/new equivalence check fails.
+
+Wall-clock on shared CPUs is noisy, so the 1.5× threshold is deliberately
+loose: it catches "someone un-vectorised the hot path", not 10% jitter.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py
+    PYTHONPATH=src python scripts/check_bench_regression.py --threshold 2.0
+
+The same check is importable from the optional ``bench_regression``
+pytest marker (deselected by default)::
+
+    PYTHONPATH=src python -m pytest -m bench_regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "benchmarks" / "BENCH_kernels.json"
+DEFAULT_THRESHOLD = 1.5
+
+
+def compare_reports(baseline: dict, fresh: dict,
+                    threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    for name, base in baseline["kernels"].items():
+        entry = fresh["kernels"].get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        if not entry["identical"]:
+            failures.append(f"{name}: old/new equivalence check failed")
+        slowdown = entry["after_s"] / base["after_s"]
+        if slowdown > threshold:
+            failures.append(
+                f"{name}: after_s {entry['after_s']:.3f}s is "
+                f"{slowdown:.2f}x the committed {base['after_s']:.3f}s "
+                f"(threshold {threshold:.2f}x)")
+    return failures
+
+
+def run_check(threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Run the benchmarks and compare against the committed baseline."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import bench_kernels
+    finally:
+        sys.path.pop(0)
+    baseline = json.loads(BASELINE.read_text())
+    fresh = bench_kernels.run_all()
+    return compare_reports(baseline, fresh, threshold)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max allowed slowdown vs the committed baseline "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+    if not BASELINE.exists():
+        print(f"no committed baseline at {BASELINE}")
+        return 1
+    failures = run_check(args.threshold)
+    if failures:
+        print("PERFORMANCE REGRESSION:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("all kernels within threshold of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

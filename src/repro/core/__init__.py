@@ -1,6 +1,7 @@
 """NeuTraj core: seed-guided neural metric learning."""
 
-from .config import NeuTrajConfig
+from .config import (NeuTrajConfig, PrecomputeConfig, get_precompute_config,
+                     set_precompute_config)
 from .encoder import TrajectoryEncoder
 from .loss import (dissimilar_loss, mse_pair_loss, ranking_loss, similar_loss)
 from .model import MetricModel, NeuTraj
@@ -13,7 +14,8 @@ from .trainer import (EpochStats, TrainingHistory, anchor_batches,
                       train_epoch, training_step)
 
 __all__ = [
-    "NeuTrajConfig", "TrajectoryEncoder",
+    "NeuTrajConfig", "PrecomputeConfig", "get_precompute_config",
+    "set_precompute_config", "TrajectoryEncoder",
     "dissimilar_loss", "mse_pair_loss", "ranking_loss", "similar_loss",
     "EmbeddingStore", "MetricModel", "NeuTraj", "SiameseTraj",
     "AnchorSamples", "PairSampler", "rank_weights",

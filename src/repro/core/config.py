@@ -1,7 +1,14 @@
-"""Configuration for NeuTraj training (paper §VII-A5 defaults, scaled)."""
+"""Configuration for NeuTraj training (paper §VII-A5 defaults, scaled).
+
+Besides the model hyper-parameters this module owns the process-wide
+:class:`PrecomputeConfig` that the seed-distance drivers in
+:mod:`repro.measures.matrix` consult for their defaults (worker count,
+chunking and the on-disk ``.npz`` matrix cache).
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -93,3 +100,68 @@ class NeuTrajConfig:
     def ablated(self, **changes) -> "NeuTrajConfig":
         """Copy with fields replaced (convenience for ablation sweeps)."""
         return replace(self, **changes)
+
+
+def _env_workers() -> int:
+    return int(os.environ.get("REPRO_PRECOMPUTE_WORKERS", "1"))
+
+
+def _env_cache_dir() -> Optional[str]:
+    return os.environ.get("REPRO_MATRIX_CACHE_DIR") or None
+
+
+@dataclass
+class PrecomputeConfig:
+    """Defaults for the exact distance-matrix precompute (paper §III-B).
+
+    Attributes
+    ----------
+    workers:
+        Processes used by ``pairwise_distances`` / ``cross_distances`` when
+        the caller does not pass ``workers`` explicitly. 1 keeps the serial
+        per-pair path (bit-for-bit reference used by determinism tests);
+        > 1 enables the chunked multiprocessing driver. Seeded from the
+        ``REPRO_PRECOMPUTE_WORKERS`` environment variable.
+    chunk_pairs:
+        Target number of trajectory pairs per work unit in the chunked
+        driver. Larger chunks amortise dispatch overhead; smaller chunks
+        give finer progress reporting.
+    cache_dir:
+        Directory for the on-disk ``.npz`` matrix cache; ``None`` disables
+        caching. Seeded from ``REPRO_MATRIX_CACHE_DIR``.
+    """
+
+    workers: int = field(default_factory=_env_workers)
+    chunk_pairs: int = 512
+    cache_dir: Optional[str] = field(default_factory=_env_cache_dir)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.chunk_pairs < 1:
+            raise ConfigurationError("chunk_pairs must be >= 1")
+
+
+_PRECOMPUTE_CONFIG = PrecomputeConfig()
+
+
+def get_precompute_config() -> PrecomputeConfig:
+    """The process-wide precompute defaults."""
+    return _PRECOMPUTE_CONFIG
+
+
+def set_precompute_config(config: Optional[PrecomputeConfig] = None,
+                          **changes) -> PrecomputeConfig:
+    """Replace (or tweak) the process-wide precompute defaults.
+
+    Pass a full :class:`PrecomputeConfig`, or keyword fields to change on
+    the current one: ``set_precompute_config(workers=4, cache_dir=".cache")``.
+    Returns the new active config.
+    """
+    global _PRECOMPUTE_CONFIG
+    if config is None:
+        config = replace(_PRECOMPUTE_CONFIG, **changes)
+    elif changes:
+        config = replace(config, **changes)
+    _PRECOMPUTE_CONFIG = config
+    return _PRECOMPUTE_CONFIG

@@ -20,12 +20,19 @@ from ..measures.base import TrajectoryMeasure
 
 def top_k_from_distances(distances: np.ndarray, k: int,
                          exclude: int = -1) -> np.ndarray:
-    """Indices of the ``k`` smallest entries (optionally excluding one)."""
+    """Indices of the ``k`` smallest entries (optionally excluding one).
+
+    ``k`` is clamped to the number of finite entries; if none are finite
+    the result is empty (``argpartition(distances, -1)`` would otherwise
+    silently partition on the *last* element and return garbage indices).
+    """
     distances = np.asarray(distances, dtype=np.float64)
     if exclude >= 0:
         distances = distances.copy()
         distances[exclude] = np.inf
-    k = min(k, (np.isfinite(distances)).sum())
+    k = min(k, int(np.isfinite(distances).sum()))
+    if k <= 0:
+        return np.zeros(0, dtype=int)
     idx = np.argpartition(distances, k - 1)[:k]
     return idx[np.argsort(distances[idx], kind="stable")]
 
@@ -41,11 +48,30 @@ def brute_force_knn(query, database: Sequence, measure: TrajectoryMeasure,
     return top_k_from_distances(distances, k)
 
 
-def embedding_distance_matrix(embeddings: np.ndarray) -> np.ndarray:
-    """All-pairs Euclidean distances between embedding rows (N, N)."""
+def embedding_distance_matrix(embeddings: np.ndarray,
+                              chunk_size: int = 2048) -> np.ndarray:
+    """All-pairs Euclidean distances between embedding rows (N, N).
+
+    Uses the chunked Gram-matrix form ``‖a‖² + ‖b‖² − 2 a·b`` (clipped at
+    0 before the square root): peak transient memory is O(chunk · N)
+    instead of the O(N² · d) broadcast of the naive form, and the inner
+    product runs as one BLAS matmul per chunk. The diagonal is exactly
+    zero; off-diagonal entries can deviate from the direct computation by
+    cancellation error on the order of ``sqrt(eps · ‖a‖ ‖b‖)``, which is
+    far below any distance the search experiments compare.
+    """
     embeddings = np.asarray(embeddings, dtype=np.float64)
-    diff = embeddings[:, None, :] - embeddings[None, :, :]
-    return np.sqrt((diff * diff).sum(axis=-1))
+    n = len(embeddings)
+    sq = np.einsum("ij,ij->i", embeddings, embeddings)
+    out = np.empty((n, n), dtype=np.float64)
+    for start in range(0, n, chunk_size):
+        block = embeddings[start:start + chunk_size]
+        d2 = sq[start:start + chunk_size, None] + sq[None, :]
+        d2 -= 2.0 * (block @ embeddings.T)
+        np.maximum(d2, 0.0, out=d2)
+        out[start:start + chunk_size] = np.sqrt(d2, out=d2)
+    np.fill_diagonal(out, 0.0)
+    return out
 
 
 def embedding_knn(query_embedding: np.ndarray, database_embeddings: np.ndarray,

@@ -7,7 +7,7 @@ name so experiment configs can select them (``get_measure("dtw")``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Type
+from typing import Callable, Dict, Sequence, Type
 
 import numpy as np
 
@@ -44,6 +44,31 @@ class TrajectoryMeasure:
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         raise NotImplementedError
+
+    def distance_many(self, pairs_a: Sequence[np.ndarray],
+                      pairs_b: Sequence[np.ndarray]) -> np.ndarray:
+        """Distances for aligned lists of pairs: ``out[k] = d(a[k], b[k])``.
+
+        The default loops over :meth:`distance`; measures with batched
+        kernels (see :mod:`repro.measures._batch`) override this with an
+        element-wise-identical vectorised implementation. The chunked
+        distance-matrix driver calls this on each work unit.
+        """
+        return np.array([self.distance(np.asarray(a), np.asarray(b))
+                         for a, b in zip(pairs_a, pairs_b)], dtype=np.float64)
+
+    def cache_token(self) -> str:
+        """Stable string identifying the measure *and* its parameters.
+
+        Used by the distance-matrix ``.npz`` cache key, so two instances
+        that compute different distances must produce different tokens.
+        """
+        parts = [type(self).__name__, self.name]
+        for key, value in sorted(vars(self).items()):
+            if isinstance(value, np.ndarray):
+                value = value.tobytes().hex()
+            parts.append(f"{key}={value!r}")
+        return "|".join(parts)
 
     def __call__(self, a, b) -> float:
         a = getattr(a, "points", a)

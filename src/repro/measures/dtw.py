@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from ._batch import dtw_many
 from ._dp import dtw_table
 from .base import TrajectoryMeasure, point_distances, register_measure
 
@@ -46,3 +47,8 @@ class DTWDistance(TrajectoryMeasure):
             cost = np.where(band, np.inf, cost)
         table = dtw_table(cost)
         return float(table[-1, -1])
+
+    def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
+        pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
+        pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        return dtw_many(pairs_a, pairs_b, window=self.window)

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ._batch import erp_many
 from ._dp import erp_table
 from .base import TrajectoryMeasure, point_distances, register_measure
 
@@ -43,3 +44,8 @@ class ERPDistance(TrajectoryMeasure):
         gap_b = np.linalg.norm(b - self.gap, axis=1)
         table = erp_table(cost, gap_a, gap_b)
         return float(table[-1, -1])
+
+    def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
+        pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
+        pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        return erp_many(pairs_a, pairs_b, self.gap)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ._batch import frechet_many
 from ._dp import frechet_table
 from .base import TrajectoryMeasure, point_distances, register_measure
 
@@ -24,3 +25,8 @@ class FrechetDistance(TrajectoryMeasure):
         cost = point_distances(a, b)
         table = frechet_table(cost)
         return float(table[-1, -1])
+
+    def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
+        pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
+        pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        return frechet_many(pairs_a, pairs_b)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ._batch import hausdorff_many
 from .base import TrajectoryMeasure, point_distances, register_measure
 
 
@@ -23,6 +24,11 @@ class HausdorffDistance(TrajectoryMeasure):
         forward = cost.min(axis=1).max()
         backward = cost.min(axis=0).max()
         return float(max(forward, backward))
+
+    def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
+        pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
+        pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        return hausdorff_many(pairs_a, pairs_b)
 
     def directed(self, a: np.ndarray, b: np.ndarray) -> float:
         """One-sided (directed) Hausdorff distance from ``a`` to ``b``."""

@@ -1,33 +1,243 @@
 """Pairwise and cross distance-matrix drivers.
 
 Computing the exact seed distance matrix ``D`` (paper §III-B) is the
-quadratic pre-processing step NeuTraj amortises; these helpers centralise it
-with symmetry exploitation and an optional progress callback so long runs
-stay observable.
+quadratic pre-processing step NeuTraj amortises; these helpers centralise
+it. Three layers keep long runs fast and observable:
+
+* **Chunking** — the upper triangle (or the full Q×N cross grid) is split
+  into work units of ~``chunk_pairs`` pairs, each evaluated with the
+  measure's batched :meth:`~repro.measures.base.TrajectoryMeasure.distance_many`
+  kernel (element-wise identical to per-pair calls; see
+  :mod:`repro.measures._batch`).
+* **Multiprocessing** — with ``workers > 1`` the chunks are farmed to a
+  process pool. ``workers=1`` keeps the original serial per-pair loop so
+  determinism tests have a bit-for-bit reference path.
+* **Caching** — when a cache directory is configured, finished matrices
+  are stored as ``.npz`` files keyed by a content hash of the trajectories
+  and the measure (name + parameters), so repeated benchmark/experiment
+  runs skip identical recomputes.
+
+Defaults for ``workers``, ``chunk_pairs`` and ``cache_dir`` come from
+:func:`repro.core.config.get_precompute_config`; a ``progress(done, total)``
+callback reports completed pairs in all modes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import hashlib
+import multiprocessing
+import os
+import tempfile
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .base import TrajectoryMeasure
+
+ProgressFn = Optional[Callable[[int, int], None]]
 
 
 def _points(trajectories: Sequence) -> list:
     return [np.asarray(getattr(t, "points", t)) for t in trajectories]
 
 
+def _defaults(workers: Optional[int], chunk_pairs: Optional[int],
+              cache_dir: Optional[str]) -> Tuple[int, int, Optional[str]]:
+    # Imported lazily: repro.core imports repro.measures at package-init
+    # time, so a module-level import here would be circular.
+    from ..core.config import get_precompute_config
+    config = get_precompute_config()
+    return (config.workers if workers is None else int(workers),
+            config.chunk_pairs if chunk_pairs is None else int(chunk_pairs),
+            config.cache_dir if cache_dir is None else cache_dir)
+
+
+# --------------------------------------------------------------------- cache
+
+def _content_key(parts: Sequence[Sequence[np.ndarray]],
+                 measure: TrajectoryMeasure, kind: str) -> str:
+    """SHA-256 over the raw coordinates and the measure's cache token."""
+    digest = hashlib.sha256()
+    digest.update(kind.encode())
+    digest.update(measure.cache_token().encode())
+    for group in parts:
+        digest.update(str(len(group)).encode())
+        for points in group:
+            arr = np.ascontiguousarray(points, dtype=np.float64)
+            digest.update(str(arr.shape).encode())
+            digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"matrix_{key[:32]}.npz")
+
+
+def _cache_load(cache_dir: Optional[str], key: str) -> Optional[np.ndarray]:
+    if cache_dir is None:
+        return None
+    path = _cache_path(cache_dir, key)
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path) as payload:
+            if str(payload["key"]) != key:  # truncated-name collision guard
+                return None
+            return payload["matrix"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def _cache_store(cache_dir: Optional[str], key: str,
+                 matrix: np.ndarray) -> None:
+    if cache_dir is None:
+        return
+    os.makedirs(cache_dir, exist_ok=True)
+    path = _cache_path(cache_dir, key)
+    fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, matrix=matrix, key=np.asarray(key))
+        os.replace(tmp, path)  # atomic publish; safe under parallel warm-up
+    except OSError:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+# ------------------------------------------------------------ chunked driver
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(points_a, points_b, measure) -> None:
+    _WORKER_STATE["points_a"] = points_a
+    _WORKER_STATE["points_b"] = points_b
+    _WORKER_STATE["measure"] = measure
+
+
+def _run_chunk(chunk: Tuple[int, np.ndarray, np.ndarray]
+               ) -> Tuple[int, np.ndarray]:
+    """Evaluate one work unit; returns (chunk_id, distances)."""
+    chunk_id, idx_a, idx_b = chunk
+    points_a = _WORKER_STATE["points_a"]
+    points_b = _WORKER_STATE["points_b"]
+    measure = _WORKER_STATE["measure"]
+    pairs_a = [points_a[i] for i in idx_a]
+    pairs_b = [points_b[j] for j in idx_b]
+    return chunk_id, measure.distance_many(pairs_a, pairs_b)
+
+
+def _chunked_distances(points_a: list, points_b: list, measure,
+                       idx_a: np.ndarray, idx_b: np.ndarray, workers: int,
+                       chunk_pairs: int, progress: ProgressFn) -> np.ndarray:
+    """Distances for an explicit pair list via chunked (parallel) evaluation."""
+    total = len(idx_a)
+    out = np.empty(total, dtype=np.float64)
+    chunks = [(k, idx_a[s:s + chunk_pairs], idx_b[s:s + chunk_pairs])
+              for k, s in enumerate(range(0, total, chunk_pairs))]
+    done = 0
+
+    def consume(chunk_id: int, values: np.ndarray) -> None:
+        nonlocal done
+        start = chunk_id * chunk_pairs
+        out[start:start + len(values)] = values
+        done += len(values)
+        if progress is not None:
+            progress(done, total)
+
+    pool = None
+    if workers > 1 and len(chunks) > 1:
+        try:
+            context = multiprocessing.get_context()
+            pool = context.Pool(processes=min(workers, len(chunks)),
+                                initializer=_init_worker,
+                                initargs=(points_a, points_b, measure))
+        except (OSError, ValueError):
+            pool = None  # fall back to in-process chunked evaluation
+    if pool is not None:
+        try:
+            for chunk_id, values in pool.imap_unordered(_run_chunk, chunks):
+                consume(chunk_id, values)
+        finally:
+            pool.close()
+            pool.join()
+    else:
+        _init_worker(points_a, points_b, measure)
+        try:
+            for chunk in chunks:
+                chunk_id, values = _run_chunk(chunk)
+                consume(chunk_id, values)
+        finally:
+            _WORKER_STATE.clear()
+    return out
+
+
+# ------------------------------------------------------------------- drivers
+
 def pairwise_distances(trajectories: Sequence, measure: TrajectoryMeasure,
-                       progress: Optional[Callable[[int, int], None]] = None
-                       ) -> np.ndarray:
+                       progress: ProgressFn = None,
+                       workers: Optional[int] = None,
+                       chunk_pairs: Optional[int] = None,
+                       cache_dir: Optional[str] = None) -> np.ndarray:
     """Symmetric (N, N) matrix of exact distances between all pairs.
 
     All four paper measures are symmetric, so only the upper triangle is
-    computed. ``progress(done, total)`` is invoked after each row.
+    computed and mirrored. ``progress(done, total)`` is invoked after each
+    row (serial path) or each completed work unit (chunked path).
+
+    Parameters
+    ----------
+    trajectories:
+        Sequence of :class:`~repro.datasets.Trajectory` or (L, 2) arrays.
+    measure:
+        The exact measure guiding training.
+    progress:
+        Optional ``(completed_pairs, total_pairs)`` callback.
+    workers:
+        Process count; ``1`` runs the serial per-pair reference loop,
+        ``> 1`` the chunked multiprocessing driver (element-wise identical
+        results). ``None`` reads :func:`repro.core.config.get_precompute_config`.
+    chunk_pairs:
+        Pairs per work unit for the chunked driver (``None``: config value).
+    cache_dir:
+        Directory of the on-disk ``.npz`` cache (``None``: config value;
+        caching is skipped when that is also ``None``).
     """
     points = _points(trajectories)
+    workers, chunk_pairs, cache_dir = _defaults(workers, chunk_pairs, cache_dir)
+    n = len(points)
+
+    key = None
+    if cache_dir is not None:
+        key = _content_key([points], measure, kind="pairwise")
+        cached = _cache_load(cache_dir, key)
+        if cached is not None:
+            if progress is not None:
+                total = n * (n - 1) // 2
+                progress(total, total)
+            return cached
+
+    if workers <= 1:
+        matrix = _pairwise_serial(points, measure, progress)
+    else:
+        rows, cols = np.triu_indices(n, k=1)
+        matrix = np.zeros((n, n))
+        if len(rows):
+            values = _chunked_distances(points, points, measure, rows, cols,
+                                        workers, chunk_pairs, progress)
+            matrix[rows, cols] = values
+            matrix[cols, rows] = values
+        elif progress is not None:
+            progress(0, 0)
+
+    if key is not None:
+        _cache_store(cache_dir, key, matrix)
+    return matrix
+
+
+def _pairwise_serial(points: list, measure: TrajectoryMeasure,
+                     progress: ProgressFn) -> np.ndarray:
+    """Original per-pair double loop (bit-for-bit reference path)."""
     n = len(points)
     matrix = np.zeros((n, n))
     total = n * (n - 1) // 2
@@ -43,12 +253,58 @@ def pairwise_distances(trajectories: Sequence, measure: TrajectoryMeasure,
 
 
 def cross_distances(queries: Sequence, database: Sequence,
-                    measure: TrajectoryMeasure) -> np.ndarray:
-    """(Q, N) matrix of distances from each query to each database entry."""
+                    measure: TrajectoryMeasure,
+                    progress: ProgressFn = None,
+                    workers: Optional[int] = None,
+                    chunk_pairs: Optional[int] = None,
+                    cache_dir: Optional[str] = None) -> np.ndarray:
+    """(Q, N) matrix of distances from each query to each database entry.
+
+    Shares the pairwise driver's machinery: the same ``progress`` callback,
+    ``workers`` / ``chunk_pairs`` chunked-parallel evaluation and ``.npz``
+    caching, with defaults from :func:`repro.core.config.get_precompute_config`.
+    """
     q_points = _points(queries)
     d_points = _points(database)
+    workers, chunk_pairs, cache_dir = _defaults(workers, chunk_pairs, cache_dir)
+    n_q, n_d = len(q_points), len(d_points)
+
+    key = None
+    if cache_dir is not None:
+        key = _content_key([q_points, d_points], measure, kind="cross")
+        cached = _cache_load(cache_dir, key)
+        if cached is not None:
+            if progress is not None:
+                progress(n_q * n_d, n_q * n_d)
+            return cached
+
+    if workers <= 1:
+        matrix = _cross_serial(q_points, d_points, measure, progress)
+    else:
+        matrix = np.zeros((n_q, n_d))
+        if n_q and n_d:
+            rows = np.repeat(np.arange(n_q), n_d)
+            cols = np.tile(np.arange(n_d), n_q)
+            values = _chunked_distances(q_points, d_points, measure, rows,
+                                        cols, workers, chunk_pairs, progress)
+            matrix[rows, cols] = values
+        elif progress is not None:
+            progress(0, 0)
+
+    if key is not None:
+        _cache_store(cache_dir, key, matrix)
+    return matrix
+
+
+def _cross_serial(q_points: list, d_points: list,
+                  measure: TrajectoryMeasure,
+                  progress: ProgressFn) -> np.ndarray:
+    """Per-pair reference loop; ``progress`` fires after each query row."""
     matrix = np.zeros((len(q_points), len(d_points)))
+    total = matrix.size
     for i, qp in enumerate(q_points):
         for j, dp in enumerate(d_points):
             matrix[i, j] = measure.distance(qp, dp)
+        if progress is not None:
+            progress((i + 1) * len(d_points), total)
     return matrix

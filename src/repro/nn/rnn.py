@@ -5,6 +5,16 @@ ablation; :mod:`repro.nn.sam` extends the same structure with the spatial
 attention memory. Gate layout follows the paper's Eq. 1-2 with the spatial
 gate removed: a single sigmoid block produces ``[forget, input, output]``
 and a separate tanh block produces the candidate cell state.
+
+Two execution paths produce numerically equivalent results:
+
+* the **fused** path (default) hoists the input projections of *all*
+  timesteps into one ``(B·T, in) @ W`` matmul per sequence and uses the
+  fused :func:`~repro.nn.tensor.lstm_gates` op per step — this is the
+  training hot path;
+* the **legacy** path (``fused=False``) runs :meth:`LSTMCell.forward`
+  step by step exactly as written in the paper equations; it is kept as
+  the equivalence/benchmark baseline.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, where
+from .tensor import Tensor, lstm_gates, unstack, where
 
 
 class LSTMCell(Module):
@@ -46,18 +56,56 @@ class LSTMCell(Module):
         h_t = o_t * c_t.tanh()
         return h_t, c_t
 
+    def project_inputs(self, inputs: np.ndarray) -> Tuple[list, list]:
+        """Hoisted input projections for a whole (B, T, in) sequence.
+
+        One ``(B·T, in) @ W`` matmul per weight (biases folded in) instead
+        of one per timestep; returns per-step (B, 3d) and (B, d) tensors.
+        """
+        batch, steps, _ = inputs.shape
+        flat = Tensor(inputs.reshape(batch * steps, -1))
+        x_gates = (flat @ self.w_gates.transpose() + self.b_gates
+                   ).reshape(batch, steps, 3 * self.hidden_size
+                             ).transpose(1, 0, 2)
+        x_cand = (flat @ self.w_cand.transpose() + self.b_cand
+                  ).reshape(batch, steps, self.hidden_size).transpose(1, 0, 2)
+        return unstack(x_gates), unstack(x_cand)
+
+    def step(self, x_gates_t: Tensor, x_cand_t: Tensor, h_prev: Tensor,
+             c_prev: Tensor, u_gates_t: Optional[Tensor] = None,
+             u_cand_t: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        """Fused step on pre-projected inputs (see :meth:`project_inputs`).
+
+        ``u_gates_t`` / ``u_cand_t`` are the transposed recurrent weights;
+        pass them in when stepping a whole sequence so the transpose nodes
+        are built once instead of per step.
+        """
+        if u_gates_t is None:
+            u_gates_t = self.u_gates.transpose()
+        if u_cand_t is None:
+            u_cand_t = self.u_cand.transpose()
+        pre = x_gates_t + h_prev @ u_gates_t
+        f_t, i_t, o_t = lstm_gates(pre, 3)
+        cand = (x_cand_t + h_prev @ u_cand_t).tanh()
+        c_t = f_t * c_prev + i_t * cand
+        h_t = o_t * c_t.tanh()
+        return h_t, c_t
+
 
 class LSTM(Module):
     """Run an :class:`LSTMCell` over padded sequences with a validity mask.
 
     ``forward`` consumes coordinates of shape (B, T, input_size) and a boolean
     mask (B, T); padded steps carry the previous state through so the final
-    state equals the state at each sequence's true end.
+    state equals the state at each sequence's true end. ``fused`` selects the
+    hoisted-projection fast path (default) or the legacy per-step reference.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, fused: bool = True):
         self.hidden_size = hidden_size
         self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.fused = fused
 
     def forward(self, inputs: np.ndarray, mask: np.ndarray,
                 return_sequence: bool = False):
@@ -66,10 +114,17 @@ class LSTM(Module):
         batch, steps, _ = inputs.shape
         h = Tensor(np.zeros((batch, self.hidden_size)))
         c = Tensor(np.zeros((batch, self.hidden_size)))
+        if self.fused:
+            x_gates, x_cand = self.cell.project_inputs(inputs)
+            u_gates_t = self.cell.u_gates.transpose()
+            u_cand_t = self.cell.u_cand.transpose()
         outputs = []
         for t in range(steps):
-            x_t = Tensor(inputs[:, t, :])
-            h_new, c_new = self.cell(x_t, h, c)
+            if self.fused:
+                h_new, c_new = self.cell.step(x_gates[t], x_cand[t], h, c,
+                                              u_gates_t, u_cand_t)
+            else:
+                h_new, c_new = self.cell(Tensor(inputs[:, t, :]), h, c)
             step_mask = mask[:, t][:, None]
             h = where(step_mask, h_new, h)
             c = where(step_mask, c_new, c)

@@ -36,7 +36,7 @@ import numpy as np
 from . import init
 from .layers import Linear
 from .module import Module, Parameter
-from .tensor import Tensor, concat, where
+from .tensor import Tensor, concat, unstack, where
 
 #: Initial bias of the spatial gate: strongly negative so the memory path
 #: starts nearly closed and opens only where it reduces the loss.
@@ -104,21 +104,28 @@ class SpatialMemory:
         cells = np.asarray(cells, dtype=int)
         coords = cells[:, None, :] + self._window[None, :, :]  # (B, K, 2)
         p, q = self.grid_shape
-        valid = ((coords[..., 0] >= 0) & (coords[..., 0] < p)
-                 & (coords[..., 1] >= 0) & (coords[..., 1] < q))
-        gx = np.clip(coords[..., 0], 0, p - 1)
-        gy = np.clip(coords[..., 1], 0, q - 1)
-        window = self.data[gx, gy]  # (B, K, d)
-        window = window * valid[..., None]
+        gx = coords[..., 0]
+        gy = coords[..., 1]
+        valid = (gx >= 0) & (gx < p) & (gy >= 0) & (gy < q)
+        # One flat ``take`` instead of a (gx, gy) double fancy index: this
+        # gather runs once per recurrent step and is the read hot spot.
+        flat = np.clip(gx, 0, p - 1) * q + np.clip(gy, 0, q - 1)
+        window = self.data.reshape(p * q, self.hidden_size).take(
+            flat.ravel(), axis=0).reshape(*flat.shape, self.hidden_size)
+        window[~valid] = 0.0
         return window
 
     def write(self, cells: np.ndarray, values: np.ndarray, gates: np.ndarray,
               mask: Optional[np.ndarray] = None) -> None:
         """Gated sparse update ``M(g) = sig(s)*c + (1-sig(s))*M(g)`` (Eq. 5).
 
-        Writes are applied sample-by-sample in batch order, matching the
-        per-trajectory semantics of the paper (a later sample in the batch
-        sees earlier writes to the same cell).
+        Writes follow batch order, matching the per-trajectory semantics of
+        the paper (a later sample in the batch sees earlier writes to the
+        same cell). The update is a vectorised scatter: samples hitting
+        *distinct* cells are blended in one fancy-indexed assignment, and
+        duplicate cells are resolved by last-writer chaining — round ``r``
+        applies the ``r``-th writer of every duplicated cell, so the chained
+        result is bit-identical to the sequential loop.
         """
         cells = np.asarray(cells, dtype=int)
         values = np.asarray(values)
@@ -126,14 +133,31 @@ class SpatialMemory:
             values = np.tanh(values)
         gate_weight = _sigmoid(np.asarray(gates))
         p, q = self.grid_shape
-        for b in range(len(cells)):
-            if mask is not None and not mask[b]:
-                continue
-            gx, gy = cells[b]
-            if not (0 <= gx < p and 0 <= gy < q):
-                continue
-            g = gate_weight[b]
-            self.data[gx, gy] = g * values[b] + (1.0 - g) * self.data[gx, gy]
+        valid = ((cells[:, 0] >= 0) & (cells[:, 0] < p)
+                 & (cells[:, 1] >= 0) & (cells[:, 1] < q))
+        if mask is not None:
+            valid &= np.asarray(mask, dtype=bool)
+        rows = np.flatnonzero(valid)
+        if rows.size == 0:
+            return
+        gx = cells[rows, 0]
+        gy = cells[rows, 1]
+        flat = gx * q + gy
+        # Stable sort groups duplicate cells while preserving batch order
+        # inside each group; ``rank`` is each row's position in its group.
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        group_start = np.flatnonzero(
+            np.concatenate([[True], sorted_flat[1:] != sorted_flat[:-1]]))
+        group_id = np.cumsum(
+            np.concatenate([[True], sorted_flat[1:] != sorted_flat[:-1]])) - 1
+        rank = np.arange(len(sorted_flat)) - group_start[group_id]
+        for r in range(int(rank.max()) + 1):
+            sel = order[rank == r]  # one writer per cell -> scatter is safe
+            g = gate_weight[rows[sel]]
+            self.data[gx[sel], gy[sel]] = (
+                g * values[rows[sel]]
+                + (1.0 - g) * self.data[gx[sel], gy[sel]])
 
     def occupancy(self) -> float:
         """Fraction of grid cells holding a non-zero embedding."""
@@ -142,8 +166,10 @@ class SpatialMemory:
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
-                    np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+    # Same stable one-exp logistic as the autodiff ops.
+    e = np.exp(-np.abs(x))
+    pos = 1.0 / (1.0 + e)
+    return np.where(x >= 0, pos, e * pos)
 
 
 class SAMLSTMCell(Module):
@@ -192,6 +218,38 @@ class SAMLSTMCell(Module):
         h_t = o_t * c_t.tanh()
         return h_t, c_t
 
+    def project_inputs(self, inputs: np.ndarray) -> Tuple[list, list]:
+        """Hoisted input projections for a whole (B, T, in) sequence.
+
+        One ``(B·T, in) @ W`` matmul per weight (biases folded in) instead
+        of one per timestep; returns per-step (B, 4d) and (B, d) tensors.
+        """
+        batch, steps, _ = inputs.shape
+        flat = Tensor(inputs.reshape(batch * steps, -1))
+        x_gates = (flat @ self.w_gates.transpose() + self.b_gates
+                   ).reshape(batch, steps, 4 * self.hidden_size
+                             ).transpose(1, 0, 2)
+        x_cand = (flat @ self.w_cand.transpose() + self.b_cand
+                  ).reshape(batch, steps, self.hidden_size).transpose(1, 0, 2)
+        return unstack(x_gates), unstack(x_cand)
+
+    def step(self, x_gates_t: Tensor, x_cand_t: Tensor,
+             grid_cells: np.ndarray, h_prev: Tensor, c_prev: Tensor,
+             memory: SpatialMemory, write: bool = True,
+             step_mask: Optional[np.ndarray] = None) -> Tuple[Tensor, Tensor]:
+        """Fused step on pre-projected inputs (see :meth:`project_inputs`).
+
+        When ``step_mask`` is given the padded-step carry (``h``/``c`` keep
+        their previous values where the mask is False) is folded into the
+        fused core instead of costing two extra ``where`` tape nodes.
+        """
+        window = memory.gather(grid_cells)
+        h_t, c_t, s_t = self.step_core(x_gates_t, x_cand_t, h_prev, c_prev,
+                                       window, step_mask=step_mask)
+        if write:
+            memory.write(grid_cells, c_t.data, s_t, mask=step_mask)
+        return h_t, c_t
+
     def read(self, c_hat: Tensor, grid_cells: np.ndarray,
              memory: SpatialMemory) -> Tensor:
         """Attention read (§IV-C1): scan, attend, mix, project."""
@@ -207,6 +265,130 @@ class SAMLSTMCell(Module):
         cat = concat([c_hat, mix], axis=-1)
         return self.read_proj(cat).tanh()
 
+    def step_core(self, x_gates_t: Tensor, x_cand_t: Tensor, h_prev: Tensor,
+                  c_prev: Tensor, window: np.ndarray,
+                  step_mask: Optional[np.ndarray] = None
+                  ) -> Tuple[Tensor, Tensor, np.ndarray]:
+        """Recurrent projections → gates → candidate → read → states, fused.
+
+        Computes the whole recurrence core — recurrent matmuls, sigmoid
+        gate slab, candidate ``tanh``, intermediate cell state, attention
+        read over ``window`` and the output states — in raw numpy with a
+        hand-written backward, so each timestep adds two tape nodes
+        (``c_t``, ``h_t``) instead of ~20. Forward runs the exact numpy
+        operations of the legacy per-step path, keeping the two
+        bit-identical. ``window`` is a constant: reads do not
+        backpropagate into stored history.
+
+        ``step_mask`` (B,) folds the padded-step carry into the same two
+        nodes: rows with a False mask emit ``h_prev``/``c_prev`` unchanged
+        and route their gradients straight back to the previous states,
+        exactly as the standalone ``where`` carry would.
+
+        Returns ``(h_t, c_t, s_t_data)`` — the spatial-gate values are
+        needed by the caller for the memory write.
+        """
+        u_gates, u_cand = self.u_gates, self.u_cand
+        weight, bias = self.read_proj.weight, self.read_proj.bias
+        batch, d = c_prev.shape
+        h_data = h_prev.data
+        pre = x_gates_t.data + h_data @ u_gates.data.transpose()
+        cand_pre = x_cand_t.data + h_data @ u_cand.data.transpose()
+        slab = _sigmoid(pre)
+        f_t = slab[:, 0 * d:1 * d]
+        i_t = slab[:, 1 * d:2 * d]
+        s_t = slab[:, 2 * d:3 * d]
+        o_t = slab[:, 3 * d:4 * d]
+        cand = np.tanh(cand_pre)
+        c_hat = f_t * c_prev.data + i_t * cand
+
+        scores = (window @ c_hat.reshape(batch, d, 1)
+                  ).reshape(batch, window.shape[1])
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        attn = e / e.sum(axis=-1, keepdims=True)
+        mix = (window.transpose(0, 2, 1)
+               @ attn.reshape(batch, -1, 1)).reshape(batch, d)
+        cat = np.concatenate([c_hat, mix], axis=-1)
+        c_his = np.tanh(cat @ weight.data.transpose() + bias.data)
+        c_t_data = c_hat + s_t * c_his
+        tanh_ct = np.tanh(c_t_data)
+        h_t_data = o_t * tanh_ct
+        if step_mask is not None:
+            carry = ~np.asarray(step_mask, dtype=bool)[:, None]
+            c_t_data = np.where(carry, c_prev.data, c_t_data)
+            h_t_data = np.where(carry, h_prev.data, h_t_data)
+        else:
+            carry = None
+
+        def backward_c(grad: np.ndarray) -> None:
+            if carry is not None:
+                if c_prev.requires_grad:
+                    c_prev._accumulate(np.where(carry, grad, 0.0))
+                grad = np.where(carry, 0.0, grad)
+            g_s = grad * c_his * s_t * (1.0 - s_t)
+            g_read = grad * s_t * (1.0 - c_his * c_his)
+            if bias.requires_grad:
+                bias._accumulate(g_read.sum(axis=0))
+            if weight.requires_grad:
+                weight._accumulate(g_read.transpose() @ cat)
+            g_cat = g_read @ weight.data
+            g_mix = g_cat[:, d:]
+            g_attn = (window @ g_mix.reshape(batch, d, 1)
+                      ).reshape(batch, -1)
+            dot = (g_attn * attn).sum(axis=-1, keepdims=True)
+            g_scores = attn * (g_attn - dot)
+            g_c_hat = grad + g_cat[:, :d] + (
+                window.transpose(0, 2, 1)
+                @ g_scores.reshape(batch, -1, 1)).reshape(batch, d)
+            # (B, 3d) gradient of the [f, i, s] block of ``pre``.
+            g_fis = np.concatenate(
+                [g_c_hat * c_prev.data * f_t * (1.0 - f_t),
+                 g_c_hat * cand * i_t * (1.0 - i_t),
+                 g_s], axis=-1)
+            g_cand_pre = g_c_hat * i_t * (1.0 - cand * cand)
+            if x_gates_t.requires_grad:
+                x_gates_t._accumulate_into((Ellipsis, slice(0, 3 * d)), g_fis)
+            if x_cand_t.requires_grad:
+                x_cand_t._accumulate(g_cand_pre)
+            if h_prev.requires_grad:
+                h_prev._accumulate(g_fis @ u_gates.data[:3 * d]
+                                   + g_cand_pre @ u_cand.data)
+            if u_gates.requires_grad:
+                u_gates._accumulate_into(slice(0, 3 * d),
+                                         g_fis.transpose() @ h_data)
+            if u_cand.requires_grad:
+                u_cand._accumulate(g_cand_pre.transpose() @ h_data)
+            if c_prev.requires_grad:
+                c_prev._accumulate(g_c_hat * f_t)
+
+        c_t = Tensor._make(
+            c_t_data,
+            (x_gates_t, x_cand_t, h_prev, c_prev, u_gates, u_cand,
+             weight, bias),
+            backward_c)
+
+        def backward_h(grad: np.ndarray) -> None:
+            if carry is not None:
+                if h_prev.requires_grad:
+                    h_prev._accumulate(np.where(carry, grad, 0.0))
+                grad = np.where(carry, 0.0, grad)
+            g_o = grad * tanh_ct * o_t * (1.0 - o_t)
+            if x_gates_t.requires_grad:
+                x_gates_t._accumulate_into((Ellipsis, slice(3 * d, 4 * d)),
+                                           g_o)
+            if h_prev.requires_grad:
+                h_prev._accumulate(g_o @ u_gates.data[3 * d:])
+            if u_gates.requires_grad:
+                u_gates._accumulate_into(slice(3 * d, 4 * d),
+                                         g_o.transpose() @ h_data)
+            if c_t.requires_grad:
+                c_t._accumulate(grad * o_t * (1.0 - tanh_ct * tanh_ct))
+
+        h_t = Tensor._make(h_t_data, (x_gates_t, h_prev, u_gates, c_t),
+                           backward_h)
+        return h_t, c_t, s_t
+
 
 class SAMLSTM(Module):
     """Run a :class:`SAMLSTMCell` over padded (coords, grid-cells) sequences.
@@ -218,9 +400,10 @@ class SAMLSTM(Module):
     """
 
     def __init__(self, input_size: int, hidden_size: int,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator, fused: bool = True):
         self.hidden_size = hidden_size
         self.cell = SAMLSTMCell(input_size, hidden_size, rng)
+        self.fused = fused
 
     def forward(self, inputs: np.ndarray, grid_cells: np.ndarray,
                 mask: np.ndarray, memory: SpatialMemory,
@@ -231,15 +414,22 @@ class SAMLSTM(Module):
         batch, steps, _ = inputs.shape
         h = Tensor(np.zeros((batch, self.hidden_size)))
         c = Tensor(np.zeros((batch, self.hidden_size)))
+        if self.fused:
+            x_gates, x_cand = self.cell.project_inputs(inputs)
         outputs = []
         for t in range(steps):
-            x_t = Tensor(inputs[:, t, :])
             step_mask = mask[:, t]
-            h_new, c_new = self.cell(
-                x_t, grid_cells[:, t, :], h, c, memory,
-                write=update_memory, step_mask=step_mask)
-            h = where(step_mask[:, None], h_new, h)
-            c = where(step_mask[:, None], c_new, c)
+            if self.fused:
+                # The padded-step carry is folded into the fused core.
+                h, c = self.cell.step(
+                    x_gates[t], x_cand[t], grid_cells[:, t, :], h, c, memory,
+                    write=update_memory, step_mask=step_mask)
+            else:
+                h_new, c_new = self.cell(
+                    Tensor(inputs[:, t, :]), grid_cells[:, t, :], h, c,
+                    memory, write=update_memory, step_mask=step_mask)
+                h = where(step_mask[:, None], h_new, h)
+                c = where(step_mask[:, None], c_new, c)
             if return_sequence:
                 outputs.append(h)
         if return_sequence:

@@ -146,7 +146,21 @@ class Tensor:
         if self.grad is None:
             self.grad = grad.copy()
         else:
-            self.grad = self.grad + grad
+            # The buffer is always own-allocated (copy/zeros above), so the
+            # in-place add is safe and saves one temporary per fan-in.
+            self.grad += grad
+
+    def _accumulate_into(self, key, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into a sub-slice of this tensor's gradient.
+
+        Used by slab-splitting ops (:func:`lstm_gates`, :func:`unstack`)
+        whose outputs cover disjoint regions of the parent: a lazily
+        allocated buffer plus an in-place slice add avoids the full-size
+        zeros + ``np.add.at`` scatter a ``__getitem__`` node would pay.
+        """
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad[key] += grad
 
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
@@ -322,10 +336,11 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
+        # Numerically stable logistic; one exp, shared by both branches.
         x = self.data
-        data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
-                        np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+        e = np.exp(-np.abs(x))
+        pos = 1.0 / (1.0 + e)
+        data = np.where(x >= 0, pos, e * pos)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -486,6 +501,66 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 t._accumulate(slab)
 
     return Tensor._make(data, tensors, backward)
+
+
+def lstm_gates(pre: Tensor, num_gates: int) -> Tuple[Tensor, ...]:
+    """Fused sigmoid-gate slab: split ``pre`` into ``num_gates`` gates.
+
+    Equivalent to ``pre.sigmoid()`` followed by ``num_gates`` slices along
+    the last axis, but fused: the logistic is applied once to the whole
+    slab with no intermediate tape node, and each gate's backward adds
+    ``grad * g * (1 - g)`` straight into its slice of the parent's gradient
+    buffer — replacing the sigmoid node plus per-slice full-size
+    zeros/``np.add.at`` scatters of the unfused form. This is the hot op of
+    the recurrent training step (one call per timestep).
+    """
+    width = pre.shape[-1]
+    if width % num_gates != 0:
+        raise ValueError(
+            f"last axis ({width}) is not divisible into {num_gates} gates")
+    d = width // num_gates
+    x = pre.data
+    e = np.exp(-np.abs(x))
+    pos = 1.0 / (1.0 + e)
+    slab = np.where(x >= 0, pos, e * pos)
+
+    def make_backward(key, gate: np.ndarray):
+        def backward(grad: np.ndarray) -> None:
+            if pre.requires_grad:
+                pre._accumulate_into(key, grad * gate * (1.0 - gate))
+        return backward
+
+    gates = []
+    for g in range(num_gates):
+        key = (Ellipsis, slice(g * d, (g + 1) * d))
+        gate = slab[key]
+        gates.append(Tensor._make(gate, (pre,), make_backward(key, gate)))
+    return tuple(gates)
+
+
+def unstack(tensor: Tensor, axis: int = 0) -> list:
+    """Split ``tensor`` into views along ``axis`` (gradients fill slots).
+
+    The inverse of :func:`stack`: returns ``tensor.shape[axis]`` tensors,
+    each a (zero-copy) slice whose backward accumulates into its slot of
+    the parent's gradient buffer. Used to slice per-timestep projections
+    out of a hoisted whole-sequence matmul without per-step ``np.add.at``
+    scatters.
+    """
+    t = as_tensor(tensor)
+    prefix = (slice(None),) * (axis % max(t.ndim, 1))
+
+    def make_backward(key):
+        def backward(grad: np.ndarray) -> None:
+            if t.requires_grad:
+                t._accumulate_into(key, grad)
+        return backward
+
+    outs = []
+    for idx in range(t.shape[axis]):
+        key = prefix + (idx,)
+        outs.append(Tensor._make(t.data[key], (t,), make_backward(key)))
+    return outs
 
 
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:

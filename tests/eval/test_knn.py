@@ -27,6 +27,18 @@ class TestTopKFromDistances:
         d = np.array([1.0, np.inf, 2.0])
         np.testing.assert_array_equal(top_k_from_distances(d, 3), [0, 2])
 
+    def test_all_nonfinite_returns_empty(self):
+        """No finite candidate -> empty result, not garbage indices."""
+        d = np.array([np.inf, np.nan, np.inf])
+        result = top_k_from_distances(d, 2)
+        assert result.shape == (0,)
+        assert result.dtype == np.int64 or result.dtype == int
+
+    def test_all_nonfinite_after_exclude(self):
+        d = np.array([1.0, np.inf])
+        result = top_k_from_distances(d, 1, exclude=0)
+        assert result.shape == (0,)
+
 
 class TestBruteForce(object):
     def test_self_is_nearest(self, small_dataset):

@@ -1,9 +1,13 @@
 """Tests for the pairwise / cross distance-matrix drivers."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.measures import (cross_distances, get_measure, pairwise_distances)
+
+ALL_MEASURES = ["dtw", "frechet", "hausdorff", "erp"]
 
 
 def test_pairwise_symmetric_zero_diagonal(small_dataset):
@@ -47,3 +51,131 @@ def test_accepts_raw_arrays(rng):
     arrays = [rng.normal(size=(5, 2)) for _ in range(4)]
     matrix = pairwise_distances(arrays, get_measure("hausdorff"))
     assert matrix.shape == (4, 4)
+
+
+@pytest.mark.parametrize("name", ALL_MEASURES)
+def test_parallel_identical_to_serial(small_dataset, name):
+    """workers=2 must reproduce the serial matrix element-wise exactly."""
+    trajs = list(small_dataset)[:14]
+    measure = get_measure(name)
+    serial = pairwise_distances(trajs, measure, workers=1)
+    parallel = pairwise_distances(trajs, measure, workers=2, chunk_pairs=17)
+    np.testing.assert_array_equal(serial, parallel)
+
+
+@pytest.mark.parametrize("name", ALL_MEASURES)
+def test_distance_many_matches_distance(small_dataset, name):
+    """The batched kernels are bit-identical to per-pair calls."""
+    trajs = [np.asarray(t.points) for t in list(small_dataset)[:10]]
+    measure = get_measure(name)
+    rows, cols = np.triu_indices(len(trajs), k=1)
+    serial = np.array([measure.distance(trajs[i], trajs[j])
+                       for i, j in zip(rows, cols)])
+    batched = measure.distance_many([trajs[i] for i in rows],
+                                    [trajs[j] for j in cols])
+    np.testing.assert_array_equal(serial, batched)
+
+
+def test_parallel_progress_reaches_total(small_dataset):
+    calls = []
+    trajs = list(small_dataset)[:10]
+    pairwise_distances(trajs, get_measure("hausdorff"), workers=2,
+                       chunk_pairs=10,
+                       progress=lambda done, total: calls.append((done, total)))
+    assert calls[-1] == (45, 45)
+    assert all(total == 45 for _, total in calls)
+    assert [done for done, _ in calls] == sorted(done for done, _ in calls)
+
+
+def test_cross_distances_progress_and_parallel(small_dataset):
+    calls = []
+    queries = list(small_dataset)[:3]
+    database = list(small_dataset)[:7]
+    measure = get_measure("dtw")
+    serial = cross_distances(queries, database, measure,
+                             progress=lambda d, t: calls.append((d, t)))
+    assert calls[-1] == (21, 21)
+    parallel = cross_distances(queries, database, measure, workers=2,
+                               chunk_pairs=5)
+    np.testing.assert_array_equal(serial, parallel)
+
+
+class TestMatrixCache:
+    def test_round_trip_hit(self, small_dataset, tmp_path):
+        trajs = list(small_dataset)[:8]
+        measure = get_measure("dtw")
+        first = pairwise_distances(trajs, measure, cache_dir=str(tmp_path))
+        files = os.listdir(tmp_path)
+        assert len(files) == 1 and files[0].endswith(".npz")
+
+        calls = []
+        second = pairwise_distances(
+            trajs, measure, cache_dir=str(tmp_path),
+            progress=lambda d, t: calls.append((d, t)))
+        np.testing.assert_array_equal(first, second)
+        # A hit reports completion once without recomputing row by row.
+        assert calls == [(28, 28)]
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_miss_after_perturbing_a_point(self, small_dataset, tmp_path):
+        trajs = [np.asarray(t.points).copy() for t in list(small_dataset)[:8]]
+        measure = get_measure("hausdorff")
+        first = pairwise_distances(trajs, measure, cache_dir=str(tmp_path))
+        trajs[3][0, 0] += 1.5
+        second = pairwise_distances(trajs, measure, cache_dir=str(tmp_path))
+        assert len(os.listdir(tmp_path)) == 2  # distinct content hash
+        assert not np.array_equal(first, second)
+        np.testing.assert_array_equal(
+            second, pairwise_distances(trajs, measure))
+
+    def test_distinct_measures_do_not_collide(self, small_dataset, tmp_path):
+        trajs = list(small_dataset)[:8]
+        dtw = pairwise_distances(trajs, get_measure("dtw"),
+                                 cache_dir=str(tmp_path))
+        frechet = pairwise_distances(trajs, get_measure("frechet"),
+                                     cache_dir=str(tmp_path))
+        assert len(os.listdir(tmp_path)) == 2
+        assert not np.array_equal(dtw, frechet)
+
+    def test_measure_parameters_change_the_key(self, small_dataset, tmp_path):
+        trajs = list(small_dataset)[:6]
+        pairwise_distances(trajs, get_measure("dtw"), cache_dir=str(tmp_path))
+        pairwise_distances(trajs, get_measure("dtw", window=2),
+                           cache_dir=str(tmp_path))
+        assert len(os.listdir(tmp_path)) == 2
+
+    def test_cross_cache_round_trip(self, small_dataset, tmp_path):
+        queries = list(small_dataset)[:3]
+        database = list(small_dataset)[:6]
+        measure = get_measure("erp")
+        first = cross_distances(queries, database, measure,
+                                cache_dir=str(tmp_path))
+        second = cross_distances(queries, database, measure,
+                                 cache_dir=str(tmp_path))
+        np.testing.assert_array_equal(first, second)
+        assert len(os.listdir(tmp_path)) == 1
+
+
+class TestPrecomputeConfigDefaults:
+    def test_workers_default_flows_from_config(self, small_dataset):
+        from repro.core.config import set_precompute_config
+        trajs = list(small_dataset)[:8]
+        measure = get_measure("frechet")
+        serial = pairwise_distances(trajs, measure)
+        set_precompute_config(workers=2, chunk_pairs=9)
+        try:
+            configured = pairwise_distances(trajs, measure)
+        finally:
+            set_precompute_config(workers=1, chunk_pairs=512)
+        np.testing.assert_array_equal(serial, configured)
+
+    def test_cache_dir_default_flows_from_config(self, small_dataset,
+                                                 tmp_path):
+        from repro.core.config import set_precompute_config
+        trajs = list(small_dataset)[:6]
+        set_precompute_config(cache_dir=str(tmp_path))
+        try:
+            pairwise_distances(trajs, get_measure("dtw"))
+        finally:
+            set_precompute_config(cache_dir=None)
+        assert len(os.listdir(tmp_path)) == 1

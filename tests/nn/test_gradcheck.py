@@ -8,7 +8,8 @@ softmax-mix, embedding similarity, masked state carry).
 import numpy as np
 import pytest
 
-from repro.nn.tensor import Tensor, concat, gradient_check, stack, where
+from repro.nn.tensor import (Tensor, concat, gradient_check, lstm_gates,
+                             stack, unstack, where)
 
 RNG = np.random.default_rng(99)
 
@@ -51,6 +52,46 @@ MAT_4x3 = Tensor(RNG.normal(size=(4, 3)))
 ])
 def test_op_gradients(name, build, shape):
     x = np.random.default_rng(hash(name) % 2**31).normal(size=shape)
+    assert gradient_check(build, x)
+
+
+@pytest.mark.parametrize("num_gates", [3, 4])
+def test_lstm_gates_gradient(num_gates):
+    """Fused sigmoid-slab op: every gate slice backpropagates correctly."""
+    x = np.random.default_rng(20 + num_gates).normal(size=(3, num_gates * 2))
+
+    def build(t):
+        gates = lstm_gates(t, num_gates)
+        total = gates[0].sum()
+        for i, g in enumerate(gates[1:], start=2):
+            total = total + (g ** i).sum()
+        return total
+
+    assert gradient_check(build, x)
+
+
+def test_lstm_gates_matches_sliced_sigmoid():
+    """Forward values equal the unfused sigmoid-then-slice formulation."""
+    x = np.random.default_rng(25).normal(size=(4, 12))
+    fused = lstm_gates(Tensor(x), 3)
+    reference = Tensor(x).sigmoid()
+    for g, gate in enumerate(fused):
+        np.testing.assert_allclose(gate.data,
+                                   reference.data[:, g * 4:(g + 1) * 4])
+
+
+def test_lstm_gates_rejects_indivisible_width():
+    with pytest.raises(ValueError):
+        lstm_gates(Tensor(np.zeros((2, 7))), 3)
+
+
+def test_unstack_gradient():
+    x = np.random.default_rng(26).normal(size=(3, 2, 4))
+
+    def build(t):
+        slots = unstack(t, axis=0)
+        return (slots[0] ** 2).sum() + (slots[1] * 3.0).sum() + slots[2].sum()
+
     assert gradient_check(build, x)
 
 

@@ -100,6 +100,36 @@ def test_bptt_gradient_matches_numerical(rng):
     assert err < 1e-6
 
 
+def test_fused_matches_legacy_forward(rng):
+    """The hoisted-projection fast path equals the per-step reference."""
+    fused = LSTM(2, 6, np.random.default_rng(11), fused=True)
+    legacy = LSTM(2, 6, np.random.default_rng(11), fused=False)
+    coords = rng.normal(size=(3, 7, 2))
+    mask = lengths_to_mask(np.array([7, 5, 2]), 7)
+    out_f, seq_f = fused(coords, mask, return_sequence=True)
+    out_l, seq_l = legacy(coords, mask, return_sequence=True)
+    np.testing.assert_allclose(out_f.data, out_l.data, atol=1e-12)
+    for step_f, step_l in zip(seq_f, seq_l):
+        np.testing.assert_allclose(step_f.data, step_l.data, atol=1e-12)
+
+
+def test_fused_matches_legacy_gradients(rng):
+    coords = rng.normal(size=(2, 5, 2))
+    mask = lengths_to_mask(np.array([5, 3]), 5)
+    grads = {}
+    for fused in (True, False):
+        lstm = LSTM(2, 4, np.random.default_rng(13), fused=fused)
+        loss = (lstm(coords, mask) ** 2).sum()
+        lstm.zero_grad()
+        loss.backward()
+        grads[fused] = {name: p.grad.copy()
+                        for name, p in lstm.named_parameters()}
+    assert grads[True].keys() == grads[False].keys()
+    for name in grads[True]:
+        np.testing.assert_allclose(grads[True][name], grads[False][name],
+                                   atol=1e-12, err_msg=name)
+
+
 def test_forget_bias_initialised_to_one(rng):
     cell = LSTMCell(2, 4, rng)
     np.testing.assert_allclose(cell.b_gates.data[:4], 1.0)

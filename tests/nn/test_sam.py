@@ -92,6 +92,54 @@ class TestSpatialMemory:
         mem.write(cells, values, gates)
         np.testing.assert_allclose(mem.data[1, 1], [4.0], atol=1e-6)
 
+    @staticmethod
+    def _reference_write(mem, cells, values, gates, mask=None):
+        """Sequential per-sample reference the scatter must reproduce."""
+        from repro.nn.sam import _sigmoid
+        p, q = mem.grid_shape
+        if mem.bounded:
+            values = np.tanh(values)
+        g = _sigmoid(np.asarray(gates, dtype=float))
+        for b in range(len(cells)):
+            if mask is not None and not mask[b]:
+                continue
+            gx, gy = int(cells[b, 0]), int(cells[b, 1])
+            if not (0 <= gx < p and 0 <= gy < q):
+                continue
+            mem.data[gx, gy] = (g[b] * values[b]
+                                + (1.0 - g[b]) * mem.data[gx, gy])
+
+    @pytest.mark.parametrize("bounded", [True, False])
+    def test_write_matches_sequential_reference(self, bounded):
+        """Vectorised scatter is bit-identical to the per-sample loop,
+        including batches where many samples hit the same grid cell."""
+        rng = np.random.default_rng(17)
+        fast = SpatialMemory((4, 4), 3, bandwidth=1, bounded=bounded)
+        fast.data[:] = rng.normal(size=fast.data.shape)
+        slow = fast.copy()
+        for _ in range(5):
+            # 12 samples on a 4x4 grid (with out-of-bounds rows): heavy
+            # duplication is guaranteed.
+            cells = rng.integers(-1, 5, size=(12, 2))
+            values = rng.normal(scale=3.0, size=(12, 3))
+            gates = rng.normal(scale=2.0, size=(12, 3))
+            mask = rng.random(12) > 0.2
+            fast.write(cells, values, gates, mask=mask)
+            self._reference_write(slow, cells, values, gates, mask=mask)
+            np.testing.assert_array_equal(fast.data, slow.data)
+
+    def test_write_duplicate_cells_follow_batch_order(self):
+        """Three writers to one cell chain exactly like sequential blends."""
+        fast = SpatialMemory((3, 3), 2, bandwidth=0, bounded=False)
+        fast.data[1, 1] = [1.0, -1.0]
+        slow = fast.copy()
+        cells = np.array([[1, 1], [0, 2], [1, 1], [1, 1]])
+        values = np.array([[2.0, 2.0], [9.0, 9.0], [4.0, 4.0], [8.0, 8.0]])
+        gates = np.array([[0.5, 0.5], [1.0, 1.0], [-0.5, 0.3], [0.1, -2.0]])
+        fast.write(cells, values, gates)
+        self._reference_write(slow, cells, values, gates)
+        np.testing.assert_array_equal(fast.data, slow.data)
+
     def test_reset_and_copy(self):
         mem = SpatialMemory((3, 3), 2, bandwidth=1)
         mem.data[0, 0] = 1.0
@@ -204,6 +252,41 @@ class TestSAMLSTM:
         err = (np.max(np.abs(analytic - numeric))
                / max(1.0, np.max(np.abs(numeric))))
         assert err < 1e-6
+
+    def test_fused_matches_legacy_forward_and_memory(self):
+        """Fused and per-step paths agree on output and memory writes."""
+        rng_data = np.random.default_rng(21)
+        fused = SAMLSTM(2, 5, np.random.default_rng(3), fused=True)
+        legacy = SAMLSTM(2, 5, np.random.default_rng(3), fused=False)
+        coords = rng_data.normal(size=(3, 6, 2))
+        cells = rng_data.integers(0, 6, size=(3, 6, 2))
+        mask = lengths_to_mask(np.array([6, 4, 2]), 6)
+        mem_f = SpatialMemory((6, 6), 5, bandwidth=1)
+        mem_l = SpatialMemory((6, 6), 5, bandwidth=1)
+        out_f = fused(coords, cells, mask, mem_f, update_memory=True)
+        out_l = legacy(coords, cells, mask, mem_l, update_memory=True)
+        np.testing.assert_allclose(out_f.data, out_l.data, atol=1e-12)
+        np.testing.assert_allclose(mem_f.data, mem_l.data, atol=1e-12)
+
+    def test_fused_matches_legacy_gradients(self):
+        rng_data = np.random.default_rng(22)
+        coords = rng_data.normal(size=(2, 4, 2))
+        cells = rng_data.integers(0, 6, size=(2, 4, 2))
+        mask = np.ones((2, 4), dtype=bool)
+        grads = {}
+        for fused in (True, False):
+            sam = SAMLSTM(2, 4, np.random.default_rng(5), fused=fused)
+            mem = SpatialMemory((6, 6), 4, bandwidth=1)
+            mem.data[:] = np.random.default_rng(6).normal(size=mem.data.shape)
+            loss = (sam(coords, cells, mask, mem) ** 2).sum()
+            sam.zero_grad()
+            loss.backward()
+            grads[fused] = {name: p.grad.copy()
+                            for name, p in sam.named_parameters()}
+        assert grads[True].keys() == grads[False].keys()
+        for name in grads[True]:
+            np.testing.assert_allclose(grads[True][name], grads[False][name],
+                                       atol=1e-12, err_msg=name)
 
     def test_bandwidth_zero_reads_single_cell(self, rng):
         cell = SAMLSTMCell(2, 4, rng)

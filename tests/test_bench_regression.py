@@ -1,0 +1,27 @@
+"""Optional performance-regression gate (deselected from tier-1).
+
+Marked ``bench_regression`` and excluded by the default ``addopts`` in
+``pyproject.toml`` because it re-runs the kernel micro-benchmarks
+(~30 s). Opt in with::
+
+    PYTHONPATH=src python -m pytest -m bench_regression
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+@pytest.mark.bench_regression
+def test_kernels_not_slower_than_committed_baseline():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        from check_bench_regression import BASELINE, run_check
+    finally:
+        sys.path.pop(0)
+    assert BASELINE.exists(), "benchmarks/BENCH_kernels.json not committed"
+    failures = run_check()
+    assert not failures, "\n".join(failures)
