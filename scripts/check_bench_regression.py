@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Guard against kernel performance regressions.
+"""Guard against kernel and serving performance regressions.
 
-Re-runs ``benchmarks/bench_kernels.py`` and compares each kernel's
-optimised-path time (``after_s``) against the committed
-``benchmarks/BENCH_kernels.json`` baseline. Exits non-zero when
+Re-runs the committed micro-benchmarks and compares against their
+baselines. Exits non-zero when
 
 * any kernel's fresh ``after_s`` is more than ``--threshold`` (default
-  1.5×) slower than the committed baseline, or
-* any kernel's old/new equivalence check fails.
+  1.5×) slower than the committed ``benchmarks/BENCH_kernels.json``, or
+  any kernel's old/new equivalence check fails;
+* the serving layer's fresh 16-client throughput falls below the
+  committed ``benchmarks/BENCH_serving.json`` by more than the threshold,
+  its micro-batched speedup over serial drops under the 2× acceptance
+  floor, or the service stops answering identically to the offline store.
 
 Wall-clock on shared CPUs is noisy, so the 1.5× threshold is deliberately
 loose: it catches "someone un-vectorised the hot path", not 10% jitter.
@@ -15,9 +18,10 @@ loose: it catches "someone un-vectorised the hot path", not 10% jitter.
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py
+    PYTHONPATH=src python scripts/check_bench_regression.py --only kernels
     PYTHONPATH=src python scripts/check_bench_regression.py --threshold 2.0
 
-The same check is importable from the optional ``bench_regression``
+The same checks are importable from the optional ``bench_regression``
 pytest marker (deselected by default)::
 
     PYTHONPATH=src python -m pytest -m bench_regression
@@ -32,8 +36,22 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "benchmarks" / "BENCH_kernels.json"
+SERVING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_serving.json"
 DEFAULT_THRESHOLD = 1.5
 
+#: Acceptance floor: 16-client micro-batched throughput over serial.
+SERVING_SPEEDUP_FLOOR = 2.0
+
+
+def _import_bench(module_name: str):
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        return __import__(module_name)
+    finally:
+        sys.path.pop(0)
+
+
+# ----------------------------------------------------------------- kernels
 
 def compare_reports(baseline: dict, fresh: dict,
                     threshold: float = DEFAULT_THRESHOLD) -> list:
@@ -56,33 +74,77 @@ def compare_reports(baseline: dict, fresh: dict,
 
 
 def run_check(threshold: float = DEFAULT_THRESHOLD) -> list:
-    """Run the benchmarks and compare against the committed baseline."""
-    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
-    try:
-        import bench_kernels
-    finally:
-        sys.path.pop(0)
+    """Run the kernel benchmarks and compare against the committed baseline."""
+    bench_kernels = _import_bench("bench_kernels")
     baseline = json.loads(BASELINE.read_text())
     fresh = bench_kernels.run_all()
     return compare_reports(baseline, fresh, threshold)
 
+
+# ----------------------------------------------------------------- serving
+
+def compare_serving_reports(baseline: dict, fresh: dict,
+                            threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Failure strings for the serving benchmark (empty = pass)."""
+    failures = []
+    fresh_results = fresh["results"]
+    base_results = baseline["results"]
+    if not fresh_results.get("identical", False):
+        failures.append(
+            "serving: service answers diverged from the offline store")
+    speedup = fresh_results["speedup_16_vs_serial"]
+    if speedup < SERVING_SPEEDUP_FLOOR:
+        failures.append(
+            f"serving: micro-batched speedup {speedup:.2f}x is under the "
+            f"{SERVING_SPEEDUP_FLOOR:.1f}x floor")
+    top = str(max(fresh["config"]["concurrency"]))
+    fresh_qps = fresh_results["service"][top]["qps"]
+    base_qps = base_results["service"][top]["qps"]
+    if fresh_qps * threshold < base_qps:
+        failures.append(
+            f"serving: {top}-client throughput {fresh_qps:.0f} qps is "
+            f"{base_qps / fresh_qps:.2f}x under the committed "
+            f"{base_qps:.0f} qps (threshold {threshold:.2f}x)")
+    return failures
+
+
+def run_serving_check(threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Run the serving benchmark and compare against the committed baseline."""
+    bench_serving = _import_bench("bench_serving")
+    baseline = json.loads(SERVING_BASELINE.read_text())
+    fresh = bench_serving.run_all()
+    return compare_serving_reports(baseline, fresh, threshold)
+
+
+# -------------------------------------------------------------------- main
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="max allowed slowdown vs the committed baseline "
                              f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--only", choices=["kernels", "serving", "all"],
+                        default="all", help="which suite to check")
     args = parser.parse_args(argv)
-    if not BASELINE.exists():
-        print(f"no committed baseline at {BASELINE}")
-        return 1
-    failures = run_check(args.threshold)
+
+    failures = []
+    if args.only in ("kernels", "all"):
+        if not BASELINE.exists():
+            print(f"no committed baseline at {BASELINE}")
+            return 1
+        failures += run_check(args.threshold)
+    if args.only in ("serving", "all"):
+        if not SERVING_BASELINE.exists():
+            print(f"no committed baseline at {SERVING_BASELINE}")
+            return 1
+        failures += run_serving_check(args.threshold)
+
     if failures:
         print("PERFORMANCE REGRESSION:")
         for line in failures:
             print(f"  - {line}")
         return 1
-    print("all kernels within threshold of the committed baseline")
+    print("all benchmarks within threshold of the committed baselines")
     return 0
 
 

@@ -10,6 +10,10 @@ Commands
 ``experiment <name>``
     Regenerate one of the paper's tables/figures (``table2`` .. ``fig10``)
     at the scale given by ``--scale`` (smoke/small/medium).
+``serve``
+    Run the online similarity-query service over a saved bundle
+    (``repro.serving``); ``--once`` performs a loopback self-test and
+    exits.
 """
 
 from __future__ import annotations
@@ -90,6 +94,95 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
          "--benchmark-only", "-q"], env=env)
 
 
+def _self_test(server, service) -> int:
+    """Drive the freshly started server over loopback; 0 on success."""
+    import json
+    import urllib.request
+
+    def call(path, payload=None):
+        url = server.url + path
+        if payload is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url, data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read()
+
+    status, body = call("/healthz")
+    health = json.loads(body)
+    print(f"healthz: {status} {health}")
+    if status != 200 or health.get("status") != "ok":
+        return 1
+
+    probe = service.probes[0] if service.probes else service.synthetic_probe()
+    status, body = call("/v1/topk",
+                        {"trajectory": probe.points.tolist(), "k": 5})
+    answer = json.loads(body)
+    print(f"topk:    {status} ids={answer.get('ids')}")
+    if status != 200:
+        return 1
+    expected, _ = service.store.query(probe, k=5)
+    if answer["ids"] != [int(i) for i in expected]:
+        print(f"self-test mismatch: expected ids {expected.tolist()}")
+        return 1
+
+    status, body = call("/metrics")
+    text = body.decode()
+    lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+    print(f"metrics: {status} ({len(lines)} samples)")
+    if status != 200 or "repro_topk_requests_total" not in text:
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import ServingConfig, SimilarityService, make_server
+    from .serving.bundle import BundleError
+
+    try:
+        service = SimilarityService.from_bundle(
+            args.bundle,
+            ServingConfig(max_batch_size=args.max_batch,
+                          max_wait_ms=args.max_wait_ms,
+                          cache_capacity=args.cache_capacity))
+    except (BundleError, OSError) as exc:
+        print(f"cannot load bundle {args.bundle!r}: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        served = service.warmup()
+        print(f"loaded bundle {args.bundle} "
+              f"(store size {len(service.store)}, "
+              f"dim {service.model.config.embedding_dim}, "
+              f"measure {service.model.config.measure}); "
+              f"warmup ran {served} queries")
+        port = 0 if args.once and args.port is None else (args.port or 8080)
+        server = make_server(service, host=args.host, port=port,
+                             quiet=args.once)
+        try:
+            if args.once:
+                import threading
+                thread = threading.Thread(target=server.serve_forever,
+                                          daemon=True)
+                thread.start()
+                print(f"serving once at {server.url}")
+                try:
+                    return _self_test(server, service)
+                finally:
+                    server.shutdown()
+                    thread.join(timeout=10)
+            print(f"serving at {server.url} (Ctrl-C to stop)")
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("shutting down")
+            return 0
+        finally:
+            server.server_close()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="NeuTraj reproduction CLI")
@@ -110,6 +203,24 @@ def main(argv=None) -> int:
     experiment.add_argument("--scale", default="smoke",
                             choices=["smoke", "small", "medium"])
     experiment.set_defaults(func=_cmd_experiment)
+
+    serve = sub.add_parser(
+        "serve", help="run the online similarity-query service")
+    serve.add_argument("--bundle", required=True,
+                       help="bundle directory written by save_bundle()")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="listen port (default 8080; --once defaults "
+                            "to an ephemeral port)")
+    serve.add_argument("--once", action="store_true",
+                       help="start, run a loopback self-test, and exit")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="micro-batch size cap (default 16)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch straggler wait (default 2 ms)")
+    serve.add_argument("--cache-capacity", type=int, default=1024,
+                       help="LRU result-cache entries; 0 disables")
+    serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -8,6 +8,7 @@ O(L) encoding) and persists to ``.npz`` alongside the model.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -52,6 +53,11 @@ class EmbeddingStore:
     def ids(self) -> List[int]:
         return list(self._ids)
 
+    @property
+    def next_id(self) -> int:
+        """The id the next inserted trajectory will receive."""
+        return self._next_id
+
     def add(self, trajectories: Sequence[Trajectory],
             batch_size: int = 128) -> List[int]:
         """Embed and insert trajectories; returns their assigned ids."""
@@ -78,10 +84,29 @@ class EmbeddingStore:
     def query(self, trajectory: Trajectory, k: int = 10
               ) -> Tuple[np.ndarray, np.ndarray]:
         """Top-k (ids, embedding distances) for a query trajectory."""
+        query_emb = self.model.embed([trajectory])[0]
+        return self.query_embedding(query_emb, k)
+
+    def top_k(self, trajectory: Trajectory, k: int = 10
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Alias for :meth:`query` (matches :meth:`MetricModel.top_k`)."""
+        return self.query(trajectory, k)
+
+    def query_embedding(self, embedding: np.ndarray, k: int = 10
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k (ids, distances) for an already-computed query embedding.
+
+        The serving layer uses this to search with embeddings produced by
+        its micro-batched encoder instead of re-encoding per query.
+        """
         if len(self) == 0:
             raise NotFittedError("the store is empty")
-        query_emb = self.model.embed([trajectory])[0]
-        diffs = self._embeddings - query_emb[None, :]
+        embedding = np.asarray(embedding, dtype=self._embeddings.dtype)
+        if embedding.shape != (self._embeddings.shape[1],):
+            raise ValueError(
+                f"expected embedding of shape ({self._embeddings.shape[1]},), "
+                f"got {embedding.shape}")
+        diffs = self._embeddings - embedding[None, :]
         distances = np.sqrt((diffs * diffs).sum(axis=1))
         k = min(k, len(distances))
         order = np.argpartition(distances, k - 1)[:k]
@@ -107,19 +132,50 @@ class EmbeddingStore:
     # ----------------------------------------------------------- persistence
 
     def save(self, path: PathLike) -> None:
-        """Persist the embedding table (not the model) to ``.npz``."""
-        np.savez_compressed(path, embeddings=self._embeddings,
+        """Persist the embedding table (not the model) to ``.npz``.
+
+        The file lands at exactly ``path`` (``np.savez``'s implicit
+        ``.npz``-appending is undone), via a temporary file and an atomic
+        rename so a crashed writer never leaves a torn store behind.
+        """
+        path = Path(path)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        np.savez_compressed(tmp, embeddings=self._embeddings,
                             ids=np.array(self._ids, dtype=np.int64),
                             next_id=np.array(self._next_id))
+        # np.savez appends .npz when missing; our tmp name has none.
+        tmp_written = tmp if tmp.exists() else tmp.with_suffix(
+            tmp.suffix + ".npz")
+        os.replace(tmp_written, path)
 
     @classmethod
     def load(cls, path: PathLike, model: MetricModel) -> "EmbeddingStore":
-        """Restore a store saved by :meth:`save` (model supplied separately)."""
+        """Restore a store saved by :meth:`save` (model supplied separately).
+
+        The id state round-trips exactly: inserts after a load continue
+        from the persisted ``next_id`` and can never reuse a live id, even
+        for legacy files written before ``next_id`` was stored (the
+        counter is floored at ``max(ids) + 1``).
+        """
         store = cls(model)
         with np.load(path) as data:
-            store._embeddings = data["embeddings"].copy()
-            store._ids = data["ids"].tolist()
-            store._next_id = int(data["next_id"])
+            embeddings = data["embeddings"]
+            if embeddings.ndim != 2:
+                raise ValueError(
+                    f"expected a 2-D embedding table, got shape "
+                    f"{embeddings.shape}")
+            ids = [int(i) for i in data["ids"]]
+            saved_next = (int(data["next_id"])
+                          if "next_id" in data.files else 0)
+            store._embeddings = embeddings.copy()
+        if len(ids) != store._embeddings.shape[0]:
+            raise ValueError(
+                f"id/embedding count mismatch: {len(ids)} ids for "
+                f"{store._embeddings.shape[0]} rows")
+        if len(set(ids)) != len(ids):
+            raise ValueError("store contains duplicate ids")
+        store._ids = ids
+        store._next_id = max(saved_next, max(ids) + 1 if ids else 0)
         if store._embeddings.shape[1] != model.config.embedding_dim:
             raise ValueError("store dimensionality does not match the model")
         return store

@@ -1,0 +1,203 @@
+"""Futures-based micro-batcher for the encoder hot path.
+
+The encoder is far cheaper per trajectory when it runs on a padded batch
+than on single items (the recurrence is vectorised across the batch
+dimension), but online clients arrive one request at a time. The
+:class:`MicroBatcher` bridges the two: callers ``submit()`` individual
+trajectories and immediately get a :class:`~concurrent.futures.Future`;
+a single worker thread coalesces whatever is queued — waiting at most
+``max_wait_s`` after the first item for stragglers, dispatching early the
+moment ``max_batch_size`` items are pending — and resolves each future
+with its own row of the batched encoder output.
+
+Failure isolation: when a batched call raises, the worker retries each
+item of the batch individually so the exception lands only on the
+future(s) whose input actually caused it; items that succeed alone still
+get results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
+
+__all__ = ["MicroBatcher", "BatcherClosedError"]
+
+
+class BatcherClosedError(RuntimeError):
+    """Raised when submitting to (or draining from) a closed batcher."""
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-item requests into batched calls.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``batch_fn(items) -> sequence`` mapping a list of N inputs to N
+        per-item results, order-aligned. For the serving layer this is the
+        padded batch encoder returning an (N, d) array.
+    max_batch_size:
+        Dispatch immediately once this many items are pending.
+    max_wait_s:
+        After the first item of a batch arrives, wait at most this long
+        for more before dispatching a partial batch. 0 dispatches
+        whatever is queued without waiting.
+    on_batch:
+        Optional ``on_batch(batch_size, seconds)`` observer, called after
+        every dispatched batch (success or failure) — the metrics hook.
+    """
+
+    def __init__(self, batch_fn: Callable[[List[Any]], Sequence],
+                 max_batch_size: int = 16, max_wait_s: float = 0.002,
+                 on_batch: Optional[Callable[[int, float], None]] = None,
+                 name: str = "micro-batcher"):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self._batch_fn = batch_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._on_batch = on_batch
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._queue: "Deque[Tuple[Any, Future]]" = deque()
+        self._closed = False
+        self._batches_dispatched = 0
+        self._items_dispatched = 0
+        self._worker = threading.Thread(target=self._run, name=name,
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------- client API
+
+    def submit(self, item: Any) -> "Future":
+        """Enqueue one item; returns the future of its per-item result."""
+        future: "Future" = Future()
+        with self._lock:
+            if self._closed:
+                raise BatcherClosedError("batcher is closed")
+            self._queue.append((item, future))
+            self._has_work.notify()
+        return future
+
+    def __call__(self, item: Any, timeout: Optional[float] = None) -> Any:
+        """Convenience: submit and block for the result."""
+        return self.submit(item).result(timeout=timeout)
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work, drain the queue, and join the worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._has_work.notify_all()
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def stats(self) -> dict:
+        with self._lock:
+            batches = self._batches_dispatched
+            items = self._items_dispatched
+        return {
+            "batches": batches,
+            "items": items,
+            "mean_batch_size": (items / batches) if batches else 0.0,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_s": self.max_wait_s,
+        }
+
+    # ---------------------------------------------------------------- worker
+
+    def _collect(self) -> "List[Tuple[Any, Future]]":
+        """Block until work exists, then gather one batch (deadline-aware).
+
+        Returns an empty list only when the batcher is closed and fully
+        drained.
+        """
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._has_work.wait()
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._has_work.wait(timeout=remaining)
+                if not self._queue and (self._closed
+                                        or time.monotonic() >= deadline):
+                    break
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: "List[Tuple[Any, Future]]") -> None:
+        live = [(item, fut) for item, fut in batch
+                if fut.set_running_or_notify_cancel()]
+        if not live:
+            return
+        start = time.monotonic()
+        items = [item for item, _ in live]
+        try:
+            results = self._batch_fn(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(items)} items")
+        except BaseException as exc:  # noqa: BLE001 — forwarded to futures
+            self._resolve_individually(live, exc)
+        else:
+            for (_, fut), result in zip(live, results):
+                fut.set_result(result)
+        finally:
+            elapsed = time.monotonic() - start
+            with self._lock:
+                self._batches_dispatched += 1
+                self._items_dispatched += len(live)
+            if self._on_batch is not None:
+                try:
+                    self._on_batch(len(live), elapsed)
+                except Exception:  # observer bugs must not kill the worker
+                    pass
+
+    def _resolve_individually(self, live: "List[Tuple[Any, Future]]",
+                              batch_exc: BaseException) -> None:
+        """Batched call failed: isolate the failure to the offending items."""
+        if len(live) == 1:
+            live[0][1].set_exception(batch_exc)
+            return
+        for item, fut in live:
+            try:
+                results = self._batch_fn([item])
+                if len(results) != 1:
+                    raise RuntimeError(
+                        f"batch_fn returned {len(results)} results for 1 item")
+            except BaseException as exc:  # noqa: BLE001
+                fut.set_exception(exc)
+            else:
+                fut.set_result(results[0])

@@ -1,0 +1,117 @@
+"""Result cache for the serving layer.
+
+Online trajectory-similarity traffic is heavily skewed — popular routes are
+queried again and again — so the service fronts the encoder with a small
+LRU cache keyed by a content hash of the query. Keys incorporate the
+trajectory's raw coordinate bytes (not object identity), the requested
+``k``, the model's measure, and the store generation, so equal queries hit
+regardless of where their arrays came from and every store mutation
+implicitly invalidates all earlier entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LRUCache", "trajectory_fingerprint", "result_key"]
+
+
+def trajectory_fingerprint(points: np.ndarray) -> str:
+    """Content hash of a coordinate array (shape + dtype + bytes)."""
+    arr = np.ascontiguousarray(points)
+    digest = hashlib.sha1()
+    digest.update(str(arr.shape).encode())
+    digest.update(str(arr.dtype).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def result_key(points: np.ndarray, k: int, measure: str,
+               generation: int) -> Tuple[str, int, str, int]:
+    """Cache key for a top-k query against a specific store generation."""
+    return (trajectory_fingerprint(points), int(k), measure, int(generation))
+
+
+class LRUCache:
+    """Thread-safe least-recently-used cache with hit/miss accounting.
+
+    ``capacity=0`` disables caching entirely (every ``get`` is a miss and
+    ``put`` is a no-op), which lets callers keep one code path.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Any, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._data)
+            self._data.clear()
+            return dropped
+
+    def keys(self) -> Iterable[Any]:
+        with self._lock:
+            return list(self._data.keys())
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / total) if total else 0.0,
+            }

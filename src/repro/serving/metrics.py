@@ -1,0 +1,221 @@
+"""Serving metrics: counters and histograms with Prometheus exposition.
+
+The online service needs to be observable without external dependencies, so
+this module implements the minimal useful subset of a metrics client:
+monotonic counters, fixed-bucket latency/size histograms with streaming
+percentiles over a bounded recent window, and a registry that renders the
+Prometheus text exposition format (scrapeable from ``GET /metrics``).
+
+All metric types are thread-safe; the serving layer updates them from both
+HTTP handler threads and the micro-batcher worker.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS", "DEFAULT_SIZE_BUCKETS"]
+
+#: Latency buckets in seconds — 0.5 ms .. 2.5 s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                           0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+#: Batch-size buckets — powers of two up to a generous maximum.
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Recent observations kept per histogram for percentile estimates.
+_PERCENTILE_WINDOW = 4096
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyz"
+               "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (ints bare)."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return [f"{self.name} {_format_value(self.value)}"]
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimates.
+
+    Bucket counts, sum and count are exact; percentiles are computed over a
+    bounded window of the most recent :data:`_PERCENTILE_WINDOW`
+    observations (exact until the window rolls).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self.name = _check_name(name)
+        self.help = help
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = edges
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * len(edges)
+        self._count = 0
+        self._sum = 0.0
+        self._recent: List[float] = []
+        self._recent_pos = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    self._bucket_counts[i] += 1
+                    break
+            if len(self._recent) < _PERCENTILE_WINDOW:
+                self._recent.append(value)
+            else:  # overwrite in ring order so the window stays recent
+                self._recent[self._recent_pos] = value
+                self._recent_pos = (self._recent_pos + 1) % _PERCENTILE_WINDOW
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (q in [0, 100]) over the recent window; NaN if empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            window = sorted(self._recent)
+        if not window:
+            return math.nan
+        if len(window) == 1:
+            return window[0]
+        pos = (q / 100.0) * (len(window) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(window) - 1)
+        frac = pos - lo
+        return window[lo] * (1.0 - frac) + window[hi] * frac
+
+    def render(self) -> List[str]:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+            total_sum = self._sum
+        lines = []
+        cumulative = 0
+        for edge, n in zip(self.buckets, counts):
+            cumulative += n
+            lines.append(f'{self.name}_bucket{{le="{_format_value(edge)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_format_value(total_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named collection of metrics with text exposition.
+
+    ``counter``/``histogram`` are get-or-create so call sites can stay
+    declaration-free; re-registering a name as a different metric type is
+    an error.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, object]" = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}")
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def metrics(self) -> "List[Tuple[str, object]]":
+        with self._lock:
+            return sorted(self._metrics.items())
+
+    def render(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: List[str] = []
+        for name, metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly dump of every metric (used by ``stats()``)."""
+        return {name: metric.snapshot() for name, metric in self.metrics()}

@@ -1,0 +1,323 @@
+"""The similarity-query service: model + store behind an online API.
+
+:class:`SimilarityService` is the long-lived object the paper's §VI-A
+deployment pattern implies but one-shot scripts never build: the trained
+encoder and the embedding store wrapped with a micro-batcher (so
+concurrent queries share padded encoder calls), an LRU result cache, and
+metrics. It is transport-agnostic — :mod:`repro.serving.http` exposes it
+over HTTP, tests and benchmarks drive it in-process.
+
+Consistency model: ``insert``/``delete`` take the store lock and bump a
+generation counter that is part of every cache key, so a top-k answer is
+always computed against a single store snapshot and stale cache entries
+die with their generation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.model import MetricModel
+from ..core.store import EmbeddingStore
+from ..datasets.trajectory import Trajectory
+from ..exceptions import ConfigurationError
+from .batching import MicroBatcher
+from .bundle import Bundle, load_bundle
+from .cache import LRUCache, result_key
+from .metrics import (DEFAULT_SIZE_BUCKETS, MetricsRegistry)
+
+PathLike = Union[str, Path]
+
+__all__ = ["ServingConfig", "SimilarityService", "TopKResult"]
+
+
+@dataclass
+class ServingConfig:
+    """Tunables of the online service.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Encoder micro-batch cap; concurrent requests beyond this start the
+        next batch.
+    max_wait_ms:
+        How long the batcher holds a partial batch for stragglers after
+        its first request arrives. 0 dispatches immediately (lowest
+        latency, least coalescing).
+    cache_capacity:
+        LRU result-cache entries; 0 disables caching.
+    default_k:
+        ``k`` used when a query does not specify one.
+    """
+
+    max_batch_size: int = 16
+    max_wait_ms: float = 2.0
+    cache_capacity: int = 1024
+    default_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be >= 0")
+        if self.cache_capacity < 0:
+            raise ConfigurationError("cache_capacity must be >= 0")
+        if self.default_k < 1:
+            raise ConfigurationError("default_k must be >= 1")
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Answer to one top-k query."""
+
+    ids: List[int]
+    distances: List[float]
+    cached: bool = False
+
+    def to_json(self) -> Dict:
+        return {"ids": self.ids, "distances": self.distances,
+                "cached": self.cached}
+
+
+class SimilarityService:
+    """Online trajectory-similarity queries over a model + store.
+
+    Parameters
+    ----------
+    model:
+        Fitted :class:`MetricModel` (the O(L) encoder).
+    store:
+        :class:`EmbeddingStore` holding the database embeddings (the
+        O(N·d) search side). Mutated in place by ``insert``/``delete``.
+    config:
+        :class:`ServingConfig`; defaults are sensible for tests.
+    probes:
+        Representative trajectories for :meth:`warmup` and self-tests.
+    """
+
+    def __init__(self, model: MetricModel, store: EmbeddingStore,
+                 config: Optional[ServingConfig] = None,
+                 probes: Optional[Sequence[Trajectory]] = None):
+        model._require_fitted()
+        self.model = model
+        self.store = store
+        self.config = config or ServingConfig()
+        self.probes: List[Trajectory] = list(probes or [])
+        self.registry = MetricsRegistry()
+        self._started = time.monotonic()
+        self._store_lock = threading.Lock()
+        self._generation = 0
+        self._cache = LRUCache(self.config.cache_capacity)
+        self._closed = False
+
+        reg = self.registry
+        self._m_queries = reg.counter(
+            "repro_topk_requests_total", "Top-k queries answered.")
+        self._m_embeds = reg.counter(
+            "repro_embed_requests_total", "Embed-only requests answered.")
+        self._m_inserts = reg.counter(
+            "repro_inserted_trajectories_total", "Trajectories inserted.")
+        self._m_deletes = reg.counter(
+            "repro_deleted_trajectories_total", "Trajectories deleted.")
+        self._m_cache_hits = reg.counter(
+            "repro_cache_hits_total", "Top-k answers served from cache.")
+        self._m_cache_misses = reg.counter(
+            "repro_cache_misses_total", "Top-k answers computed fresh.")
+        self._m_errors = reg.counter(
+            "repro_request_errors_total", "Requests that raised.")
+        self._h_latency = reg.histogram(
+            "repro_topk_latency_seconds", "End-to-end top-k latency.")
+        self._h_encode = reg.histogram(
+            "repro_encode_batch_seconds", "Batched encoder call latency.")
+        self._h_batch_size = reg.histogram(
+            "repro_encode_batch_size", "Trajectories per encoder batch.",
+            buckets=DEFAULT_SIZE_BUCKETS)
+
+        self._batcher = MicroBatcher(
+            self._encode_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_ms / 1000.0,
+            on_batch=self._record_batch,
+            name="repro-encode-batcher")
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_bundle(cls, bundle: Union[Bundle, PathLike],
+                    config: Optional[ServingConfig] = None,
+                    verify: bool = True) -> "SimilarityService":
+        """Build a service from a :class:`Bundle` or a bundle directory."""
+        if not isinstance(bundle, Bundle):
+            bundle = load_bundle(bundle, verify=verify)
+        return cls(bundle.model, bundle.store, config=config,
+                   probes=bundle.probes)
+
+    # ------------------------------------------------------------ encoder path
+
+    def _encode_batch(self, trajectories: List[Trajectory]) -> np.ndarray:
+        return self.model.embed(trajectories,
+                                batch_size=self.config.max_batch_size)
+
+    def _record_batch(self, batch_size: int, seconds: float) -> None:
+        self._h_batch_size.observe(batch_size)
+        self._h_encode.observe(seconds)
+
+    def embed(self, trajectory: Trajectory,
+              timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Embedding of one trajectory via the micro-batcher."""
+        self._m_embeds.inc()
+        try:
+            return self._batcher(self._as_trajectory(trajectory),
+                                 timeout=timeout)
+        except Exception:
+            self._m_errors.inc()
+            raise
+
+    @staticmethod
+    def _as_trajectory(trajectory) -> Trajectory:
+        if isinstance(trajectory, Trajectory):
+            return trajectory
+        return Trajectory(trajectory)
+
+    # ------------------------------------------------------------- query path
+
+    def top_k(self, trajectory: Trajectory, k: Optional[int] = None,
+              use_cache: bool = True,
+              timeout: Optional[float] = 30.0) -> TopKResult:
+        """Top-k ids + embedding distances for a query trajectory.
+
+        Bit-for-bit identical to the offline
+        :meth:`EmbeddingStore.query` path when the request runs alone;
+        under concurrency, padded-batch reduction order may differ by
+        float rounding (~1 ulp), never enough to reorder non-tied
+        neighbours.
+        """
+        start = time.monotonic()
+        try:
+            query = self._as_trajectory(trajectory)
+            if k is None:
+                k = self.config.default_k
+            if k < 1:
+                raise ValueError("k must be >= 1")
+            key = result_key(query.points, k, self.model.config.measure,
+                             self._generation)
+            if use_cache:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._m_queries.inc()
+                    self._m_cache_hits.inc()
+                    return TopKResult(ids=list(hit[0]),
+                                      distances=list(hit[1]), cached=True)
+                self._m_cache_misses.inc()
+            embedding = self._batcher(query, timeout=timeout)
+            with self._store_lock:
+                ids, distances = self.store.query_embedding(embedding, k)
+            result = TopKResult(ids=[int(i) for i in ids],
+                                distances=[float(d) for d in distances])
+            if use_cache:
+                self._cache.put(key, (result.ids, result.distances))
+            self._m_queries.inc()
+            return result
+        except Exception:
+            self._m_errors.inc()
+            raise
+        finally:
+            self._h_latency.observe(time.monotonic() - start)
+
+    # --------------------------------------------------------------- mutation
+
+    def insert(self, trajectories: Sequence[Trajectory]) -> List[int]:
+        """Embed + insert trajectories; returns their assigned ids."""
+        items = [self._as_trajectory(t) for t in trajectories]
+        if not items:
+            return []
+        try:
+            with self._store_lock:
+                assigned = self.store.add(items)
+                self._generation += 1
+            self._cache.clear()
+            self._m_inserts.inc(len(assigned))
+            return assigned
+        except Exception:
+            self._m_errors.inc()
+            raise
+
+    def delete(self, ids: Sequence[int]) -> int:
+        """Remove entries by id; returns how many were removed."""
+        try:
+            with self._store_lock:
+                removed = self.store.remove([int(i) for i in ids])
+                self._generation += 1
+            self._cache.clear()
+            self._m_deletes.inc(removed)
+            return removed
+        except Exception:
+            self._m_errors.inc()
+            raise
+
+    # ------------------------------------------------------------- lifecycle
+
+    def warmup(self, queries: int = 4) -> int:
+        """Run a few probe queries through the full path; returns how many.
+
+        Exercises the encoder, the batcher and the store search so the
+        first real request does not pay first-touch allocation costs.
+        Uses the bundle's probes when present, otherwise a synthetic
+        two-point trajectory inside the model's grid.
+        """
+        probes = self.probes[:queries] or [self.synthetic_probe()]
+        served = 0
+        for probe in probes:
+            if len(self.store):
+                self.top_k(probe, k=1, use_cache=False)
+            else:
+                self.embed(probe)
+            served += 1
+        return served
+
+    def synthetic_probe(self) -> Trajectory:
+        """A short trajectory through the centre of the model's grid."""
+        encoder = self.model._require_fitted()
+        xmin, ymin, xmax, ymax = encoder.grid.bbox
+        cx, cy = (xmin + xmax) / 2.0, (ymin + ymax) / 2.0
+        step = encoder.grid.cell_size
+        return Trajectory([[cx - step, cy], [cx, cy], [cx + step, cy]])
+
+    def stats(self) -> Dict:
+        """JSON-friendly operational snapshot (also the ``/v1/stats`` body)."""
+        with self._store_lock:
+            size = len(self.store)
+            next_id = self.store.next_id
+            generation = self._generation
+        return {
+            "store": {"size": size, "next_id": next_id,
+                      "generation": generation,
+                      "embedding_dim": self.model.config.embedding_dim,
+                      "measure": self.model.config.measure},
+            "cache": self._cache.stats(),
+            "batcher": self._batcher.stats(),
+            "uptime_seconds": time.monotonic() - self._started,
+            "metrics": self.registry.snapshot(),
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition (the ``/metrics`` body)."""
+        return self.registry.render()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+
+    def __enter__(self) -> "SimilarityService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -140,6 +140,106 @@ def test_save_load_roundtrip(world, tmp_path):
     assert loaded.add(items[7:8]) == [7]
 
 
+def test_save_load_roundtrips_id_state_exactly(world, tmp_path):
+    """_next_id/_ids survive save/load bit-for-bit, even after removals."""
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:5])
+    store.remove([0, 4])          # holes at both ends
+    path = tmp_path / "store.npz"
+    store.save(path)
+    loaded = EmbeddingStore.load(path, model)
+    assert loaded.ids == [1, 2, 3]
+    assert loaded.next_id == 5
+    # Insert-after-load continues the counter; ids are never reused.
+    assert loaded.add(items[5:7]) == [5, 6]
+    assert len(set(loaded.ids)) == len(loaded.ids)
+
+
+def test_save_load_roundtrip_empty_store(world, tmp_path):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:2])
+    store.remove([0, 1])
+    path = tmp_path / "store.npz"
+    store.save(path)
+    loaded = EmbeddingStore.load(path, model)
+    assert len(loaded) == 0
+    assert loaded.next_id == 2    # counter survives an empty table
+    assert loaded.add(items[2:3]) == [2]
+
+
+def test_save_lands_at_exact_path(world, tmp_path):
+    """Paths without a .npz suffix are honoured (np.savez would append)."""
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:2])
+    path = tmp_path / "store.bin"
+    store.save(path)
+    assert path.exists()
+    assert not path.with_suffix(".bin.npz").exists()
+    loaded = EmbeddingStore.load(path, model)
+    assert loaded.ids == store.ids
+
+
+def test_load_legacy_file_never_reuses_ids(world, tmp_path):
+    """Files without next_id (or with a stale one) floor the counter."""
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:4])
+    legacy = tmp_path / "legacy.npz"
+    np.savez_compressed(legacy, embeddings=store.embeddings,
+                        ids=np.array(store.ids, dtype=np.int64))
+    loaded = EmbeddingStore.load(legacy, model)
+    assert loaded.next_id == 4
+    assert loaded.add(items[4:5]) == [4]
+    stale = tmp_path / "stale.npz"
+    np.savez_compressed(stale, embeddings=store.embeddings,
+                        ids=np.array(store.ids, dtype=np.int64),
+                        next_id=np.array(1))  # lies: ids 0..3 are live
+    loaded = EmbeddingStore.load(stale, model)
+    assert loaded.next_id == 4
+
+
+def test_load_rejects_corrupt_id_state(world, tmp_path):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    dupes = tmp_path / "dupes.npz"
+    np.savez_compressed(dupes, embeddings=store.embeddings,
+                        ids=np.array([0, 1, 1], dtype=np.int64),
+                        next_id=np.array(3))
+    with pytest.raises(ValueError, match="duplicate"):
+        EmbeddingStore.load(dupes, model)
+    short = tmp_path / "short.npz"
+    np.savez_compressed(short, embeddings=store.embeddings,
+                        ids=np.array([0, 1], dtype=np.int64),
+                        next_id=np.array(3))
+    with pytest.raises(ValueError, match="mismatch"):
+        EmbeddingStore.load(short, model)
+
+
+def test_query_embedding_matches_query(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:10])
+    emb = model.embed([items[2]])[0]
+    ids_a, dist_a = store.query(items[2], k=4)
+    ids_b, dist_b = store.query_embedding(emb, k=4)
+    np.testing.assert_array_equal(ids_a, ids_b)
+    np.testing.assert_allclose(dist_a, dist_b, atol=1e-12)
+    ids_c, _ = store.top_k(items[2], k=4)
+    np.testing.assert_array_equal(ids_a, ids_c)
+
+
+def test_query_embedding_rejects_bad_shape(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    with pytest.raises(ValueError, match="shape"):
+        store.query_embedding(np.zeros(3), k=2)
+
+
 def test_load_rejects_dim_mismatch(world, tmp_path):
     model, items = world
     store = EmbeddingStore(model)

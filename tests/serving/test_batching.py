@@ -1,0 +1,154 @@
+"""Tests for the futures-based micro-batcher.
+
+Covers the ISSUE checklist explicitly: deadline flush, max-size flush,
+exception propagation to the right future, and concurrent-client
+determinism (same results as serial).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import BatcherClosedError, MicroBatcher
+
+
+def doubler(items):
+    return [x * 2 for x in items]
+
+
+def test_single_item_roundtrip():
+    with MicroBatcher(doubler, max_batch_size=8, max_wait_s=0.001) as batcher:
+        assert batcher.submit(21).result(timeout=5) == 42
+        assert batcher(5, timeout=5) == 10
+
+
+def test_max_size_flush_dispatches_before_deadline():
+    """A full batch must dispatch immediately, not wait out max_wait_s."""
+    sizes = []
+    with MicroBatcher(doubler, max_batch_size=4, max_wait_s=30.0,
+                      on_batch=lambda n, s: sizes.append(n)) as batcher:
+        start = time.monotonic()
+        futures = [batcher.submit(i) for i in range(4)]
+        results = [f.result(timeout=5) for f in futures]
+        elapsed = time.monotonic() - start
+    assert results == [0, 2, 4, 6]
+    assert elapsed < 5.0  # nowhere near the 30 s deadline
+    assert sum(sizes) == 4
+    assert max(sizes) <= 4
+
+
+def test_deadline_flush_dispatches_partial_batch():
+    """A partial batch must dispatch once max_wait_s expires."""
+    sizes = []
+    with MicroBatcher(doubler, max_batch_size=100, max_wait_s=0.05,
+                      on_batch=lambda n, s: sizes.append(n)) as batcher:
+        futures = [batcher.submit(i) for i in range(3)]
+        results = [f.result(timeout=5) for f in futures]
+    assert results == [0, 2, 4]
+    assert sizes and sum(sizes) == 3
+    assert max(sizes) < 100  # flushed by deadline, never filled
+
+
+def test_zero_wait_dispatches_immediately():
+    with MicroBatcher(doubler, max_batch_size=100, max_wait_s=0.0) as batcher:
+        start = time.monotonic()
+        assert batcher(1, timeout=5) == 2
+        assert time.monotonic() - start < 1.0
+
+
+def failing_on_none(items):
+    if any(x is None for x in items):
+        raise ValueError("cannot encode None")
+    return [x * 2 for x in items]
+
+
+def test_exception_lands_on_the_right_future():
+    """A poison item in a batch fails only its own future."""
+    with MicroBatcher(failing_on_none, max_batch_size=8,
+                      max_wait_s=0.2) as batcher:
+        good_a = batcher.submit(1)
+        poison = batcher.submit(None)
+        good_b = batcher.submit(3)
+        assert good_a.result(timeout=5) == 2
+        assert good_b.result(timeout=5) == 6
+        with pytest.raises(ValueError, match="cannot encode None"):
+            poison.result(timeout=5)
+
+
+def test_exception_single_item_batch():
+    with MicroBatcher(failing_on_none, max_batch_size=1,
+                      max_wait_s=0.0) as batcher:
+        with pytest.raises(ValueError):
+            batcher(None, timeout=5)
+        # The worker survives a failed batch.
+        assert batcher(2, timeout=5) == 4
+
+
+def test_wrong_result_count_is_an_error():
+    with MicroBatcher(lambda items: [], max_batch_size=4,
+                      max_wait_s=0.01) as batcher:
+        futures = [batcher.submit(i) for i in range(3)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="results"):
+                future.result(timeout=5)
+
+
+def test_concurrent_clients_match_serial():
+    """Many threads through shared batches == serial one-at-a-time."""
+    per_client = 25
+    clients = 8
+    results = {}
+
+    def client(client_id, batcher):
+        got = [batcher(client_id * 1000 + i, timeout=10)
+               for i in range(per_client)]
+        results[client_id] = got
+
+    with MicroBatcher(doubler, max_batch_size=16, max_wait_s=0.002) as batcher:
+        threads = [threading.Thread(target=client, args=(c, batcher))
+                   for c in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        stats = batcher.stats()
+
+    for client_id in range(clients):
+        expected = [(client_id * 1000 + i) * 2 for i in range(per_client)]
+        assert results[client_id] == expected
+    assert stats["items"] == clients * per_client
+    # Coalescing actually happened: fewer batches than items.
+    assert stats["batches"] < stats["items"]
+    assert stats["mean_batch_size"] > 1.0
+
+
+def test_submit_after_close_raises():
+    batcher = MicroBatcher(doubler, max_batch_size=4, max_wait_s=0.001)
+    batcher.close()
+    assert batcher.closed
+    with pytest.raises(BatcherClosedError):
+        batcher.submit(1)
+    batcher.close()  # idempotent
+
+
+def test_close_drains_pending_work():
+    slow_started = threading.Event()
+
+    def slow_doubler(items):
+        slow_started.set()
+        time.sleep(0.05)
+        return [x * 2 for x in items]
+
+    batcher = MicroBatcher(slow_doubler, max_batch_size=1, max_wait_s=0.0)
+    futures = [batcher.submit(i) for i in range(3)]
+    slow_started.wait(timeout=5)
+    batcher.close()
+    assert [f.result(timeout=5) for f in futures] == [0, 2, 4]
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        MicroBatcher(doubler, max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(doubler, max_wait_s=-1.0)

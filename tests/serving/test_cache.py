@@ -1,0 +1,86 @@
+"""Tests for the LRU result cache and the content-hash keys."""
+
+import numpy as np
+import pytest
+
+from repro.serving import LRUCache, result_key, trajectory_fingerprint
+
+
+def test_put_get_roundtrip():
+    cache = LRUCache(capacity=4)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", default="x") == "x"
+    assert len(cache) == 1
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # refresh a; b is now least recent
+    cache.put("c", 3)       # evicts b
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_hit_miss_accounting():
+    cache = LRUCache(capacity=4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("a")
+    cache.get("nope")
+    stats = cache.stats()
+    assert stats["hits"] == 2
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+
+def test_capacity_zero_disables_caching():
+    cache = LRUCache(capacity=0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=-1)
+
+
+def test_clear():
+    cache = LRUCache(capacity=8)
+    for i in range(5):
+        cache.put(i, i)
+    assert cache.clear() == 5
+    assert len(cache) == 0
+
+
+def test_fingerprint_is_content_based():
+    a = np.array([[0.0, 1.0], [2.0, 3.0]])
+    b = np.array([[0.0, 1.0], [2.0, 3.0]])  # equal content, distinct object
+    assert trajectory_fingerprint(a) == trajectory_fingerprint(b)
+    # Non-contiguous views hash the same as their contiguous copy.
+    wide = np.arange(12, dtype=np.float64).reshape(2, 6)
+    view = wide[:, ::3]
+    assert trajectory_fingerprint(view) == trajectory_fingerprint(view.copy())
+
+
+def test_fingerprint_sensitive_to_content_shape_dtype():
+    a = np.array([[0.0, 1.0], [2.0, 3.0]])
+    assert trajectory_fingerprint(a) != trajectory_fingerprint(a + 1)
+    assert trajectory_fingerprint(a) != trajectory_fingerprint(a.reshape(4, 1))
+    assert (trajectory_fingerprint(a)
+            != trajectory_fingerprint(a.astype(np.float32)))
+
+
+def test_result_key_components():
+    points = np.array([[0.0, 0.0], [1.0, 1.0]])
+    base = result_key(points, 5, "dtw", 0)
+    assert base == result_key(points.copy(), 5, "dtw", 0)
+    assert base != result_key(points, 6, "dtw", 0)       # different k
+    assert base != result_key(points, 5, "frechet", 0)   # different measure
+    assert base != result_key(points, 5, "dtw", 1)       # store mutated

@@ -1,0 +1,103 @@
+"""Tests for serving counters, histograms, and Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.serving import Counter, Histogram, MetricsRegistry
+
+
+def test_counter_increments():
+    counter = Counter("requests_total", "help text")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == pytest.approx(3.5)
+
+
+def test_counter_rejects_decrease():
+    counter = Counter("requests_total")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_invalid_metric_names_rejected():
+    with pytest.raises(ValueError):
+        Counter("bad name")
+    with pytest.raises(ValueError):
+        Counter("1leading_digit")
+    with pytest.raises(ValueError):
+        Counter("")
+
+
+def test_histogram_counts_and_sum():
+    hist = Histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(5.555)
+
+
+def test_histogram_percentiles():
+    hist = Histogram("latency_seconds")
+    assert math.isnan(hist.percentile(50))
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 100.0
+    assert hist.percentile(50) == pytest.approx(50.5)
+    assert hist.percentile(95) == pytest.approx(95.05)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_snapshot_keys():
+    hist = Histogram("latency_seconds")
+    hist.observe(0.25)
+    snap = hist.snapshot()
+    assert set(snap) == {"count", "sum", "p50", "p95", "p99"}
+    assert snap["count"] == 1
+    assert snap["p99"] == pytest.approx(0.25)
+
+
+def test_render_prometheus_format():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Requests.").inc(3)
+    hist = registry.histogram("repro_latency_seconds", "Latency.",
+                              buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(50.0)
+    text = registry.render()
+    assert "# HELP repro_requests_total Requests." in text
+    assert "# TYPE repro_requests_total counter" in text
+    assert "repro_requests_total 3" in text
+    assert "# TYPE repro_latency_seconds histogram" in text
+    # Buckets are cumulative; +Inf equals the total count.
+    assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+    assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+    assert "repro_latency_seconds_count 3" in text
+    assert text.endswith("\n")
+
+
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_total")
+    b = registry.counter("repro_total")
+    assert a is b
+
+
+def test_registry_type_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("repro_total")
+    with pytest.raises(ValueError):
+        registry.histogram("repro_total")
+
+
+def test_registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("repro_total").inc(7)
+    registry.histogram("repro_seconds").observe(1.0)
+    snap = registry.snapshot()
+    assert snap["repro_total"] == 7
+    assert snap["repro_seconds"]["count"] == 1

@@ -25,3 +25,16 @@ def test_kernels_not_slower_than_committed_baseline():
     assert BASELINE.exists(), "benchmarks/BENCH_kernels.json not committed"
     failures = run_check()
     assert not failures, "\n".join(failures)
+
+
+@pytest.mark.bench_regression
+def test_serving_not_slower_than_committed_baseline():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        from check_bench_regression import SERVING_BASELINE, run_serving_check
+    finally:
+        sys.path.pop(0)
+    assert SERVING_BASELINE.exists(), \
+        "benchmarks/BENCH_serving.json not committed"
+    failures = run_serving_check()
+    assert not failures, "\n".join(failures)
