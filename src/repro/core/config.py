@@ -110,6 +110,14 @@ def _env_cache_dir() -> Optional[str]:
     return os.environ.get("REPRO_MATRIX_CACHE_DIR") or None
 
 
+def _env_chunk_timeout() -> Optional[float]:
+    raw = os.environ.get("REPRO_PRECOMPUTE_TIMEOUT_S")
+    if raw is None or raw == "":
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
+
 @dataclass
 class PrecomputeConfig:
     """Defaults for the exact distance-matrix precompute (paper §III-B).
@@ -129,17 +137,38 @@ class PrecomputeConfig:
     cache_dir:
         Directory for the on-disk ``.npz`` matrix cache; ``None`` disables
         caching. Seeded from ``REPRO_MATRIX_CACHE_DIR``.
+    chunk_timeout_s:
+        Seconds the chunked driver waits for a work unit before treating
+        its worker as dead (hung or killed) and retrying. ``None`` (the
+        default) waits forever — the pre-fault-tolerance behaviour. Seeded
+        from ``REPRO_PRECOMPUTE_TIMEOUT_S`` (unset/non-positive disables).
+    chunk_retries:
+        Re-submissions attempted for a timed-out or crashed chunk before
+        the driver falls back to computing that chunk serially in the
+        parent process.
+    retry_backoff_s:
+        Base delay of the exponential backoff between chunk retries.
     """
 
     workers: int = field(default_factory=_env_workers)
     chunk_pairs: int = 512
     cache_dir: Optional[str] = field(default_factory=_env_cache_dir)
+    chunk_timeout_s: Optional[float] = field(default_factory=_env_chunk_timeout)
+    chunk_retries: int = 2
+    retry_backoff_s: float = 0.1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if self.chunk_pairs < 1:
             raise ConfigurationError("chunk_pairs must be >= 1")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ConfigurationError(
+                "chunk_timeout_s must be positive (use None to disable)")
+        if self.chunk_retries < 0:
+            raise ConfigurationError("chunk_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
 
 
 _PRECOMPUTE_CONFIG = PrecomputeConfig()

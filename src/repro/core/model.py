@@ -22,7 +22,7 @@ import numpy as np
 
 from ..datasets.grid import CoordinateNormalizer, Grid
 from ..datasets.trajectory import Trajectory, TrajectoryDataset
-from ..exceptions import NotFittedError
+from ..exceptions import CorruptArtifactError, NotFittedError, ReproError
 from ..measures import get_measure, pairwise_distances
 from ..nn.optim import Adam
 from .config import NeuTrajConfig
@@ -113,7 +113,22 @@ class MetricModel:
 
     @classmethod
     def load(cls, path: PathLike) -> "MetricModel":
-        """Load a model saved by :meth:`save`."""
+        """Load a model saved by :meth:`save`.
+
+        Truncated, bit-flipped or otherwise undecodable files raise a
+        typed :class:`~repro.exceptions.CorruptArtifactError` instead of
+        leaking zip/JSON internals (or silently deserialising garbage).
+        """
+        try:
+            return cls._load(path)
+        except (ReproError, FileNotFoundError):
+            raise
+        except Exception as exc:
+            raise CorruptArtifactError(
+                f"cannot load model from {path}: {exc}") from exc
+
+    @classmethod
+    def _load(cls, path: PathLike) -> "MetricModel":
         with np.load(path, allow_pickle=True) as data:
             config = NeuTrajConfig(**json.loads(str(data["meta/config"])))
             model = cls(config)
@@ -165,8 +180,10 @@ class NeuTraj(MetricModel):
 
     def fit(self, seeds: Union[TrajectoryDataset, Sequence[Trajectory]],
             distance_matrix: Optional[np.ndarray] = None,
-            epoch_callback: Optional[Callable[[int, float], None]] = None
-            ) -> TrainingHistory:
+            epoch_callback: Optional[Callable[[int, float], None]] = None,
+            checkpoint_dir: Optional[PathLike] = None,
+            checkpoint_every: int = 1, resume: bool = True,
+            keep_checkpoints: int = 3) -> TrainingHistory:
         """Train on the seed pool.
 
         Parameters
@@ -178,6 +195,23 @@ class NeuTraj(MetricModel):
             configured measure when omitted (the quadratic offline step).
         epoch_callback:
             Invoked as ``callback(epoch, loss)`` after each epoch.
+        checkpoint_dir:
+            When set, an atomic sha256-manifested checkpoint (parameters,
+            Adam moments, RNG/sampler state, loss history) is written
+            there after each ``checkpoint_every``-th epoch via
+            :class:`repro.resilience.CheckpointManager`, making the run
+            crash-safe: re-calling ``fit`` with the same directory resumes
+            from the last good checkpoint and produces bit-identical
+            parameters and history to an uninterrupted run. Corrupt or
+            truncated checkpoints are skipped in favour of the newest
+            intact one.
+        checkpoint_every:
+            Epoch interval between checkpoints (default every epoch).
+        resume:
+            Set False to ignore existing checkpoints and retrain from
+            scratch.
+        keep_checkpoints:
+            Newest checkpoints retained on disk (0 keeps all).
         """
         seed_list = list(seeds)
         if len(seed_list) <= self.config.sampling_num:
@@ -208,14 +242,38 @@ class NeuTraj(MetricModel):
                               weighted=cfg.use_weighted_sampling, rng=rng)
         optimizer = Adam(self.encoder.parameters(), lr=cfg.learning_rate)
 
+        manager = None
+        if checkpoint_dir is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            from ..resilience.checkpoint import CheckpointManager
+            manager = CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
+
         history = TrainingHistory()
+        start_epoch = 0
+        if manager is not None and resume:
+            checkpoint = manager.load_latest()
+            if checkpoint is not None:
+                from .trainer import unpack_training_checkpoint
+                epoch_done, history = unpack_training_checkpoint(
+                    checkpoint.arrays, checkpoint.meta, self.encoder,
+                    optimizer, rng, cfg)
+                start_epoch = epoch_done + 1
+
         num_seeds = len(seed_list)
-        for epoch in range(cfg.epochs):
+        for epoch in range(start_epoch, cfg.epochs):
             anchors = self._epoch_anchors(num_seeds, epoch, rng)
             stats = train_epoch(self.encoder, seed_list, sampler, optimizer,
                                 anchors, cfg.batch_anchors, cfg.grad_clip,
                                 rng, epoch)
             history.epochs.append(stats)
+            if manager is not None and (
+                    (epoch + 1) % checkpoint_every == 0
+                    or epoch == cfg.epochs - 1):
+                from .trainer import pack_training_checkpoint
+                arrays, meta = pack_training_checkpoint(
+                    self.encoder, optimizer, rng, history, epoch, cfg)
+                manager.save(epoch, arrays, meta)
             if epoch_callback is not None:
                 epoch_callback(epoch, stats.loss)
         self.history = history

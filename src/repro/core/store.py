@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..datasets.trajectory import Trajectory
-from ..exceptions import NotFittedError
+from ..exceptions import CorruptArtifactError, NotFittedError
 from .model import MetricModel
 
 PathLike = Union[str, Path]
@@ -158,16 +158,25 @@ class EmbeddingStore:
         counter is floored at ``max(ids) + 1``).
         """
         store = cls(model)
-        with np.load(path) as data:
-            embeddings = data["embeddings"]
-            if embeddings.ndim != 2:
-                raise ValueError(
-                    f"expected a 2-D embedding table, got shape "
-                    f"{embeddings.shape}")
-            ids = [int(i) for i in data["ids"]]
-            saved_next = (int(data["next_id"])
-                          if "next_id" in data.files else 0)
-            store._embeddings = embeddings.copy()
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                embeddings = np.array(data["embeddings"])
+                ids = [int(i) for i in data["ids"]]
+                saved_next = (int(data["next_id"])
+                              if "next_id" in data.files else 0)
+        except FileNotFoundError:
+            raise
+        except Exception as exc:
+            # Truncated or bit-flipped files surface as zip/zlib/format
+            # noise; turn all of it into the typed error (and with pickle
+            # disabled, garbage bytes can never deserialise into objects).
+            raise CorruptArtifactError(
+                f"cannot load embedding store from {path}: {exc}") from exc
+        if embeddings.ndim != 2:
+            raise ValueError(
+                f"expected a 2-D embedding table, got shape "
+                f"{embeddings.shape}")
+        store._embeddings = embeddings
         if len(ids) != store._embeddings.shape[0]:
             raise ValueError(
                 f"id/embedding count mismatch: {len(ids)} ids for "

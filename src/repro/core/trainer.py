@@ -7,13 +7,16 @@ bookkeeping used by the convergence experiments (Fig. 5, Table VI).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets.trajectory import Trajectory
+from ..exceptions import CheckpointError
 from ..nn.layers import embedding_similarity
 from ..nn.optim import Optimizer, clip_grad_norm
 from ..nn.tensor import Tensor
@@ -60,6 +63,104 @@ class TrainingHistory:
             if loss <= threshold:
                 return i + 1
         return len(losses)
+
+
+# ------------------------------------------------------ checkpoint packing
+
+def config_fingerprint(config) -> str:
+    """Stable sha256 over the config fields, guarding resume compatibility."""
+    payload = json.dumps(config.__dict__, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def pack_training_checkpoint(encoder: TrajectoryEncoder,
+                             optimizer: Optimizer,
+                             rng: np.random.Generator,
+                             history: TrainingHistory, epoch: int,
+                             config) -> Tuple[Dict[str, np.ndarray], Dict]:
+    """Everything needed to resume training bit-identically after ``epoch``.
+
+    Captured: encoder parameters, the SAM memory tensor, every optimizer
+    slot array plus its scalars (Adam step counter), the RNG bit-generator
+    state (one generator drives init, the pair sampler and the per-epoch
+    anchor shuffles, so its state *is* the sampler state), the loss
+    history, and a config fingerprint so a checkpoint can never be resumed
+    under different hyper-parameters.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        f"param/{name}": value
+        for name, value in encoder.state_dict().items()}
+    if encoder.memory is not None:
+        arrays["memory/data"] = encoder.memory.data.copy()
+    opt_state = optimizer.state_dict()
+    slot_sizes = {}
+    for slot, slot_arrays in opt_state["slots"].items():
+        slot_sizes[slot] = len(slot_arrays)
+        for i, value in enumerate(slot_arrays):
+            arrays[f"opt/{slot}/{i:04d}"] = value
+    arrays["history/losses"] = np.asarray(history.losses, dtype=np.float64)
+    arrays["history/seconds"] = np.asarray(
+        [e.seconds for e in history.epochs], dtype=np.float64)
+    arrays["history/anchors"] = np.asarray(
+        [e.num_anchors for e in history.epochs], dtype=np.int64)
+    meta = {
+        "epoch": int(epoch),
+        "optimizer": {"class": type(optimizer).__name__,
+                      "scalars": opt_state["scalars"],
+                      "slots": slot_sizes},
+        "rng_state": rng.bit_generator.state,
+        "config_sha256": config_fingerprint(config),
+    }
+    return arrays, meta
+
+
+def unpack_training_checkpoint(arrays: Dict[str, np.ndarray], meta: Dict,
+                               encoder: TrajectoryEncoder,
+                               optimizer: Optimizer,
+                               rng: np.random.Generator,
+                               config) -> Tuple[int, TrainingHistory]:
+    """Apply a packed checkpoint in place; returns (epoch, history).
+
+    Raises :class:`~repro.exceptions.CheckpointError` when the checkpoint
+    was produced under a different config or its contents do not match
+    the live model/optimizer shapes.
+    """
+    expected = config_fingerprint(config)
+    if meta.get("config_sha256") != expected:
+        raise CheckpointError(
+            "checkpoint was written under a different config "
+            f"(fingerprint {meta.get('config_sha256')!r} != {expected!r})")
+    opt_meta = meta.get("optimizer", {})
+    if opt_meta.get("class") != type(optimizer).__name__:
+        raise CheckpointError(
+            f"checkpoint optimizer {opt_meta.get('class')!r} != "
+            f"{type(optimizer).__name__!r}")
+    try:
+        params = {name[len("param/"):]: arrays[name]
+                  for name in arrays if name.startswith("param/")}
+        encoder.load_state_dict(params)
+        if encoder.memory is not None:
+            if "memory/data" not in arrays:
+                raise CheckpointError("checkpoint has no SAM memory tensor")
+            encoder.memory.data = np.array(arrays["memory/data"])
+        slots = {slot: [arrays[f"opt/{slot}/{i:04d}"] for i in range(count)]
+                 for slot, count in opt_meta.get("slots", {}).items()}
+        optimizer.load_state_dict({"slots": slots,
+                                   "scalars": opt_meta.get("scalars", {})})
+        rng.bit_generator.state = meta["rng_state"]
+    except CheckpointError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CheckpointError(f"checkpoint does not fit this model: {exc}") \
+            from exc
+    losses = arrays.get("history/losses", np.zeros(0))
+    seconds = arrays.get("history/seconds", np.zeros(len(losses)))
+    anchors = arrays.get("history/anchors", np.zeros(len(losses)))
+    history = TrainingHistory(epochs=[
+        EpochStats(epoch=i, loss=float(loss), seconds=float(sec),
+                   num_anchors=int(num))
+        for i, (loss, sec, num) in enumerate(zip(losses, seconds, anchors))])
+    return int(meta.get("epoch", len(losses) - 1)), history
 
 
 def anchor_batches(anchor_indices: np.ndarray, batch_size: int,

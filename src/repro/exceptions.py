@@ -15,3 +15,36 @@ class ConfigurationError(ReproError):
 
 class NotFittedError(ReproError):
     """A model method requiring training was called before ``fit``."""
+
+
+class CorruptArtifactError(ReproError, ValueError):
+    """A persisted artifact (store, model, checkpoint) failed to load cleanly.
+
+    Also a :class:`ValueError` so call sites that predate the typed error
+    (e.g. the bundle loader's store handling) keep catching it.
+    """
+
+
+class CheckpointError(ReproError):
+    """A training checkpoint could not be written, read, or applied."""
+
+
+class PrecomputeError(ReproError):
+    """The distance precompute failed even after retries and serial fallback."""
+
+
+class ServiceClosedError(ReproError):
+    """Work was submitted to (or stranded in) a closed serving component."""
+
+
+class ServiceOverloadedError(ReproError):
+    """The service shed the request because its admission queue is full."""
+
+
+class ServiceUnavailableError(ReproError):
+    """The service cannot answer right now (e.g. encoder circuit open
+    with no fallback index configured)."""
+
+
+class DeadlineExceededError(ReproError):
+    """The request's deadline expired before an answer was produced."""

@@ -12,7 +12,8 @@ from .erp import ERPDistance
 from .edr import EDRDistance
 from .lcss import LCSSDistance
 from .sspd import SSPDDistance, point_to_segments
-from .matrix import cross_distances, pairwise_distances
+from .matrix import (PrecomputeStats, cross_distances,
+                     last_precompute_stats, pairwise_distances)
 
 __all__ = [
     "TrajectoryMeasure", "available_measures", "get_measure",
@@ -20,4 +21,5 @@ __all__ = [
     "DTWDistance", "FrechetDistance", "HausdorffDistance", "ERPDistance",
     "EDRDistance", "LCSSDistance", "SSPDDistance", "point_to_segments",
     "cross_distances", "pairwise_distances",
+    "PrecomputeStats", "last_precompute_stats",
 ]

@@ -26,15 +26,21 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import multiprocessing.pool
 import os
 import tempfile
+import threading
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..exceptions import PrecomputeError
 from .base import TrajectoryMeasure
 
 ProgressFn = Optional[Callable[[int, int], None]]
+
+_UNSET = object()  # sentinel: None is a meaningful chunk_timeout_s value
 
 
 def _points(trajectories: Sequence) -> list:
@@ -42,14 +48,22 @@ def _points(trajectories: Sequence) -> list:
 
 
 def _defaults(workers: Optional[int], chunk_pairs: Optional[int],
-              cache_dir: Optional[str]) -> Tuple[int, int, Optional[str]]:
+              cache_dir: Optional[str], chunk_timeout_s=_UNSET,
+              chunk_retries: Optional[int] = None,
+              retry_backoff_s: Optional[float] = None):
     # Imported lazily: repro.core imports repro.measures at package-init
     # time, so a module-level import here would be circular.
     from ..core.config import get_precompute_config
     config = get_precompute_config()
     return (config.workers if workers is None else int(workers),
             config.chunk_pairs if chunk_pairs is None else int(chunk_pairs),
-            config.cache_dir if cache_dir is None else cache_dir)
+            config.cache_dir if cache_dir is None else cache_dir,
+            config.chunk_timeout_s if chunk_timeout_s is _UNSET
+            else chunk_timeout_s,
+            config.chunk_retries if chunk_retries is None
+            else int(chunk_retries),
+            config.retry_backoff_s if retry_backoff_s is None
+            else float(retry_backoff_s))
 
 
 # --------------------------------------------------------------------- cache
@@ -127,14 +141,128 @@ def _run_chunk(chunk: Tuple[int, np.ndarray, np.ndarray]
     return chunk_id, measure.distance_many(pairs_a, pairs_b)
 
 
+@dataclass
+class PrecomputeStats:
+    """What the fault-tolerant chunk driver had to do on its last run.
+
+    ``timeouts``/``worker_errors`` count per-attempt incidents, ``retries``
+    the re-submissions they triggered, ``serial_fallbacks`` the chunks the
+    parent ultimately computed itself, and ``dead_workers`` pool processes
+    that disappeared mid-run (e.g. SIGKILL).
+    """
+
+    chunks: int = 0
+    parallel_chunks: int = 0
+    timeouts: int = 0
+    worker_errors: int = 0
+    retries: int = 0
+    serial_fallbacks: int = 0
+    dead_workers: int = 0
+
+
+_LAST_STATS = PrecomputeStats()
+
+
+def last_precompute_stats() -> PrecomputeStats:
+    """Stats of the most recent chunked-driver run in this process."""
+    return _LAST_STATS
+
+
+def _pool_pids(pool) -> set:
+    try:
+        return {p.pid for p in pool._pool}
+    except Exception:  # pool internals shifted; stats-only, never fatal
+        return set()
+
+
+def _shutdown_pool(pool, wedged: bool) -> None:
+    """Tear the pool down without ever blocking the caller indefinitely.
+
+    After a worker was SIGKILLed mid-IPC it may have died holding a shared
+    queue lock, and ``Pool.terminate``/``join`` then deadlock. On that
+    (``wedged``) path terminate runs on a daemon thread with a bounded
+    wait; if it cannot finish, the pool is abandoned — its workers and
+    handler threads are all daemonic, so they cannot block process exit.
+    """
+    if not wedged:
+        pool.close()
+        pool.join()
+        return
+    reaper = threading.Thread(target=pool.terminate, daemon=True)
+    reaper.start()
+    reaper.join(timeout=5.0)
+
+
+def _serial_chunk(chunk, points_a: list, points_b: list,
+                  measure) -> np.ndarray:
+    """Parent-process fallback evaluation of a single work unit."""
+    _, idx_a, idx_b = chunk
+    return measure.distance_many([points_a[i] for i in idx_a],
+                                 [points_b[j] for j in idx_b])
+
+
+def _collect_chunk(pool, chunk, result, timeout: Optional[float],
+                   retries: int, backoff_s: float, points_a: list,
+                   points_b: list, measure, stats: PrecomputeStats
+                   ) -> Tuple[np.ndarray, bool]:
+    """Await one chunk, retrying crashed/hung attempts with backoff.
+
+    Returns ``(values, timed_out_at_least_once)``. A chunk whose task died
+    with its worker (SIGKILL loses the task: its async result never
+    resolves) surfaces here as a timeout; re-submission lands on a live,
+    repopulated worker. When every attempt fails the chunk is computed
+    serially in the parent — the run degrades instead of hanging.
+    """
+    from ..resilience.retry import RetryPolicy
+    policy = RetryPolicy(max_retries=retries, base_delay_s=backoff_s)
+    timed_out = False
+    last_error: Optional[BaseException] = None
+    for attempt in range(retries + 1):
+        try:
+            _, values = result.get(timeout)
+            stats.parallel_chunks += 1
+            return values, timed_out
+        except multiprocessing.TimeoutError as exc:
+            stats.timeouts += 1
+            timed_out = True
+            last_error = exc
+        except Exception as exc:
+            stats.worker_errors += 1
+            last_error = exc
+        if attempt < retries:
+            stats.retries += 1
+            policy.sleep(attempt + 1)  # RetryPolicy delays are 1-based
+            result = pool.apply_async(_run_chunk, (chunk,))
+    stats.serial_fallbacks += 1
+    try:
+        return _serial_chunk(chunk, points_a, points_b, measure), timed_out
+    except Exception as exc:
+        raise PrecomputeError(
+            f"chunk {chunk[0]} failed in {retries + 1} worker attempt(s) "
+            f"(last: {last_error!r}) and in the serial fallback") from exc
+
+
 def _chunked_distances(points_a: list, points_b: list, measure,
                        idx_a: np.ndarray, idx_b: np.ndarray, workers: int,
-                       chunk_pairs: int, progress: ProgressFn) -> np.ndarray:
-    """Distances for an explicit pair list via chunked (parallel) evaluation."""
+                       chunk_pairs: int, progress: ProgressFn,
+                       chunk_timeout_s: Optional[float] = None,
+                       chunk_retries: int = 2,
+                       retry_backoff_s: float = 0.1) -> np.ndarray:
+    """Distances for an explicit pair list via chunked (parallel) evaluation.
+
+    Fault tolerance (all opt-in via ``chunk_timeout_s``; ``None`` waits
+    forever as before): every chunk is submitted with ``apply_async`` and
+    awaited with a per-chunk timeout, a timed-out or crashed attempt is
+    re-submitted up to ``chunk_retries`` times with exponential backoff,
+    and a chunk that exhausts its retries is computed serially in the
+    parent. Counters land in :func:`last_precompute_stats`.
+    """
+    global _LAST_STATS
     total = len(idx_a)
     out = np.empty(total, dtype=np.float64)
     chunks = [(k, idx_a[s:s + chunk_pairs], idx_b[s:s + chunk_pairs])
               for k, s in enumerate(range(0, total, chunk_pairs))]
+    stats = PrecomputeStats(chunks=len(chunks))
     done = 0
 
     def consume(chunk_id: int, values: np.ndarray) -> None:
@@ -155,12 +283,25 @@ def _chunked_distances(points_a: list, points_b: list, measure,
         except (OSError, ValueError):
             pool = None  # fall back to in-process chunked evaluation
     if pool is not None:
+        start_pids = _pool_pids(pool)
+        had_timeout = False
+        clean = False
         try:
-            for chunk_id, values in pool.imap_unordered(_run_chunk, chunks):
-                consume(chunk_id, values)
+            results = [(chunk, pool.apply_async(_run_chunk, (chunk,)))
+                       for chunk in chunks]
+            for chunk, result in results:
+                values, timed_out = _collect_chunk(
+                    pool, chunk, result, chunk_timeout_s, chunk_retries,
+                    retry_backoff_s, points_a, points_b, measure, stats)
+                had_timeout = had_timeout or timed_out
+                consume(chunk[0], values)
+            clean = not had_timeout
         finally:
-            pool.close()
-            pool.join()
+            stats.dead_workers = len(start_pids - _pool_pids(pool))
+            _LAST_STATS = stats  # published even when a chunk error escapes
+            # A lost task (dead worker / escaping error) never drains from
+            # the pool's result cache, so close()+join() would block forever.
+            _shutdown_pool(pool, wedged=not clean)
     else:
         _init_worker(points_a, points_b, measure)
         try:
@@ -169,6 +310,7 @@ def _chunked_distances(points_a: list, points_b: list, measure,
                 consume(chunk_id, values)
         finally:
             _WORKER_STATE.clear()
+            _LAST_STATS = stats
     return out
 
 
@@ -178,7 +320,10 @@ def pairwise_distances(trajectories: Sequence, measure: TrajectoryMeasure,
                        progress: ProgressFn = None,
                        workers: Optional[int] = None,
                        chunk_pairs: Optional[int] = None,
-                       cache_dir: Optional[str] = None) -> np.ndarray:
+                       cache_dir: Optional[str] = None,
+                       chunk_timeout_s=_UNSET,
+                       chunk_retries: Optional[int] = None,
+                       retry_backoff_s: Optional[float] = None) -> np.ndarray:
     """Symmetric (N, N) matrix of exact distances between all pairs.
 
     All four paper measures are symmetric, so only the upper triangle is
@@ -202,9 +347,16 @@ def pairwise_distances(trajectories: Sequence, measure: TrajectoryMeasure,
     cache_dir:
         Directory of the on-disk ``.npz`` cache (``None``: config value;
         caching is skipped when that is also ``None``).
+    chunk_timeout_s / chunk_retries / retry_backoff_s:
+        Fault-tolerance knobs of the chunked driver (per-chunk timeout,
+        bounded re-submission with backoff, then serial fallback); unset
+        values come from :func:`repro.core.config.get_precompute_config`.
     """
     points = _points(trajectories)
-    workers, chunk_pairs, cache_dir = _defaults(workers, chunk_pairs, cache_dir)
+    (workers, chunk_pairs, cache_dir, chunk_timeout_s, chunk_retries,
+     retry_backoff_s) = _defaults(workers, chunk_pairs, cache_dir,
+                                  chunk_timeout_s, chunk_retries,
+                                  retry_backoff_s)
     n = len(points)
 
     key = None
@@ -224,7 +376,9 @@ def pairwise_distances(trajectories: Sequence, measure: TrajectoryMeasure,
         matrix = np.zeros((n, n))
         if len(rows):
             values = _chunked_distances(points, points, measure, rows, cols,
-                                        workers, chunk_pairs, progress)
+                                        workers, chunk_pairs, progress,
+                                        chunk_timeout_s, chunk_retries,
+                                        retry_backoff_s)
             matrix[rows, cols] = values
             matrix[cols, rows] = values
         elif progress is not None:
@@ -257,16 +411,24 @@ def cross_distances(queries: Sequence, database: Sequence,
                     progress: ProgressFn = None,
                     workers: Optional[int] = None,
                     chunk_pairs: Optional[int] = None,
-                    cache_dir: Optional[str] = None) -> np.ndarray:
+                    cache_dir: Optional[str] = None,
+                    chunk_timeout_s=_UNSET,
+                    chunk_retries: Optional[int] = None,
+                    retry_backoff_s: Optional[float] = None) -> np.ndarray:
     """(Q, N) matrix of distances from each query to each database entry.
 
     Shares the pairwise driver's machinery: the same ``progress`` callback,
-    ``workers`` / ``chunk_pairs`` chunked-parallel evaluation and ``.npz``
-    caching, with defaults from :func:`repro.core.config.get_precompute_config`.
+    ``workers`` / ``chunk_pairs`` chunked-parallel evaluation with the
+    fault-tolerance knobs (timeout / retries / backoff / serial fallback)
+    and ``.npz`` caching, with defaults from
+    :func:`repro.core.config.get_precompute_config`.
     """
     q_points = _points(queries)
     d_points = _points(database)
-    workers, chunk_pairs, cache_dir = _defaults(workers, chunk_pairs, cache_dir)
+    (workers, chunk_pairs, cache_dir, chunk_timeout_s, chunk_retries,
+     retry_backoff_s) = _defaults(workers, chunk_pairs, cache_dir,
+                                  chunk_timeout_s, chunk_retries,
+                                  retry_backoff_s)
     n_q, n_d = len(q_points), len(d_points)
 
     key = None
@@ -286,7 +448,9 @@ def cross_distances(queries: Sequence, database: Sequence,
             rows = np.repeat(np.arange(n_q), n_d)
             cols = np.tile(np.arange(n_d), n_q)
             values = _chunked_distances(q_points, d_points, measure, rows,
-                                        cols, workers, chunk_pairs, progress)
+                                        cols, workers, chunk_pairs, progress,
+                                        chunk_timeout_s, chunk_retries,
+                                        retry_backoff_s)
             matrix[rows, cols] = values
         elif progress is not None:
             progress(0, 0)

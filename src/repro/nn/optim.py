@@ -43,6 +43,46 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Internal state (slot arrays + counters) for checkpointing.
+
+        Stateless optimizers return an empty dict; Adam/SGD override the
+        ``_state_arrays`` hooks below.
+        """
+        return {"slots": {name: [a.copy() for a in arrays]
+                          for name, arrays in self._state_arrays().items()},
+                "scalars": self._state_scalars()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` (strict shapes)."""
+        slots = state.get("slots", {})
+        own = self._state_arrays()
+        if set(slots) != set(own):
+            raise ValueError(f"optimizer state mismatch: got {sorted(slots)}, "
+                             f"expected {sorted(own)}")
+        for name, arrays in own.items():
+            incoming = slots[name]
+            if len(incoming) != len(arrays):
+                raise ValueError(
+                    f"optimizer slot {name!r} has {len(incoming)} arrays, "
+                    f"expected {len(arrays)}")
+            for target, value in zip(arrays, incoming):
+                value = np.asarray(value, dtype=target.dtype)
+                if value.shape != target.shape:
+                    raise ValueError(f"optimizer slot {name!r} shape "
+                                     f"{value.shape} != {target.shape}")
+                target[...] = value
+        self._load_state_scalars(state.get("scalars", {}))
+
+    def _state_arrays(self) -> dict:
+        return {}
+
+    def _state_scalars(self) -> dict:
+        return {}
+
+    def _load_state_scalars(self, scalars: dict) -> None:
+        pass
+
 
 class SGD(Optimizer):
     """SGD with optional classical momentum."""
@@ -64,6 +104,9 @@ class SGD(Optimizer):
                 p.data = p.data - self.lr * v
             else:
                 p.data = p.data - self.lr * p.grad
+
+    def _state_arrays(self) -> dict:
+        return {"velocity": self._velocity}
 
 
 class Adam(Optimizer):
@@ -94,3 +137,12 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _state_arrays(self) -> dict:
+        return {"m": self._m, "v": self._v}
+
+    def _state_scalars(self) -> dict:
+        return {"step": self._step}
+
+    def _load_state_scalars(self, scalars: dict) -> None:
+        self._step = int(scalars.get("step", 0))

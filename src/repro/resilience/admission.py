@@ -1,0 +1,69 @@
+"""Bounded admission with load shedding.
+
+Under overload a service must refuse work fast, not queue it until every
+caller times out. :class:`AdmissionGate` caps concurrent in-flight
+requests; when full, admission fails immediately (the serving layer maps
+that to HTTP 429 and a shed counter) instead of blocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict
+
+from ..exceptions import ConfigurationError, ServiceOverloadedError
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """Non-blocking bounded admission counter.
+
+    Parameters
+    ----------
+    limit:
+        Maximum concurrent admitted requests; 0 disables the gate
+        (everything admitted).
+    """
+
+    def __init__(self, limit: int = 0):
+        if limit < 0:
+            raise ConfigurationError("limit must be >= 0")
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._admitted = 0
+        self._shed = 0
+
+    def try_acquire(self) -> bool:
+        """Admit one request if capacity allows; never blocks."""
+        with self._lock:
+            if self.limit and self._in_flight >= self.limit:
+                self._shed += 1
+                return False
+            self._in_flight += 1
+            self._admitted += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without matching try_acquire()")
+            self._in_flight -= 1
+
+    @contextmanager
+    def admit(self, what: str = "request"):
+        """Context manager: admit or raise :class:`ServiceOverloadedError`."""
+        if not self.try_acquire():
+            raise ServiceOverloadedError(
+                f"{what} shed: {self._in_flight}/{self.limit} in flight")
+        try:
+            yield
+        finally:
+            self.release()
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {"limit": self.limit, "in_flight": self._in_flight,
+                    "admitted": self._admitted, "shed": self._shed}

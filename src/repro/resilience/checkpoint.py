@@ -1,0 +1,246 @@
+"""Crash-safe, versioned training checkpoints.
+
+A checkpoint directory managed by :class:`CheckpointManager` holds::
+
+    checkpoints/
+      CHECKPOINTS.json     manifest: schema, per-file sha256 + step, latest
+      ckpt-00000004.npz    arrays + a JSON meta blob (no pickle anywhere)
+      ckpt-00000005.npz
+
+Guarantees, mirroring the serving bundle's discipline:
+
+* **Atomic** — every ``.npz`` and the manifest are written to a temp file
+  and published with ``os.replace``; a crash mid-save never leaves a torn
+  file under a checkpoint name.
+* **Versioned + manifested** — each file is sha256-recorded in the
+  manifest; ``load_latest`` verifies the hash before trusting the bytes.
+* **Fallback** — a corrupt, truncated or missing newest checkpoint is
+  skipped (recorded in ``last_skipped``) and the next-older good one is
+  loaded instead; only when *no* checkpoint survives does the caller see
+  ``None`` (fresh start).
+* **No pickle** — meta travels as a JSON string in a unicode array, so a
+  corrupted file can fail to parse but can never execute anything.
+
+The manager stores flat ``name -> ndarray`` dicts plus a JSON-able meta
+dict; what goes *into* a training checkpoint (parameters, Adam moments,
+RNG state, sampler position, loss history) is packed by
+:func:`repro.core.trainer.pack_training_checkpoint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import CheckpointError
+
+PathLike = Union[str, Path]
+
+__all__ = ["Checkpoint", "CheckpointManager", "CHECKPOINT_SCHEMA"]
+
+CHECKPOINT_SCHEMA = "repro.checkpoint.v1"
+MANIFEST_NAME = "CHECKPOINTS.json"
+_META_KEY = "meta/json"
+
+
+@dataclass
+class Checkpoint:
+    """One loaded checkpoint: the arrays, the meta blob, and provenance."""
+
+    step: int
+    arrays: Dict[str, np.ndarray]
+    meta: Dict
+    path: Path = field(default=None)
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class CheckpointManager:
+    """Owns one checkpoint directory: atomic saves, verified loads, pruning.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live (created on first save).
+    keep:
+        Newest checkpoints retained; older ones are pruned after each
+        save. 0 keeps everything.
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 3):
+        if keep < 0:
+            raise CheckpointError("keep must be >= 0")
+        self.directory = Path(directory)
+        self.keep = keep
+        #: Filenames skipped as corrupt/unreadable by the last load_latest.
+        self.last_skipped: List[str] = []
+
+    # -------------------------------------------------------------- manifest
+
+    def _manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def _read_manifest(self) -> Dict:
+        path = self._manifest_path()
+        if not path.exists():
+            return {"schema": CHECKPOINT_SCHEMA, "checkpoints": {}}
+        try:
+            manifest = json.loads(path.read_text())
+            if not isinstance(manifest.get("checkpoints"), dict):
+                raise ValueError("manifest has no checkpoints table")
+            return manifest
+        except (OSError, ValueError):
+            # A torn manifest must not strand good checkpoint files:
+            # rebuild an empty table and let load_latest fall back to
+            # globbing (unverified but still schema-checked).
+            return {"schema": CHECKPOINT_SCHEMA, "checkpoints": {}}
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        tmp = self._manifest_path().with_name(
+            MANIFEST_NAME + f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self._manifest_path())
+
+    # ------------------------------------------------------------------ save
+
+    @staticmethod
+    def _filename(step: int) -> str:
+        return f"ckpt-{step:08d}.npz"
+
+    def save(self, step: int, arrays: Dict[str, np.ndarray],
+             meta: Dict) -> Path:
+        """Atomically persist one checkpoint; returns its path."""
+        if step < 0:
+            raise CheckpointError("step must be >= 0")
+        if _META_KEY in arrays:
+            raise CheckpointError(f"array name {_META_KEY!r} is reserved")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta = dict(meta)
+        meta.setdefault("schema", CHECKPOINT_SCHEMA)
+        meta["step"] = int(step)
+        payload = dict(arrays)
+        payload[_META_KEY] = np.array(json.dumps(meta))  # unicode, no pickle
+
+        path = self.directory / self._filename(step)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp, path)
+        except OSError as exc:
+            if tmp.exists():
+                tmp.unlink()
+            raise CheckpointError(f"cannot write checkpoint {path}: {exc}") \
+                from exc
+
+        manifest = self._read_manifest()
+        manifest["schema"] = CHECKPOINT_SCHEMA
+        manifest["checkpoints"][path.name] = {
+            "step": int(step),
+            "sha256": _sha256(path),
+            "bytes": path.stat().st_size,
+        }
+        manifest["latest"] = path.name
+        self._prune(manifest)
+        self._write_manifest(manifest)
+        return path
+
+    def _prune(self, manifest: Dict) -> None:
+        if not self.keep:
+            return
+        entries = sorted(manifest["checkpoints"].items(),
+                         key=lambda kv: kv[1].get("step", -1), reverse=True)
+        for name, _ in entries[self.keep:]:
+            manifest["checkpoints"].pop(name, None)
+            stale = self.directory / name
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ load
+
+    def _candidates(self) -> List[Dict]:
+        """Newest-first candidate files, manifest-verified when possible."""
+        manifest = self._read_manifest()
+        table = manifest.get("checkpoints", {})
+        names = set(table)
+        # Glob picks up files a torn manifest forgot about.
+        if self.directory.exists():
+            for path in self.directory.glob("ckpt-*.npz"):
+                names.add(path.name)
+        out = []
+        for name in names:
+            entry = table.get(name, {})
+            step = entry.get("step")
+            if step is None:
+                try:
+                    step = int(name[len("ckpt-"):-len(".npz")])
+                except ValueError:
+                    continue
+            out.append({"name": name, "step": int(step),
+                        "sha256": entry.get("sha256")})
+        return sorted(out, key=lambda c: c["step"], reverse=True)
+
+    def _load_one(self, candidate: Dict) -> Checkpoint:
+        path = self.directory / candidate["name"]
+        if not path.exists():
+            raise CheckpointError(f"missing file {path.name}")
+        expected = candidate.get("sha256")
+        if expected is not None and _sha256(path) != expected:
+            raise CheckpointError(f"sha256 mismatch for {path.name}")
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if _META_KEY not in data.files:
+                    raise CheckpointError(f"{path.name} has no meta blob")
+                meta = json.loads(str(data[_META_KEY]))
+                arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        except CheckpointError:
+            raise
+        except Exception as exc:  # zip/format/json damage -> typed error
+            raise CheckpointError(
+                f"unreadable checkpoint {path.name}: {exc}") from exc
+        if meta.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"{path.name}: unsupported schema {meta.get('schema')!r}")
+        return Checkpoint(step=int(meta.get("step", candidate["step"])),
+                          arrays=arrays, meta=meta, path=path)
+
+    def load_latest(self) -> Optional[Checkpoint]:
+        """Newest checkpoint that verifies and parses; ``None`` if none do.
+
+        Corrupt/truncated/missing candidates are skipped (recorded in
+        ``last_skipped`` as ``"name: reason"`` strings) and the next-older
+        one is tried — the crash-recovery contract.
+        """
+        self.last_skipped = []
+        for candidate in self._candidates():
+            try:
+                return self._load_one(candidate)
+            except CheckpointError as exc:
+                self.last_skipped.append(f"{candidate['name']}: {exc}")
+        return None
+
+    def load_step(self, step: int) -> Checkpoint:
+        """Load one specific step, raising on any damage (no fallback)."""
+        for candidate in self._candidates():
+            if candidate["step"] == step:
+                return self._load_one(candidate)
+        raise CheckpointError(f"no checkpoint for step {step} "
+                              f"in {self.directory}")
+
+    def steps(self) -> List[int]:
+        """Steps with a checkpoint file present, oldest first."""
+        return sorted(c["step"] for c in self._candidates())

@@ -14,6 +14,19 @@ Failure isolation: when a batched call raises, the worker retries each
 item of the batch individually so the exception lands only on the
 future(s) whose input actually caused it; items that succeed alone still
 get results.
+
+Robustness contract (see DESIGN.md "Operational robustness"):
+
+* ``submit`` accepts an optional monotonic **deadline**; an item whose
+  deadline has already passed when its batch is assembled is failed with
+  :class:`~repro.exceptions.DeadlineExceededError` instead of wasting
+  encoder time on an answer nobody is waiting for.
+* ``close`` never strands a caller: with ``drain=True`` (default) queued
+  work is finished first, and anything still pending when the drain
+  times out — or everything queued, with ``drain=False`` — is failed
+  with a clear :class:`~repro.exceptions.ServiceClosedError` rather than
+  leaving futures hanging forever. ``submit`` after close raises the
+  same typed error.
 """
 
 from __future__ import annotations
@@ -21,14 +34,26 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
+
+from ..exceptions import DeadlineExceededError, ServiceClosedError
 
 __all__ = ["MicroBatcher", "BatcherClosedError"]
 
 
-class BatcherClosedError(RuntimeError):
+class BatcherClosedError(ServiceClosedError):
     """Raised when submitting to (or draining from) a closed batcher."""
+
+
+def _fail_future(future: "Future", exc: BaseException) -> None:
+    """Set an exception on a future unless it already completed/cancelled."""
+    if not future.set_running_or_notify_cancel():
+        return
+    try:
+        future.set_exception(exc)
+    except InvalidStateError:  # pragma: no cover - lost benign race
+        pass
 
 
 class MicroBatcher:
@@ -65,38 +90,69 @@ class MicroBatcher:
         self._on_batch = on_batch
         self._lock = threading.Lock()
         self._has_work = threading.Condition(self._lock)
-        self._queue: "Deque[Tuple[Any, Future]]" = deque()
+        self._queue: "Deque[Tuple[Any, Future, Optional[float]]]" = deque()
         self._closed = False
         self._batches_dispatched = 0
         self._items_dispatched = 0
+        self._deadline_expired = 0
         self._worker = threading.Thread(target=self._run, name=name,
                                         daemon=True)
         self._worker.start()
 
     # ------------------------------------------------------------- client API
 
-    def submit(self, item: Any) -> "Future":
-        """Enqueue one item; returns the future of its per-item result."""
+    def submit(self, item: Any,
+               deadline: Optional[float] = None) -> "Future":
+        """Enqueue one item; returns the future of its per-item result.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp; when
+        the worker assembles the item's batch after that instant, the
+        future fails with :class:`DeadlineExceededError` instead of being
+        encoded.
+        """
         future: "Future" = Future()
         with self._lock:
             if self._closed:
                 raise BatcherClosedError("batcher is closed")
-            self._queue.append((item, future))
+            self._queue.append((item, future, deadline))
             self._has_work.notify()
         return future
 
-    def __call__(self, item: Any, timeout: Optional[float] = None) -> Any:
+    def __call__(self, item: Any, timeout: Optional[float] = None,
+                 deadline: Optional[float] = None) -> Any:
         """Convenience: submit and block for the result."""
-        return self.submit(item).result(timeout=timeout)
+        return self.submit(item, deadline=deadline).result(timeout=timeout)
 
-    def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting work, drain the queue, and join the worker."""
+    def close(self, timeout: Optional[float] = 10.0,
+              drain: bool = True) -> None:
+        """Stop accepting work and shut the worker down.
+
+        With ``drain=True`` queued items are still dispatched, then the
+        worker is joined for up to ``timeout`` seconds; anything *still*
+        queued afterwards (a wedged ``batch_fn``) is failed with
+        :class:`ServiceClosedError`. With ``drain=False`` every queued
+        future fails immediately — the fast path for emergency shutdown.
+        Either way no caller is left waiting on a future forever.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            pending: List[Tuple[Any, Future, Optional[float]]] = []
+            if not drain:
+                pending = list(self._queue)
+                self._queue.clear()
             self._has_work.notify_all()
+        for _, future, _ in pending:
+            _fail_future(future, ServiceClosedError(
+                "service shut down before this request was processed"))
         self._worker.join(timeout=timeout)
+        with self._lock:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for _, future, _ in leftovers:
+            _fail_future(future, ServiceClosedError(
+                "service shut down before this request was processed"))
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -113,17 +169,19 @@ class MicroBatcher:
         with self._lock:
             batches = self._batches_dispatched
             items = self._items_dispatched
+            expired = self._deadline_expired
         return {
             "batches": batches,
             "items": items,
             "mean_batch_size": (items / batches) if batches else 0.0,
             "max_batch_size": self.max_batch_size,
             "max_wait_s": self.max_wait_s,
+            "deadline_expired": expired,
         }
 
     # ---------------------------------------------------------------- worker
 
-    def _collect(self) -> "List[Tuple[Any, Future]]":
+    def _collect(self) -> "List[Tuple[Any, Future, Optional[float]]]":
         """Block until work exists, then gather one batch (deadline-aware).
 
         Returns an empty list only when the batcher is closed and fully
@@ -156,9 +214,20 @@ class MicroBatcher:
                 return
             self._dispatch(batch)
 
-    def _dispatch(self, batch: "List[Tuple[Any, Future]]") -> None:
-        live = [(item, fut) for item, fut in batch
-                if fut.set_running_or_notify_cancel()]
+    def _dispatch(self,
+                  batch: "List[Tuple[Any, Future, Optional[float]]]") -> None:
+        now = time.monotonic()
+        expired = [(item, fut) for item, fut, dl in batch
+                   if dl is not None and now > dl]
+        for _, fut in expired:
+            _fail_future(fut, DeadlineExceededError(
+                "request deadline expired before encoding started"))
+        if expired:
+            with self._lock:
+                self._deadline_expired += len(expired)
+        live = [(item, fut) for item, fut, dl in batch
+                if not (dl is not None and now > dl)
+                and fut.set_running_or_notify_cancel()]
         if not live:
             return
         start = time.monotonic()
@@ -173,7 +242,10 @@ class MicroBatcher:
             self._resolve_individually(live, exc)
         else:
             for (_, fut), result in zip(live, results):
-                fut.set_result(result)
+                try:
+                    fut.set_result(result)
+                except InvalidStateError:  # pragma: no cover - benign race
+                    pass
         finally:
             elapsed = time.monotonic() - start
             with self._lock:

@@ -205,7 +205,12 @@ def load_bundle(path: PathLike, verify: bool = True) -> Bundle:
     model_cls = MODEL_CLASSES.get(class_name)
     if model_cls is None:
         raise BundleError(f"unknown model class {class_name!r}")
-    model = model_cls.load(path / MODEL_FILE)
+    # MetricModel.load raises CorruptArtifactError (a ValueError) on
+    # unreadable files; with verify=False that is the only corruption gate.
+    try:
+        model = model_cls.load(path / MODEL_FILE)
+    except ValueError as exc:
+        raise BundleError(f"unloadable model: {exc}") from exc
 
     dim = int(manifest.get("embedding_dim", -1))
     if model.config.embedding_dim != dim:

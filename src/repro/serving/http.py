@@ -8,7 +8,12 @@ stands in for a production RPC stack):
 ==========  =======================  ==========================================
 method      path                     body / response
 ==========  =======================  ==========================================
-GET         ``/healthz``             ``{"status": "ok", "store_size": N}``
+GET         ``/healthz``             liveness: ``{"status": "ok", ...}`` —
+                                     200 whenever the process can answer
+GET         ``/readyz``              readiness: 200 when the service can give
+                                     good answers (store loaded, warmed up,
+                                     breaker not open), else 503 with the
+                                     failing checks in the body
 GET         ``/metrics``             Prometheus text exposition
 GET         ``/v1/stats``            operational snapshot (JSON)
 POST        ``/v1/topk``             ``{"trajectory": [[x,y],...], "k": 5}`` ->
@@ -21,7 +26,9 @@ POST        ``/v1/delete``           ``{"ids": [...]}`` -> ``{"removed": n}``
 ==========  =======================  ==========================================
 
 Errors come back as ``{"error": "..."}`` with 400 (bad request), 404
-(unknown route), 409 (empty store), or 500 (unexpected).
+(unknown route), 409 (empty store), 429 (load shed — retry later), 503
+(degradation the service could not absorb: breaker open with no fallback,
+or shut down), 504 (request deadline expired), or 500 (unexpected).
 """
 
 from __future__ import annotations
@@ -32,7 +39,9 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from ..exceptions import InvalidTrajectoryError, NotFittedError
+from ..exceptions import (DeadlineExceededError, InvalidTrajectoryError,
+                          NotFittedError, ServiceClosedError,
+                          ServiceOverloadedError, ServiceUnavailableError)
 from .service import SimilarityService
 
 __all__ = ["ServingHTTPServer", "make_server", "serve"]
@@ -126,6 +135,15 @@ class _Handler(BaseHTTPRequestHandler):
         except NotFittedError as exc:
             status = 409
             self._send_error_json(status, str(exc))
+        except ServiceOverloadedError as exc:
+            status = 429
+            self._send_error_json(status, str(exc))
+        except DeadlineExceededError as exc:
+            status = 504
+            self._send_error_json(status, str(exc))
+        except (ServiceUnavailableError, ServiceClosedError) as exc:
+            status = 503
+            self._send_error_json(status, str(exc))
         except BrokenPipeError:
             pass  # client went away; nothing to answer
         except Exception as exc:  # noqa: BLE001 - must answer something
@@ -138,6 +156,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
             self._route(self._get_healthz)
+        elif self.path == "/readyz":
+            self._route(self._get_readyz)
         elif self.path == "/metrics":
             self._route(self._get_metrics)
         elif self.path == "/v1/stats":
@@ -165,6 +185,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, {"status": "ok",
                               "store_size": len(self.service.store)})
         return 200
+
+    def _get_readyz(self) -> int:
+        readiness = self.service.readiness()
+        status = 200 if readiness["ready"] else 503
+        self._send_json(status, readiness)
+        return status
 
     def _get_metrics(self) -> int:
         body = self.service.render_metrics().encode()

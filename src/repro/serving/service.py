@@ -11,13 +11,25 @@ Consistency model: ``insert``/``delete`` take the store lock and bump a
 generation counter that is part of every cache key, so a top-k answer is
 always computed against a single store snapshot and stale cache entries
 die with their generation.
+
+Robustness model (DESIGN.md "Operational robustness"): requests are
+validated at the boundary (:class:`InvalidTrajectoryError` — never deep
+inside the encoder), admitted through a bounded
+:class:`~repro.resilience.AdmissionGate` (full ⇒ typed
+:class:`ServiceOverloadedError`, the HTTP 429/load-shedding path), carry
+a deadline through the micro-batcher, and encode behind a
+:class:`~repro.resilience.CircuitBreaker`. When the encoder trips the
+breaker, ``top_k`` degrades to the grid-index approximate path (cell
+overlap counts via :class:`~repro.index.GridInvertedIndex`) instead of
+failing — answers are marked ``degraded`` and counted.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -26,7 +38,12 @@ import numpy as np
 from ..core.model import MetricModel
 from ..core.store import EmbeddingStore
 from ..datasets.trajectory import Trajectory
-from ..exceptions import ConfigurationError
+from ..exceptions import (ConfigurationError, DeadlineExceededError,
+                          InvalidTrajectoryError, ServiceClosedError,
+                          ServiceOverloadedError, ServiceUnavailableError)
+from ..index.grid_index import GridInvertedIndex
+from ..resilience.admission import AdmissionGate
+from ..resilience.breaker import CircuitBreaker
 from .batching import MicroBatcher
 from .bundle import Bundle, load_bundle
 from .cache import LRUCache, result_key
@@ -35,6 +52,8 @@ from .metrics import (DEFAULT_SIZE_BUCKETS, MetricsRegistry)
 PathLike = Union[str, Path]
 
 __all__ = ["ServingConfig", "SimilarityService", "TopKResult"]
+
+_DEFAULT = object()  # sentinel: timeout=None means "no deadline"
 
 
 @dataclass
@@ -54,12 +73,29 @@ class ServingConfig:
         LRU result-cache entries; 0 disables caching.
     default_k:
         ``k`` used when a query does not specify one.
+    max_points:
+        Longest trajectory accepted at the boundary; longer requests fail
+        validation with :class:`InvalidTrajectoryError` (0 disables).
+    max_inflight:
+        Concurrent ``top_k``/``embed`` requests admitted; the rest are
+        shed with :class:`ServiceOverloadedError` (HTTP 429). 0 disables.
+    breaker_failure_threshold / breaker_reset_s:
+        Consecutive encoder failures that open the circuit breaker, and
+        how long it stays open before probing the encoder again.
+    default_timeout_s:
+        Per-request deadline when the caller does not pass one
+        (``None`` disables deadlines by default).
     """
 
     max_batch_size: int = 16
     max_wait_ms: float = 2.0
     cache_capacity: int = 1024
     default_k: int = 10
+    max_points: int = 100_000
+    max_inflight: int = 0
+    breaker_failure_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    default_timeout_s: Optional[float] = 30.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -70,19 +106,38 @@ class ServingConfig:
             raise ConfigurationError("cache_capacity must be >= 0")
         if self.default_k < 1:
             raise ConfigurationError("default_k must be >= 1")
+        if self.max_points < 0:
+            raise ConfigurationError("max_points must be >= 0")
+        if self.max_inflight < 0:
+            raise ConfigurationError("max_inflight must be >= 0")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError("breaker_failure_threshold must be >= 1")
+        if self.breaker_reset_s < 0:
+            raise ConfigurationError("breaker_reset_s must be >= 0")
+        if (self.default_timeout_s is not None
+                and self.default_timeout_s <= 0):
+            raise ConfigurationError(
+                "default_timeout_s must be positive (or None)")
 
 
 @dataclass(frozen=True)
 class TopKResult:
-    """Answer to one top-k query."""
+    """Answer to one top-k query.
+
+    ``degraded`` marks approximate answers produced by the grid-index
+    fallback while the encoder breaker is open; their ``distances`` are
+    pseudo-distances (``1 / (1 + cell overlap)``), comparable within the
+    answer but not to embedding distances.
+    """
 
     ids: List[int]
     distances: List[float]
     cached: bool = False
+    degraded: bool = False
 
     def to_json(self) -> Dict:
         return {"ids": self.ids, "distances": self.distances,
-                "cached": self.cached}
+                "cached": self.cached, "degraded": self.degraded}
 
 
 class SimilarityService:
@@ -99,22 +154,30 @@ class SimilarityService:
         :class:`ServingConfig`; defaults are sensible for tests.
     probes:
         Representative trajectories for :meth:`warmup` and self-tests.
+    fallback_index:
+        Optional :class:`GridInvertedIndex` over the same ids as the
+        store; enables the degraded ``top_k`` path while the encoder
+        breaker is open. Kept in sync by ``insert``/``delete``. Without
+        it, breaker-open queries raise :class:`ServiceUnavailableError`.
     """
 
     def __init__(self, model: MetricModel, store: EmbeddingStore,
                  config: Optional[ServingConfig] = None,
-                 probes: Optional[Sequence[Trajectory]] = None):
+                 probes: Optional[Sequence[Trajectory]] = None,
+                 fallback_index: Optional[GridInvertedIndex] = None):
         model._require_fitted()
         self.model = model
         self.store = store
         self.config = config or ServingConfig()
         self.probes: List[Trajectory] = list(probes or [])
+        self.fallback_index = fallback_index
         self.registry = MetricsRegistry()
         self._started = time.monotonic()
         self._store_lock = threading.Lock()
         self._generation = 0
         self._cache = LRUCache(self.config.cache_capacity)
         self._closed = False
+        self._warmed = False
 
         reg = self.registry
         self._m_queries = reg.counter(
@@ -131,6 +194,23 @@ class SimilarityService:
             "repro_cache_misses_total", "Top-k answers computed fresh.")
         self._m_errors = reg.counter(
             "repro_request_errors_total", "Requests that raised.")
+        self._m_shed = reg.counter(
+            "repro_shed_requests_total",
+            "Requests refused by the admission gate (HTTP 429).")
+        self._m_degraded = reg.counter(
+            "repro_degraded_answers_total",
+            "Top-k answers served by the grid-index fallback.")
+        self._m_validation = reg.counter(
+            "repro_validation_errors_total",
+            "Requests rejected at input validation.")
+        self._m_deadline = reg.counter(
+            "repro_deadline_exceeded_total",
+            "Requests dropped because their deadline expired.")
+        self._m_encoder_failures = reg.counter(
+            "repro_encoder_failures_total", "Batched encoder calls that raised.")
+        self._m_breaker_transitions = reg.counter(
+            "repro_breaker_transitions_total",
+            "Encoder circuit-breaker state transitions.")
         self._h_latency = reg.histogram(
             "repro_topk_latency_seconds", "End-to-end top-k latency.")
         self._h_encode = reg.histogram(
@@ -138,6 +218,12 @@ class SimilarityService:
         self._h_batch_size = reg.histogram(
             "repro_encode_batch_size", "Trajectories per encoder batch.",
             buckets=DEFAULT_SIZE_BUCKETS)
+
+        self._gate = AdmissionGate(self.config.max_inflight)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+            on_transition=lambda old, new: self._m_breaker_transitions.inc())
 
         self._batcher = MicroBatcher(
             self._encode_batch,
@@ -151,52 +237,102 @@ class SimilarityService:
     @classmethod
     def from_bundle(cls, bundle: Union[Bundle, PathLike],
                     config: Optional[ServingConfig] = None,
-                    verify: bool = True) -> "SimilarityService":
+                    verify: bool = True,
+                    fallback_index: Optional[GridInvertedIndex] = None
+                    ) -> "SimilarityService":
         """Build a service from a :class:`Bundle` or a bundle directory."""
         if not isinstance(bundle, Bundle):
             bundle = load_bundle(bundle, verify=verify)
         return cls(bundle.model, bundle.store, config=config,
-                   probes=bundle.probes)
+                   probes=bundle.probes, fallback_index=fallback_index)
 
     # ------------------------------------------------------------ encoder path
 
     def _encode_batch(self, trajectories: List[Trajectory]) -> np.ndarray:
-        return self.model.embed(trajectories,
-                                batch_size=self.config.max_batch_size)
+        if not self.breaker.allow():
+            raise ServiceUnavailableError("encoder circuit breaker is open")
+        try:
+            out = self.model.embed(trajectories,
+                                   batch_size=self.config.max_batch_size)
+        except Exception:
+            self._m_encoder_failures.inc()
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return out
 
     def _record_batch(self, batch_size: int, seconds: float) -> None:
         self._h_batch_size.observe(batch_size)
         self._h_encode.observe(seconds)
 
+    def _resolve_deadline(self, timeout):
+        """Map a caller timeout to (timeout_s, monotonic deadline)."""
+        if timeout is _DEFAULT:
+            timeout = self.config.default_timeout_s
+        if timeout is None:
+            return None, None
+        return timeout, time.monotonic() + timeout
+
     def embed(self, trajectory: Trajectory,
-              timeout: Optional[float] = 30.0) -> np.ndarray:
+              timeout: Optional[float] = _DEFAULT) -> np.ndarray:
         """Embedding of one trajectory via the micro-batcher."""
         self._m_embeds.inc()
         try:
-            return self._batcher(self._as_trajectory(trajectory),
-                                 timeout=timeout)
+            query = self._as_trajectory(trajectory)
+            timeout, deadline = self._resolve_deadline(timeout)
+            with self._gate.admit("embed"):
+                try:
+                    return self._batcher(query, timeout=timeout,
+                                         deadline=deadline)
+                except FuturesTimeoutError as exc:
+                    self._m_deadline.inc()
+                    raise DeadlineExceededError(
+                        f"no embedding within {timeout}s") from exc
+                except DeadlineExceededError:
+                    self._m_deadline.inc()
+                    raise
+        except ServiceOverloadedError:
+            self._m_shed.inc()
+            self._m_errors.inc()
+            raise
         except Exception:
             self._m_errors.inc()
             raise
 
-    @staticmethod
-    def _as_trajectory(trajectory) -> Trajectory:
-        if isinstance(trajectory, Trajectory):
-            return trajectory
-        return Trajectory(trajectory)
+    def _as_trajectory(self, trajectory) -> Trajectory:
+        """Boundary validation: anything malformed raises the typed error."""
+        try:
+            traj = (trajectory if isinstance(trajectory, Trajectory)
+                    else Trajectory(trajectory))
+        except InvalidTrajectoryError:
+            self._m_validation.inc()
+            raise
+        except (TypeError, ValueError) as exc:
+            self._m_validation.inc()
+            raise InvalidTrajectoryError(
+                f"not a valid trajectory: {exc}") from exc
+        limit = self.config.max_points
+        if limit and len(traj.points) > limit:
+            self._m_validation.inc()
+            raise InvalidTrajectoryError(
+                f"trajectory has {len(traj.points)} points "
+                f"(limit {limit})")
+        return traj
 
     # ------------------------------------------------------------- query path
 
     def top_k(self, trajectory: Trajectory, k: Optional[int] = None,
               use_cache: bool = True,
-              timeout: Optional[float] = 30.0) -> TopKResult:
+              timeout: Optional[float] = _DEFAULT) -> TopKResult:
         """Top-k ids + embedding distances for a query trajectory.
 
         Bit-for-bit identical to the offline
         :meth:`EmbeddingStore.query` path when the request runs alone;
         under concurrency, padded-batch reduction order may differ by
         float rounding (~1 ulp), never enough to reorder non-tied
-        neighbours.
+        neighbours. While the encoder breaker is open, answers come from
+        the grid-index fallback (marked ``degraded=True``) when one is
+        configured.
         """
         start = time.monotonic()
         try:
@@ -205,30 +341,88 @@ class SimilarityService:
                 k = self.config.default_k
             if k < 1:
                 raise ValueError("k must be >= 1")
-            key = result_key(query.points, k, self.model.config.measure,
-                             self._generation)
-            if use_cache:
-                hit = self._cache.get(key)
-                if hit is not None:
-                    self._m_queries.inc()
-                    self._m_cache_hits.inc()
-                    return TopKResult(ids=list(hit[0]),
-                                      distances=list(hit[1]), cached=True)
-                self._m_cache_misses.inc()
-            embedding = self._batcher(query, timeout=timeout)
-            with self._store_lock:
-                ids, distances = self.store.query_embedding(embedding, k)
-            result = TopKResult(ids=[int(i) for i in ids],
-                                distances=[float(d) for d in distances])
-            if use_cache:
-                self._cache.put(key, (result.ids, result.distances))
-            self._m_queries.inc()
-            return result
+            timeout, deadline = self._resolve_deadline(timeout)
+            with self._gate.admit("top_k"):
+                return self._answer_top_k(query, k, use_cache, timeout,
+                                          deadline)
+        except ServiceOverloadedError:
+            self._m_shed.inc()
+            self._m_errors.inc()
+            raise
         except Exception:
             self._m_errors.inc()
             raise
         finally:
             self._h_latency.observe(time.monotonic() - start)
+
+    def _answer_top_k(self, query: Trajectory, k: int, use_cache: bool,
+                      timeout: Optional[float],
+                      deadline: Optional[float]) -> TopKResult:
+        key = result_key(query.points, k, self.model.config.measure,
+                         self._generation)
+        if use_cache:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._m_queries.inc()
+                self._m_cache_hits.inc()
+                return TopKResult(ids=list(hit[0]),
+                                  distances=list(hit[1]), cached=True)
+            self._m_cache_misses.inc()
+        try:
+            embedding = self._batcher(query, timeout=timeout,
+                                      deadline=deadline)
+        except FuturesTimeoutError as exc:
+            self._m_deadline.inc()
+            raise DeadlineExceededError(
+                f"no answer within {timeout}s") from exc
+        except DeadlineExceededError:
+            self._m_deadline.inc()
+            raise
+        except (ServiceClosedError, ServiceOverloadedError):
+            raise
+        except Exception as exc:
+            if (self.fallback_index is not None
+                    and (isinstance(exc, ServiceUnavailableError)
+                         or self.breaker.state == "open")):
+                result = self._degraded_top_k(query, k)
+                self._m_queries.inc()
+                return result
+            raise
+        if deadline is not None and time.monotonic() > deadline:
+            self._m_deadline.inc()
+            raise DeadlineExceededError(
+                "deadline expired before the store search")
+        with self._store_lock:
+            ids, distances = self.store.query_embedding(embedding, k)
+        result = TopKResult(ids=[int(i) for i in ids],
+                            distances=[float(d) for d in distances])
+        if use_cache:
+            self._cache.put(key, (result.ids, result.distances))
+        self._m_queries.inc()
+        return result
+
+    def _degraded_top_k(self, query: Trajectory, k: int) -> TopKResult:
+        """Approximate answer from grid-cell overlap (no encoder involved).
+
+        Candidates are ranked by how many of the query's (ring-expanded)
+        cells they share; ties break on id for determinism. The
+        pseudo-distance ``1 / (1 + overlap)`` preserves that ranking.
+        """
+        index = self.fallback_index
+        if index is None:
+            raise ServiceUnavailableError(
+                "encoder unavailable and no fallback index is configured")
+        cells = index.grid.to_cells(np.asarray(query.points))
+        expanded = {(x + dx, y + dy)
+                    for x, y in {(int(cx), int(cy)) for cx, cy in cells}
+                    for dx in (-1, 0, 1) for dy in (-1, 0, 1)}
+        with self._store_lock:
+            counts = index.match_counts(sorted(expanded))
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        self._m_degraded.inc()
+        return TopKResult(ids=[int(i) for i, _ in ranked],
+                          distances=[1.0 / (1.0 + c) for _, c in ranked],
+                          degraded=True)
 
     # --------------------------------------------------------------- mutation
 
@@ -240,6 +434,10 @@ class SimilarityService:
         try:
             with self._store_lock:
                 assigned = self.store.add(items)
+                if self.fallback_index is not None:
+                    for traj, traj_id in zip(items, assigned):
+                        self.fallback_index.insert(traj_id,
+                                                   np.asarray(traj.points))
                 self._generation += 1
             self._cache.clear()
             self._m_inserts.inc(len(assigned))
@@ -253,6 +451,9 @@ class SimilarityService:
         try:
             with self._store_lock:
                 removed = self.store.remove([int(i) for i in ids])
+                if self.fallback_index is not None:
+                    for traj_id in ids:
+                        self.fallback_index.remove(int(traj_id))
                 self._generation += 1
             self._cache.clear()
             self._m_deletes.inc(removed)
@@ -269,7 +470,8 @@ class SimilarityService:
         Exercises the encoder, the batcher and the store search so the
         first real request does not pay first-touch allocation costs.
         Uses the bundle's probes when present, otherwise a synthetic
-        two-point trajectory inside the model's grid.
+        two-point trajectory inside the model's grid. A completed warmup
+        flips the service to ready (see :meth:`readiness`).
         """
         probes = self.probes[:queries] or [self.synthetic_probe()]
         served = 0
@@ -279,6 +481,7 @@ class SimilarityService:
             else:
                 self.embed(probe)
             served += 1
+        self._warmed = True
         return served
 
     def synthetic_probe(self) -> Trajectory:
@@ -288,6 +491,20 @@ class SimilarityService:
         cx, cy = (xmin + xmax) / 2.0, (ymin + ymax) / 2.0
         step = encoder.grid.cell_size
         return Trajectory([[cx - step, cy], [cx, cy], [cx + step, cy]])
+
+    def readiness(self) -> Dict:
+        """Readiness checks for ``/readyz`` (distinct from liveness).
+
+        Ready means: the store has data, :meth:`warmup` completed, the
+        encoder breaker is not open, and the service is accepting work.
+        """
+        checks = {
+            "store_nonempty": len(self.store) > 0,
+            "warmed": self._warmed,
+            "encoder_breaker_closed": self.breaker.state != "open",
+            "accepting_requests": not self._closed,
+        }
+        return {"ready": all(checks.values()), "checks": checks}
 
     def stats(self) -> Dict:
         """JSON-friendly operational snapshot (also the ``/v1/stats`` body)."""
@@ -302,6 +519,13 @@ class SimilarityService:
                       "measure": self.model.config.measure},
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),
+            "resilience": {
+                "breaker": self.breaker.stats(),
+                "admission": self._gate.stats(),
+                "fallback_index": (None if self.fallback_index is None else
+                                   {"size": self.fallback_index.size}),
+            },
+            "readiness": self.readiness(),
             "uptime_seconds": time.monotonic() - self._started,
             "metrics": self.registry.snapshot(),
         }
@@ -310,11 +534,16 @@ class SimilarityService:
         """Prometheus text exposition (the ``/metrics`` body)."""
         return self.registry.render()
 
-    def close(self) -> None:
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down; pending batcher futures never hang (see batcher docs)."""
         if self._closed:
             return
         self._closed = True
-        self._batcher.close()
+        self._batcher.close(drain=drain)
 
     def __enter__(self) -> "SimilarityService":
         return self

@@ -1,0 +1,16 @@
+"""Deterministic test harnesses for the repro package.
+
+:mod:`repro.testing.faults` is the fault-injection toolkit the resilience
+tests and benchmarks use to *exercise* failure paths instead of merely
+asserting they exist: scripted call failures, injected latency, worker
+kills, and byte-level artifact corruption, all reproducible run to run.
+"""
+
+from .faults import (CorruptionSpec, FaultInjected, FlakyCallable,
+                     HangInWorker, KillWorkerOnce, corrupt_bytes,
+                     fail_on_nth_call)
+
+__all__ = [
+    "CorruptionSpec", "FaultInjected", "FlakyCallable", "HangInWorker",
+    "KillWorkerOnce", "corrupt_bytes", "fail_on_nth_call",
+]

@@ -252,3 +252,33 @@ def test_load_rejects_dim_mismatch(world, tmp_path):
     other.fit(items[:10])
     with pytest.raises(ValueError):
         EmbeddingStore.load(path, other)
+
+
+# ------------------------------------------------- corruption injection (PR 3)
+
+@pytest.mark.faults
+@pytest.mark.parametrize("mode", ["flip", "truncate", "zero"])
+def test_load_rejects_byte_corruption_with_typed_error(world, tmp_path, mode):
+    """Any byte-level damage to the saved npz must surface as
+    CorruptArtifactError (which is also a ValueError for old call sites),
+    never as a half-loaded store or a raw numpy internal error."""
+    from repro.exceptions import CorruptArtifactError
+    from repro.testing import CorruptionSpec
+
+    model, rest = world
+    store = EmbeddingStore(model)
+    store.add(rest[:6])
+    path = tmp_path / "store.npz"
+    store.save(path)
+    CorruptionSpec(mode=mode, length=24).apply(path)
+    with pytest.raises(CorruptArtifactError):
+        EmbeddingStore.load(path, model)
+    with pytest.raises(ValueError):  # backwards-compatible contract
+        EmbeddingStore.load(path, model)
+
+
+@pytest.mark.faults
+def test_load_missing_file_is_not_corruption(world, tmp_path):
+    model, _ = world
+    with pytest.raises(FileNotFoundError):
+        EmbeddingStore.load(tmp_path / "nope.npz", model)

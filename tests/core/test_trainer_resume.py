@@ -1,0 +1,140 @@
+"""Kill-and-resume equivalence: the headline checkpoint guarantee.
+
+A training run interrupted after any epoch and resumed from its
+checkpoint must produce **bit-identical** parameters and loss history to
+an uninterrupted run — not merely similar. That works because one seeded
+``np.random.default_rng`` drives encoder init, the pair sampler and the
+anchor shuffles, and the checkpoint captures its exact bit-generator
+state alongside parameters, Adam moments and history (see
+``repro.core.trainer.pack_training_checkpoint``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+from repro.measures import get_measure, pairwise_distances
+from repro.testing import corrupt_bytes
+
+pytestmark = pytest.mark.faults
+
+CFG = dict(measure="hausdorff", embedding_dim=8, epochs=4, sampling_num=3,
+           batch_anchors=8, cell_size=500.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def world():
+    ds = generate_porto(PortoConfig(num_trajectories=16, min_points=8,
+                                    max_points=12), seed=11)
+    seeds = list(ds)
+    matrix = pairwise_distances(seeds, get_measure("hausdorff"))
+    return seeds, matrix
+
+
+def _params(model):
+    return model.encoder.state_dict()
+
+
+class _CrashAfter(Exception):
+    pass
+
+
+def _run_interrupted(seeds, matrix, ckpt_dir, crash_after_epoch):
+    """fit() that dies (by exception) right after a given epoch."""
+    model = NeuTraj(NeuTrajConfig(**CFG))
+
+    def die(epoch, loss):
+        if epoch == crash_after_epoch:
+            raise _CrashAfter(str(epoch))
+
+    with pytest.raises(_CrashAfter):
+        model.fit(seeds, distance_matrix=matrix, checkpoint_dir=ckpt_dir,
+                  epoch_callback=die)
+
+
+@pytest.mark.parametrize("crash_after_epoch", [0, 2])
+def test_resume_is_bit_identical(world, tmp_path, crash_after_epoch):
+    seeds, matrix = world
+
+    baseline = NeuTraj(NeuTrajConfig(**CFG))
+    base_history = baseline.fit(seeds, distance_matrix=matrix)
+
+    ckpt_dir = tmp_path / "ckpts"
+    _run_interrupted(seeds, matrix, ckpt_dir, crash_after_epoch)
+
+    resumed = NeuTraj(NeuTrajConfig(**CFG))
+    resumed_history = resumed.fit(seeds, distance_matrix=matrix,
+                                  checkpoint_dir=ckpt_dir)
+
+    base_losses = [e.loss for e in base_history.epochs]
+    resumed_losses = [e.loss for e in resumed_history.epochs]
+    assert resumed_losses == base_losses  # exact float equality, no tolerance
+
+    base_params = _params(baseline)
+    resumed_params = _params(resumed)
+    assert base_params.keys() == resumed_params.keys()
+    for name in base_params:
+        assert np.array_equal(base_params[name], resumed_params[name]), name
+
+
+def test_resume_skips_corrupt_newest_checkpoint(world, tmp_path):
+    """Corrupting the newest checkpoint falls back to the previous one and
+    still converges to the bit-identical final state."""
+    seeds, matrix = world
+
+    baseline = NeuTraj(NeuTrajConfig(**CFG))
+    baseline.fit(seeds, distance_matrix=matrix)
+
+    ckpt_dir = tmp_path / "ckpts"
+    _run_interrupted(seeds, matrix, ckpt_dir, crash_after_epoch=2)
+    corrupt_bytes(ckpt_dir / "ckpt-00000002.npz", mode="truncate", offset=50)
+
+    resumed = NeuTraj(NeuTrajConfig(**CFG))
+    history = resumed.fit(seeds, distance_matrix=matrix,
+                          checkpoint_dir=ckpt_dir)
+    assert len(history.epochs) == CFG["epochs"]
+    for name, value in _params(baseline).items():
+        assert np.array_equal(value, _params(resumed)[name]), name
+
+
+def test_completed_run_resumes_to_noop(world, tmp_path):
+    seeds, matrix = world
+    ckpt_dir = tmp_path / "ckpts"
+    model = NeuTraj(NeuTrajConfig(**CFG))
+    first = model.fit(seeds, distance_matrix=matrix, checkpoint_dir=ckpt_dir)
+
+    again = NeuTraj(NeuTrajConfig(**CFG))
+    second = again.fit(seeds, distance_matrix=matrix, checkpoint_dir=ckpt_dir)
+    assert [e.loss for e in second.epochs] == [e.loss for e in first.epochs]
+    for name, value in _params(model).items():
+        assert np.array_equal(value, _params(again)[name]), name
+
+
+def test_resume_false_retrains_from_scratch(world, tmp_path):
+    seeds, matrix = world
+    ckpt_dir = tmp_path / "ckpts"
+    _run_interrupted(seeds, matrix, ckpt_dir, crash_after_epoch=1)
+
+    model = NeuTraj(NeuTrajConfig(**CFG))
+    history = model.fit(seeds, distance_matrix=matrix,
+                        checkpoint_dir=ckpt_dir, resume=False)
+    assert len(history.epochs) == CFG["epochs"]
+
+    baseline = NeuTraj(NeuTrajConfig(**CFG))
+    base = baseline.fit(seeds, distance_matrix=matrix)
+    assert [e.loss for e in history.epochs] == [e.loss for e in base.epochs]
+
+
+def test_config_change_invalidates_checkpoints(world, tmp_path):
+    """A checkpoint from a different config fingerprint must not be
+    silently applied."""
+    from repro.exceptions import CheckpointError
+
+    seeds, matrix = world
+    ckpt_dir = tmp_path / "ckpts"
+    _run_interrupted(seeds, matrix, ckpt_dir, crash_after_epoch=1)
+
+    changed = dict(CFG, learning_rate=0.05)
+    model = NeuTraj(NeuTrajConfig(**changed))
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        model.fit(seeds, distance_matrix=matrix, checkpoint_dir=ckpt_dir)

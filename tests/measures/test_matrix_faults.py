@@ -1,0 +1,127 @@
+"""Fault-injection tests for the resilient chunked precompute driver.
+
+Each test kills or hangs real pool workers via the deterministic injectors
+in :mod:`repro.testing.faults` and asserts the driver still returns the
+exact distance matrix — degraded, counted, and without hanging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrecomputeConfig
+from repro.exceptions import ConfigurationError
+from repro.measures import (get_measure, last_precompute_stats,
+                            pairwise_distances)
+from repro.measures.matrix import cross_distances
+from repro.testing import FaultInjected, HangInWorker, KillWorkerOnce
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture()
+def trajs(small_dataset):
+    return list(small_dataset)[:10]
+
+
+@pytest.fixture()
+def measure():
+    return get_measure("hausdorff")
+
+
+def test_killed_worker_is_retried_exactly(tmp_path, trajs, measure):
+    """A SIGKILLed worker loses its chunk; bounded retries recover it."""
+    reference = pairwise_distances(trajs, measure, workers=1)
+    killer = KillWorkerOnce(measure, tmp_path / "kill.marker")
+    result = pairwise_distances(trajs, killer, workers=2, chunk_pairs=10,
+                                chunk_timeout_s=5.0, chunk_retries=2,
+                                retry_backoff_s=0.05)
+    np.testing.assert_array_equal(result, reference)
+    stats = last_precompute_stats()
+    assert stats.timeouts >= 1
+    assert stats.retries >= 1
+    assert stats.dead_workers >= 1
+
+
+def test_hung_workers_fall_back_to_serial(trajs, measure):
+    """When every chunk times out, the parent computes them all itself."""
+    reference = pairwise_distances(trajs, measure, workers=1)
+    hung = HangInWorker(measure, sleep_s=30.0)
+    result = pairwise_distances(trajs, hung, workers=2, chunk_pairs=10,
+                                chunk_timeout_s=0.5, chunk_retries=0)
+    np.testing.assert_array_equal(result, reference)
+    stats = last_precompute_stats()
+    assert stats.timeouts == stats.chunks
+    assert stats.serial_fallbacks == stats.chunks
+    assert stats.parallel_chunks == 0
+
+
+def test_single_hang_recovers_via_retry(tmp_path, trajs, measure):
+    """One hung evaluation (marker-gated) is retried on a live worker."""
+    reference = pairwise_distances(trajs, measure, workers=1)
+    hung = HangInWorker(measure, sleep_s=30.0,
+                        marker_path=tmp_path / "hang.marker")
+    result = pairwise_distances(trajs, hung, workers=2, chunk_pairs=10,
+                                chunk_timeout_s=1.0, chunk_retries=2,
+                                retry_backoff_s=0.05)
+    np.testing.assert_array_equal(result, reference)
+    stats = last_precompute_stats()
+    assert stats.timeouts >= 1
+    assert stats.serial_fallbacks == 0
+
+
+def test_cross_distances_shares_fault_tolerance(trajs, measure):
+    reference = cross_distances(trajs[:3], trajs, measure, workers=1)
+    hung = HangInWorker(measure, sleep_s=30.0)
+    result = cross_distances(trajs[:3], trajs, hung, workers=2,
+                             chunk_pairs=10, chunk_timeout_s=0.5,
+                             chunk_retries=0)
+    np.testing.assert_array_equal(result, reference)
+
+
+class _AlwaysFails:
+    """Picklable measure whose batched kernel fails everywhere."""
+
+    def __init__(self, measure):
+        self.measure = measure
+
+    def distance(self, a, b):
+        raise FaultInjected("scripted failure")
+
+    def distance_many(self, batch_a, batch_b):
+        raise FaultInjected("scripted failure")
+
+    def cache_token(self):
+        return self.measure.cache_token()
+
+
+def test_persistent_worker_error_propagates_typed(trajs, measure):
+    """If the serial fallback fails too, a PrecomputeError surfaces."""
+    from repro.exceptions import PrecomputeError
+    broken = _AlwaysFails(measure)
+    with pytest.raises(PrecomputeError):
+        pairwise_distances(trajs, broken, workers=2, chunk_pairs=10,
+                           chunk_timeout_s=5.0, chunk_retries=1,
+                           retry_backoff_s=0.01)
+    stats = last_precompute_stats()
+    assert stats.worker_errors >= 1
+
+
+def test_config_exposes_and_validates_fault_knobs():
+    config = PrecomputeConfig(chunk_timeout_s=2.5, chunk_retries=1,
+                              retry_backoff_s=0.2)
+    assert config.chunk_timeout_s == 2.5
+    with pytest.raises(ConfigurationError):
+        PrecomputeConfig(chunk_timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        PrecomputeConfig(chunk_retries=-1)
+    with pytest.raises(ConfigurationError):
+        PrecomputeConfig(retry_backoff_s=-0.1)
+
+
+def test_timeout_env_seed(monkeypatch):
+    monkeypatch.setenv("REPRO_PRECOMPUTE_TIMEOUT_S", "3.5")
+    assert PrecomputeConfig().chunk_timeout_s == 3.5
+    monkeypatch.setenv("REPRO_PRECOMPUTE_TIMEOUT_S", "0")
+    assert PrecomputeConfig().chunk_timeout_s is None
+    monkeypatch.delenv("REPRO_PRECOMPUTE_TIMEOUT_S")
+    assert PrecomputeConfig().chunk_timeout_s is None

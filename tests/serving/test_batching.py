@@ -152,3 +152,96 @@ def test_invalid_parameters_rejected():
         MicroBatcher(doubler, max_batch_size=0)
     with pytest.raises(ValueError):
         MicroBatcher(doubler, max_wait_s=-1.0)
+
+
+# ------------------------------------------------- robustness contract (PR 3)
+
+def test_expired_deadline_fails_future_without_encoding():
+    calls = []
+
+    def recording(items):
+        calls.append(list(items))
+        return [x * 2 for x in items]
+
+    batcher = MicroBatcher(recording, max_batch_size=4, max_wait_s=0.0)
+    try:
+        from repro.exceptions import DeadlineExceededError
+        future = batcher.submit(7, deadline=time.monotonic() - 1.0)
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=5)
+        assert batcher.stats()["deadline_expired"] == 1
+        assert 7 not in [x for batch in calls for x in batch]
+        # a live deadline still goes through
+        assert batcher(3, timeout=5,
+                       deadline=time.monotonic() + 30.0) == 6
+    finally:
+        batcher.close()
+
+
+def test_mixed_deadlines_only_drop_the_expired_item():
+    blocker = threading.Event()
+
+    def gated(items):
+        blocker.wait(timeout=5)
+        return [x * 2 for x in items]
+
+    batcher = MicroBatcher(gated, max_batch_size=2, max_wait_s=10.0)
+    try:
+        from repro.exceptions import DeadlineExceededError
+        dead = batcher.submit(1, deadline=time.monotonic() + 0.01)
+        time.sleep(0.05)  # let the deadline lapse while queued
+        live = batcher.submit(2, deadline=time.monotonic() + 30.0)
+        blocker.set()
+        assert live.result(timeout=5) == 4
+        with pytest.raises(DeadlineExceededError):
+            dead.result(timeout=5)
+    finally:
+        batcher.close()
+
+
+def test_close_without_drain_fails_pending_futures():
+    from repro.exceptions import ServiceClosedError
+
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated(items):
+        started.set()
+        release.wait(timeout=5)
+        return [x * 2 for x in items]
+
+    batcher = MicroBatcher(gated, max_batch_size=1, max_wait_s=0.0)
+    first = batcher.submit(0)           # occupies the worker
+    started.wait(timeout=5)
+    queued = [batcher.submit(i) for i in range(1, 4)]
+    release.set()
+    batcher.close(drain=False)
+    for future in queued:
+        with pytest.raises(ServiceClosedError):
+            future.result(timeout=5)
+    # BatcherClosedError subclasses the service-level typed error
+    assert issubclass(BatcherClosedError, ServiceClosedError)
+    with pytest.raises(ServiceClosedError):
+        batcher.submit(99)
+    # the in-flight item may finish or fail, but it must resolve
+    assert first.done() or first.result(timeout=5) == 0
+
+
+def test_close_with_wedged_worker_does_not_strand_futures():
+    """A batch_fn that never returns must not leave queued callers hanging."""
+    from repro.exceptions import ServiceClosedError
+
+    stuck = threading.Event()
+
+    def wedged(items):
+        stuck.set()
+        time.sleep(60.0)
+        return [x * 2 for x in items]
+
+    batcher = MicroBatcher(wedged, max_batch_size=1, max_wait_s=0.0)
+    batcher.submit(0)
+    stuck.wait(timeout=5)
+    queued = batcher.submit(1)
+    batcher.close(timeout=0.2)          # drain gives up quickly
+    with pytest.raises(ServiceClosedError):
+        queued.result(timeout=5)

@@ -116,3 +116,45 @@ def test_save_is_overwrite_safe(serving_world, fresh_store, tmp_path):
     bundle = load_bundle(path)
     assert len(bundle.store) == len(fresh_store)
     assert bundle.manifest["store"]["count"] == len(fresh_store)
+
+
+# ------------------------------------------------- corruption injection (PR 3)
+
+@pytest.mark.faults
+@pytest.mark.parametrize("mode", ["flip", "truncate", "zero"])
+@pytest.mark.parametrize("victim", [MODEL_FILE, STORE_FILE])
+def test_verified_load_catches_any_byte_corruption(serving_world, fresh_store,
+                                                   tmp_path, mode, victim):
+    from repro.testing import CorruptionSpec
+
+    model, _ = serving_world
+    path = save_bundle(tmp_path / "b", model, fresh_store)
+    CorruptionSpec(mode=mode, length=16).apply(path / victim)
+    with pytest.raises(BundleError, match="sha256"):
+        load_bundle(path)
+
+
+@pytest.mark.faults
+def test_unverified_load_still_fails_closed_on_corrupt_store(
+        serving_world, fresh_store, tmp_path):
+    """Even with hash verification off, a mangled store must raise the
+    typed error, never return a half-parsed store."""
+    from repro.testing import corrupt_bytes
+
+    model, _ = serving_world
+    path = save_bundle(tmp_path / "b", model, fresh_store)
+    corrupt_bytes(path / STORE_FILE, mode="truncate")
+    with pytest.raises(BundleError):
+        load_bundle(path, verify=False)
+
+
+@pytest.mark.faults
+def test_unverified_load_still_fails_closed_on_corrupt_model(
+        serving_world, fresh_store, tmp_path):
+    from repro.testing import corrupt_bytes
+
+    model, _ = serving_world
+    path = save_bundle(tmp_path / "b", model, fresh_store)
+    corrupt_bytes(path / MODEL_FILE, mode="zero", offset=0, length=64)
+    with pytest.raises(BundleError):
+        load_bundle(path, verify=False)

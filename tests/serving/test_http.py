@@ -176,3 +176,77 @@ def test_serve_cli_bad_bundle(tmp_path, capsys):
 
     assert main(["serve", "--bundle", str(tmp_path / "nope"),
                  "--once"]) == 2
+
+
+# ------------------------------------------------- robustness contract (PR 3)
+
+def test_readyz_lifecycle(server):
+    service = server.service
+    status, body = _call(server, "/readyz")
+    assert status == 503
+    payload = _json(body)
+    assert payload["ready"] is False
+    assert payload["checks"]["warmed"] is False
+    service.warmup(queries=1)
+    status, body = _call(server, "/readyz")
+    assert status == 200
+    assert _json(body)["ready"] is True
+    # liveness stays 200 regardless of readiness
+    assert _call(server, "/healthz")[0] == 200
+
+
+def _force(service, exc):
+    def boom(*args, **kwargs):
+        raise exc
+    service.top_k = boom
+
+
+def test_shed_request_maps_to_429(server):
+    from repro.exceptions import ServiceOverloadedError
+    _force(server.service, ServiceOverloadedError("top_k shed: 4/4 in flight"))
+    status, body = _call(server, "/v1/topk",
+                         {"trajectory": [[0.0, 0.0], [1.0, 1.0]]})
+    assert status == 429
+    assert "shed" in _json(body)["error"]
+
+
+def test_unavailable_maps_to_503(server):
+    from repro.exceptions import ServiceUnavailableError
+    _force(server.service, ServiceUnavailableError("breaker open"))
+    status, body = _call(server, "/v1/topk",
+                         {"trajectory": [[0.0, 0.0], [1.0, 1.0]]})
+    assert status == 503
+    assert "breaker" in _json(body)["error"]
+
+
+def test_closed_service_maps_to_503(server):
+    from repro.exceptions import ServiceClosedError
+    _force(server.service, ServiceClosedError("batcher is closed"))
+    status, _ = _call(server, "/v1/topk",
+                      {"trajectory": [[0.0, 0.0], [1.0, 1.0]]})
+    assert status == 503
+
+
+def test_deadline_maps_to_504(server):
+    from repro.exceptions import DeadlineExceededError
+    _force(server.service, DeadlineExceededError("no answer within 0.05s"))
+    status, body = _call(server, "/v1/topk",
+                         {"trajectory": [[0.0, 0.0], [1.0, 1.0]]})
+    assert status == 504
+    assert "within" in _json(body)["error"]
+
+
+def test_degraded_answer_serialized(server, serving_world):
+    """A breaker-open service with a fallback still answers 200 + degraded."""
+    from repro.serving.service import TopKResult
+
+    def degraded(*args, **kwargs):
+        return TopKResult(ids=[3, 1], distances=[0.25, 0.5], degraded=True)
+
+    server.service.top_k = degraded
+    status, body = _call(server, "/v1/topk",
+                         {"trajectory": [[0.0, 0.0], [1.0, 1.0]]})
+    assert status == 200
+    payload = _json(body)
+    assert payload["degraded"] is True
+    assert payload["ids"] == [3, 1]

@@ -38,3 +38,17 @@ def test_serving_not_slower_than_committed_baseline():
         "benchmarks/BENCH_serving.json not committed"
     failures = run_serving_check()
     assert not failures, "\n".join(failures)
+
+
+@pytest.mark.bench_regression
+def test_resilience_contract_holds_against_committed_baseline():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        from check_bench_regression import (RESILIENCE_BASELINE,
+                                            run_resilience_check)
+    finally:
+        sys.path.pop(0)
+    assert RESILIENCE_BASELINE.exists(), \
+        "benchmarks/BENCH_resilience.json not committed"
+    failures = run_resilience_check()
+    assert not failures, "\n".join(failures)

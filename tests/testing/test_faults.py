@@ -1,0 +1,136 @@
+"""Self-tests for the fault-injection toolkit.
+
+The injectors drive every resilience test in the repo, so their own
+determinism is load-bearing: a flaky injector would make the fault suite
+flaky everywhere at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.measures import get_measure
+from repro.testing import (CorruptionSpec, FaultInjected, FlakyCallable,
+                           HangInWorker, KillWorkerOnce, corrupt_bytes,
+                           fail_on_nth_call)
+
+pytestmark = pytest.mark.faults
+
+
+# ------------------------------------------------------------- FlakyCallable
+
+def test_flaky_fails_exactly_the_scripted_calls():
+    flaky = FlakyCallable(lambda x: x * 2, fail_on=(2, 4))
+    assert flaky(1) == 2
+    with pytest.raises(FaultInjected, match="call 2"):
+        flaky(1)
+    assert flaky(3) == 6
+    with pytest.raises(FaultInjected):
+        flaky(3)
+    assert flaky(5) == 10
+    assert flaky.calls == 5
+    assert flaky.failures_injected == 2
+
+
+def test_flaky_fail_every():
+    flaky = FlakyCallable(lambda: "ok", fail_every=3)
+    outcomes = []
+    for _ in range(6):
+        try:
+            outcomes.append(flaky())
+        except FaultInjected:
+            outcomes.append("boom")
+    assert outcomes == ["ok", "ok", "boom", "ok", "ok", "boom"]
+
+
+def test_flaky_custom_exception_and_passthrough():
+    flaky = FlakyCallable(sorted, fail_on=(1,),
+                          exc_factory=lambda c: KeyError(c))
+    with pytest.raises(KeyError):
+        flaky([3, 1])
+    assert flaky([3, 1, 2]) == [1, 2, 3]  # args/kwargs pass through
+
+
+def test_fail_on_nth_call_window():
+    flaky = fail_on_nth_call(lambda: 1, n=2, times=2)
+    assert flaky() == 1
+    for _ in range(2):
+        with pytest.raises(FaultInjected):
+            flaky()
+    assert flaky() == 1
+    with pytest.raises(ValueError):
+        fail_on_nth_call(lambda: 1, n=0)
+
+
+# ---------------------------------------------------------------- corruption
+
+def test_flip_is_deterministic_and_reversible(tmp_path):
+    path = tmp_path / "blob"
+    original = bytes(range(256))
+    path.write_bytes(original)
+    offset = corrupt_bytes(path, mode="flip")
+    assert offset == 128
+    assert path.read_bytes() != original
+    corrupt_bytes(path, mode="flip")    # same offset: flips back
+    assert path.read_bytes() == original
+
+
+def test_truncate_and_zero(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"x" * 100)
+    corrupt_bytes(path, mode="truncate", offset=10)
+    assert path.stat().st_size == 10
+    path.write_bytes(b"x" * 100)
+    CorruptionSpec(mode="zero", offset=5, length=3).apply(path)
+    blob = path.read_bytes()
+    assert blob[5:8] == b"\x00\x00\x00" and blob[:5] == b"x" * 5
+
+
+def test_corruption_rejects_nonsense(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"")
+    with pytest.raises(ValueError, match="empty"):
+        corrupt_bytes(path)
+    path.write_bytes(b"data")
+    with pytest.raises(ValueError, match="unknown corruption mode"):
+        corrupt_bytes(path, mode="sparkle")
+
+
+def test_negative_offset_counts_from_end(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(b"abcdef")
+    offset = corrupt_bytes(path, mode="zero", offset=-2)
+    assert offset == 4
+    assert path.read_bytes() == b"abcd\x00f"
+
+
+# --------------------------------------------------- multiprocessing wrappers
+
+def test_kill_wrapper_is_inert_in_the_parent(tmp_path):
+    """only_in_children=True must never kill the test process itself, and
+    must delegate to the real measure untouched."""
+    measure = get_measure("hausdorff")
+    wrapper = KillWorkerOnce(measure, tmp_path / "marker")
+    a = np.array([[0.0, 0.0], [1.0, 1.0]])
+    b = np.array([[0.0, 1.0], [1.0, 0.0]])
+    assert wrapper.distance(a, b) == measure.distance(a, b)
+    assert not (tmp_path / "marker").exists()
+    assert wrapper.cache_token() == measure.cache_token()
+
+
+def test_hang_wrapper_is_inert_in_the_parent():
+    measure = get_measure("hausdorff")
+    wrapper = HangInWorker(measure, sleep_s=60.0)
+    a = np.array([[0.0, 0.0], [1.0, 1.0]])
+    b = np.array([[0.0, 1.0], [1.0, 0.0]])
+    # would take 60s if the hang fired here
+    assert wrapper.distance(a, b) == measure.distance(a, b)
+
+
+def test_wrappers_are_picklable():
+    import pickle
+
+    measure = get_measure("hausdorff")
+    for wrapper in (KillWorkerOnce(measure, "/tmp/m"),
+                    HangInWorker(measure, sleep_s=1.0, marker_path="/tmp/m2")):
+        clone = pickle.loads(pickle.dumps(wrapper))
+        assert clone.cache_token() == measure.cache_token()
