@@ -147,6 +147,8 @@ def _seed_write(self, cells, values, gates, mask=None):
         gx, gy = int(cells[b, 0]), int(cells[b, 1])
         if not (0 <= gx < p and 0 <= gy < q):
             continue
+        # Reference loop over the SpatialMemory buffer (not a tape
+        # Tensor).  # repro: disable=tape-discipline
         self.data[gx, gy] = (gate_weight[b] * values[b]
                              + (1.0 - gate_weight[b]) * self.data[gx, gy])
 
@@ -244,6 +246,8 @@ def bench_memory_write() -> dict:
         w = _sigmoid(g)
         for b in range(len(c)):
             gx, gy = int(c[b, 0]), int(c[b, 1])
+            # Reference loop over the SpatialMemory buffer (not a
+            # tape Tensor).  # repro: disable=tape-discipline
             mem.data[gx, gy] = (w[b] * v[b]
                                 + (1.0 - w[b]) * mem.data[gx, gy])
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full local CI gate, in the order that fails fastest:
+#
+#   1. static analysis  — python -m repro lint src (exit 1 on any
+#      non-baselined finding; see DESIGN.md "Static analysis")
+#   2. tier-1 tests     — the default pytest selection (which itself
+#      re-runs the lint gate via tests/analysis/test_lint_clean.py)
+#   3. perf smoke       — the kernel bench-regression guard against the
+#      committed baseline
+#
+# Usage: scripts/ci.sh [pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+echo "==> lint (python -m repro lint src)"
+python -m repro lint src
+
+echo "==> tier-1 tests (pytest)"
+python -m pytest -x -q "$@"
+
+echo "==> bench regression smoke (kernels only)"
+python scripts/check_bench_regression.py --only kernels
+
+echo "ci.sh: all gates passed"

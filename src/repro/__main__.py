@@ -14,6 +14,9 @@ Commands
     Run the online similarity-query service over a saved bundle
     (``repro.serving``); ``--once`` performs a loopback self-test and
     exits.
+``lint``
+    Run the project static analyzer (``repro.analysis``) over ``src``
+    (or given paths); exit 0 means no non-baselined findings.
 """
 
 from __future__ import annotations
@@ -183,6 +186,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server.server_close()
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="NeuTraj reproduction CLI")
@@ -221,6 +230,14 @@ def main(argv=None) -> int:
     serve.add_argument("--cache-capacity", type=int, default=1024,
                        help="LRU result-cache entries; 0 disables")
     serve.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="run the project static analyzer",
+        add_help=False)
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to the analyzer "
+                           "(paths, --json, --write-baseline, ...)")
+    lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

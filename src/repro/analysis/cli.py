@@ -1,0 +1,117 @@
+"""``python -m repro lint`` — the CI entry point of the analyzer.
+
+Exit codes: ``0`` clean (no non-baselined findings), ``1`` findings,
+``2`` usage or I/O error. ``--json`` emits a machine-readable report;
+``--write-baseline`` (re)generates the baseline from the current
+findings, which both grandfathers new debt explicitly and expires stale
+entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .baseline import load_baseline, write_baseline
+from .config import AnalysisConfig, default_config, relaxed_config
+from .engine import AnalysisResult, analyze_paths
+from .rules import all_rules
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-specific static analysis (tape, dtype, "
+                    "determinism, lock & exception discipline).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--relaxed", action="store_true",
+                        help="use the relaxed (benchmarks) profile: "
+                             "determinism and dtype rules off")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: {DEFAULT_BASELINE}; "
+                             f"missing file = empty baseline)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a JSON report instead of text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def _print_report(result: AnalysisResult, as_json: bool) -> None:
+    if as_json:
+        payload = {
+            "findings": [f.to_json() for f in result.findings],
+            "grandfathered": [f.to_json() for f in result.grandfathered],
+            "stale_baseline": result.stale_baseline,
+            "suppressed": result.suppressed,
+            "files_checked": result.files_checked,
+            "clean": result.clean,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    for finding in result.findings:
+        print(finding.format())
+    for entry in result.stale_baseline:
+        print(f"stale baseline entry ({entry.get('rule')}) for "
+              f"{entry.get('path')}: fixed or moved — regenerate with "
+              f"--write-baseline", file=sys.stderr)
+    print(result.summary(), file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in all_rules().items():
+            print(f"{rule_id:<20} {rule_cls.description}")
+        return 0
+
+    config: AnalysisConfig = (relaxed_config() if args.relaxed
+                              else default_config())
+    if args.rules:
+        wanted = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+        unknown = set(wanted) - set(all_rules())
+        if unknown:
+            print(f"unknown rule(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        config.rules = wanted
+
+    try:
+        baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    try:
+        result = analyze_paths(args.paths, config=config, baseline=baseline)
+    except (FileNotFoundError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.baseline,
+                               result.findings + result.grandfathered)
+        print(f"wrote {count} entr(y/ies) to {args.baseline}",
+              file=sys.stderr)
+        return 0
+
+    _print_report(result, args.as_json)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""The analyzer: walk files, parse, dispatch rules, apply pragmas/baseline.
+
+One :func:`analyze_paths` call is the whole pipeline::
+
+    files -> ast.parse -> enabled rules -> pragma filter -> baseline split
+
+Unparseable files surface as a ``syntax-error`` finding instead of
+crashing the run, so one bad file cannot hide findings in the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from .baseline import split_by_baseline
+from .config import AnalysisConfig, default_config
+from .findings import Finding
+from .pragmas import PragmaIndex
+from .rules import ModuleContext, all_rules
+
+PathLike = Union[str, Path]
+
+#: Pseudo-rule id attached to files the parser rejects.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    grandfathered: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Dict] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No non-baselined findings (the CI gate)."""
+        return not self.findings
+
+    def summary(self) -> str:
+        return (f"{self.files_checked} file(s) checked: "
+                f"{len(self.findings)} finding(s), "
+                f"{len(self.grandfathered)} baselined, "
+                f"{self.suppressed} pragma-suppressed, "
+                f"{len(self.stale_baseline)} stale baseline entr(y/ies)")
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files (skips caches)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if "__pycache__" not in child.parts:
+                    yield child
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def analyze_source(source: str, rel_path: str,
+                   config: Optional[AnalysisConfig] = None
+                   ) -> List[Finding]:
+    """Analyze one in-memory module; pragma-suppressed findings removed.
+
+    The unit used by the rule fixture tests; :func:`analyze_paths` adds
+    file walking and the baseline on top.
+    """
+    findings, _ = _analyze_module(source, rel_path,
+                                  config or default_config())
+    return findings
+
+
+def _analyze_module(source: str, rel_path: str,
+                    config: AnalysisConfig) -> "tuple[List[Finding], int]":
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        finding = Finding(rule=SYNTAX_ERROR_RULE, path=rel_path,
+                          line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                          message=f"cannot parse: {exc.msg}",
+                          line_text=(exc.text or "").rstrip())
+        return [finding], 0
+
+    registry = all_rules()
+    enabled = config.rules or tuple(registry)
+    disabled_here = set(config.disabled_for(rel_path))
+    pragmas = PragmaIndex.from_source(source)
+
+    raw: List[Finding] = []
+    for rule_id in enabled:
+        if rule_id in disabled_here:
+            continue
+        rule_cls = registry[rule_id]
+        rule = rule_cls()
+        options = config.rule_options(rule_id, rule_cls.default_options)
+        ctx = ModuleContext(rel_path, tree, lines, options)
+        raw.extend(rule.check(ctx))
+
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        if pragmas.suppresses(finding.rule, finding.line):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, suppressed
+
+
+def analyze_paths(paths: Iterable[PathLike],
+                  config: Optional[AnalysisConfig] = None,
+                  baseline: Optional[Dict[str, Dict]] = None
+                  ) -> AnalysisResult:
+    """Run the analyzer over files/directories; the CLI's engine."""
+    config = config or default_config()
+    result = AnalysisResult()
+    collected: List[Finding] = []
+    for path in iter_python_files(paths):
+        rel_path = path.as_posix()
+        source = path.read_text()
+        findings, suppressed = _analyze_module(source, rel_path, config)
+        collected.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+    new, grandfathered, stale = split_by_baseline(collected, baseline or {})
+    result.findings = new
+    result.grandfathered = grandfathered
+    result.stale_baseline = stale
+    return result

@@ -1,0 +1,69 @@
+"""Inline suppression pragmas.
+
+Syntax (inside any ``#`` comment)::
+
+    # repro: disable=<rule-id>[,<rule-id>...]      suppress on this line
+    # repro: disable-file=<rule-id>[,...]          suppress in whole file
+
+A line pragma suppresses matching findings anchored to its own physical
+line. When the pragma comment is the *only* content of its line, it also
+covers the line directly below it, so multi-line statements (and lines too
+long to carry a trailing comment) can be annotated from above. The rule
+list may be ``all`` to suppress every rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Set
+
+_LINE_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_\-, ]+)")
+_FILE_RE = re.compile(r"#\s*repro:\s*disable-file=([A-Za-z0-9_\-, ]+)")
+
+#: Wildcard rule name accepted in pragma lists.
+ALL_RULES = "all"
+
+
+def _parse_rule_list(raw: str) -> FrozenSet[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+class PragmaIndex:
+    """Per-file index of suppression pragmas, queried per finding."""
+
+    def __init__(self, line_rules: Dict[int, FrozenSet[str]],
+                 file_rules: FrozenSet[str]):
+        self._line_rules = line_rules
+        self._file_rules = file_rules
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        line_rules: Dict[int, Set[str]] = {}
+        file_rules: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            file_match = _FILE_RE.search(text)
+            if file_match:
+                file_rules |= _parse_rule_list(file_match.group(1))
+            line_match = _LINE_RE.search(text)
+            if not line_match:
+                continue
+            rules = _parse_rule_list(line_match.group(1))
+            line_rules.setdefault(lineno, set()).update(rules)
+            before_comment = text[:text.index("#")].strip()
+            if not before_comment:  # standalone comment: covers the next line
+                line_rules.setdefault(lineno + 1, set()).update(rules)
+        return cls({line: frozenset(rules)
+                    for line, rules in line_rules.items()},
+                   frozenset(file_rules))
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        if ALL_RULES in self._file_rules or rule in self._file_rules:
+            return True
+        rules = self._line_rules.get(line)
+        if rules is None:
+            return False
+        return ALL_RULES in rules or rule in rules
+
+    @property
+    def empty(self) -> bool:
+        return not self._line_rules and not self._file_rules

@@ -1,0 +1,51 @@
+"""Rule registry.
+
+Rules self-register via the :func:`register` decorator at import time;
+importing this package pulls in every built-in rule module. Adding a rule
+is: write a module with a ``Rule`` subclass, decorate it, import it at
+the bottom of this file, and give it fixture tests (see DESIGN "Static
+analysis").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .base import ModuleContext, Rule
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Registered rules, keyed and sorted by rule id."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+# Built-in rules (import order is registration order; listing is sorted).
+from . import api  # noqa: E402,F401
+from . import determinism  # noqa: E402,F401
+from . import dtype  # noqa: E402,F401
+from . import exception_hygiene  # noqa: E402,F401
+from . import locks  # noqa: E402,F401
+from . import tape  # noqa: E402,F401
+
+__all__ = ["ModuleContext", "Rule", "register", "all_rules", "get_rule"]

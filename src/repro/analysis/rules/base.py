@@ -1,0 +1,101 @@
+"""Rule base class, per-module context, and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from ..findings import Finding
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_map(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> canonical dotted origin, from the module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import
+    shuffle`` maps ``shuffle -> random.shuffle``. Relative imports are
+    ignored (they cannot be stdlib/numpy).
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+class ModuleContext:
+    """Everything a rule needs about one parsed module."""
+
+    def __init__(self, rel_path: str, tree: ast.AST, lines: List[str],
+                 options: Optional[Dict] = None):
+        self.rel_path = rel_path
+        self.tree = tree
+        self.lines = lines
+        self.options = options or {}
+        self._imports: Optional[Dict[str, str]] = None
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        if self._imports is None:
+            self._imports = _import_map(self.tree)
+        return self._imports
+
+    def resolve_call_name(self, func: ast.AST) -> Optional[str]:
+        """Dotted call target with import aliases canonicalised.
+
+        ``np.random.seed`` (under ``import numpy as np``) resolves to
+        ``numpy.random.seed``; a bare ``shuffle`` imported from
+        :mod:`random` resolves to ``random.shuffle``.
+        """
+        name = dotted_name(func)
+        if name is None:
+            return None
+        first, _, rest = name.partition(".")
+        origin = self.imports.get(first)
+        if origin is None:
+            return name
+        return f"{origin}.{rest}" if rest else origin
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule_id, path=self.rel_path, line=lineno,
+                       col=col + 1, message=message,
+                       line_text=self.line_text(lineno))
+
+
+class Rule:
+    """Base class: subclasses set the ids and implement :meth:`check`."""
+
+    rule_id: str = ""
+    description: str = ""
+    default_options: Dict = {}
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        raise NotImplementedError

@@ -1,0 +1,88 @@
+"""exception-hygiene: no silent broad catches.
+
+``except Exception`` has legitimate uses at process boundaries (turn
+anything into a typed error, answer *something* over HTTP, keep a worker
+thread alive) — but every one of them must do something with the error.
+This rule flags:
+
+* bare ``except:`` — always;
+* ``except Exception`` / ``except BaseException`` handlers that neither
+  **re-raise** (any ``raise`` in the body, including wrapping into the
+  :mod:`repro.exceptions` hierarchy), **use the bound exception**
+  (``except ... as exc`` with ``exc`` referenced — forwarding it to a
+  future, formatting it into a response, stashing it), nor **record it**
+  (a ``logger.exception/error/warning/...`` call in the body).
+
+Narrowing the handler to the typed exceptions the call can actually
+raise is always the preferred fix; the record path exists for
+keep-alive handlers (observer callbacks, daemon loops) where any
+failure must be swallowed but never silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from . import register
+from .base import ModuleContext, Rule
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+_RECORD_METHODS = frozenset({"exception", "error", "warning", "warn",
+                             "critical", "log", "debug", "info"})
+
+
+def _broad_name(type_node: ast.AST) -> str:
+    """'Exception'/'BaseException' if the except type includes one."""
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) \
+        else [type_node]
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+            return node.id
+    return ""
+
+
+@register
+class ExceptionHygiene(Rule):
+    rule_id = "exception-hygiene"
+    description = ("broad except handlers must re-raise, wrap into the "
+                   "repro.exceptions hierarchy, use the caught exception, "
+                   "or log it; bare except is banned")
+    default_options = {}
+
+    def check(self, ctx: ModuleContext) -> List:
+        out = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                out.append(ctx.finding(
+                    self.rule_id, node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "too; name the exceptions (at minimum `Exception`) "
+                    "and handle them"))
+                continue
+            broad = _broad_name(node.type)
+            if not broad or self._handles(node):
+                continue
+            out.append(ctx.finding(
+                self.rule_id, node,
+                f"`except {broad}` that neither re-raises, uses the "
+                f"exception, nor records it; narrow to typed exceptions "
+                f"or log before swallowing"))
+        return out
+
+    @staticmethod
+    def _handles(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if handler.name and isinstance(node, ast.Name) \
+                    and node.id == handler.name:
+                return True
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _RECORD_METHODS:
+                return True
+        return False

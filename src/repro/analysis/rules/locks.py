@@ -1,0 +1,146 @@
+"""lock-discipline: guarded state stays under its lock.
+
+The serving and resilience layers are threaded: micro-batcher, cache,
+metrics, breaker, admission gate and fault injectors all share
+``self._lock``-guarded state between HTTP handler threads and worker
+threads. In any class whose ``__init__`` creates a lock attribute
+(``threading.Lock``/``RLock``/``Condition``/semaphores), this rule flags
+writes to private (``self._*``) attributes that happen outside a
+``with self.<lock>:`` block in methods other than ``__init__``.
+
+Private helper methods that are *only called with the lock already
+held* declare that contract in their docstring — any docstring
+containing ``must hold``/``lock held`` (e.g. "Caller must hold
+``self._lock``.") exempts the whole method. That keeps the invariant
+greppable and the rule honest about what it cannot prove.
+
+Known limitations (by design, to stay AST-only): mutating *method
+calls* on guarded containers (``self._queue.append(...)``) and reads
+are not tracked; nested functions are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from . import register
+from .base import ModuleContext, Rule
+
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+})
+
+_HELD_MARKERS = ("must hold", "lock held", "must be held")
+
+
+def _self_attr(node: ast.AST) -> str:
+    """Attribute name for ``self.<name>`` (or its subscript), else ''."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return ""
+
+
+@register
+class LockDiscipline(Rule):
+    rule_id = "lock-discipline"
+    description = ("in classes that create self._lock, private attributes "
+                   "may only be written inside `with self._lock:` (or in "
+                   "methods documented as lock-held helpers)")
+    default_options = {}
+
+    def check(self, ctx: ModuleContext) -> List:
+        out = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                out.extend(self._check_class(ctx, node))
+        return out
+
+    def _check_class(self, ctx: ModuleContext, cls: ast.ClassDef) -> List:
+        locks = self._lock_attrs(cls)
+        if not locks:
+            return []
+        out = []
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name == "__init__":
+                continue
+            doc = (ast.get_docstring(fn) or "").lower()
+            if any(marker in doc for marker in _HELD_MARKERS):
+                continue
+            self._scan_block(ctx, cls, fn.body, locks, False, out)
+        return out
+
+    @staticmethod
+    def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            value = node.value.func
+            parts = []
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name):
+                parts.append(value.id)
+            name = ".".join(reversed(parts))
+            if name not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr:
+                    locks.add(attr)
+        return locks
+
+    def _scan_block(self, ctx: ModuleContext, cls: ast.ClassDef,
+                    stmts, locks: Set[str], held: bool, out: List) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes are out of this rule's reach
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                now_held = held or any(
+                    _self_attr(item.context_expr) in locks
+                    for item in stmt.items)
+                self._scan_block(ctx, cls, stmt.body, locks, now_held, out)
+                continue
+            if not held:
+                self._check_write(ctx, cls, stmt, locks, out)
+            for block in self._child_blocks(stmt):
+                self._scan_block(ctx, cls, block, locks, held, out)
+
+    @staticmethod
+    def _child_blocks(stmt: ast.AST) -> List:
+        blocks = []
+        for attr in ("body", "orelse", "finalbody"):
+            child = getattr(stmt, attr, None)
+            if child:
+                blocks.append(child)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    def _check_write(self, ctx: ModuleContext, cls: ast.ClassDef,
+                     stmt: ast.AST, locks: Set[str], out: List) -> None:
+        targets: Tuple = ()
+        if isinstance(stmt, ast.Assign):
+            targets = tuple(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = (stmt.target,)
+        for target in targets:
+            attr = _self_attr(target)
+            if attr and attr.startswith("_") and attr not in locks:
+                lock = sorted(locks)[0]
+                out.append(ctx.finding(
+                    self.rule_id, stmt,
+                    f"{cls.name} guards state with self.{lock} but writes "
+                    f"self.{attr} outside `with self.{lock}:`"))

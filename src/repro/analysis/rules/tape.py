@@ -1,0 +1,142 @@
+"""tape-discipline: protect the autodiff tape from out-of-band mutation.
+
+The tape engine (:mod:`repro.nn.tensor`) records backward closures that
+capture ``Tensor.data`` arrays *by reference*; any code that mutates a
+``.data`` or ``.grad`` buffer after the forward pass silently corrupts
+gradients (the classic autograd "don't mutate arrays the tape saw"
+failure). Outside the whitelisted engine internals this rule flags:
+
+* assignments to ``<expr>.data`` / ``<expr>.grad`` (plain, augmented,
+  and slice/index writes);
+* in-place mutator calls on them (``.fill``, ``.sort``, ``np.add.at``,
+  ...).
+
+It also checks that configured inference entry points (``embed``) enter
+``no_grad()`` somewhere in their body, so bulk inference can never start
+taping by accident.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from . import register
+from .base import ModuleContext, Rule, dotted_name
+
+_TAPE_ATTRS = frozenset({"data", "grad"})
+
+#: ndarray methods that mutate in place.
+_INPLACE_METHODS = frozenset({"fill", "sort", "resize", "partition",
+                              "put", "setfield"})
+
+#: numpy functions whose first argument is mutated in place.
+_INPLACE_FUNCS = frozenset({"numpy.add.at", "numpy.subtract.at",
+                            "numpy.multiply.at", "numpy.put",
+                            "numpy.copyto", "numpy.place", "numpy.putmask"})
+
+
+def _tape_attr(node: ast.AST) -> str:
+    """The ``data``/``grad`` attribute a (possibly subscripted) expr hits."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr in _TAPE_ATTRS:
+        return node.attr
+    return ""
+
+
+@register
+class TapeDiscipline(Rule):
+    rule_id = "tape-discipline"
+    description = ("no Tensor.data/.grad mutation outside engine internals; "
+                   "inference entry points must run under no_grad()")
+    default_options = {
+        "allowed_paths": ("repro/nn/",),
+        "entry_points": {},
+    }
+
+    def check(self, ctx: ModuleContext) -> List:
+        findings = []
+        allowed = ctx.options.get("allowed_paths", ())
+        if not any(fragment in ctx.rel_path for fragment in allowed):
+            findings.extend(self._mutations(ctx))
+        findings.extend(self._entry_points(ctx))
+        return findings
+
+    # ------------------------------------------------------------- mutations
+
+    def _mutations(self, ctx: ModuleContext) -> List:
+        out = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = _tape_attr(target)
+                    if attr:
+                        out.append(self._mutation_finding(ctx, node, attr))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                attr = _tape_attr(node.target)
+                if attr:
+                    out.append(self._mutation_finding(ctx, node, attr))
+            elif isinstance(node, ast.Call):
+                out.extend(self._call_mutation(ctx, node))
+        return out
+
+    def _call_mutation(self, ctx: ModuleContext, node: ast.Call) -> List:
+        name = ctx.resolve_call_name(node.func)
+        if name in _INPLACE_FUNCS and node.args:
+            attr = _tape_attr(node.args[0])
+            if attr:
+                return [ctx.finding(
+                    self.rule_id, node,
+                    f"{name}() mutates a tensor .{attr} buffer in place; "
+                    f"the tape may hold a reference to it")]
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _INPLACE_METHODS:
+            attr = _tape_attr(node.func.value)
+            if attr:
+                return [ctx.finding(
+                    self.rule_id, node,
+                    f".{node.func.attr}() mutates a tensor .{attr} buffer "
+                    f"in place; the tape may hold a reference to it")]
+        return []
+
+    def _mutation_finding(self, ctx: ModuleContext, node: ast.AST,
+                          attr: str):
+        return ctx.finding(
+            self.rule_id, node,
+            f"write to a .{attr} buffer outside the autodiff engine; "
+            f"arrays recorded on the tape must not be mutated "
+            f"(use tensor ops, or detach/copy first)")
+
+    # ---------------------------------------------------------- entry points
+
+    def _entry_points(self, ctx: ModuleContext) -> List:
+        out = []
+        entry_points = ctx.options.get("entry_points", {})
+        for suffix, names in entry_points.items():
+            if not ctx.rel_path.endswith(suffix):
+                continue
+            wanted = set(names)
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and node.name in wanted \
+                        and not self._enters_no_grad(node):
+                    out.append(ctx.finding(
+                        self.rule_id, node,
+                        f"inference entry point {node.name}() never enters "
+                        f"no_grad(); bulk inference would build a tape"))
+        return out
+
+    @staticmethod
+    def _enters_no_grad(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                name = dotted_name(expr)
+                if name and name.split(".")[-1] == "no_grad":
+                    return True
+        return False

@@ -140,6 +140,9 @@ class MetricModel:
                      if k.startswith("param/")}
             encoder.load_state_dict(state)
             if encoder.memory is not None and "memory/data" in data.files:
+                # SpatialMemory is a plain buffer, not a tape
+                # Tensor; restoring it wholesale is the supported
+                # path.  # repro: disable=tape-discipline
                 encoder.memory.data = data["memory/data"].copy()
             model.encoder = encoder
             alpha = float(data["meta/alpha"])

@@ -142,6 +142,8 @@ def unpack_training_checkpoint(arrays: Dict[str, np.ndarray], meta: Dict,
         if encoder.memory is not None:
             if "memory/data" not in arrays:
                 raise CheckpointError("checkpoint has no SAM memory tensor")
+            # SpatialMemory is a plain buffer, not a tape Tensor; restoring
+            # it wholesale is the supported path.  # repro: disable=tape-discipline
             encoder.memory.data = np.array(arrays["memory/data"])
         slots = {slot: [arrays[f"opt/{slot}/{i:04d}"] for i in range(count)]
                  for slot, count in opt_meta.get("slots", {}).items()}

@@ -15,6 +15,7 @@ from ..approx import AnchorHausdorff, LSHCurveDistance
 from ..approx.base import ApproximateMeasure
 from ..core import NeuTraj, NeuTrajConfig, SiameseTraj
 from ..core.model import MetricModel
+from ..exceptions import CorruptArtifactError
 from ..eval import rankings_from_matrix, top_k_from_distances
 from .workloads import Workload
 
@@ -52,7 +53,7 @@ def train_variant(variant: str, workload: Workload, measure: str,
     if cache and path is not None and path.exists():
         try:
             return cls.load(path)
-        except Exception:
+        except (CorruptArtifactError, OSError):
             path.unlink(missing_ok=True)  # corrupt/partial cache entry
     seeds = workload.seeds
     matrix = workload.seed_distances(measure)

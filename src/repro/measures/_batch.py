@@ -112,7 +112,7 @@ def _diagonal_layout(n: int, m: int
     for k in range(2, n + m + 1):
         i_lo = max(1, k - m)
         i_hi = min(n, k - 1)
-        i = np.arange(i_lo, i_hi + 1)
+        i = np.arange(i_lo, i_hi + 1, dtype=np.intp)
         rows.append(i - 1)
         cols.append(k - i - 1)
         spans.append((i_lo, i_hi, offset))
@@ -148,16 +148,17 @@ def _sweep(cost: np.ndarray, la: np.ndarray, lb: np.ndarray, combine,
     cost_diag = cost[:, rows, cols]  # one gather; the sweep only slices
 
     if result_init is None:
-        result = np.where((la == 0) & (lb == 0), 0.0, np.full(len(la), _INF))
+        result = np.where((la == 0) & (lb == 0), 0.0,
+                          np.full(len(la), _INF, dtype=np.float64))
     else:
         result = np.asarray(result_init, dtype=np.float64).copy()
     interior = (la > 0) & (lb > 0)
     ends = la + lb
 
     width = n + 1
-    prev2 = np.full((pairs, width), _INF)
-    prev = np.full((pairs, width), _INF)
-    cur = np.full((pairs, width), _INF)
+    prev2 = np.full((pairs, width), _INF, dtype=np.float64)
+    prev = np.full((pairs, width), _INF, dtype=np.float64)
+    cur = np.full((pairs, width), _INF, dtype=np.float64)
     prev2[:, 0] = 0.0  # table[0, 0]
     if init_diag is not None:
         init_diag(prev2, 0)
@@ -191,8 +192,8 @@ def dtw_many(points_a: Sequence[np.ndarray], points_b: Sequence[np.ndarray],
         cost = batched_point_distances(a, b)
         if window is not None:
             n, m = cost.shape[1], cost.shape[2]
-            i = np.arange(n)[None, :, None]
-            j = np.arange(m)[None, None, :]
+            i = np.arange(n, dtype=np.int64)[None, :, None]
+            j = np.arange(m, dtype=np.int64)[None, None, :]
             # Per-pair band scaled by the *true* lengths, as in the serial path.
             band = (np.abs(i * lb[:, None, None] - j * la[:, None, None])
                     > window * np.maximum(la, lb)[:, None, None])
@@ -232,9 +233,9 @@ def erp_many(points_a: Sequence[np.ndarray], points_b: Sequence[np.ndarray],
         gap_a = np.linalg.norm(a - gap, axis=2)  # (P, n)
         gap_b = np.linalg.norm(b - gap, axis=2)  # (P, m)
         # cum_a[i] = table[i, 0], cum_b[j] = table[0, j] (cumulative gaps).
-        cum_a = np.concatenate([np.zeros((len(a), 1)),
+        cum_a = np.concatenate([np.zeros((len(a), 1), dtype=np.float64),
                                 np.cumsum(gap_a, axis=1)], axis=1)
-        cum_b = np.concatenate([np.zeros((len(b), 1)),
+        cum_b = np.concatenate([np.zeros((len(b), 1), dtype=np.float64),
                                 np.cumsum(gap_b, axis=1)], axis=1)
 
         def init_diag(cur, k):
@@ -253,7 +254,7 @@ def erp_many(points_a: Sequence[np.ndarray], points_b: Sequence[np.ndarray],
             return np.minimum(np.minimum(match, delete), insert)
 
         # Degenerate pairs finish on the boundary (one side empty).
-        result_init = np.full(len(a), _INF)
+        result_init = np.full(len(a), _INF, dtype=np.float64)
         empty_a, empty_b = la == 0, lb == 0
         result_init[empty_a] = cum_b[empty_a, lb[empty_a]]
         result_init[empty_b] = cum_a[empty_b, la[empty_b]]
@@ -271,8 +272,8 @@ def hausdorff_many(points_a: Sequence[np.ndarray],
     def kernel(a, b, la, lb):
         cost = batched_point_distances(a, b)
         n, m = cost.shape[1], cost.shape[2]
-        row_pad = np.arange(n)[None, :] >= la[:, None]  # (P, n) padded rows
-        col_pad = np.arange(m)[None, :] >= lb[:, None]  # (P, m) padded cols
+        row_pad = np.arange(n, dtype=np.int64)[None, :] >= la[:, None]
+        col_pad = np.arange(m, dtype=np.int64)[None, :] >= lb[:, None]
         masked = np.where(col_pad[:, None, :], _INF, cost)
         forward = np.where(row_pad, -_INF, masked.min(axis=2)).max(axis=1)
         masked = np.where(row_pad[:, :, None], _INF, cost)

@@ -20,10 +20,10 @@ def dtw_table(cost: np.ndarray) -> np.ndarray:
     Returns the (n+1, m+1) table; the DTW distance is ``table[n, m]``.
     """
     n, m = cost.shape
-    table = np.full((n + 1, m + 1), _INF)
+    table = np.full((n + 1, m + 1), _INF, dtype=np.float64)
     table[0, 0] = 0.0
     for k in range(2, n + m + 1):
-        i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+        i = np.arange(max(1, k - m), min(n, k - 1) + 1, dtype=np.intp)
         j = k - i
         best = np.minimum(np.minimum(table[i - 1, j], table[i, j - 1]),
                           table[i - 1, j - 1])
@@ -34,10 +34,10 @@ def dtw_table(cost: np.ndarray) -> np.ndarray:
 def frechet_table(cost: np.ndarray) -> np.ndarray:
     """Discrete Fréchet coupling table; distance is ``table[n, m]``."""
     n, m = cost.shape
-    table = np.full((n + 1, m + 1), _INF)
+    table = np.full((n + 1, m + 1), _INF, dtype=np.float64)
     table[0, 0] = 0.0  # only reachable from (1, 1): yields max(d00, 0) = d00
     for k in range(2, n + m + 1):
-        i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+        i = np.arange(max(1, k - m), min(n, k - 1) + 1, dtype=np.intp)
         j = k - i
         best = np.minimum(np.minimum(table[i - 1, j], table[i, j - 1]),
                           table[i - 1, j - 1])
@@ -59,12 +59,12 @@ def erp_table(cost: np.ndarray, gap_a: np.ndarray, gap_b: np.ndarray
         (m,) insertion costs ``d(b_j, g)``.
     """
     n, m = cost.shape
-    table = np.full((n + 1, m + 1), _INF)
+    table = np.full((n + 1, m + 1), _INF, dtype=np.float64)
     table[0, 0] = 0.0
     table[1:, 0] = np.cumsum(gap_a)
     table[0, 1:] = np.cumsum(gap_b)
     for k in range(2, n + m + 1):
-        i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+        i = np.arange(max(1, k - m), min(n, k - 1) + 1, dtype=np.intp)
         j = k - i
         match = table[i - 1, j - 1] + cost[i - 1, j - 1]
         delete = table[i - 1, j] + gap_a[i - 1]

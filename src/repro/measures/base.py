@@ -54,7 +54,8 @@ class TrajectoryMeasure:
         element-wise-identical vectorised implementation. The chunked
         distance-matrix driver calls this on each work unit.
         """
-        return np.array([self.distance(np.asarray(a), np.asarray(b))
+        return np.array([self.distance(np.asarray(a, dtype=np.float64),
+                                       np.asarray(b, dtype=np.float64))
                          for a, b in zip(pairs_a, pairs_b)], dtype=np.float64)
 
     def cache_token(self) -> str:
@@ -73,7 +74,8 @@ class TrajectoryMeasure:
     def __call__(self, a, b) -> float:
         a = getattr(a, "points", a)
         b = getattr(b, "points", b)
-        return self.distance(np.asarray(a), np.asarray(b))
+        return self.distance(np.asarray(a, dtype=np.float64),
+                             np.asarray(b, dtype=np.float64))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

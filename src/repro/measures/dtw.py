@@ -40,8 +40,8 @@ class DTWDistance(TrajectoryMeasure):
         cost = point_distances(a, b)
         if self.window is not None:
             n, m = cost.shape
-            i = np.arange(n)[:, None]
-            j = np.arange(m)[None, :]
+            i = np.arange(n, dtype=np.int64)[:, None]
+            j = np.arange(m, dtype=np.int64)[None, :]
             # Scale the band to handle different lengths (standard practice).
             band = np.abs(i * m - j * n) > self.window * max(n, m)
             cost = np.where(band, np.inf, cost)

@@ -47,11 +47,11 @@ class EDRDistance(TrajectoryMeasure):
         close = np.all(np.abs(a[:, None, :] - b[None, :, :]) <= self.epsilon,
                        axis=-1)
         subcost = np.where(close, 0.0, 1.0)
-        table = np.empty((n + 1, m + 1))
-        table[0, :] = np.arange(m + 1)
-        table[:, 0] = np.arange(n + 1)
+        table = np.empty((n + 1, m + 1), dtype=np.float64)
+        table[0, :] = np.arange(m + 1, dtype=np.float64)
+        table[:, 0] = np.arange(n + 1, dtype=np.float64)
         for k in range(2, n + m + 1):
-            i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+            i = np.arange(max(1, k - m), min(n, k - 1) + 1, dtype=np.intp)
             j = k - i
             best = np.minimum(
                 np.minimum(table[i - 1, j] + 1.0, table[i, j - 1] + 1.0),

@@ -32,7 +32,8 @@ class ERPDistance(TrajectoryMeasure):
     is_metric = True
 
     def __init__(self, gap: Optional[Sequence[float]] = None):
-        self.gap = np.zeros(2) if gap is None else np.asarray(gap, dtype=np.float64)
+        self.gap = (np.zeros(2, dtype=np.float64) if gap is None
+                    else np.asarray(gap, dtype=np.float64))
         if self.gap.shape != (2,):
             raise ValueError("gap point must have shape (2,)")
 

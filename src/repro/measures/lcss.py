@@ -49,12 +49,12 @@ class LCSSDistance(TrajectoryMeasure):
         close = np.all(np.abs(a[:, None, :] - b[None, :, :]) <= self.epsilon,
                        axis=-1)
         if self.delta is not None:
-            i = np.arange(n)[:, None]
-            j = np.arange(m)[None, :]
+            i = np.arange(n, dtype=np.int64)[:, None]
+            j = np.arange(m, dtype=np.int64)[None, :]
             close = close & (np.abs(i - j) <= self.delta)
         table = np.zeros((n + 1, m + 1), dtype=np.int64)
         for k in range(2, n + m + 1):
-            i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+            i = np.arange(max(1, k - m), min(n, k - 1) + 1, dtype=np.intp)
             j = k - i
             carried = np.maximum(table[i - 1, j], table[i, j - 1])
             matched = table[i - 1, j - 1] + close[i - 1, j - 1]

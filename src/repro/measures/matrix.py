@@ -44,7 +44,8 @@ _UNSET = object()  # sentinel: None is a meaningful chunk_timeout_s value
 
 
 def _points(trajectories: Sequence) -> list:
-    return [np.asarray(getattr(t, "points", t)) for t in trajectories]
+    return [np.asarray(getattr(t, "points", t), dtype=np.float64)
+            for t in trajectories]
 
 
 def _defaults(workers: Optional[int], chunk_pairs: Optional[int],
@@ -111,6 +112,7 @@ def _cache_store(cache_dir: Optional[str], key: str,
     fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".npz.tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
+            # String payload, not numeric data.  # repro: disable=dtype-discipline
             np.savez(handle, matrix=matrix, key=np.asarray(key))
         os.replace(tmp, path)  # atomic publish; safe under parallel warm-up
     except OSError:
@@ -171,7 +173,7 @@ def last_precompute_stats() -> PrecomputeStats:
 def _pool_pids(pool) -> set:
     try:
         return {p.pid for p in pool._pool}
-    except Exception:  # pool internals shifted; stats-only, never fatal
+    except (AttributeError, TypeError):  # pool internals shifted; stats-only
         return set()
 
 
@@ -373,7 +375,7 @@ def pairwise_distances(trajectories: Sequence, measure: TrajectoryMeasure,
         matrix = _pairwise_serial(points, measure, progress)
     else:
         rows, cols = np.triu_indices(n, k=1)
-        matrix = np.zeros((n, n))
+        matrix = np.zeros((n, n), dtype=np.float64)
         if len(rows):
             values = _chunked_distances(points, points, measure, rows, cols,
                                         workers, chunk_pairs, progress,
@@ -393,7 +395,7 @@ def _pairwise_serial(points: list, measure: TrajectoryMeasure,
                      progress: ProgressFn) -> np.ndarray:
     """Original per-pair double loop (bit-for-bit reference path)."""
     n = len(points)
-    matrix = np.zeros((n, n))
+    matrix = np.zeros((n, n), dtype=np.float64)
     total = n * (n - 1) // 2
     done = 0
     for i in range(n):
@@ -443,10 +445,10 @@ def cross_distances(queries: Sequence, database: Sequence,
     if workers <= 1:
         matrix = _cross_serial(q_points, d_points, measure, progress)
     else:
-        matrix = np.zeros((n_q, n_d))
+        matrix = np.zeros((n_q, n_d), dtype=np.float64)
         if n_q and n_d:
-            rows = np.repeat(np.arange(n_q), n_d)
-            cols = np.tile(np.arange(n_d), n_q)
+            rows = np.repeat(np.arange(n_q, dtype=np.intp), n_d)
+            cols = np.tile(np.arange(n_d, dtype=np.intp), n_q)
             values = _chunked_distances(q_points, d_points, measure, rows,
                                         cols, workers, chunk_pairs, progress,
                                         chunk_timeout_s, chunk_retries,
@@ -464,7 +466,7 @@ def _cross_serial(q_points: list, d_points: list,
                   measure: TrajectoryMeasure,
                   progress: ProgressFn) -> np.ndarray:
     """Per-pair reference loop; ``progress`` fires after each query row."""
-    matrix = np.zeros((len(q_points), len(d_points)))
+    matrix = np.zeros((len(q_points), len(d_points)), dtype=np.float64)
     total = matrix.size
     for i, qp in enumerate(q_points):
         for j, dp in enumerate(d_points):

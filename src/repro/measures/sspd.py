@@ -60,7 +60,8 @@ class SSPDDistance(TrajectoryMeasure):
 
     def spd(self, a: np.ndarray, b: np.ndarray) -> float:
         """One-sided segment-path distance from ``a`` to polyline ``b``."""
-        return float(point_to_segments(np.asarray(a), np.asarray(b)).mean())
+        return float(point_to_segments(np.asarray(a, dtype=np.float64),
+                                       np.asarray(b, dtype=np.float64)).mean())
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         return 0.5 * (self.spd(a, b) + self.spd(b, a))

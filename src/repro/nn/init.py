@@ -30,7 +30,7 @@ def orthogonal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray
 
 
 def zeros(shape) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)
 
 
 def lstm_forget_bias(bias: np.ndarray, hidden_size: int, value: float = 1.0) -> np.ndarray:

@@ -112,8 +112,8 @@ class LSTM(Module):
         inputs = np.asarray(inputs, dtype=np.float64)
         mask = np.asarray(mask, dtype=bool)
         batch, steps, _ = inputs.shape
-        h = Tensor(np.zeros((batch, self.hidden_size)))
-        c = Tensor(np.zeros((batch, self.hidden_size)))
+        h = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float64))
+        c = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float64))
         if self.fused:
             x_gates, x_cand = self.cell.project_inputs(inputs)
             u_gates_t = self.cell.u_gates.transpose()
@@ -140,4 +140,4 @@ def lengths_to_mask(lengths: np.ndarray, max_len: Optional[int] = None) -> np.nd
     lengths = np.asarray(lengths, dtype=int)
     if max_len is None:
         max_len = int(lengths.max()) if lengths.size else 0
-    return np.arange(max_len)[None, :] < lengths[:, None]
+    return np.arange(max_len, dtype=np.int64)[None, :] < lengths[:, None]

@@ -68,8 +68,8 @@ class SpatialMemory:
         self.bandwidth = int(bandwidth)
         self.bounded = bool(bounded)
         p, q = self.grid_shape
-        self.data = np.zeros((p, q, self.hidden_size))
-        offsets = np.arange(-bandwidth, bandwidth + 1)
+        self.data = np.zeros((p, q, self.hidden_size), dtype=np.float64)
+        offsets = np.arange(-bandwidth, bandwidth + 1, dtype=np.int64)
         ox, oy = np.meshgrid(offsets, offsets, indexing="ij")
         # (K, 2) window offsets in row-major scan order, K = (2w+1)^2.
         self._window = np.stack([ox.ravel(), oy.ravel()], axis=1)
@@ -128,10 +128,10 @@ class SpatialMemory:
         result is bit-identical to the sequential loop.
         """
         cells = np.asarray(cells, dtype=int)
-        values = np.asarray(values)
+        values = np.asarray(values, dtype=np.float64)
         if self.bounded:
             values = np.tanh(values)
-        gate_weight = _sigmoid(np.asarray(gates))
+        gate_weight = _sigmoid(np.asarray(gates, dtype=np.float64))
         p, q = self.grid_shape
         valid = ((cells[:, 0] >= 0) & (cells[:, 0] < p)
                  & (cells[:, 1] >= 0) & (cells[:, 1] < q))
@@ -151,7 +151,7 @@ class SpatialMemory:
             np.concatenate([[True], sorted_flat[1:] != sorted_flat[:-1]]))
         group_id = np.cumsum(
             np.concatenate([[True], sorted_flat[1:] != sorted_flat[:-1]])) - 1
-        rank = np.arange(len(sorted_flat)) - group_start[group_id]
+        rank = np.arange(len(sorted_flat), dtype=np.intp) - group_start[group_id]
         for r in range(int(rank.max()) + 1):
             sel = order[rank == r]  # one writer per cell -> scatter is safe
             g = gate_weight[rows[sel]]
@@ -412,8 +412,8 @@ class SAMLSTM(Module):
         grid_cells = np.asarray(grid_cells, dtype=int)
         mask = np.asarray(mask, dtype=bool)
         batch, steps, _ = inputs.shape
-        h = Tensor(np.zeros((batch, self.hidden_size)))
-        c = Tensor(np.zeros((batch, self.hidden_size)))
+        h = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float64))
+        c = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float64))
         if self.fused:
             x_gates, x_cand = self.cell.project_inputs(inputs)
         outputs = []

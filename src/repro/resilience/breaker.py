@@ -19,6 +19,7 @@ serving layer increments a metric there).
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Callable, Dict, Optional
@@ -26,6 +27,8 @@ from typing import Callable, Dict, Optional
 from ..exceptions import ConfigurationError
 
 __all__ = ["CircuitBreaker"]
+
+_LOG = logging.getLogger(__name__)
 
 CLOSED = "closed"
 OPEN = "open"
@@ -74,6 +77,7 @@ class CircuitBreaker:
     # ------------------------------------------------------------- internals
 
     def _set_state(self, new_state: str) -> None:
+        """Transition the breaker. Caller must hold ``self._lock``."""
         old = self._state
         if old == new_state:
             return
@@ -83,9 +87,12 @@ class CircuitBreaker:
             try:
                 self._on_transition(old, new_state)
             except Exception:  # observer bugs must not poison the breaker
-                pass
+                _LOG.exception("circuit-breaker on_transition observer "
+                               "raised (%s -> %s)", old, new_state)
 
     def _maybe_half_open(self) -> None:
+        """Apply a pending open -> half-open move. Caller must hold
+        ``self._lock``."""
         if (self._state == OPEN
                 and self._clock() - self._opened_at >= self.reset_timeout_s):
             self._set_state(HALF_OPEN)

@@ -31,6 +31,7 @@ Robustness contract (see DESIGN.md "Operational robustness"):
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -40,6 +41,8 @@ from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
 from ..exceptions import DeadlineExceededError, ServiceClosedError
 
 __all__ = ["MicroBatcher", "BatcherClosedError"]
+
+_LOG = logging.getLogger(__name__)
 
 
 class BatcherClosedError(ServiceClosedError):
@@ -255,7 +258,7 @@ class MicroBatcher:
                 try:
                     self._on_batch(len(live), elapsed)
                 except Exception:  # observer bugs must not kill the worker
-                    pass
+                    _LOG.exception("micro-batcher on_batch observer raised")
 
     def _resolve_individually(self, live: "List[Tuple[Any, Future]]",
                               batch_exc: BaseException) -> None:

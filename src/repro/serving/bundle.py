@@ -151,6 +151,8 @@ def save_bundle(path: PathLike, model: MetricModel,
 
     manifest = {
         "schema": BUNDLE_SCHEMA,
+        # Intentional wall-clock metadata stamp, not a
+        # deadline.  # repro: disable=determinism
         "created_unix": time.time(),
         "repro_version": __version__,
         "model_class": type(model).__name__,

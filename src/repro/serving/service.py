@@ -481,7 +481,8 @@ class SimilarityService:
             else:
                 self.embed(probe)
             served += 1
-        self._warmed = True
+        with self._store_lock:
+            self._warmed = True
         return served
 
     def synthetic_probe(self) -> Trajectory:
@@ -540,9 +541,10 @@ class SimilarityService:
 
     def close(self, drain: bool = True) -> None:
         """Shut down; pending batcher futures never hang (see batcher docs)."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._store_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._batcher.close(drain=drain)
 
     def __enter__(self) -> "SimilarityService":

@@ -1,0 +1,151 @@
+"""Engine, baseline and CLI behaviour: file walking, syntax errors,
+baseline add/expire round-trips, JSON output and exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis import (Finding, analyze_paths, analyze_source,
+                            load_baseline, split_by_baseline, write_baseline)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import SYNTAX_ERROR_RULE
+
+DIRTY = "import time\ndeadline = time.time() + 5\n"
+CLEAN = "import time\nstart = time.monotonic()\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "dirty.py").write_text(DIRTY)
+    (tmp_path / "pkg" / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+# -------------------------------------------------------------------- engine
+
+def test_analyze_paths_walks_directories(tree):
+    result = analyze_paths([tree / "pkg"])
+    assert result.files_checked == 2
+    assert [f.rule for f in result.findings] == ["determinism"]
+    assert not result.clean
+    assert "2 file(s) checked" in result.summary()
+
+
+def test_analyze_paths_rejects_non_python(tmp_path):
+    (tmp_path / "notes.txt").write_text("hi")
+    with pytest.raises(FileNotFoundError):
+        analyze_paths([tmp_path / "notes.txt"])
+
+
+def test_syntax_error_becomes_finding():
+    findings = analyze_source("def broken(:\n", "src/x.py")
+    assert [f.rule for f in findings] == [SYNTAX_ERROR_RULE]
+    assert "cannot parse" in findings[0].message
+
+
+def test_finding_format_and_fingerprint_stability():
+    finding = Finding(rule="determinism", path="a.py", line=3, col=7,
+                      message="m", line_text="  t = time.time()")
+    assert finding.format() == "a.py:3:7: determinism: m"
+    # The fingerprint tracks the line *text*, not its number.
+    moved = Finding(rule="determinism", path="a.py", line=99, col=7,
+                    message="m", line_text="t = time.time()")
+    assert finding.fingerprint == moved.fingerprint
+    edited = Finding(rule="determinism", path="a.py", line=3, col=7,
+                     message="m", line_text="t = time.monotonic()")
+    assert finding.fingerprint != edited.fingerprint
+
+
+# ------------------------------------------------------------------ baseline
+
+def test_baseline_round_trip_grandfathers_then_expires(tree, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    first = analyze_paths([tree / "pkg"])
+    write_baseline(baseline_path, first.findings)
+
+    # Same findings now ride in the baseline: the run is clean.
+    baseline = load_baseline(baseline_path)
+    second = analyze_paths([tree / "pkg"], baseline=baseline)
+    assert second.clean
+    assert len(second.grandfathered) == 1
+    assert second.stale_baseline == []
+
+    # Fixing the flagged line expires the entry (reported as stale).
+    (tree / "pkg" / "dirty.py").write_text(CLEAN)
+    third = analyze_paths([tree / "pkg"], baseline=baseline)
+    assert third.clean and not third.grandfathered
+    assert [e["rule"] for e in third.stale_baseline] == ["determinism"]
+
+
+def test_load_baseline_missing_and_malformed(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"version\": 999}")
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+    bad.write_text("not json")
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+
+
+def test_split_by_baseline_partitions():
+    known = Finding(rule="r", path="a.py", line=1, col=1, message="m",
+                    line_text="known")
+    fresh = Finding(rule="r", path="a.py", line=2, col=1, message="m",
+                    line_text="fresh")
+    baseline = {known.fingerprint: {"rule": "r", "path": "a.py",
+                                    "fingerprint": known.fingerprint},
+                "gone": {"rule": "r", "path": "b.py", "fingerprint": "gone"}}
+    new, grandfathered, stale = split_by_baseline([known, fresh], baseline)
+    assert new == [fresh]
+    assert grandfathered == [known]
+    assert [e["fingerprint"] for e in stale] == ["gone"]
+
+
+# ----------------------------------------------------------------------- CLI
+
+def test_cli_exit_codes_and_json(tree, capsys):
+    dirty = str(tree / "pkg" / "dirty.py")
+    clean = str(tree / "pkg" / "clean.py")
+
+    assert lint_main([clean, "--no-baseline"]) == 0
+    assert lint_main([dirty, "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "determinism" in out
+
+    assert lint_main([dirty, "--no-baseline", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert [f["rule"] for f in payload["findings"]] == ["determinism"]
+
+    assert lint_main([str(tree / "nope.txt")]) == 2
+    assert lint_main([dirty, "--rules", "not-a-rule"]) == 2
+
+
+def test_cli_write_baseline_then_clean(tree):
+    dirty = str(tree / "pkg" / "dirty.py")
+    baseline = str(tree / "baseline.json")
+    assert lint_main([dirty, "--baseline", baseline]) == 1
+    assert lint_main([dirty, "--baseline", baseline,
+                      "--write-baseline"]) == 0
+    assert lint_main([dirty, "--baseline", baseline]) == 0
+    # --no-baseline sees the debt again.
+    assert lint_main([dirty, "--baseline", baseline, "--no-baseline"]) == 1
+
+
+def test_cli_rules_selection_and_relaxed(tree):
+    dirty = str(tree / "pkg" / "dirty.py")
+    # Only the lock rule: the wall-clock read is out of scope.
+    assert lint_main([dirty, "--no-baseline",
+                      "--rules", "lock-discipline"]) == 0
+    # The relaxed (benchmarks) profile drops determinism entirely.
+    assert lint_main([dirty, "--no-baseline", "--relaxed"]) == 0
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("tape-discipline", "dtype-discipline", "determinism",
+                    "lock-discipline", "exception-hygiene", "api-hygiene"):
+        assert rule_id in out
