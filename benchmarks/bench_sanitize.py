@@ -1,0 +1,209 @@
+"""Sanitization benchmark: overhead and top-k quality on dirty data.
+
+Two scenarios for the ``repro.dataquality`` pipeline:
+
+* **overhead** — wall time of :func:`~repro.dataquality.sanitize` over a
+  database of clean trajectories, as a fraction of the encoder's embed
+  time over the same trajectories. Sanitization rides in front of every
+  serving query, and a served query pays a *single-trajectory* encode,
+  so the acceptance gate compares per-request costs:
+  ``overhead_ratio < 0.10`` (sanitize under 10% of a one-query encode).
+  The fully batched encode time is reported alongside for context —
+  batching amortises the encoder far better than the (already cheap)
+  sanitizer, so the batch ratio is higher and intentionally ungated.
+* **quality** — top-k hit rate against exact ground truth for three
+  query arms: the clean queries, seeded-corrupted variants (teleport
+  spikes, duplicate runs, stalls — finite values, so strict validation
+  still accepts them), and the corrupted variants run through
+  ``sanitize`` first. Quantifies how much search quality dirty inputs
+  cost and how much of it the repair pipeline recovers: ``sanitized``
+  must be no worse than ``dirty`` and within ``quality_slack`` of
+  ``clean``.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_sanitize.py``;
+``scripts/check_bench_regression.py --only sanitize`` compares a fresh
+run against the committed ``BENCH_sanitize.json``. The overhead gate and
+the quality ordering are hard checks on the fresh run; hit rates are
+additionally guarded against the committed baseline with a loose
+absolute slack because tiny workloads quantise coarsely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_sanitize.json"
+
+CONFIG = {
+    "num_seeds": 30,
+    "num_database": 120,
+    "num_queries": 24,
+    "embedding_dim": 16,
+    "epochs": 2,
+    "measure": "hausdorff",
+    "cell_size": 400.0,
+    "k": 10,
+    "timing_repeats": 3,
+    "overhead_budget": 0.10,
+    "quality_slack": 0.05,
+    "corruption_seed": 7,
+}
+
+
+def build_world(config=CONFIG):
+    """(model, database, queries) on synthetic Porto data."""
+    from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+
+    seeds = list(generate_porto(
+        PortoConfig(num_trajectories=config["num_seeds"], min_points=10,
+                    max_points=25), seed=0))
+    database = list(generate_porto(
+        PortoConfig(num_trajectories=config["num_database"], min_points=10,
+                    max_points=25), seed=1))
+    queries = list(generate_porto(
+        PortoConfig(num_trajectories=config["num_queries"], min_points=10,
+                    max_points=25), seed=2))
+    model = NeuTraj(NeuTrajConfig(
+        measure=config["measure"], embedding_dim=config["embedding_dim"],
+        epochs=config["epochs"], sampling_num=5, batch_anchors=10,
+        cell_size=config["cell_size"], seed=0))
+    model.fit(seeds)
+    return model, database, queries
+
+
+def _best_of(repeats, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_all(config=CONFIG) -> dict:
+    from repro.dataquality import SanitizeConfig, sanitize
+    from repro.eval import top_k_from_distances
+    from repro.measures import cross_distances, get_measure
+    from repro.testing import corrupt
+
+    model, database, queries = build_world(config)
+    grid = model.encoder.grid
+    sanitize_config = SanitizeConfig(
+        max_jump=100.0 * grid.cell_size).with_bbox(grid.bbox)
+
+    # ----------------------------------------------------------- overhead
+    # Same trajectories through both stages. A served request pays
+    # sanitize + a one-query encode, so the gated ratio compares the
+    # per-request costs; the batched encode is reported for context.
+    points = [np.asarray(t.points, dtype=np.float64) for t in database]
+    encode_batch_s = _best_of(config["timing_repeats"],
+                              lambda: model.embed(database))
+
+    def _encode_per_query():
+        for traj in database:
+            model.embed([traj])
+
+    encode_per_query_s = _best_of(config["timing_repeats"],
+                                  _encode_per_query)
+    sanitize_s = _best_of(
+        config["timing_repeats"],
+        lambda: [sanitize(p, sanitize_config) for p in points])
+    overhead_ratio = sanitize_s / encode_per_query_s
+    overhead = {
+        "trajectories": len(database),
+        "encode_per_query_s": encode_per_query_s,
+        "encode_batch_s": encode_batch_s,
+        "sanitize_s": sanitize_s,
+        "overhead_ratio": overhead_ratio,
+        "batch_ratio": sanitize_s / encode_batch_s,
+        "budget": config["overhead_budget"],
+        "within_budget": overhead_ratio < config["overhead_budget"],
+    }
+
+    # ------------------------------------------------------------ quality
+    k = config["k"]
+    measure = get_measure(config["measure"])
+    exact = cross_distances(queries, database, measure)
+    truth = [set(top_k_from_distances(exact[qi], k).tolist())
+             for qi in range(len(queries))]
+    database_emb = model.embed(database)
+
+    rng = np.random.default_rng(config["corruption_seed"])
+    dirty = []
+    corruption_counts: dict = {}
+    for query in queries:
+        arr, applied = corrupt(np.asarray(query.points, dtype=np.float64),
+                               rng, kinds=("spike", "dup", "stall"))
+        dirty.append(arr)
+        for kind in applied:
+            corruption_counts[kind] = corruption_counts.get(kind, 0) + 1
+    repaired = [sanitize(arr, sanitize_config)[0] for arr in dirty]
+
+    def hit_rate(query_trajs) -> float:
+        hits = 0
+        for qi, traj in enumerate(query_trajs):
+            got = model.top_k(traj, database_emb, k)
+            hits += len(truth[qi] & set(got.tolist()))
+        return hits / (len(query_trajs) * k)
+
+    from repro.datasets import Trajectory
+    clean_hit = hit_rate(queries)
+    dirty_hit = hit_rate([Trajectory(arr) for arr in dirty])
+    sanitized_hit = hit_rate(repaired)
+    quality = {
+        "k": k,
+        "queries": len(queries),
+        "corruptions": corruption_counts,
+        "hit_rate_clean": clean_hit,
+        "hit_rate_dirty": dirty_hit,
+        "hit_rate_sanitized": sanitized_hit,
+        "recovered": (sanitized_hit >= dirty_hit
+                      and sanitized_hit >= clean_hit
+                      - config["quality_slack"]),
+    }
+
+    return {
+        "schema": "repro.bench_sanitize.v1",
+        "config": dict(config),
+        "cpu_count": os.cpu_count(),
+        "results": {
+            "overhead": overhead,
+            "quality": quality,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run_all()
+    overhead = report["results"]["overhead"]
+    quality = report["results"]["quality"]
+    print(f"overhead : sanitize {overhead['sanitize_s'] * 1000:.1f} ms vs "
+          f"per-query encode {overhead['encode_per_query_s'] * 1000:.1f} ms "
+          f"(batched {overhead['encode_batch_s'] * 1000:.1f} ms) over "
+          f"{overhead['trajectories']} trajectories -> ratio "
+          f"{overhead['overhead_ratio']:.3f} "
+          f"(budget {overhead['budget']:.2f}, "
+          f"within_budget={overhead['within_budget']})")
+    print(f"quality  : top-{quality['k']} hit rate clean "
+          f"{quality['hit_rate_clean']:.3f}, dirty "
+          f"{quality['hit_rate_dirty']:.3f}, sanitized "
+          f"{quality['hit_rate_sanitized']:.3f} "
+          f"(recovered={quality['recovered']})")
+
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if overhead["within_budget"] and quality["recovered"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,12 @@ baselines. Exits non-zero when
   faults, a breaker that never opens, shed accounting that doesn't add
   up, a hang — or its degraded-path p99 top-k latency regresses past the
   resilience threshold (looser than the kernel one: the degraded path is
-  dominated by tiny absolute timings, so relative noise is larger).
+  dominated by tiny absolute timings, so relative noise is larger);
+* the sanitize benchmark (``benchmarks/BENCH_sanitize.json``) blows its
+  overhead budget (sanitization must stay under 10% of a per-query
+  encode), repairs queries to a *worse* top-k hit rate than leaving them
+  dirty, or loses sanitized-query quality against the committed
+  baseline.
 
 Wall-clock on shared CPUs is noisy, so the 1.5× threshold is deliberately
 loose: it catches "someone un-vectorised the hot path", not 10% jitter.
@@ -44,6 +49,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "benchmarks" / "BENCH_kernels.json"
 SERVING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_serving.json"
 RESILIENCE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_resilience.json"
+SANITIZE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sanitize.json"
 DEFAULT_THRESHOLD = 1.5
 
 #: Acceptance floor: 16-client micro-batched throughput over serial.
@@ -52,6 +58,10 @@ SERVING_SPEEDUP_FLOOR = 2.0
 #: p99 slack for the resilience benchmark: its latencies are sub-ms, so
 #: scheduler noise dwarfs the kernel threshold on 1-CPU runners.
 RESILIENCE_P99_THRESHOLD = 3.0
+
+#: Absolute hit-rate slack for the sanitize quality guard: tiny workloads
+#: quantise hit rates coarsely (1/(queries*k) per hit).
+SANITIZE_QUALITY_SLACK = 0.10
 
 
 def _import_bench(module_name: str):
@@ -185,6 +195,49 @@ def run_resilience_check(threshold: float = RESILIENCE_P99_THRESHOLD) -> list:
     return compare_resilience_reports(baseline, fresh, threshold)
 
 
+# ---------------------------------------------------------------- sanitize
+
+def compare_sanitize_reports(baseline: dict, fresh: dict) -> list:
+    """Failure strings for the sanitize benchmark (empty = pass).
+
+    The overhead budget and the quality ordering are hard checks on the
+    fresh run; the sanitized hit rate is additionally compared to the
+    committed baseline with an absolute slack.
+    """
+    failures = []
+    overhead = fresh["results"]["overhead"]
+    quality = fresh["results"]["quality"]
+    if not overhead["within_budget"]:
+        failures.append(
+            f"sanitize: overhead ratio {overhead['overhead_ratio']:.3f} "
+            f"blows the {overhead['budget']:.2f} per-query encode budget")
+    if quality["hit_rate_sanitized"] < quality["hit_rate_dirty"]:
+        failures.append(
+            "sanitize: sanitized queries rank worse than the dirty ones "
+            f"({quality['hit_rate_sanitized']:.3f} < "
+            f"{quality['hit_rate_dirty']:.3f})")
+    if not quality["recovered"]:
+        failures.append(
+            "sanitize: repair did not recover top-k quality to within "
+            "slack of the clean queries")
+    base_hit = baseline["results"]["quality"]["hit_rate_sanitized"]
+    fresh_hit = quality["hit_rate_sanitized"]
+    if fresh_hit < base_hit - SANITIZE_QUALITY_SLACK:
+        failures.append(
+            f"sanitize: sanitized hit rate {fresh_hit:.3f} fell more than "
+            f"{SANITIZE_QUALITY_SLACK:.2f} under the committed "
+            f"{base_hit:.3f}")
+    return failures
+
+
+def run_sanitize_check() -> list:
+    """Run the sanitize benchmark and compare against the baseline."""
+    bench_sanitize = _import_bench("bench_sanitize")
+    baseline = json.loads(SANITIZE_BASELINE.read_text())
+    fresh = bench_sanitize.run_all()
+    return compare_sanitize_reports(baseline, fresh)
+
+
 # -------------------------------------------------------------------- main
 
 def main(argv=None) -> int:
@@ -193,7 +246,8 @@ def main(argv=None) -> int:
                         help="max allowed slowdown vs the committed baseline "
                              f"(default {DEFAULT_THRESHOLD})")
     parser.add_argument("--only",
-                        choices=["kernels", "serving", "resilience", "all"],
+                        choices=["kernels", "serving", "resilience",
+                                 "sanitize", "all"],
                         default="all", help="which suite to check")
     args = parser.parse_args(argv)
 
@@ -214,6 +268,11 @@ def main(argv=None) -> int:
             return 1
         failures += run_resilience_check(
             max(args.threshold, RESILIENCE_P99_THRESHOLD))
+    if args.only in ("sanitize", "all"):
+        if not SANITIZE_BASELINE.exists():
+            print(f"no committed baseline at {SANITIZE_BASELINE}")
+            return 1
+        failures += run_sanitize_check()
 
     if failures:
         print("PERFORMANCE REGRESSION:")

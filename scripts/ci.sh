@@ -5,7 +5,10 @@
 #      non-baselined finding; see DESIGN.md "Static analysis")
 #   2. tier-1 tests     — the default pytest selection (which itself
 #      re-runs the lint gate via tests/analysis/test_lint_clean.py)
-#   3. perf smoke       — the kernel bench-regression guard against the
+#   3. fuzz smoke       — metamorphic invariant sweep over every
+#      registered measure with a bigger seeded budget than the tier-1
+#      fuzz tests use
+#   4. perf smoke       — the kernel bench-regression guard against the
 #      committed baseline
 #
 # Usage: scripts/ci.sh [pytest args...]
@@ -19,6 +22,20 @@ python -m repro lint src
 
 echo "==> tier-1 tests (pytest)"
 python -m pytest -x -q "$@"
+
+echo "==> fuzz smoke (metamorphic invariants, all measures)"
+python - <<'PY'
+from repro.measures import available_measures, get_measure
+from repro.testing import check_measure_invariants
+
+failures = []
+for name in available_measures():
+    failures += check_measure_invariants(get_measure(name),
+                                         seed=2026, count=8)
+if failures:
+    raise SystemExit("fuzz smoke FAILED:\n" + "\n".join(failures))
+print(f"fuzz smoke: {len(available_measures())} measures clean")
+PY
 
 echo "==> bench regression smoke (kernels only)"
 python scripts/check_bench_regression.py --only kernels

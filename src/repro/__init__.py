@@ -15,6 +15,8 @@ See README.md for a quickstart.
 
 from .core import (EmbeddingStore, MetricModel, NeuTraj, NeuTrajConfig,
                    SiameseTraj, TrainingHistory)
+from .dataquality import (QualityReport, SanitizeConfig, sanitize,
+                          sanitize_dataset)
 from .datasets import (GeolifeConfig, Grid, PortoConfig, RoadNetworkConfig,
                        Trajectory, TrajectoryDataset, generate_geolife,
                        generate_porto, generate_zero_shot_seeds)
@@ -29,6 +31,7 @@ __all__ = [
     "EmbeddingStore", "MetricModel", "NeuTraj", "NeuTrajConfig",
     "SiameseTraj",
     "TrainingHistory",
+    "QualityReport", "SanitizeConfig", "sanitize", "sanitize_dataset",
     "GeolifeConfig", "Grid", "PortoConfig", "RoadNetworkConfig",
     "Trajectory", "TrajectoryDataset", "generate_geolife", "generate_porto",
     "generate_zero_shot_seeds",

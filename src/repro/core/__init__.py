@@ -10,8 +10,9 @@ from .siamese import SiameseTraj
 from .store import EmbeddingStore
 from .similarity import (distance_to_similarity, exponential_similarity,
                          pair_similarity, suggest_alpha)
-from .trainer import (EpochStats, TrainingHistory, anchor_batches,
-                      train_epoch, training_step)
+from .trainer import (DivergenceGuard, EpochStats, GuardrailConfig,
+                      TrainingHistory, anchor_batches, train_epoch,
+                      training_step)
 
 __all__ = [
     "NeuTrajConfig", "PrecomputeConfig", "get_precompute_config",
@@ -21,6 +22,7 @@ __all__ = [
     "AnchorSamples", "PairSampler", "rank_weights",
     "distance_to_similarity", "exponential_similarity",
     "pair_similarity", "suggest_alpha",
-    "EpochStats", "TrainingHistory", "anchor_batches", "train_epoch",
+    "DivergenceGuard", "EpochStats", "GuardrailConfig",
+    "TrainingHistory", "anchor_batches", "train_epoch",
     "training_step",
 ]

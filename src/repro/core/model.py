@@ -28,9 +28,11 @@ from ..nn.optim import Adam
 from .config import NeuTrajConfig
 from .encoder import TrajectoryEncoder
 from .sampling import PairSampler
+from ..exceptions import TrainingDivergedError
 from .similarity import (distance_to_similarity, exponential_similarity,
                          suggest_alpha)
-from .trainer import TrainingHistory, train_epoch
+from .trainer import (DivergenceGuard, GuardrailConfig, TrainingHistory,
+                      train_epoch)
 
 PathLike = Union[str, Path]
 
@@ -180,13 +182,16 @@ class NeuTraj(MetricModel):
         super().__init__(config or NeuTrajConfig())
         self.history: Optional[TrainingHistory] = None
         self.similarity_matrix: Optional[np.ndarray] = None
+        self.guard_report: Optional[dict] = None
 
     def fit(self, seeds: Union[TrajectoryDataset, Sequence[Trajectory]],
             distance_matrix: Optional[np.ndarray] = None,
             epoch_callback: Optional[Callable[[int, float], None]] = None,
             checkpoint_dir: Optional[PathLike] = None,
             checkpoint_every: int = 1, resume: bool = True,
-            keep_checkpoints: int = 3) -> TrainingHistory:
+            keep_checkpoints: int = 3,
+            guardrails: Optional[GuardrailConfig] = None
+            ) -> TrainingHistory:
         """Train on the seed pool.
 
         Parameters
@@ -215,6 +220,20 @@ class NeuTraj(MetricModel):
             scratch.
         keep_checkpoints:
             Newest checkpoints retained on disk (0 keeps all).
+        guardrails:
+            Divergence protection (:class:`~repro.core.GuardrailConfig`;
+            default-enabled when omitted). Non-finite losses/gradients
+            and EWMA loss spikes skip the batch's update; a skip run
+            past the budget raises
+            :class:`~repro.exceptions.TrainingDivergedError`, which —
+            when ``checkpoint_dir`` is set and a good checkpoint exists
+            — is answered by rolling parameters, optimizer moments and
+            RNG state back to that checkpoint (bit-identical, the PR 3
+            resume path) and re-running from there, at most
+            ``guardrails.max_rollbacks`` times. Pass
+            ``GuardrailConfig(enabled=False)`` for the exact unguarded
+            path. ``self.guard_report`` holds the last run's skip
+            statistics.
         """
         seed_list = list(seeds)
         if len(seed_list) <= self.config.sampling_num:
@@ -263,12 +282,32 @@ class NeuTraj(MetricModel):
                     optimizer, rng, cfg)
                 start_epoch = epoch_done + 1
 
+        guard_cfg = guardrails or GuardrailConfig()
+        guard = DivergenceGuard(guard_cfg) if guard_cfg.enabled else None
+        rollbacks = 0
         num_seeds = len(seed_list)
-        for epoch in range(start_epoch, cfg.epochs):
+        epoch = start_epoch
+        while epoch < cfg.epochs:
             anchors = self._epoch_anchors(num_seeds, epoch, rng)
-            stats = train_epoch(self.encoder, seed_list, sampler, optimizer,
-                                anchors, cfg.batch_anchors, cfg.grad_clip,
-                                rng, epoch)
+            try:
+                stats = train_epoch(self.encoder, seed_list, sampler,
+                                    optimizer, anchors, cfg.batch_anchors,
+                                    cfg.grad_clip, rng, epoch, guard=guard)
+            except TrainingDivergedError:
+                checkpoint = (manager.load_latest()
+                              if manager is not None else None)
+                if checkpoint is None or rollbacks >= guard_cfg.max_rollbacks:
+                    self.guard_report = dict(guard.stats(),
+                                             rollbacks=rollbacks)
+                    raise
+                from .trainer import unpack_training_checkpoint
+                epoch_done, history = unpack_training_checkpoint(
+                    checkpoint.arrays, checkpoint.meta, self.encoder,
+                    optimizer, rng, cfg)
+                rollbacks += 1
+                guard = DivergenceGuard(guard_cfg)
+                epoch = epoch_done + 1
+                continue
             history.epochs.append(stats)
             if manager is not None and (
                     (epoch + 1) % checkpoint_every == 0
@@ -279,7 +318,10 @@ class NeuTraj(MetricModel):
                 manager.save(epoch, arrays, meta)
             if epoch_callback is not None:
                 epoch_callback(epoch, stats.loss)
+            epoch += 1
         self.history = history
+        self.guard_report = (dict(guard.stats(), rollbacks=rollbacks)
+                             if guard is not None else None)
         return history
 
     def _epoch_anchors(self, num_seeds: int, epoch: int,

@@ -11,14 +11,15 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets.trajectory import Trajectory
-from ..exceptions import CheckpointError
+from ..exceptions import CheckpointError, ConfigurationError, \
+    TrainingDivergedError
 from ..nn.layers import embedding_similarity
-from ..nn.optim import Optimizer, clip_grad_norm
+from ..nn.optim import Optimizer, clip_grad_norm, grads_finite
 from ..nn.tensor import Tensor
 from .encoder import TrajectoryEncoder
 from .sampling import AnchorSamples, PairSampler, rank_weights
@@ -63,6 +64,129 @@ class TrainingHistory:
             if loss <= threshold:
                 return i + 1
         return len(losses)
+
+
+# ------------------------------------------------------------- guardrails
+
+@dataclass(frozen=True)
+class GuardrailConfig:
+    """Divergence-protection knobs for ``fit`` (DESIGN.md "Data quality").
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; disabled, the guard is never constructed and the
+        training path is byte-for-byte the unguarded one.
+    ewma_alpha:
+        Smoothing factor of the loss EWMA the spike detector compares
+        against (higher = faster tracking).
+    spike_factor:
+        A finite batch loss above ``spike_factor`` times the EWMA is a
+        spike: the update is skipped. Deliberately high so healthy runs
+        (including every seeded test in this repo) never trigger it.
+    warmup_steps:
+        Accepted batches before spike detection arms; the first batches
+        of a fresh model legitimately swing.
+    max_skips:
+        Consecutive skipped batches tolerated before the guard escalates
+        to :class:`~repro.exceptions.TrainingDivergedError` (which
+        ``fit`` answers with a checkpoint rollback when it can).
+    max_rollbacks:
+        Checkpoint rollbacks ``fit`` may perform per call before letting
+        the error propagate.
+    """
+
+    enabled: bool = True
+    ewma_alpha: float = 0.1
+    spike_factor: float = 50.0
+    warmup_steps: int = 5
+    max_skips: int = 3
+    max_rollbacks: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        if self.spike_factor <= 1.0:
+            raise ConfigurationError("spike_factor must be > 1")
+        if self.warmup_steps < 0:
+            raise ConfigurationError("warmup_steps must be >= 0")
+        if self.max_skips < 0:
+            raise ConfigurationError("max_skips must be >= 0")
+        if self.max_rollbacks < 0:
+            raise ConfigurationError("max_rollbacks must be >= 0")
+
+
+class DivergenceGuard:
+    """Per-``fit`` divergence detector with a bounded skip budget.
+
+    The guard sees every batch twice: :meth:`admit_loss` after the
+    forward pass (non-finite loss, EWMA spike) and :meth:`admit_grads`
+    after ``backward`` (non-finite gradients). A refusal means "skip
+    this batch's update"; ``max_skips + 1`` consecutive refusals raise
+    :class:`TrainingDivergedError` — persistent poison is a divergence,
+    not noise. Accepted batches feed the EWMA and reset the consecutive
+    counter.
+    """
+
+    #: EWMA floor so a near-zero converged loss cannot turn ordinary
+    #: jitter into "spikes" via a huge ratio.
+    _EWMA_FLOOR = 1e-8
+
+    def __init__(self, config: Optional[GuardrailConfig] = None):
+        self.config = config or GuardrailConfig()
+        self._ewma: Optional[float] = None
+        self._accepted = 0
+        self._consecutive_skips = 0
+        self.skipped_batches = 0
+        self.skip_reasons: List[str] = []
+        self.last_step_applied = True
+
+    def admit_loss(self, loss: float) -> bool:
+        """True to proceed with backward/step for this batch loss."""
+        if not np.isfinite(loss):
+            return self._skip(f"non-finite loss {loss!r}")
+        if (self._accepted >= self.config.warmup_steps
+                and self._ewma is not None
+                and loss > self.config.spike_factor
+                * max(self._ewma, self._EWMA_FLOOR)):
+            return self._skip(
+                f"loss spike {loss:.6g} > {self.config.spike_factor:g}x "
+                f"EWMA {self._ewma:.6g}")
+        self.last_step_applied = True
+        return True
+
+    def admit_grads(self, parameters) -> bool:
+        """True when the freshly accumulated gradients are all finite."""
+        if grads_finite(parameters):
+            return True
+        return self._skip("non-finite gradient")
+
+    def observe(self, loss: float) -> None:
+        """Record an applied update: feed the EWMA, clear the skip run."""
+        alpha = self.config.ewma_alpha
+        self._ewma = (loss if self._ewma is None
+                      else (1.0 - alpha) * self._ewma + alpha * loss)
+        self._accepted += 1
+        self._consecutive_skips = 0
+
+    def _skip(self, reason: str) -> bool:
+        self.skipped_batches += 1
+        self._consecutive_skips += 1
+        self.skip_reasons.append(reason)
+        self.last_step_applied = False
+        if self._consecutive_skips > self.config.max_skips:
+            raise TrainingDivergedError(
+                f"{self._consecutive_skips} consecutive bad batches "
+                f"(last: {reason}); skip budget "
+                f"max_skips={self.config.max_skips} exhausted")
+        return False
+
+    def stats(self) -> Dict:
+        """JSON-friendly snapshot (surfaced as ``fit``'s guard report)."""
+        return {"skipped_batches": self.skipped_batches,
+                "accepted_batches": self._accepted,
+                "loss_ewma": self._ewma,
+                "skip_reasons": list(self.skip_reasons)}
 
 
 # ------------------------------------------------------ checkpoint packing
@@ -174,13 +298,20 @@ def anchor_batches(anchor_indices: np.ndarray, batch_size: int,
 
 def training_step(encoder: TrajectoryEncoder, seeds: Sequence[Trajectory],
                   batch: List[AnchorSamples], optimizer: Optimizer,
-                  grad_clip: float) -> float:
+                  grad_clip: float,
+                  guard: Optional[DivergenceGuard] = None) -> float:
     """One optimisation step over a batch of anchors.
 
     Encodes every anchor and its 2n samples in a single padded batch
     (memory writes enabled), evaluates the distance-weighted ranking loss
     (Eq. 8-9) summed over the anchors, and applies an optimiser update.
     Returns the mean per-anchor loss.
+
+    When a :class:`DivergenceGuard` is given, the update is withheld for
+    a non-finite loss, an EWMA loss spike, or non-finite gradients — the
+    loss is still returned, ``guard.last_step_applied`` says whether the
+    parameters moved, and a skip run past the guard's budget raises
+    :class:`~repro.exceptions.TrainingDivergedError`.
     """
     n = len(batch[0].similar)
     weights = rank_weights(n)
@@ -221,25 +352,40 @@ def training_step(encoder: TrajectoryEncoder, seeds: Sequence[Trajectory],
     loss_d = (tiled_weights * diff_d * diff_d).sum()
     loss = (loss_s + loss_d) * (1.0 / len(batch))
 
+    loss_value = float(loss.item())
+    if guard is not None and not guard.admit_loss(loss_value):
+        return loss_value
     optimizer.zero_grad()
     loss.backward()
+    if guard is not None and not guard.admit_grads(optimizer.parameters):
+        return loss_value
     if grad_clip > 0:
         clip_grad_norm(optimizer.parameters, grad_clip)
     optimizer.step()
-    return float(loss.item())
+    if guard is not None:
+        guard.observe(loss_value)
+    return loss_value
 
 
 def train_epoch(encoder: TrajectoryEncoder, seeds: Sequence[Trajectory],
                 sampler: PairSampler, optimizer: Optimizer,
                 anchor_indices: np.ndarray, batch_size: int,
                 grad_clip: float, rng: np.random.Generator,
-                epoch: int) -> EpochStats:
-    """Run one epoch over the given anchors; returns its statistics."""
+                epoch: int,
+                guard: Optional[DivergenceGuard] = None) -> EpochStats:
+    """Run one epoch over the given anchors; returns its statistics.
+
+    Batches the guard refused (skipped updates) are excluded from the
+    epoch's mean loss so one NaN batch cannot poison the history.
+    """
     start = time.perf_counter()
     losses = []
     for batch_anchors_arr in anchor_batches(anchor_indices, batch_size, rng):
         batch = [sampler.sample(int(a)) for a in batch_anchors_arr]
-        losses.append(training_step(encoder, seeds, batch, optimizer, grad_clip))
+        loss = training_step(encoder, seeds, batch, optimizer, grad_clip,
+                             guard=guard)
+        if guard is None or guard.last_step_applied:
+            losses.append(loss)
     elapsed = time.perf_counter() - start
     mean_loss = float(np.mean(losses)) if losses else 0.0
     return EpochStats(epoch=epoch, loss=mean_loss, seconds=elapsed,

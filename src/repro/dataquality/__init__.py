@@ -1,0 +1,14 @@
+"""Dirty-data guardrails: the trajectory sanitization pipeline.
+
+See :mod:`repro.dataquality.pipeline` for the stage semantics and
+DESIGN.md "Data quality & numerical robustness" for how the loaders, the
+experiment prep and the serving boundary use it.
+"""
+
+from .pipeline import (DatasetQualityReport, QualityReport, SanitizeConfig,
+                       sanitize, sanitize_dataset)
+
+__all__ = [
+    "DatasetQualityReport", "QualityReport", "SanitizeConfig",
+    "sanitize", "sanitize_dataset",
+]

@@ -1,0 +1,388 @@
+"""Composable trajectory sanitization (DESIGN.md "Data quality").
+
+Real GPS logs — the Porto/Geolife workloads the paper targets — carry
+teleport spikes (multipath glitches), stalls and duplicate fixes (traffic
+lights, parked receivers), sampling gaps (tunnels) and out-of-range
+coordinates. The encoder and the measures assume none of that, so this
+module provides the boundary between raw logs and the rest of the system:
+
+``sanitize(points, config) -> (Trajectory, QualityReport)``
+
+runs a fixed stage order — drop non-finite rows, remove teleport spikes
+(speed-gated), clamp to a bounding box, collapse duplicate/stalled fixes,
+resample over-long gaps — and then applies an explicit policy
+(``reject`` / ``repair`` / ``pass``) to degenerate inputs (empty,
+singleton, constant-point). Every repair is counted in the returned
+:class:`QualityReport`; a rejection raises
+:class:`~repro.exceptions.InvalidTrajectoryError` with the report
+attached as ``exc.report``.
+
+Everything here is pure numpy and deterministic: no RNG, no wall clock,
+so the same bytes in always give the same bytes out (the serving cache
+and the bit-identical training guarantees rely on that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..datasets.trajectory import Trajectory, TrajectoryDataset
+from ..exceptions import ConfigurationError, InvalidTrajectoryError
+
+__all__ = ["DatasetQualityReport", "QualityReport", "SanitizeConfig",
+           "sanitize", "sanitize_dataset"]
+
+#: Valid values for :attr:`SanitizeConfig.degenerate`.
+DEGENERATE_POLICIES = ("reject", "repair", "pass")
+
+
+@dataclass(frozen=True)
+class SanitizeConfig:
+    """Tunables of the sanitization pipeline.
+
+    Attributes
+    ----------
+    max_jump:
+        Speed gate, in coordinate units per step (timestamps are ignored
+        throughout the repo, so inter-fix displacement *is* the speed).
+        A point whose incident segments both exceed this is a teleport
+        spike and is removed. ``None`` disables the stage.
+    dup_epsilon:
+        Consecutive fixes closer than this collapse to the first one
+        (``0.0`` collapses exact duplicates only). ``None`` disables.
+    max_gap:
+        Segments longer than this get linearly interpolated points so no
+        segment exceeds it (tunnel/outage gaps). ``None`` disables.
+    max_gap_points:
+        Cap on interpolated points per gap, so one absurd segment cannot
+        balloon a trajectory.
+    bbox:
+        ``(xmin, ymin, xmax, ymax)``: coordinates are clamped into this
+        box (out-of-grid fixes). ``None`` disables. The serving layer
+        defaults this to the model's grid bbox.
+    degenerate:
+        Policy for inputs that are degenerate *after* the repair stages:
+        ``"reject"`` raises :class:`InvalidTrajectoryError`; ``"repair"``
+        pads a singleton / constant-point trajectory to two points (an
+        empty trajectory is unrepairable and always rejects); ``"pass"``
+        returns the degenerate-but-representable trajectory unchanged.
+    max_spike_passes:
+        Fixpoint bound for the spike stage (each pass removes at least
+        one point, so this also bounds work).
+    """
+
+    max_jump: Optional[float] = None
+    dup_epsilon: Optional[float] = 0.0
+    max_gap: Optional[float] = None
+    max_gap_points: int = 16
+    bbox: Optional[Tuple[float, float, float, float]] = None
+    degenerate: str = "repair"
+    max_spike_passes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_jump is not None and self.max_jump <= 0:
+            raise ConfigurationError("max_jump must be positive (or None)")
+        if self.dup_epsilon is not None and self.dup_epsilon < 0:
+            raise ConfigurationError("dup_epsilon must be >= 0 (or None)")
+        if self.max_gap is not None and self.max_gap <= 0:
+            raise ConfigurationError("max_gap must be positive (or None)")
+        if self.max_gap_points < 1:
+            raise ConfigurationError("max_gap_points must be >= 1")
+        if self.degenerate not in DEGENERATE_POLICIES:
+            raise ConfigurationError(
+                f"degenerate policy {self.degenerate!r} not in "
+                f"{DEGENERATE_POLICIES}")
+        if self.max_spike_passes < 1:
+            raise ConfigurationError("max_spike_passes must be >= 1")
+        if self.bbox is not None:
+            xmin, ymin, xmax, ymax = self.bbox
+            if xmax <= xmin or ymax <= ymin:
+                raise ConfigurationError(f"degenerate bbox {self.bbox}")
+
+    def with_bbox(self, bbox: Tuple[float, float, float, float]
+                  ) -> "SanitizeConfig":
+        """Copy with the clamp box replaced (serving uses the grid bbox)."""
+        return replace(self, bbox=tuple(float(v) for v in bbox))
+
+
+@dataclass
+class QualityReport:
+    """What :func:`sanitize` found and did to one trajectory.
+
+    ``clean`` means the input came through untouched; anything else is
+    detailed by the per-stage counters. ``action`` is ``"pass"`` (nothing
+    needed), ``"repaired"`` (at least one stage changed the points) or
+    ``"rejected"`` (the raising path; the report rides on the exception).
+    """
+
+    input_points: int = 0
+    output_points: int = 0
+    nonfinite_dropped: int = 0
+    spikes_removed: int = 0
+    clamped_points: int = 0
+    duplicates_collapsed: int = 0
+    gap_points_inserted: int = 0
+    degenerate: Optional[str] = None
+    action: str = "pass"
+    reason: Optional[str] = None
+
+    @property
+    def modified(self) -> bool:
+        """True when any stage changed the point sequence."""
+        return bool(self.nonfinite_dropped or self.spikes_removed
+                    or self.clamped_points or self.duplicates_collapsed
+                    or self.gap_points_inserted
+                    or self.action == "repaired")
+
+    @property
+    def clean(self) -> bool:
+        return self.action == "pass" and not self.modified \
+            and self.degenerate is None
+
+    def to_json(self) -> Dict:
+        """JSON-friendly dict (the serving layer's ``quality`` field)."""
+        return {
+            "clean": self.clean,
+            "action": self.action,
+            "input_points": self.input_points,
+            "output_points": self.output_points,
+            "nonfinite_dropped": self.nonfinite_dropped,
+            "spikes_removed": self.spikes_removed,
+            "clamped_points": self.clamped_points,
+            "duplicates_collapsed": self.duplicates_collapsed,
+            "gap_points_inserted": self.gap_points_inserted,
+            "degenerate": self.degenerate,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class DatasetQualityReport:
+    """Aggregate of per-trajectory reports over a dataset pass."""
+
+    total: int = 0
+    clean: int = 0
+    repaired: int = 0
+    rejected: int = 0
+    rejected_ids: List[Optional[int]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, report: QualityReport,
+            traj_id: Optional[int] = None) -> None:
+        self.total += 1
+        if report.action == "rejected":
+            self.rejected += 1
+            self.rejected_ids.append(traj_id)
+        elif report.clean:
+            self.clean += 1
+        else:
+            self.repaired += 1
+        for key, value in report.to_json().items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                self.counters[key] = self.counters.get(key, 0) + value
+
+    @property
+    def modified(self) -> bool:
+        return bool(self.repaired or self.rejected)
+
+    def to_json(self) -> Dict:
+        return {"total": self.total, "clean": self.clean,
+                "repaired": self.repaired, "rejected": self.rejected,
+                "counters": dict(self.counters)}
+
+
+# ---------------------------------------------------------------- stages
+
+def _drop_nonfinite(points: np.ndarray, report: QualityReport) -> np.ndarray:
+    keep = np.all(np.isfinite(points), axis=1)
+    dropped = int(points.shape[0] - keep.sum())
+    if dropped:
+        report.nonfinite_dropped += dropped
+        points = points[keep]
+    return points
+
+
+def _remove_spikes(points: np.ndarray, max_jump: float,
+                   max_passes: int, report: QualityReport) -> np.ndarray:
+    """Drop points reachable only through two over-speed segments.
+
+    A teleport spike is an interior point whose segments in *and* out both
+    exceed the speed gate; an endpoint counts with a single over-speed
+    segment into an otherwise-continuous neighbour. Removal can merge two
+    half-spikes into one, so the stage iterates to a fixpoint (bounded by
+    ``max_passes``). A trajectory that is *all* jumps (every segment over
+    the gate) is left alone: there is no continuous backbone to repair
+    toward, and dropping everything would manufacture a degenerate input.
+    """
+    for _ in range(max_passes):
+        n = points.shape[0]
+        if n < 2:
+            return points
+        seg = np.linalg.norm(np.diff(points, axis=0), axis=1)
+        over = seg > max_jump
+        if not over.any() or over.all():
+            return points
+        spike = np.zeros(n, dtype=bool)
+        spike[0] = over[0] and not over[1] if n > 2 else False
+        spike[-1] = over[-1] and not over[-2] if n > 2 else False
+        if n > 2:
+            spike[1:-1] = over[:-1] & over[1:]
+        if not spike.any():
+            return points
+        report.spikes_removed += int(spike.sum())
+        points = points[~spike]
+    return points
+
+
+def _clamp_bbox(points: np.ndarray, bbox: Tuple[float, float, float, float],
+                report: QualityReport) -> np.ndarray:
+    xmin, ymin, xmax, ymax = bbox
+    lo = np.array([xmin, ymin], dtype=np.float64)
+    hi = np.array([xmax, ymax], dtype=np.float64)
+    clamped = np.clip(points, lo, hi)
+    moved = int(np.any(clamped != points, axis=1).sum())
+    if moved:
+        report.clamped_points += moved
+        points = clamped
+    return points
+
+
+def _collapse_duplicates(points: np.ndarray, epsilon: float,
+                         report: QualityReport) -> np.ndarray:
+    """Collapse runs of consecutive fixes within ``epsilon`` to their first."""
+    if points.shape[0] < 2:
+        return points
+    step = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    keep = np.concatenate([[True], step > epsilon])
+    collapsed = int(points.shape[0] - keep.sum())
+    if collapsed:
+        report.duplicates_collapsed += collapsed
+        points = points[keep]
+    return points
+
+
+def _resample_gaps(points: np.ndarray, max_gap: float, cap: int,
+                   report: QualityReport) -> np.ndarray:
+    if points.shape[0] < 2:
+        return points
+    seg = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    if not (seg > max_gap).any():
+        return points
+    pieces = []
+    inserted = 0
+    for i in range(points.shape[0] - 1):
+        pieces.append(points[i:i + 1])
+        if seg[i] > max_gap:
+            extra = min(int(np.ceil(seg[i] / max_gap)) - 1, cap)
+            if extra > 0:
+                t = np.linspace(0.0, 1.0, extra + 2,
+                                dtype=np.float64)[1:-1, None]
+                pieces.append(points[i] + t * (points[i + 1] - points[i]))
+                inserted += extra
+    pieces.append(points[-1:])
+    if inserted:
+        report.gap_points_inserted += inserted
+        points = np.concatenate(pieces, axis=0)
+    return points
+
+
+# --------------------------------------------------------------- pipeline
+
+def _reject(report: QualityReport, reason: str) -> "InvalidTrajectoryError":
+    report.action = "rejected"
+    report.reason = reason
+    exc = InvalidTrajectoryError(reason)
+    exc.report = report
+    return exc
+
+
+def sanitize(points, config: Optional[SanitizeConfig] = None,
+             traj_id: Optional[int] = None
+             ) -> Tuple[Trajectory, QualityReport]:
+    """Run the repair pipeline over raw points.
+
+    Accepts anything array-like of shape (L, 2) — including arrays a
+    :class:`Trajectory` would refuse (NaN/Inf rows, empty) — and returns
+    a valid :class:`Trajectory` plus the :class:`QualityReport` of what
+    was done. Inputs that cannot be repaired under the configured
+    degenerate policy raise :class:`InvalidTrajectoryError` with the
+    report attached as ``exc.report``.
+    """
+    config = config or SanitizeConfig()
+    report = QualityReport()
+    arr = getattr(points, "points", points)
+    try:
+        arr = np.asarray(arr, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise _reject(report, f"not coordinate data: {exc}") from exc
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        else:
+            raise _reject(report,
+                          f"expected shape (L, 2), got {arr.shape}")
+    report.input_points = int(arr.shape[0])
+
+    arr = _drop_nonfinite(arr, report)
+    if config.max_jump is not None:
+        arr = _remove_spikes(arr, config.max_jump,
+                             config.max_spike_passes, report)
+    if config.bbox is not None:
+        arr = _clamp_bbox(arr, config.bbox, report)
+    if config.dup_epsilon is not None:
+        arr = _collapse_duplicates(arr, config.dup_epsilon, report)
+    if config.max_gap is not None:
+        arr = _resample_gaps(arr, config.max_gap,
+                             config.max_gap_points, report)
+
+    if arr.shape[0] == 0:
+        report.degenerate = "empty"
+        raise _reject(report, "trajectory is empty after sanitization")
+    if arr.shape[0] == 1:
+        report.degenerate = "singleton"
+    elif np.ptp(arr, axis=0).max() == 0.0:
+        report.degenerate = "constant"
+
+    if report.degenerate is not None:
+        if config.degenerate == "reject":
+            raise _reject(
+                report, f"trajectory is degenerate ({report.degenerate})")
+        if config.degenerate == "repair":
+            if report.degenerate == "singleton":
+                arr = np.concatenate([arr, arr], axis=0)
+            elif report.degenerate == "constant":
+                arr = arr[:2]
+            report.action = "repaired"
+    if report.action != "repaired" and report.modified:
+        report.action = "repaired"
+    report.output_points = int(arr.shape[0])
+    return Trajectory(arr, traj_id=traj_id), report
+
+
+def sanitize_dataset(trajectories: Union[TrajectoryDataset,
+                                         Sequence],
+                     config: Optional[SanitizeConfig] = None
+                     ) -> Tuple[TrajectoryDataset, DatasetQualityReport]:
+    """Sanitize every trajectory; rejected ones are dropped, not raised.
+
+    Accepts :class:`Trajectory` objects or raw point arrays. Returns the
+    surviving dataset and a :class:`DatasetQualityReport` summarising the
+    clean / repaired / rejected split and the aggregate stage counters.
+    """
+    config = config or SanitizeConfig()
+    aggregate = DatasetQualityReport()
+    kept = []
+    for item in trajectories:
+        traj_id = getattr(item, "traj_id", None)
+        try:
+            traj, report = sanitize(item, config, traj_id=traj_id)
+        except InvalidTrajectoryError as exc:
+            report = getattr(exc, "report", QualityReport(action="rejected"))
+            aggregate.add(report, traj_id)
+            continue
+        aggregate.add(report, traj_id)
+        kept.append(traj)
+    return TrajectoryDataset(kept), aggregate

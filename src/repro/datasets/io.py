@@ -1,16 +1,30 @@
-"""Dataset persistence: npz (compact) and CSV (interchange) formats."""
+"""Dataset persistence: npz (compact) and CSV (interchange) formats.
+
+Real-world interchange files are dirty — short rows, non-numeric fields,
+coordinates that fail :class:`Trajectory` validation. The loaders here
+follow the skip-and-log contract: malformed records are dropped with a
+per-file summary warning (count + first offending line) instead of
+aborting the whole load on the first bad byte. Pass ``strict=True`` to
+restore fail-fast behaviour, or a
+:class:`~repro.dataquality.SanitizeConfig` to additionally repair the
+trajectories that do parse.
+"""
 
 from __future__ import annotations
 
 import csv
+import logging
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
+from ..exceptions import InvalidTrajectoryError
 from .trajectory import Trajectory, TrajectoryDataset
 
 PathLike = Union[str, Path]
+
+_LOG = logging.getLogger(__name__)
 
 
 def save_npz(dataset: TrajectoryDataset, path: PathLike) -> None:
@@ -24,17 +38,34 @@ def save_npz(dataset: TrajectoryDataset, path: PathLike) -> None:
     np.savez_compressed(path, flat=flat, lengths=lengths, ids=ids)
 
 
-def load_npz(path: PathLike) -> TrajectoryDataset:
-    """Load a dataset written by :func:`save_npz`."""
+def load_npz(path: PathLike, strict: bool = True) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_npz`.
+
+    With ``strict=False``, trajectories that fail validation (e.g.
+    non-finite coordinates injected by a corrupted producer) are skipped
+    with a summary warning instead of failing the load.
+    """
     with np.load(path) as data:
         flat = data["flat"]
         lengths = data["lengths"]
         ids = data["ids"]
     offsets = np.concatenate([[0], np.cumsum(lengths)])
     trajectories = []
+    skipped = 0
+    first_error: Optional[str] = None
     for i, (start, stop) in enumerate(zip(offsets[:-1], offsets[1:])):
         traj_id = None if ids[i] < 0 else int(ids[i])
-        trajectories.append(Trajectory(flat[start:stop], traj_id=traj_id))
+        try:
+            trajectories.append(Trajectory(flat[start:stop], traj_id=traj_id))
+        except InvalidTrajectoryError as exc:
+            if strict:
+                raise
+            skipped += 1
+            if first_error is None:
+                first_error = f"trajectory {i} (id {traj_id}): {exc}"
+    if skipped:
+        _LOG.warning("load_npz(%s): skipped %d invalid trajectories "
+                     "(first: %s)", path, skipped, first_error)
     return TrajectoryDataset(trajectories)
 
 
@@ -49,17 +80,54 @@ def save_csv(dataset: TrajectoryDataset, path: PathLike) -> None:
                 writer.writerow([traj_id, j, f"{x:.6f}", f"{y:.6f}"])
 
 
-def load_csv(path: PathLike) -> TrajectoryDataset:
-    """Load a dataset written by :func:`save_csv` (rows must be grouped)."""
+def load_csv(path: PathLike, strict: bool = False) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_csv` (rows must be grouped).
+
+    Malformed rows — missing fields, short rows, non-numeric values —
+    are skipped and counted, with one summary warning per file naming
+    the first offending line. A trajectory whose surviving points still
+    fail validation is dropped the same way. ``strict=True`` restores
+    raise-on-first-bad-record behaviour (:class:`ValueError` for rows,
+    :class:`InvalidTrajectoryError` for trajectories).
+    """
     groups: dict[int, list[tuple[float, float]]] = {}
     order: list[int] = []
+    bad_rows = 0
+    first_bad: Optional[str] = None
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
-        for row in reader:
-            traj_id = int(row["traj_id"])
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                traj_id = int(row["traj_id"])
+                x = float(row["x"])
+                y = float(row["y"])
+            except (KeyError, TypeError, ValueError) as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed row {row!r}") from exc
+                bad_rows += 1
+                if first_bad is None:
+                    first_bad = f"line {lineno}: {row!r}"
+                continue
             if traj_id not in groups:
                 groups[traj_id] = []
                 order.append(traj_id)
-            groups[traj_id].append((float(row["x"]), float(row["y"])))
-    return TrajectoryDataset(
-        [Trajectory(np.array(groups[tid]), traj_id=tid) for tid in order])
+            groups[traj_id].append((x, y))
+    trajectories = []
+    dropped = 0
+    for tid in order:
+        try:
+            trajectories.append(Trajectory(np.array(groups[tid],
+                                                    dtype=np.float64),
+                                           traj_id=tid))
+        except InvalidTrajectoryError:
+            if strict:
+                raise
+            dropped += 1
+            if first_bad is None:
+                first_bad = f"trajectory {tid} failed validation"
+    if bad_rows or dropped:
+        _LOG.warning("load_csv(%s): skipped %d malformed rows, dropped %d "
+                     "invalid trajectories (first: %s)", path, bad_rows,
+                     dropped, first_bad)
+    return TrajectoryDataset(trajectories)

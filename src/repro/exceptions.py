@@ -33,6 +33,12 @@ class PrecomputeError(ReproError):
     """The distance precompute failed even after retries and serial fallback."""
 
 
+class TrainingDivergedError(ReproError):
+    """Training produced non-finite loss/gradients or a sustained loss
+    spike past the guardrails' skip budget (see
+    :class:`repro.core.trainer.DivergenceGuard`)."""
+
+
 class ServiceClosedError(ReproError):
     """Work was submitted to (or stranded in) a closed serving component."""
 

@@ -15,6 +15,7 @@ from ..approx import AnchorHausdorff, LSHCurveDistance
 from ..approx.base import ApproximateMeasure
 from ..core import NeuTraj, NeuTrajConfig, SiameseTraj
 from ..core.model import MetricModel
+from ..dataquality import SanitizeConfig, sanitize_dataset
 from ..exceptions import CorruptArtifactError
 from ..eval import rankings_from_matrix, top_k_from_distances
 from .workloads import Workload
@@ -37,18 +38,26 @@ def make_model(variant: str, config: NeuTrajConfig) -> MetricModel:
 
 def train_variant(variant: str, workload: Workload, measure: str,
                   config: Optional[NeuTrajConfig] = None,
-                  cache: bool = True, num_seeds: Optional[int] = None
+                  cache: bool = True, num_seeds: Optional[int] = None,
+                  sanitize: Optional[SanitizeConfig] = None
                   ) -> MetricModel:
     """Train a variant on the workload's seeds.
 
     The seed distance matrix comes from the workload cache; trained models
     (weights + training history) are additionally cached on disk keyed by
-    (variant, workload, config, seed count) so repeated benchmark
-    invocations skip identical trainings. ``num_seeds`` trains on a prefix
-    of the seed pool (the Fig. 6 sweep).
+    (variant, workload, config, seed count, sanitize config) so repeated
+    benchmark invocations skip identical trainings. ``num_seeds`` trains
+    on a prefix of the seed pool (the Fig. 6 sweep).
+
+    ``sanitize`` runs the seed pool through
+    :func:`repro.dataquality.sanitize_dataset` before training:
+    unrepairable seeds are dropped and, whenever any seed changed, the
+    cached distance matrix is recomputed on the cleaned pool (cached
+    distances describe the dirty trajectories, not the repaired ones).
     """
     config = config or workload.scale.neutraj_config(measure)
-    path = _model_cache_path(variant, workload, measure, config, num_seeds)
+    path = _model_cache_path(variant, workload, measure, config, num_seeds,
+                             sanitize)
     cls = SiameseTraj if variant == "siamese" else NeuTraj
     if cache and path is not None and path.exists():
         try:
@@ -60,6 +69,14 @@ def train_variant(variant: str, workload: Workload, measure: str,
     if num_seeds is not None:
         seeds = seeds[:num_seeds]
         matrix = matrix[:num_seeds, :num_seeds]
+    if sanitize is not None:
+        cleaned, report = sanitize_dataset(seeds, sanitize)
+        seeds = list(cleaned)
+        if report.modified:
+            from ..measures import pairwise_distances
+            from .workloads import _measure_for
+            matrix = pairwise_distances(seeds,
+                                        _measure_for(measure, workload.bbox))
     model = make_model(variant, config)
     model.fit(seeds, distance_matrix=matrix)
     if cache and path is not None:
@@ -70,11 +87,14 @@ def train_variant(variant: str, workload: Workload, measure: str,
 
 def _model_cache_path(variant: str, workload: Workload, measure: str,
                       config: NeuTrajConfig,
-                      num_seeds: Optional[int] = None):
+                      num_seeds: Optional[int] = None,
+                      sanitize: Optional[SanitizeConfig] = None):
     if workload._cache_dir is None:
         return None
     import hashlib
     blob = repr(sorted(config.__dict__.items())) + f"|seeds={num_seeds}"
+    if sanitize is not None:
+        blob += "|sanitize=" + repr(sorted(sanitize.__dict__.items()))
     digest = hashlib.sha1(blob.encode()).hexdigest()[:12]
     name = (f"model-{variant}-{workload.dataset_name}-"
             f"{workload.scale.name}-{measure}-{digest}.npz")

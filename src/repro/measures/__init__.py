@@ -3,8 +3,8 @@
 The paper evaluates DTW, Fréchet, Hausdorff and ERP; EDR and LCSS are
 included as extension measures exercising the generic registry."""
 
-from .base import (TrajectoryMeasure, available_measures, get_measure,
-                   point_distances, register_measure)
+from .base import (TrajectoryMeasure, available_measures, check_pair,
+                   get_measure, point_distances, register_measure)
 from .dtw import DTWDistance
 from .frechet import FrechetDistance
 from .hausdorff import HausdorffDistance
@@ -16,7 +16,7 @@ from .matrix import (PrecomputeStats, cross_distances,
                      last_precompute_stats, pairwise_distances)
 
 __all__ = [
-    "TrajectoryMeasure", "available_measures", "get_measure",
+    "TrajectoryMeasure", "available_measures", "check_pair", "get_measure",
     "point_distances", "register_measure",
     "DTWDistance", "FrechetDistance", "HausdorffDistance", "ERPDistance",
     "EDRDistance", "LCSSDistance", "SSPDDistance", "point_to_segments",

@@ -11,6 +11,35 @@ from typing import Callable, Dict, Sequence, Type
 
 import numpy as np
 
+from ..exceptions import InvalidTrajectoryError
+
+
+def check_pair(a, b) -> None:
+    """Reject degenerate measure inputs with a typed error, up front.
+
+    Every measure's :meth:`TrajectoryMeasure.distance` calls this first.
+    Without it each kernel failed its own way on empty or single-point
+    inputs — ``inf``, ``1.0``, NaN warnings, ``IndexError`` — so callers
+    could not tell garbage data from a real distance. A trajectory needs
+    at least one segment (two points) to be compared; shorter inputs and
+    non-``(L, 2)`` shapes raise :class:`InvalidTrajectoryError`. Repair
+    rather than reject via :mod:`repro.dataquality` when the data is
+    merely dirty.
+    """
+    for arr in (a, b):
+        try:
+            arr = np.asarray(arr, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise InvalidTrajectoryError(
+                f"trajectory is not a numeric point array: {exc}") from exc
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise InvalidTrajectoryError(
+                f"expected an (L, 2) point array, got shape {arr.shape}")
+        if arr.shape[0] < 2:
+            raise InvalidTrajectoryError(
+                f"trajectory must have >= 2 points to be measured, "
+                f"got {arr.shape[0]}")
+
 
 def point_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """All-pairs Euclidean distances between two point sequences.
@@ -74,8 +103,13 @@ class TrajectoryMeasure:
     def __call__(self, a, b) -> float:
         a = getattr(a, "points", a)
         b = getattr(b, "points", b)
-        return self.distance(np.asarray(a, dtype=np.float64),
-                             np.asarray(b, dtype=np.float64))
+        try:
+            a = np.asarray(a, dtype=np.float64)
+            b = np.asarray(b, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise InvalidTrajectoryError(
+                f"trajectory is not a numeric point array: {exc}") from exc
+        return self.distance(a, b)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -14,7 +14,8 @@ import numpy as np
 
 from ._batch import dtw_many
 from ._dp import dtw_table
-from .base import TrajectoryMeasure, point_distances, register_measure
+from .base import (TrajectoryMeasure, check_pair, point_distances,
+                   register_measure)
 
 
 @register_measure("dtw")
@@ -37,6 +38,7 @@ class DTWDistance(TrajectoryMeasure):
         self.window = window
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        check_pair(a, b)
         cost = point_distances(a, b)
         if self.window is not None:
             n, m = cost.shape
@@ -51,4 +53,6 @@ class DTWDistance(TrajectoryMeasure):
     def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
         pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
         pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        for a, b in zip(pairs_a, pairs_b):
+            check_pair(a, b)
         return dtw_many(pairs_a, pairs_b, window=self.window)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import TrajectoryMeasure, register_measure
+from .base import TrajectoryMeasure, check_pair, register_measure
 
 
 @register_measure("edr")
@@ -42,6 +42,7 @@ class EDRDistance(TrajectoryMeasure):
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
+        check_pair(a, b)
         n, m = len(a), len(b)
         # subcost[i, j] = 0 if points match else 1.
         close = np.all(np.abs(a[:, None, :] - b[None, :, :]) <= self.epsilon,

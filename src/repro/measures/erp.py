@@ -14,7 +14,8 @@ import numpy as np
 
 from ._batch import erp_many
 from ._dp import erp_table
-from .base import TrajectoryMeasure, point_distances, register_measure
+from .base import (TrajectoryMeasure, check_pair, point_distances,
+                   register_measure)
 
 
 @register_measure("erp")
@@ -40,6 +41,7 @@ class ERPDistance(TrajectoryMeasure):
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
+        check_pair(a, b)
         cost = point_distances(a, b)
         gap_a = np.linalg.norm(a - self.gap, axis=1)
         gap_b = np.linalg.norm(b - self.gap, axis=1)
@@ -49,4 +51,6 @@ class ERPDistance(TrajectoryMeasure):
     def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
         pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
         pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        for a, b in zip(pairs_a, pairs_b):
+            check_pair(a, b)
         return erp_many(pairs_a, pairs_b, self.gap)

@@ -12,7 +12,8 @@ import numpy as np
 
 from ._batch import frechet_many
 from ._dp import frechet_table
-from .base import TrajectoryMeasure, point_distances, register_measure
+from .base import (TrajectoryMeasure, check_pair, point_distances,
+                   register_measure)
 
 
 @register_measure("frechet")
@@ -22,6 +23,7 @@ class FrechetDistance(TrajectoryMeasure):
     is_metric = True
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        check_pair(a, b)
         cost = point_distances(a, b)
         table = frechet_table(cost)
         return float(table[-1, -1])
@@ -29,4 +31,6 @@ class FrechetDistance(TrajectoryMeasure):
     def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
         pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
         pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        for a, b in zip(pairs_a, pairs_b):
+            check_pair(a, b)
         return frechet_many(pairs_a, pairs_b)

@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from ._batch import hausdorff_many
-from .base import TrajectoryMeasure, point_distances, register_measure
+from .base import (TrajectoryMeasure, check_pair, point_distances,
+                   register_measure)
 
 
 @register_measure("hausdorff")
@@ -20,6 +21,7 @@ class HausdorffDistance(TrajectoryMeasure):
     is_metric = True
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        check_pair(a, b)
         cost = point_distances(a, b)
         forward = cost.min(axis=1).max()
         backward = cost.min(axis=0).max()
@@ -28,6 +30,8 @@ class HausdorffDistance(TrajectoryMeasure):
     def distance_many(self, pairs_a, pairs_b) -> np.ndarray:
         pairs_a = [np.asarray(a, dtype=np.float64) for a in pairs_a]
         pairs_b = [np.asarray(b, dtype=np.float64) for b in pairs_b]
+        for a, b in zip(pairs_a, pairs_b):
+            check_pair(a, b)
         return hausdorff_many(pairs_a, pairs_b)
 
     def directed(self, a: np.ndarray, b: np.ndarray) -> float:

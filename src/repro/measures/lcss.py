@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from .base import TrajectoryMeasure, register_measure
+from .base import TrajectoryMeasure, check_pair, register_measure
 
 
 @register_measure("lcss")
@@ -62,7 +62,6 @@ class LCSSDistance(TrajectoryMeasure):
         return int(table[n, m])
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        check_pair(a, b)
         n, m = len(a), len(b)
-        if min(n, m) == 0:
-            return 1.0
         return 1.0 - self.lcss_length(a, b) / min(n, m)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import TrajectoryMeasure, register_measure
+from .base import TrajectoryMeasure, check_pair, register_measure
 
 
 def point_to_segments(points: np.ndarray, polyline: np.ndarray) -> np.ndarray:
@@ -64,4 +64,5 @@ class SSPDDistance(TrajectoryMeasure):
                                        np.asarray(b, dtype=np.float64)).mean())
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        check_pair(a, b)
         return 0.5 * (self.spd(a, b) + self.spd(b, a))

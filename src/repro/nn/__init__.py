@@ -9,7 +9,7 @@ from .module import Module, Parameter
 from .layers import Linear, euclidean_distance, embedding_similarity
 from .rnn import LSTM, LSTMCell, lengths_to_mask
 from .sam import SAMLSTM, SAMLSTMCell, SpatialMemory
-from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .optim import SGD, Adam, Optimizer, clip_grad_norm, grads_finite
 
 __all__ = [
     "Tensor", "as_tensor", "concat", "stack", "where", "gradient_check",
@@ -17,5 +17,5 @@ __all__ = [
     "Linear", "euclidean_distance", "embedding_similarity",
     "LSTM", "LSTMCell", "lengths_to_mask",
     "SAMLSTM", "SAMLSTMCell", "SpatialMemory",
-    "SGD", "Adam", "Optimizer", "clip_grad_norm",
+    "SGD", "Adam", "Optimizer", "clip_grad_norm", "grads_finite",
 ]

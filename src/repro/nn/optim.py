@@ -14,6 +14,20 @@ import numpy as np
 from .module import Parameter
 
 
+def grads_finite(parameters: Iterable[Parameter]) -> bool:
+    """True when every accumulated gradient is NaN/Inf-free.
+
+    The training guardrails call this between ``backward`` and
+    ``optimizer.step`` so a poisoned batch can be skipped before it
+    corrupts the parameters (and, through Adam's moments, every step
+    after it).
+    """
+    for p in parameters:
+        if p.grad is not None and not np.all(np.isfinite(p.grad)):
+            return False
+    return True
+
+
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in-place so their global L2 norm is at most ``max_norm``.
 

@@ -212,6 +212,14 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(k, int) or isinstance(k, bool):
             self._send_error_json(400, "k must be an integer")
             return 400
+        if k < 1:
+            self._send_error_json(400, "k must be >= 1")
+            return 400
+        store_size = len(self.service.store)
+        if store_size and k > store_size:
+            self._send_error_json(
+                400, f"k={k} exceeds store size {store_size}")
+            return 400
         use_cache = bool(payload.get("use_cache", True))
         result = self.service.top_k(payload["trajectory"], k=k,
                                     use_cache=use_cache)

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.model import MetricModel
 from ..core.store import EmbeddingStore
+from ..dataquality import QualityReport, SanitizeConfig, sanitize
 from ..datasets.trajectory import Trajectory
 from ..exceptions import (ConfigurationError, DeadlineExceededError,
                           InvalidTrajectoryError, ServiceClosedError,
@@ -85,6 +86,18 @@ class ServingConfig:
     default_timeout_s:
         Per-request deadline when the caller does not pass one
         (``None`` disables deadlines by default).
+    sanitize:
+        Boundary mode. ``False`` (default) keeps the strict contract —
+        malformed input raises :class:`InvalidTrajectoryError`.
+        ``True`` switches to *repair-with-report*: requests pass through
+        :func:`repro.dataquality.sanitize` (spikes removed, duplicates
+        collapsed, out-of-grid points clamped), answers carry a
+        ``quality`` report, and only unrepairable input (e.g. no finite
+        points at all) is rejected.
+    sanitize_config:
+        :class:`~repro.dataquality.SanitizeConfig` for sanitize mode.
+        ``None`` derives one from the model: bbox = the encoder's grid,
+        ``max_jump`` = 100 grid cells. Ignored when ``sanitize=False``.
     """
 
     max_batch_size: int = 16
@@ -96,6 +109,8 @@ class ServingConfig:
     breaker_failure_threshold: int = 5
     breaker_reset_s: float = 30.0
     default_timeout_s: Optional[float] = 30.0
+    sanitize: bool = False
+    sanitize_config: Optional[SanitizeConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -128,16 +143,22 @@ class TopKResult:
     fallback while the encoder breaker is open; their ``distances`` are
     pseudo-distances (``1 / (1 + cell overlap)``), comparable within the
     answer but not to embedding distances.
+
+    ``quality`` is the sanitize-mode boundary report (what was repaired
+    in the query before answering); ``None`` in strict mode. It is
+    recomputed per request, so even cache hits report accurately.
     """
 
     ids: List[int]
     distances: List[float]
     cached: bool = False
     degraded: bool = False
+    quality: Optional[Dict] = None
 
     def to_json(self) -> Dict:
         return {"ids": self.ids, "distances": self.distances,
-                "cached": self.cached, "degraded": self.degraded}
+                "cached": self.cached, "degraded": self.degraded,
+                "quality": self.quality}
 
 
 class SimilarityService:
@@ -165,10 +186,19 @@ class SimilarityService:
                  config: Optional[ServingConfig] = None,
                  probes: Optional[Sequence[Trajectory]] = None,
                  fallback_index: Optional[GridInvertedIndex] = None):
-        model._require_fitted()
+        encoder = model._require_fitted()
         self.model = model
         self.store = store
         self.config = config or ServingConfig()
+        self._sanitize_config: Optional[SanitizeConfig] = None
+        if self.config.sanitize:
+            sanitize_cfg = self.config.sanitize_config
+            if sanitize_cfg is None:
+                sanitize_cfg = SanitizeConfig(
+                    max_jump=100.0 * encoder.grid.cell_size)
+            if sanitize_cfg.bbox is None:
+                sanitize_cfg = sanitize_cfg.with_bbox(encoder.grid.bbox)
+            self._sanitize_config = sanitize_cfg
         self.probes: List[Trajectory] = list(probes or [])
         self.fallback_index = fallback_index
         self.registry = MetricsRegistry()
@@ -203,6 +233,12 @@ class SimilarityService:
         self._m_validation = reg.counter(
             "repro_validation_errors_total",
             "Requests rejected at input validation.")
+        self._m_sanitize_repaired = reg.counter(
+            "repro_sanitize_repaired_total",
+            "Requests whose trajectory was repaired by the sanitizer.")
+        self._m_sanitize_rejected = reg.counter(
+            "repro_sanitize_rejected_total",
+            "Requests the sanitizer could not repair (rejected).")
         self._m_deadline = reg.counter(
             "repro_deadline_exceeded_total",
             "Requests dropped because their deadline expired.")
@@ -278,7 +314,7 @@ class SimilarityService:
         """Embedding of one trajectory via the micro-batcher."""
         self._m_embeds.inc()
         try:
-            query = self._as_trajectory(trajectory)
+            query, _ = self._admit_trajectory(trajectory)
             timeout, deadline = self._resolve_deadline(timeout)
             with self._gate.admit("embed"):
                 try:
@@ -319,6 +355,41 @@ class SimilarityService:
                 f"(limit {limit})")
         return traj
 
+    def _admit_trajectory(self, trajectory
+                          ) -> "tuple[Trajectory, Optional[QualityReport]]":
+        """Boundary admission under the configured mode.
+
+        Strict mode (default): validate-or-raise via
+        :meth:`_as_trajectory`, no report. Sanitize mode: repair the
+        input with a :class:`~repro.dataquality.QualityReport`; only
+        unrepairable input still raises (and counts as rejected).
+        """
+        if self._sanitize_config is None:
+            return self._as_trajectory(trajectory), None
+        points = getattr(trajectory, "points", trajectory)
+        traj_id = getattr(trajectory, "traj_id", None)
+        try:
+            traj, report = sanitize(points, self._sanitize_config,
+                                    traj_id=traj_id)
+        except InvalidTrajectoryError:
+            self._m_sanitize_rejected.inc()
+            self._m_validation.inc()
+            raise
+        except (TypeError, ValueError) as exc:
+            self._m_sanitize_rejected.inc()
+            self._m_validation.inc()
+            raise InvalidTrajectoryError(
+                f"not a valid trajectory: {exc}") from exc
+        if report.modified:
+            self._m_sanitize_repaired.inc()
+        limit = self.config.max_points
+        if limit and len(traj.points) > limit:
+            self._m_validation.inc()
+            raise InvalidTrajectoryError(
+                f"trajectory has {len(traj.points)} points "
+                f"(limit {limit})")
+        return traj, report
+
     # ------------------------------------------------------------- query path
 
     def top_k(self, trajectory: Trajectory, k: Optional[int] = None,
@@ -336,15 +407,16 @@ class SimilarityService:
         """
         start = time.monotonic()
         try:
-            query = self._as_trajectory(trajectory)
+            query, report = self._admit_trajectory(trajectory)
             if k is None:
                 k = self.config.default_k
             if k < 1:
                 raise ValueError("k must be >= 1")
             timeout, deadline = self._resolve_deadline(timeout)
+            quality = None if report is None else report.to_json()
             with self._gate.admit("top_k"):
                 return self._answer_top_k(query, k, use_cache, timeout,
-                                          deadline)
+                                          deadline, quality=quality)
         except ServiceOverloadedError:
             self._m_shed.inc()
             self._m_errors.inc()
@@ -356,8 +428,11 @@ class SimilarityService:
             self._h_latency.observe(time.monotonic() - start)
 
     def _answer_top_k(self, query: Trajectory, k: int, use_cache: bool,
-                      timeout: Optional[float],
-                      deadline: Optional[float]) -> TopKResult:
+                      timeout: Optional[float], deadline: Optional[float],
+                      quality: Optional[Dict] = None) -> TopKResult:
+        # The cache key is built from the *sanitized* points, so distinct
+        # dirty requests that repair to the same clean trajectory share an
+        # entry; `quality` is re-derived per request even on hits.
         key = result_key(query.points, k, self.model.config.measure,
                          self._generation)
         if use_cache:
@@ -366,7 +441,8 @@ class SimilarityService:
                 self._m_queries.inc()
                 self._m_cache_hits.inc()
                 return TopKResult(ids=list(hit[0]),
-                                  distances=list(hit[1]), cached=True)
+                                  distances=list(hit[1]), cached=True,
+                                  quality=quality)
             self._m_cache_misses.inc()
         try:
             embedding = self._batcher(query, timeout=timeout,
@@ -384,7 +460,7 @@ class SimilarityService:
             if (self.fallback_index is not None
                     and (isinstance(exc, ServiceUnavailableError)
                          or self.breaker.state == "open")):
-                result = self._degraded_top_k(query, k)
+                result = self._degraded_top_k(query, k, quality=quality)
                 self._m_queries.inc()
                 return result
             raise
@@ -395,13 +471,15 @@ class SimilarityService:
         with self._store_lock:
             ids, distances = self.store.query_embedding(embedding, k)
         result = TopKResult(ids=[int(i) for i in ids],
-                            distances=[float(d) for d in distances])
+                            distances=[float(d) for d in distances],
+                            quality=quality)
         if use_cache:
             self._cache.put(key, (result.ids, result.distances))
         self._m_queries.inc()
         return result
 
-    def _degraded_top_k(self, query: Trajectory, k: int) -> TopKResult:
+    def _degraded_top_k(self, query: Trajectory, k: int,
+                        quality: Optional[Dict] = None) -> TopKResult:
         """Approximate answer from grid-cell overlap (no encoder involved).
 
         Candidates are ranked by how many of the query's (ring-expanded)
@@ -422,13 +500,17 @@ class SimilarityService:
         self._m_degraded.inc()
         return TopKResult(ids=[int(i) for i, _ in ranked],
                           distances=[1.0 / (1.0 + c) for _, c in ranked],
-                          degraded=True)
+                          degraded=True, quality=quality)
 
     # --------------------------------------------------------------- mutation
 
     def insert(self, trajectories: Sequence[Trajectory]) -> List[int]:
-        """Embed + insert trajectories; returns their assigned ids."""
-        items = [self._as_trajectory(t) for t in trajectories]
+        """Embed + insert trajectories; returns their assigned ids.
+
+        In sanitize mode, inserted trajectories are repaired the same
+        way queries are, so the store only ever holds clean data.
+        """
+        items = [self._admit_trajectory(t)[0] for t in trajectories]
         if not items:
             return []
         try:
@@ -518,6 +600,7 @@ class SimilarityService:
                       "generation": generation,
                       "embedding_dim": self.model.config.embedding_dim,
                       "measure": self.model.config.measure},
+            "sanitize_mode": self._sanitize_config is not None,
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),
             "resilience": {

@@ -4,13 +4,21 @@
 tests and benchmarks use to *exercise* failure paths instead of merely
 asserting they exist: scripted call failures, injected latency, worker
 kills, and byte-level artifact corruption, all reproducible run to run.
+
+:mod:`repro.testing.fuzz` is the dirty-data counterpart: seeded
+adversarial trajectory generators plus metamorphic invariant checks for
+every measure and the encoder.
 """
 
 from .faults import (CorruptionSpec, FaultInjected, FlakyCallable,
-                     HangInWorker, KillWorkerOnce, corrupt_bytes,
-                     fail_on_nth_call)
+                     HangInWorker, KillWorkerOnce, PoisonOnCalls,
+                     corrupt_bytes, fail_on_nth_call)
+from .fuzz import (adversarial_arrays, check_encoder_invariants,
+                   check_measure_invariants, corrupt, random_walks)
 
 __all__ = [
     "CorruptionSpec", "FaultInjected", "FlakyCallable", "HangInWorker",
-    "KillWorkerOnce", "corrupt_bytes", "fail_on_nth_call",
+    "KillWorkerOnce", "PoisonOnCalls", "adversarial_arrays",
+    "check_encoder_invariants", "check_measure_invariants", "corrupt",
+    "corrupt_bytes", "fail_on_nth_call", "random_walks",
 ]

@@ -37,8 +37,8 @@ import numpy as np
 PathLike = Union[str, Path]
 
 __all__ = ["CorruptionSpec", "FaultInjected", "FlakyCallable",
-           "HangInWorker", "KillWorkerOnce", "corrupt_bytes",
-           "fail_on_nth_call"]
+           "HangInWorker", "KillWorkerOnce", "PoisonOnCalls",
+           "corrupt_bytes", "fail_on_nth_call"]
 
 
 class FaultInjected(RuntimeError):
@@ -112,6 +112,43 @@ class FlakyCallable:
         if self._should_fail(call):
             raise self.exc_factory(call)
         return self.fn(*args, **kwargs)
+
+
+class PoisonOnCalls:
+    """Wrap a callable so chosen calls return a *transformed* result.
+
+    Where :class:`FlakyCallable` models hard failures (exceptions), this
+    models silent data corruption: the wrapped function runs normally and
+    its return value is passed through ``transform`` on the selected
+    1-based call indices. The training-guardrail tests use it to turn a
+    healthy loss tensor into a NaN or a forced spike without touching
+    the training code.
+    """
+
+    def __init__(self, fn: Callable, poison_on: Iterable[int],
+                 transform: Callable):
+        self.fn = fn
+        self.poison_on = frozenset(int(i) for i in poison_on)
+        self.transform = transform
+        self._lock = threading.Lock()
+        self._calls = 0
+        self.poisoned = 0
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+    def __call__(self, *args, **kwargs):
+        with self._lock:
+            self._calls += 1
+            call = self._calls
+        result = self.fn(*args, **kwargs)
+        if call in self.poison_on:
+            with self._lock:
+                self.poisoned += 1
+            return self.transform(result)
+        return result
 
 
 def fail_on_nth_call(fn: Callable, n: int, times: int = 1,

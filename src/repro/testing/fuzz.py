@@ -1,0 +1,241 @@
+"""Deterministic trajectory fuzzing and metamorphic invariant checks.
+
+Two halves:
+
+* **Generators** — :func:`adversarial_arrays` enumerates the named
+  degenerate shapes dirty GPS data actually produces (NaN/Inf fixes,
+  teleport spikes, stalls, empty and single-point tracks, wrong shapes);
+  :func:`random_walks` and :func:`corrupt` grow seeded random valid and
+  dirty trajectories. Everything is driven by an explicit seed — no
+  wall-clock, no global RNG — so a failing case replays exactly.
+
+* **Invariant checks** — :func:`check_measure_invariants` and
+  :func:`check_encoder_invariants` assert the metamorphic properties
+  every measure/encoder must satisfy regardless of input values
+  (symmetry, identity, non-negativity, finiteness, typed rejection of
+  degenerate shapes; finite deterministic embeddings). They return a
+  list of human-readable violations so a test can simply assert the
+  list is empty and print it otherwise.
+
+The ``fuzz``-marked tests in ``tests/testing/test_fuzz.py`` run these
+checks with a small budget in tier-1 CI; crank ``count`` up for a deeper
+local sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dataquality import SanitizeConfig, sanitize
+from ..datasets.trajectory import Trajectory
+from ..exceptions import InvalidTrajectoryError
+
+__all__ = ["adversarial_arrays", "check_encoder_invariants",
+           "check_measure_invariants", "corrupt", "random_walks"]
+
+#: Measures whose distance changes under a common translation of both
+#: inputs. ERP anchors skip costs to a fixed gap point, so it is the one
+#: registry measure that is *not* translation invariant.
+TRANSLATION_VARIANT_MEASURES = frozenset({"erp"})
+
+
+def adversarial_arrays() -> List[Tuple[str, np.ndarray]]:
+    """Named degenerate / adversarial point arrays, fixed and seedless.
+
+    Every shape here was observed (or is trivially constructible) in raw
+    GPS exports: sensor dropouts produce NaN rows, integer overflow in
+    upstream ETL produces huge magnitudes, stationary vehicles produce
+    duplicate runs, multipath produces teleport spikes.
+    """
+    nan, inf = float("nan"), float("inf")
+    line = np.stack([np.linspace(0.0, 4.0, 5),
+                     np.zeros(5, dtype=np.float64)], axis=1)
+    spike = line.copy()
+    spike[2] = [2.0, 5e7]
+    return [
+        ("empty", np.empty((0, 2), dtype=np.float64)),
+        ("singleton", np.array([[1.0, 2.0]])),
+        ("two-identical", np.array([[3.0, 3.0], [3.0, 3.0]])),
+        ("constant", np.full((6, 2), 7.5)),
+        ("nan-coordinate", np.array([[0.0, 0.0], [nan, 1.0], [2.0, 2.0]])),
+        ("inf-coordinate", np.array([[0.0, 0.0], [1.0, inf], [2.0, 2.0]])),
+        ("all-nan", np.full((4, 2), nan)),
+        ("huge-magnitude", np.array([[1e15, -1e15], [1e15 + 1.0, -1e15]])),
+        ("tiny-steps", np.array([[0.0, 0.0], [1e-15, 0.0], [2e-15, 0.0]])),
+        ("collinear", line),
+        ("duplicated-points", np.repeat(line, 3, axis=0)),
+        ("teleport-spike", spike),
+        ("zigzag-extreme", np.array([[0.0, 0.0], [1e6, 1e6], [0.0, 1.0],
+                                     [1e6, -1e6], [0.0, 2.0]])),
+        ("wrong-shape-1d", np.zeros(4, dtype=np.float64)),
+        ("wrong-shape-3col", np.zeros((4, 3), dtype=np.float64)),
+    ]
+
+
+def random_walks(seed: int, count: int = 8, min_len: int = 2,
+                 max_len: int = 40, step: float = 1.0,
+                 origin: Tuple[float, float] = (0.0, 0.0)
+                 ) -> List[np.ndarray]:
+    """Seeded valid random-walk trajectories (each >= ``min_len`` points)."""
+    if min_len < 2:
+        raise ValueError("min_len must be >= 2 (measures reject shorter)")
+    rng = np.random.default_rng(seed)
+    walks = []
+    for _ in range(count):
+        length = int(rng.integers(min_len, max_len + 1))
+        steps = rng.normal(scale=step, size=(length, 2))
+        steps[0] = origin
+        walks.append(np.cumsum(steps, axis=0))
+    return walks
+
+
+def corrupt(points: np.ndarray, rng: np.random.Generator,
+            kinds: Sequence[str] = ("nan", "spike", "dup", "stall")
+            ) -> Tuple[np.ndarray, List[str]]:
+    """Apply 1-3 seeded corruptions to a valid trajectory.
+
+    Returns the dirty copy and the list of corruption kinds applied, so a
+    test can assert the sanitizer's report accounts for each one.
+    """
+    points = np.asarray(points, dtype=np.float64).copy()
+    applied = []
+    max_kinds = min(3, len(kinds))
+    for kind in rng.choice(list(kinds),
+                           size=int(rng.integers(1, max_kinds + 1)),
+                           replace=False):
+        idx = int(rng.integers(0, len(points)))
+        if kind == "nan":
+            points[idx, int(rng.integers(0, 2))] = np.nan
+        elif kind == "spike":
+            span = float(np.nanmax(np.abs(points))) + 1.0
+            points[idx] = points[idx] + span * 1e4
+        elif kind == "dup":
+            points = np.insert(points, idx, points[idx], axis=0)
+        elif kind == "stall":
+            points = np.insert(points, idx,
+                               np.repeat(points[idx:idx + 1], 4, axis=0),
+                               axis=0)
+        else:
+            raise ValueError(f"unknown corruption kind {kind!r}")
+        applied.append(str(kind))
+    return points, applied
+
+
+# ------------------------------------------------------------------ checks
+
+def _expect_close(violations: List[str], label: str, got: float,
+                  want: float, rel: float, abs_tol: float) -> None:
+    if not np.isclose(got, want, rtol=rel, atol=abs_tol):
+        violations.append(f"{label}: got {got!r}, expected {want!r}")
+
+
+def check_measure_invariants(measure, trajectories:
+                             Optional[Sequence[np.ndarray]] = None,
+                             seed: int = 0, count: int = 6,
+                             rel: float = 1e-6, abs_tol: float = 1e-6
+                             ) -> List[str]:
+    """Metamorphic invariants a trajectory measure must satisfy.
+
+    Checks, over seeded random walks (or the caller's ``trajectories``):
+
+    * non-negativity and finiteness of every pairwise distance,
+    * symmetry ``d(a, b) == d(b, a)``,
+    * identity ``d(a, a) == 0``,
+    * translation invariance (skipped for measures in
+      :data:`TRANSLATION_VARIANT_MEASURES`),
+    * typed rejection: every sub-segment or misshapen adversarial input
+      raises :class:`InvalidTrajectoryError` — never an ``IndexError``
+      or a silent number.
+
+    Returns a list of violation descriptions (empty == all invariants
+    hold).
+    """
+    name = getattr(measure, "name", type(measure).__name__)
+    trajs = (list(trajectories) if trajectories is not None
+             else random_walks(seed, count=count))
+    violations: List[str] = []
+    for i, a in enumerate(trajs):
+        d_self = measure.distance(a, a)
+        _expect_close(violations, f"{name}: identity d(t{i}, t{i})",
+                      d_self, 0.0, rel, abs_tol)
+        for j in range(i + 1, len(trajs)):
+            b = trajs[j]
+            ab = measure.distance(a, b)
+            ba = measure.distance(b, a)
+            if not np.isfinite(ab):
+                violations.append(f"{name}: d(t{i}, t{j}) not finite: {ab!r}")
+                continue
+            if ab < 0.0:
+                violations.append(f"{name}: d(t{i}, t{j}) negative: {ab!r}")
+            _expect_close(violations, f"{name}: symmetry d(t{i}, t{j})",
+                          ba, ab, rel, abs_tol)
+            if name not in TRANSLATION_VARIANT_MEASURES:
+                offset = np.array([123.5, -67.25])
+                shifted = measure.distance(a + offset, b + offset)
+                _expect_close(
+                    violations,
+                    f"{name}: translation invariance d(t{i}, t{j})",
+                    shifted, ab, max(rel, 1e-5), max(abs_tol, 1e-5))
+    for case, arr in adversarial_arrays():
+        if arr.ndim == 2 and arr.shape[1:] == (2,) and len(arr) >= 2:
+            continue  # structurally valid; values-level dirt is allowed
+        probe = trajs[0]
+        for label, x, y in ((f"{name}: degenerate left ({case})", arr, probe),
+                            (f"{name}: degenerate right ({case})", probe, arr)):
+            try:
+                result = measure.distance(x, y)
+            except InvalidTrajectoryError:
+                continue
+            except Exception as exc:  # noqa: BLE001 - report, don't mask
+                violations.append(f"{label}: raised {type(exc).__name__} "
+                                  f"instead of InvalidTrajectoryError")
+                continue
+            violations.append(f"{label}: returned {result!r} instead of "
+                              f"raising InvalidTrajectoryError")
+    return violations
+
+
+def check_encoder_invariants(embed: Callable[[Sequence[Trajectory]],
+                                             np.ndarray],
+                             seed: int = 0, count: int = 6,
+                             config: Optional[SanitizeConfig] = None
+                             ) -> List[str]:
+    """Invariants of an embedding function over clean and sanitized input.
+
+    ``embed`` maps a sequence of :class:`Trajectory` to a ``(B, d)``
+    array (e.g. ``encoder.embed`` or ``NeuTraj.embed``). Checks:
+
+    * embeddings of valid trajectories are finite,
+    * embedding is deterministic (two calls agree bit-for-bit),
+    * every adversarial array that the sanitizer repairs (default
+      ``degenerate="repair"`` policy) is accepted and embeds finite —
+      i.e. sanitize-then-embed never crashes on dirty data.
+    """
+    cfg = config or SanitizeConfig()
+    violations: List[str] = []
+    clean = [Trajectory(points=w, traj_id=f"fuzz-{i}")
+             for i, w in enumerate(random_walks(seed, count=count))]
+    first = embed(clean)
+    if not np.all(np.isfinite(first)):
+        violations.append("embeddings of valid trajectories contain "
+                          "non-finite values")
+    second = embed(clean)
+    if not np.array_equal(first, second):
+        violations.append("embedding is not deterministic across calls")
+    for case, arr in adversarial_arrays():
+        try:
+            traj, report = sanitize(arr, cfg, traj_id=f"adv-{case}")
+        except InvalidTrajectoryError:
+            continue  # unrepairable (e.g. empty) — rejection is the contract
+        try:
+            vec = embed([traj])
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            violations.append(f"encoder rejected sanitized {case!r} "
+                              f"({report.action}): {type(exc).__name__}: "
+                              f"{exc}")
+            continue
+        if not np.all(np.isfinite(vec)):
+            violations.append(f"non-finite embedding for sanitized {case!r}")
+    return violations

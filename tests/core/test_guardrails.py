@@ -1,0 +1,181 @@
+"""Training-divergence guardrails: skip, escalate, roll back.
+
+The headline test mirrors PR 3's resume guarantee: a run that hits
+injected NaN losses mid-epoch must escalate to
+``TrainingDivergedError``, roll back to the last good checkpoint
+(parameters + Adam moments + RNG state), re-run the poisoned epoch
+cleanly, and finish **bit-identical** to a run that never saw the fault.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+from repro.core import trainer
+from repro.core.trainer import DivergenceGuard, GuardrailConfig
+from repro.exceptions import ConfigurationError, TrainingDivergedError
+from repro.measures import get_measure, pairwise_distances
+from repro.nn.module import Parameter
+from repro.nn.optim import grads_finite
+from repro.testing import PoisonOnCalls
+
+pytestmark = pytest.mark.faults
+
+CFG = dict(measure="hausdorff", embedding_dim=8, epochs=4, sampling_num=3,
+           batch_anchors=8, cell_size=500.0, seed=7)
+# 16 seeds / batch_anchors=8 -> 2 batches per epoch; training_step calls
+# embedding_similarity twice per batch, so epoch e covers calls
+# 4e+1 .. 4e+4 (1-based) of the poisoned wrapper.
+EPOCH2_CALLS = (9, 10, 11, 12)
+
+
+@pytest.fixture(scope="module")
+def world():
+    ds = generate_porto(PortoConfig(num_trajectories=16, min_points=8,
+                                    max_points=12), seed=11)
+    seeds = list(ds)
+    matrix = pairwise_distances(seeds, get_measure("hausdorff"))
+    return seeds, matrix
+
+
+def _params(model):
+    return model.encoder.state_dict()
+
+
+class TestGuardUnit:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GuardrailConfig(ewma_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            GuardrailConfig(spike_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            GuardrailConfig(max_skips=-1)
+
+    def test_nonfinite_loss_skips_then_escalates(self):
+        guard = DivergenceGuard(GuardrailConfig(max_skips=2))
+        assert not guard.admit_loss(float("nan"))
+        assert not guard.admit_loss(float("inf"))
+        with pytest.raises(TrainingDivergedError):
+            guard.admit_loss(float("nan"))
+        assert guard.skipped_batches == 3
+
+    def test_accepted_batch_resets_the_skip_run(self):
+        guard = DivergenceGuard(GuardrailConfig(max_skips=1))
+        assert not guard.admit_loss(float("nan"))
+        assert guard.admit_loss(1.0)
+        guard.observe(1.0)
+        assert not guard.admit_loss(float("nan"))  # run restarts at 1
+        assert guard.skipped_batches == 2
+
+    def test_spike_detection_after_warmup(self):
+        guard = DivergenceGuard(GuardrailConfig(warmup_steps=2,
+                                                spike_factor=10.0))
+        for _ in range(3):
+            assert guard.admit_loss(1.0)
+            guard.observe(1.0)
+        assert guard.admit_loss(5.0)       # 5x: not a spike
+        guard.observe(5.0)
+        assert not guard.admit_loss(100.0)  # >10x EWMA: spike, skipped
+        assert "spike" in guard.skip_reasons[-1]
+
+    def test_no_spike_check_during_warmup(self):
+        guard = DivergenceGuard(GuardrailConfig(warmup_steps=5,
+                                                spike_factor=2.0))
+        assert guard.admit_loss(1.0)
+        guard.observe(1.0)
+        assert guard.admit_loss(1000.0)  # still warming up
+
+    def test_nonfinite_grads_detected(self):
+        good = Parameter(np.ones((2, 2)))
+        bad = Parameter(np.ones((2, 2)))
+        good.grad = np.zeros((2, 2))
+        bad.grad = np.array([[1.0, np.nan], [0.0, 0.0]])
+        assert grads_finite([good])
+        assert not grads_finite([good, bad])
+        guard = DivergenceGuard(GuardrailConfig(max_skips=3))
+        assert not guard.admit_grads([bad])
+        assert guard.skip_reasons == ["non-finite gradient"]
+
+
+class TestFitGuardrails:
+    def test_clean_run_guarded_equals_unguarded(self, world):
+        seeds, matrix = world
+        guarded = NeuTraj(NeuTrajConfig(**CFG))
+        guarded.fit(seeds, distance_matrix=matrix)
+        unguarded = NeuTraj(NeuTrajConfig(**CFG))
+        unguarded.fit(seeds, distance_matrix=matrix,
+                      guardrails=GuardrailConfig(enabled=False))
+        assert guarded.guard_report == {"skipped_batches": 0,
+                                        "accepted_batches": 8,
+                                        "loss_ewma": guarded.guard_report[
+                                            "loss_ewma"],
+                                        "skip_reasons": [], "rollbacks": 0}
+        assert unguarded.guard_report is None
+        for name, value in _params(guarded).items():
+            np.testing.assert_array_equal(value, _params(unguarded)[name])
+        assert guarded.history.losses == unguarded.history.losses
+
+    def test_nan_epoch_rolls_back_bit_identical(self, world, tmp_path,
+                                                monkeypatch):
+        seeds, matrix = world
+        clean = NeuTraj(NeuTrajConfig(**CFG))
+        clean.fit(seeds, distance_matrix=matrix)
+
+        poisoned = PoisonOnCalls(trainer.embedding_similarity,
+                                 poison_on=EPOCH2_CALLS,
+                                 transform=lambda t: t * float("nan"))
+        monkeypatch.setattr(trainer, "embedding_similarity", poisoned)
+        faulty = NeuTraj(NeuTrajConfig(**CFG))
+        history = faulty.fit(seeds, distance_matrix=matrix,
+                             checkpoint_dir=tmp_path / "ckpt",
+                             guardrails=GuardrailConfig(max_skips=1))
+
+        # Both epoch-2 batches were poisoned and skipped, then escalation
+        # rolled back to the epoch-1 checkpoint and re-ran cleanly.
+        assert poisoned.poisoned == len(EPOCH2_CALLS)
+        assert faulty.guard_report["rollbacks"] == 1
+        assert history.losses == clean.history.losses
+        for name, value in _params(faulty).items():
+            np.testing.assert_array_equal(value, _params(clean)[name])
+
+    def test_forced_spike_is_skipped_without_divergence(self, world,
+                                                        monkeypatch):
+        seeds, matrix = world
+        poisoned = PoisonOnCalls(trainer.embedding_similarity,
+                                 poison_on=(7, 8),  # both calls of batch 4
+                                 transform=lambda t: t * 1e6)
+        monkeypatch.setattr(trainer, "embedding_similarity", poisoned)
+        model = NeuTraj(NeuTrajConfig(**CFG))
+        model.fit(seeds, distance_matrix=matrix,
+                  guardrails=GuardrailConfig(warmup_steps=2,
+                                             spike_factor=10.0))
+        assert model.guard_report["skipped_batches"] == 1
+        assert model.guard_report["rollbacks"] == 0
+        assert "spike" in model.guard_report["skip_reasons"][0]
+        assert np.isfinite(model.history.losses).all()
+
+    def test_divergence_without_checkpoints_raises(self, world, monkeypatch):
+        seeds, matrix = world
+        poisoned = PoisonOnCalls(trainer.embedding_similarity,
+                                 poison_on=range(1, 20),
+                                 transform=lambda t: t * float("nan"))
+        monkeypatch.setattr(trainer, "embedding_similarity", poisoned)
+        model = NeuTraj(NeuTrajConfig(**CFG))
+        with pytest.raises(TrainingDivergedError):
+            model.fit(seeds, distance_matrix=matrix,
+                      guardrails=GuardrailConfig(max_skips=1))
+        assert model.guard_report["skipped_batches"] == 2
+
+    def test_rollback_budget_exhausts(self, world, tmp_path, monkeypatch):
+        seeds, matrix = world
+        poisoned = PoisonOnCalls(trainer.embedding_similarity,
+                                 poison_on=range(5, 100),  # epoch 1 onwards
+                                 transform=lambda t: t * float("nan"))
+        monkeypatch.setattr(trainer, "embedding_similarity", poisoned)
+        model = NeuTraj(NeuTrajConfig(**CFG))
+        with pytest.raises(TrainingDivergedError):
+            model.fit(seeds, distance_matrix=matrix,
+                      checkpoint_dir=tmp_path / "ckpt",
+                      guardrails=GuardrailConfig(max_skips=1,
+                                                 max_rollbacks=1))
+        assert model.guard_report["rollbacks"] == 1

@@ -1,0 +1,211 @@
+"""Unit tests for the sanitization pipeline (repro.dataquality)."""
+
+import numpy as np
+import pytest
+
+from repro.dataquality import (QualityReport, SanitizeConfig, sanitize,
+                               sanitize_dataset)
+from repro.exceptions import ConfigurationError, InvalidTrajectoryError
+
+
+def walk(n=10, step=1.0, start=(0.0, 0.0)):
+    """A clean unit-step staircase walk of n points."""
+    pts = np.zeros((n, 2))
+    pts[:, 0] = np.arange(n) * step + start[0]
+    pts[:, 1] = start[1]
+    return pts
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            SanitizeConfig(max_jump=0.0)
+        with pytest.raises(ConfigurationError):
+            SanitizeConfig(dup_epsilon=-1.0)
+        with pytest.raises(ConfigurationError):
+            SanitizeConfig(degenerate="explode")
+        with pytest.raises(ConfigurationError):
+            SanitizeConfig(bbox=(1.0, 0.0, 0.0, 1.0))
+
+    def test_with_bbox(self):
+        cfg = SanitizeConfig().with_bbox((0, 0, 1, 1))
+        assert cfg.bbox == (0.0, 0.0, 1.0, 1.0)
+
+
+class TestStages:
+    def test_clean_input_passes_untouched(self):
+        pts = walk(8)
+        traj, report = sanitize(pts, SanitizeConfig(max_jump=5.0,
+                                                    max_gap=5.0))
+        assert report.clean and report.action == "pass"
+        np.testing.assert_array_equal(traj.points, pts)
+
+    def test_nonfinite_rows_dropped(self):
+        pts = walk(6)
+        pts[2] = [np.nan, 0.0]
+        pts[4] = [np.inf, -np.inf]
+        traj, report = sanitize(pts)
+        assert report.nonfinite_dropped == 2
+        assert len(traj) == 4
+        assert np.all(np.isfinite(traj.points))
+
+    def test_teleport_spike_removed(self):
+        pts = walk(9)
+        pts[4] = [1000.0, 1000.0]  # single-fix teleport
+        traj, report = sanitize(pts, SanitizeConfig(max_jump=5.0))
+        assert report.spikes_removed == 1
+        assert len(traj) == 8
+        assert np.abs(traj.points).max() < 100
+
+    def test_endpoint_spike_removed(self):
+        pts = walk(6)
+        pts[0] = [-500.0, 3.0]
+        traj, report = sanitize(pts, SanitizeConfig(max_jump=5.0))
+        assert report.spikes_removed == 1
+        assert len(traj) == 5
+
+    def test_all_jump_trajectory_left_alone(self):
+        # Every segment over the gate: no continuous backbone, keep it.
+        pts = walk(5, step=100.0)
+        traj, report = sanitize(pts, SanitizeConfig(max_jump=5.0))
+        assert report.spikes_removed == 0
+        assert len(traj) == 5
+
+    def test_out_of_grid_clamped(self):
+        pts = walk(5)
+        pts[3] = [9.0, 50.0]
+        cfg = SanitizeConfig(bbox=(-1.0, -1.0, 10.0, 10.0))
+        traj, report = sanitize(pts, cfg)
+        assert report.clamped_points == 1
+        assert traj.points[:, 1].max() <= 10.0
+
+    def test_duplicates_and_stalls_collapsed(self):
+        pts = np.concatenate([walk(4), np.tile([[3.0, 0.0]], (5, 1)),
+                              walk(3, start=(4.0, 0.0))])
+        traj, report = sanitize(pts)
+        assert report.duplicates_collapsed == 5
+        seg = np.linalg.norm(np.diff(traj.points, axis=0), axis=1)
+        assert (seg > 0).all()
+
+    def test_gap_resampled(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [11.0, 0.0], [12.0, 0.0]])
+        traj, report = sanitize(pts, SanitizeConfig(max_gap=2.0))
+        assert report.gap_points_inserted == 4
+        seg = np.linalg.norm(np.diff(traj.points, axis=0), axis=1)
+        assert seg.max() <= 2.0 + 1e-12
+
+    def test_gap_insertion_capped(self):
+        pts = np.array([[0.0, 0.0], [1e6, 0.0]])
+        cfg = SanitizeConfig(max_gap=1.0, max_gap_points=4)
+        traj, report = sanitize(pts, cfg)
+        assert report.gap_points_inserted == 4
+        assert len(traj) == 6
+
+
+class TestDegeneratePolicies:
+    def test_empty_always_rejects(self):
+        for policy in ("reject", "repair", "pass"):
+            with pytest.raises(InvalidTrajectoryError) as info:
+                sanitize(np.zeros((0, 2)),
+                         SanitizeConfig(degenerate=policy))
+            assert info.value.report.degenerate == "empty"
+            assert info.value.report.action == "rejected"
+
+    def test_all_nan_rejects_as_empty(self):
+        pts = np.full((4, 2), np.nan)
+        with pytest.raises(InvalidTrajectoryError) as info:
+            sanitize(pts)
+        assert info.value.report.nonfinite_dropped == 4
+        assert info.value.report.degenerate == "empty"
+
+    def test_singleton_repair_pads_to_two(self):
+        traj, report = sanitize([[1.0, 2.0]],
+                                SanitizeConfig(degenerate="repair"))
+        assert len(traj) == 2
+        assert report.action == "repaired"
+        assert report.degenerate == "singleton"
+
+    def test_singleton_reject(self):
+        with pytest.raises(InvalidTrajectoryError):
+            sanitize([[1.0, 2.0]], SanitizeConfig(degenerate="reject"))
+
+    def test_singleton_pass(self):
+        traj, report = sanitize([[1.0, 2.0]],
+                                SanitizeConfig(degenerate="pass"))
+        assert len(traj) == 1
+        assert report.degenerate == "singleton"
+
+    def test_constant_point_detected_when_dedup_off(self):
+        pts = np.tile([[5.0, 5.0]], (6, 1))
+        traj, report = sanitize(pts, SanitizeConfig(dup_epsilon=None,
+                                                    degenerate="repair"))
+        assert report.degenerate == "constant"
+        assert len(traj) == 2
+
+    def test_constant_point_collapses_to_singleton_with_dedup(self):
+        pts = np.tile([[5.0, 5.0]], (6, 1))
+        traj, report = sanitize(pts, SanitizeConfig(degenerate="repair"))
+        assert report.duplicates_collapsed == 5
+        assert report.degenerate == "singleton"
+        assert len(traj) == 2
+
+    def test_misshapen_input_rejected(self):
+        with pytest.raises(InvalidTrajectoryError):
+            sanitize(np.zeros((4, 3)))
+        with pytest.raises(InvalidTrajectoryError):
+            sanitize("garbage")
+
+
+class TestReports:
+    def test_report_json_round_trip(self):
+        pts = walk(6)
+        pts[2] = [np.nan, 0.0]
+        _, report = sanitize(pts)
+        blob = report.to_json()
+        assert blob["action"] == "repaired"
+        assert blob["nonfinite_dropped"] == 1
+        assert not blob["clean"]
+
+    def test_idempotent_on_own_output(self):
+        pts = walk(12)
+        pts[3] = [np.nan, np.nan]
+        pts[7] = [1e5, 1e5]
+        cfg = SanitizeConfig(max_jump=5.0, max_gap=3.0)
+        first, _ = sanitize(pts, cfg)
+        second, _ = sanitize(first.points, cfg)
+        np.testing.assert_array_equal(first.points, second.points)
+
+    def test_deterministic(self):
+        pts = walk(20)
+        pts[5] = [np.inf, 0.0]
+        pts[11] = [4000.0, -4000.0]
+        cfg = SanitizeConfig(max_jump=5.0, max_gap=2.5,
+                             bbox=(-10, -10, 30, 30))
+        a, ra = sanitize(pts, cfg)
+        b, rb = sanitize(pts.copy(), cfg)
+        assert a.points.tobytes() == b.points.tobytes()
+        assert ra.to_json() == rb.to_json()
+
+
+class TestDatasetSanitize:
+    def test_dataset_split_and_counters(self):
+        items = [
+            walk(8),                          # clean
+            np.zeros((0, 2)),                 # rejected (empty)
+            np.concatenate([walk(5), [[np.nan, 0.0]]]),  # repaired
+        ]
+        ds, report = sanitize_dataset(items)
+        assert len(ds) == 2
+        assert report.total == 3
+        assert report.clean == 1
+        assert report.repaired == 1
+        assert report.rejected == 1
+        assert report.counters["nonfinite_dropped"] == 1
+
+    def test_accepts_trajectory_objects_and_keeps_ids(self):
+        from repro.datasets import Trajectory
+        trajs = [Trajectory(walk(5), traj_id=7),
+                 Trajectory(walk(5, start=(2.0, 2.0)), traj_id=9)]
+        ds, report = sanitize_dataset(trajs)
+        assert [t.traj_id for t in ds] == [7, 9]
+        assert report.clean == 2 and not report.modified

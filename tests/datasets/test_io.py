@@ -54,3 +54,57 @@ def test_csv_assigns_position_as_missing_id(tmp_path):
     path = tmp_path / "noid.csv"
     save_csv(ds, path)
     assert load_csv(path)[0].traj_id == 0
+
+
+DIRTY_CSV = """traj_id,point_index,x,y
+0,0,0.0,0.0
+0,1,1.0,1.0
+not-a-number,0,2.0,2.0
+1,0,3.0
+1,1,4.0,abc
+1,2,5.0,5.0
+1,3,6.0,6.0
+2,0,nan,7.0
+2,1,8.0,8.0
+"""
+
+
+def test_csv_skips_malformed_rows_and_logs(tmp_path, caplog):
+    path = tmp_path / "dirty.csv"
+    path.write_text(DIRTY_CSV)
+    with caplog.at_level("WARNING", logger="repro.datasets.io"):
+        loaded = load_csv(path)
+    # Trajectory 0 is clean; trajectory 1 keeps its 2 valid points
+    # (short row + non-numeric y dropped); trajectory 2 has a NaN point
+    # and fails validation, so it is dropped entirely.
+    assert [t.traj_id for t in loaded] == [0, 1]
+    assert len(loaded[1]) == 2
+    np.testing.assert_allclose(loaded[1].points, [[5.0, 5.0], [6.0, 6.0]])
+    assert any("skipped 3 malformed rows" in r.message for r in caplog.records)
+    assert any("dropped 1 invalid trajectories" in r.message
+               for r in caplog.records)
+
+
+def test_csv_strict_raises_on_first_bad_row(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text(DIRTY_CSV)
+    with pytest.raises(ValueError, match="malformed row"):
+        load_csv(path, strict=True)
+
+
+def test_npz_lenient_skips_invalid(tmp_path):
+    from repro.exceptions import InvalidTrajectoryError
+
+    ds = TrajectoryDataset([Trajectory([[0.0, 0.0], [1.0, 1.0]], traj_id=0),
+                            Trajectory([[2.0, 2.0], [3.0, 3.0]], traj_id=1)])
+    path = tmp_path / "data.npz"
+    save_npz(ds, path)
+    # Corrupt one coordinate to NaN, in place, to simulate a bad producer.
+    with np.load(path) as data:
+        arrays = {k: data[k].copy() for k in data.files}
+    arrays["flat"][0, 0] = np.nan
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(InvalidTrajectoryError):
+        load_npz(path)
+    loaded = load_npz(path, strict=False)
+    assert [t.traj_id for t in loaded] == [1]

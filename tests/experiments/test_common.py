@@ -1,10 +1,14 @@
 """Tests for experiment common helpers (variants, caching, rankings)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.approx import AnchorHausdorff, LSHCurveDistance
 from repro.core import NeuTraj, SiameseTraj
+from repro.dataquality import SanitizeConfig
+from repro.datasets import Trajectory
 from repro.experiments import (ap_comparator, ap_rankings, format_table,
                                make_model, model_rankings, train_variant)
 from repro.experiments.workloads import ExperimentScale, build_workload
@@ -51,6 +55,35 @@ class TestTrainVariant:
                                        first.embed(workload.queries))
             assert any(p.name.startswith("model-nt_no_sam")
                        for p in tmp_path.glob("*.npz"))
+        finally:
+            workload._cache_dir = None
+
+    def test_sanitize_repairs_dirty_seeds(self, workload):
+        # Inject a teleport spike into one seed; sanitize removes exactly
+        # that point, so training on the repaired pool matches training on
+        # the original clean pool.
+        xmin, ymin, xmax, ymax = workload.bbox
+        span = max(xmax - xmin, ymax - ymin)
+        spiked = workload.seeds[0].points.copy()
+        spiked = np.insert(spiked, 1, spiked[1] + span * 1e3, axis=0)
+        dirty = dataclasses.replace(workload, seeds=[
+            Trajectory(spiked, traj_id=workload.seeds[0].traj_id),
+            *workload.seeds[1:],
+        ])
+        repaired = train_variant("neutraj", dirty, "hausdorff", cache=False,
+                                 sanitize=SanitizeConfig(max_jump=span * 10))
+        clean = train_variant("neutraj", workload, "hausdorff", cache=False)
+        np.testing.assert_allclose(repaired.embed(workload.queries),
+                                   clean.embed(workload.queries))
+
+    def test_sanitize_changes_cache_key(self, workload, tmp_path):
+        workload._cache_dir = tmp_path
+        try:
+            train_variant("neutraj", workload, "hausdorff")
+            train_variant("neutraj", workload, "hausdorff",
+                          sanitize=SanitizeConfig(max_jump=1e9))
+            models = [p for p in tmp_path.glob("model-neutraj*.npz")]
+            assert len(models) == 2  # distinct digests, no cache collision
         finally:
             workload._cache_dir = None
 

@@ -1,0 +1,71 @@
+"""Degenerate-input handling across every registered measure.
+
+Regression fixtures come from the fuzz generator's adversarial cases:
+any input without at least one segment — empty, single-point, 1-D, or
+wrong column count — must raise :class:`InvalidTrajectoryError` from
+every entry point (``distance``, ``distance_many``, ``__call__``),
+never an ``IndexError`` or a silent nonsense number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidTrajectoryError
+from repro.measures import available_measures, check_pair, get_measure
+from repro.testing.fuzz import adversarial_arrays
+
+VALID = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 1.0]])
+
+DEGENERATE = [(name, arr) for name, arr in adversarial_arrays()
+              if not (arr.ndim == 2 and arr.shape[1:] == (2,)
+                      and len(arr) >= 2)]
+DEGENERATE_IDS = [name for name, _ in DEGENERATE]
+
+
+@pytest.fixture(params=available_measures())
+def measure(request):
+    return get_measure(request.param)
+
+
+class TestCheckPair:
+    @pytest.mark.parametrize("bad", [arr for _, arr in DEGENERATE],
+                             ids=DEGENERATE_IDS)
+    def test_rejects_each_side(self, bad):
+        with pytest.raises(InvalidTrajectoryError):
+            check_pair(bad, VALID)
+        with pytest.raises(InvalidTrajectoryError):
+            check_pair(VALID, bad)
+
+    def test_accepts_minimal_segment(self):
+        check_pair(VALID[:2], VALID)
+
+    def test_accepts_lists(self):
+        check_pair([[0.0, 0.0], [1.0, 1.0]], VALID)
+
+
+class TestAllMeasures:
+    @pytest.mark.parametrize("case", DEGENERATE_IDS)
+    def test_distance_raises_typed(self, measure, case):
+        bad = dict(DEGENERATE)[case]
+        with pytest.raises(InvalidTrajectoryError):
+            measure.distance(bad, VALID)
+        with pytest.raises(InvalidTrajectoryError):
+            measure.distance(VALID, bad)
+
+    def test_distance_many_raises_typed(self, measure):
+        empty = np.empty((0, 2), dtype=np.float64)
+        with pytest.raises(InvalidTrajectoryError):
+            measure.distance_many([VALID, empty], [VALID, VALID])
+
+    def test_call_raises_typed_on_ragged(self, measure):
+        with pytest.raises(InvalidTrajectoryError):
+            measure([[0.0, 0.0], [1.0]], VALID)
+
+    def test_call_raises_typed_on_non_numeric(self, measure):
+        with pytest.raises(InvalidTrajectoryError):
+            measure([["a", "b"], ["c", "d"]], VALID)
+
+    def test_two_point_trajectories_still_work(self, measure):
+        value = measure.distance(VALID[:2], VALID[1:])
+        assert np.isfinite(value)
+        assert value >= 0.0

@@ -17,7 +17,9 @@ coords = st.floats(min_value=-100.0, max_value=100.0,
                    allow_nan=False, allow_infinity=False, width=64)
 
 
-def trajectories(min_len=1, max_len=12):
+def trajectories(min_len=2, max_len=12):
+    # Measures reject sub-segment inputs (< 2 points) with
+    # InvalidTrajectoryError; tests/measures/test_degenerate.py covers that.
     return st.integers(min_value=min_len, max_value=max_len).flatmap(
         lambda n: arrays(np.float64, (n, 2), elements=coords))
 

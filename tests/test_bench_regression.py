@@ -41,6 +41,20 @@ def test_serving_not_slower_than_committed_baseline():
 
 
 @pytest.mark.bench_regression
+def test_sanitize_overhead_and_quality_hold_against_baseline():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        from check_bench_regression import (SANITIZE_BASELINE,
+                                            run_sanitize_check)
+    finally:
+        sys.path.pop(0)
+    assert SANITIZE_BASELINE.exists(), \
+        "benchmarks/BENCH_sanitize.json not committed"
+    failures = run_sanitize_check()
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.bench_regression
 def test_resilience_contract_holds_against_committed_baseline():
     sys.path.insert(0, str(SCRIPTS))
     try:

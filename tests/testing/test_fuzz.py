@@ -1,0 +1,104 @@
+"""Fuzz harness self-tests + the tier-1 fuzz smoke budget.
+
+The ``fuzz``-marked classes run every registered measure and a small
+trained encoder through the metamorphic invariant checks with a fixed
+seed and a small case budget, so tier-1 stays fast but every release
+still sweeps the adversarial corpus.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NeuTraj, NeuTrajConfig, PortoConfig, generate_porto
+from repro.dataquality import SanitizeConfig, sanitize
+from repro.exceptions import InvalidTrajectoryError
+from repro.measures import available_measures, get_measure
+from repro.testing.fuzz import (adversarial_arrays, check_encoder_invariants,
+                                check_measure_invariants, corrupt,
+                                random_walks)
+
+
+class TestGenerators:
+    def test_adversarial_cases_are_stable(self):
+        first = adversarial_arrays()
+        second = adversarial_arrays()
+        assert [name for name, _ in first] == [name for name, _ in second]
+        for (_, a), (_, b) in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_random_walks_seeded(self):
+        a = random_walks(seed=3, count=4)
+        b = random_walks(seed=3, count=4)
+        assert len(a) == 4
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+            assert len(x) >= 2
+            assert np.isfinite(x).all()
+        assert not np.array_equal(random_walks(seed=4, count=1)[0], a[0])
+
+    def test_random_walks_rejects_min_len_below_two(self):
+        with pytest.raises(ValueError):
+            random_walks(seed=0, min_len=1)
+
+    def test_corrupt_is_seeded_and_reported(self):
+        base = random_walks(seed=5, count=1, min_len=10)[0]
+        dirty1, kinds1 = corrupt(base, np.random.default_rng(9))
+        dirty2, kinds2 = corrupt(base, np.random.default_rng(9))
+        np.testing.assert_array_equal(dirty1, dirty2)
+        assert kinds1 == kinds2 and 1 <= len(kinds1) <= 3
+
+    def test_corrupted_walks_sanitize_clean(self):
+        cfg = SanitizeConfig(max_jump=100.0)
+        rng = np.random.default_rng(17)
+        for i, base in enumerate(random_walks(seed=17, count=6, min_len=10)):
+            dirty, kinds = corrupt(base, rng)
+            traj, report = sanitize(dirty, cfg, traj_id=f"dirty-{i}")
+            assert np.isfinite(traj.points).all()
+            assert report.modified or not kinds
+
+
+@pytest.mark.fuzz
+class TestMeasureInvariants:
+    @pytest.mark.parametrize("name", available_measures())
+    def test_invariants_hold(self, name):
+        violations = check_measure_invariants(get_measure(name), seed=42,
+                                              count=5)
+        assert violations == []
+
+    def test_detects_broken_measure(self):
+        class Broken:
+            name = "broken"
+
+            def distance(self, a, b):
+                return float(len(a) - len(b))  # asymmetric, negative
+
+        violations = check_measure_invariants(Broken(), seed=1, count=3)
+        assert violations  # must flag symmetry/negativity/typed-rejection
+
+
+@pytest.mark.fuzz
+class TestEncoderInvariants:
+    @pytest.fixture(scope="class")
+    def model(self):
+        ds = generate_porto(PortoConfig(num_trajectories=12, min_points=6,
+                                        max_points=10), seed=2)
+        model = NeuTraj(NeuTrajConfig(measure="hausdorff", embedding_dim=8,
+                                      epochs=1, sampling_num=3,
+                                      batch_anchors=6, cell_size=500.0,
+                                      seed=3))
+        model.fit(list(ds))
+        return model
+
+    def test_encoder_invariants_hold(self, model):
+        violations = check_encoder_invariants(model.embed, seed=7, count=4)
+        assert violations == []
+
+    def test_sanitized_adversarial_inputs_embed_finite(self, model):
+        for case, arr in adversarial_arrays():
+            try:
+                traj, _ = sanitize(arr, SanitizeConfig(),
+                                   traj_id=f"adv-{case}")
+            except InvalidTrajectoryError:
+                continue
+            emb = model.embed([traj])
+            assert np.isfinite(emb).all(), case
