@@ -21,7 +21,12 @@ baselines. Exits non-zero when
   overhead budget (sanitization must stay under 10% of a per-query
   encode), repairs queries to a *worse* top-k hit rate than leaving them
   dirty, or loses sanitized-query quality against the committed
-  baseline.
+  baseline;
+* the ANN benchmark (``benchmarks/BENCH_ann.json``) breaks its
+  acceptance contract — the selected 100k operating point falls under
+  0.9 recall@10 vs exact or scans more than 10% of the database, the
+  1M IVF search drops under 5x the brute-force qps, or its qps
+  regresses past the threshold against the committed baseline.
 
 Wall-clock on shared CPUs is noisy, so the 1.5× threshold is deliberately
 loose: it catches "someone un-vectorised the hot path", not 10% jitter.
@@ -50,6 +55,7 @@ BASELINE = REPO_ROOT / "benchmarks" / "BENCH_kernels.json"
 SERVING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_serving.json"
 RESILIENCE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_resilience.json"
 SANITIZE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sanitize.json"
+ANN_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_ann.json"
 DEFAULT_THRESHOLD = 1.5
 
 #: Acceptance floor: 16-client micro-batched throughput over serial.
@@ -62,6 +68,14 @@ RESILIENCE_P99_THRESHOLD = 3.0
 #: Absolute hit-rate slack for the sanitize quality guard: tiny workloads
 #: quantise hit rates coarsely (1/(queries*k) per hit).
 SANITIZE_QUALITY_SLACK = 0.10
+
+#: ANN acceptance contract (ISSUE 6): the selected 100k operating point
+#: must recall at least this much of the exact top-10 while scanning at
+#: most this fraction of the database, and 1M IVF search must beat the
+#: brute-force scan by at least this factor.
+ANN_RECALL_FLOOR = 0.9
+ANN_SCAN_FRACTION_CEILING = 0.10
+ANN_SPEEDUP_FLOOR = 5.0
 
 
 def _import_bench(module_name: str):
@@ -238,6 +252,50 @@ def run_sanitize_check() -> list:
     return compare_sanitize_reports(baseline, fresh)
 
 
+# --------------------------------------------------------------------- ann
+
+def compare_ann_reports(baseline: dict, fresh: dict,
+                        threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Failure strings for the ANN benchmark (empty = pass).
+
+    The recall/scan/speedup floors are hard acceptance checks on the
+    fresh run; the 1M IVF qps is additionally compared to the committed
+    baseline with the (loose) timing threshold.
+    """
+    failures = []
+    selected = fresh["results"]["recall_100k"]["selected"]
+    qps = fresh["results"]["qps_1m"]
+    if selected["recall_at_10"] < ANN_RECALL_FLOOR:
+        failures.append(
+            f"ann: recall@10 {selected['recall_at_10']:.3f} at the selected "
+            f"100k operating point is under the {ANN_RECALL_FLOOR:.2f} floor")
+    if selected["scanned_fraction"] > ANN_SCAN_FRACTION_CEILING:
+        failures.append(
+            f"ann: selected operating point scans "
+            f"{selected['scanned_fraction']:.1%} of the database "
+            f"(ceiling {ANN_SCAN_FRACTION_CEILING:.0%})")
+    if qps["speedup"] < ANN_SPEEDUP_FLOOR:
+        failures.append(
+            f"ann: 1M IVF speedup {qps['speedup']:.1f}x over brute force is "
+            f"under the {ANN_SPEEDUP_FLOOR:.1f}x floor")
+    base_qps = baseline["results"]["qps_1m"]["ivf_qps"]
+    fresh_qps = qps["ivf_qps"]
+    if fresh_qps * threshold < base_qps:
+        failures.append(
+            f"ann: 1M IVF throughput {fresh_qps:.0f} qps is "
+            f"{base_qps / fresh_qps:.2f}x under the committed "
+            f"{base_qps:.0f} qps (threshold {threshold:.2f}x)")
+    return failures
+
+
+def run_ann_check(threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Run the ANN benchmark and compare against the committed baseline."""
+    bench_ann = _import_bench("bench_table5_indexed_search")
+    baseline = json.loads(ANN_BASELINE.read_text())
+    fresh = bench_ann.run_all()
+    return compare_ann_reports(baseline, fresh, threshold)
+
+
 # -------------------------------------------------------------------- main
 
 def main(argv=None) -> int:
@@ -247,7 +305,7 @@ def main(argv=None) -> int:
                              f"(default {DEFAULT_THRESHOLD})")
     parser.add_argument("--only",
                         choices=["kernels", "serving", "resilience",
-                                 "sanitize", "all"],
+                                 "sanitize", "ann", "all"],
                         default="all", help="which suite to check")
     args = parser.parse_args(argv)
 
@@ -273,6 +331,11 @@ def main(argv=None) -> int:
             print(f"no committed baseline at {SANITIZE_BASELINE}")
             return 1
         failures += run_sanitize_check()
+    if args.only in ("ann", "all"):
+        if not ANN_BASELINE.exists():
+            print(f"no committed baseline at {ANN_BASELINE}")
+            return 1
+        failures += run_ann_check(args.threshold)
 
     if failures:
         print("PERFORMANCE REGRESSION:")

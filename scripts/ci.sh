@@ -10,6 +10,8 @@
 #      fuzz tests use
 #   4. perf smoke       — the kernel bench-regression guard against the
 #      committed baseline
+#   5. ANN gate         — IVF recall@10/scan-fraction/qps acceptance
+#      floors at 100k/1M synthetic embeddings (BENCH_ann.json)
 #
 # Usage: scripts/ci.sh [pytest args...]
 set -euo pipefail
@@ -39,5 +41,8 @@ PY
 
 echo "==> bench regression smoke (kernels only)"
 python scripts/check_bench_regression.py --only kernels
+
+echo "==> ANN recall/qps gate (IVF vs exact at 100k/1M)"
+python scripts/check_bench_regression.py --only ann
 
 echo "ci.sh: all gates passed"

@@ -13,7 +13,10 @@ Commands
 ``serve``
     Run the online similarity-query service over a saved bundle
     (``repro.serving``); ``--once`` performs a loopback self-test and
-    exits.
+    exits. ``--index ivf`` serves through the ANN backend.
+``index build`` / ``index stats``
+    Build an IVF ANN index from a bundle's embedding store, or inspect
+    a saved index directory (``repro.index.ann``).
 ``lint``
     Run the project static analyzer (``repro.analysis``) over ``src``
     (or given paths); exit 0 means no non-baselined findings.
@@ -150,7 +153,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.bundle,
             ServingConfig(max_batch_size=args.max_batch,
                           max_wait_ms=args.max_wait_ms,
-                          cache_capacity=args.cache_capacity))
+                          cache_capacity=args.cache_capacity,
+                          index=args.index, nlist=args.nlist,
+                          nprobe=args.nprobe))
     except (BundleError, OSError) as exc:
         print(f"cannot load bundle {args.bundle!r}: {exc}", file=sys.stderr)
         return 2
@@ -184,6 +189,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 0
         finally:
             server.server_close()
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .exceptions import ConfigurationError
+    from .index.ann import IVFConfig, IVFIndex
+    from .serving.bundle import BundleError, load_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (BundleError, OSError) as exc:
+        print(f"cannot load bundle {args.bundle!r}: {exc}", file=sys.stderr)
+        return 2
+    store = bundle.store
+    if len(store) == 0:
+        print(f"bundle {args.bundle!r} has an empty store — nothing to "
+              f"index", file=sys.stderr)
+        return 2
+    try:
+        config = IVFConfig(nlist=args.nlist, nprobe=args.nprobe,
+                           quantize=not args.no_int8, seed=args.seed)
+    except ConfigurationError as exc:
+        print(f"bad index configuration: {exc}", file=sys.stderr)
+        return 2
+    print(f"building IVF index over {len(store)} embeddings "
+          f"(dim {store.model.config.embedding_dim}) ...")
+    index = IVFIndex.build(
+        np.asarray(store.ids, dtype=np.int64),
+        np.ascontiguousarray(store.embeddings, dtype=np.float32), config)
+    index.save(args.out)
+    stats = index.stats()
+    print(f"wrote {args.out}: nlist={stats['nlist']} "
+          f"(cells {stats['cell_min']}..{stats['cell_max']}, "
+          f"mean {stats['cell_mean']:.1f}), "
+          f"quantize={stats['quantize']}, rows={stats['ntotal']}")
+    return 0
+
+
+def _cmd_index_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .exceptions import CorruptArtifactError
+    from .index.ann import IVFIndex
+
+    try:
+        index = IVFIndex.load(args.index, mmap=True, verify=args.verify)
+    except (CorruptArtifactError, OSError) as exc:
+        print(f"cannot load index {args.index!r}: {exc}", file=sys.stderr)
+        return 2
+    stats = index.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"IVF index at {args.index}")
+    for key in ("dim", "nlist", "nprobe", "quantize", "ntotal", "live",
+                "cell_min", "cell_mean", "cell_max"):
+        print(f"  {key:<12} {stats[key]}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -229,7 +293,41 @@ def main(argv=None) -> int:
                        help="micro-batch straggler wait (default 2 ms)")
     serve.add_argument("--cache-capacity", type=int, default=1024,
                        help="LRU result-cache entries; 0 disables")
+    serve.add_argument("--index", default="exact", choices=["exact", "ivf"],
+                       help="store search backend (default exact)")
+    serve.add_argument("--nlist", type=int, default=0,
+                       help="IVF cells; 0 = auto (~sqrt(N))")
+    serve.add_argument("--nprobe", type=int, default=8,
+                       help="IVF cells scanned per query (default 8)")
     serve.set_defaults(func=_cmd_serve)
+
+    index = sub.add_parser(
+        "index", help="build or inspect an ANN index over a bundle's store")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    build = index_sub.add_parser(
+        "build", help="build an IVF index from a bundle's embedding store")
+    build.add_argument("--bundle", required=True,
+                       help="bundle directory written by save_bundle()")
+    build.add_argument("--out", required=True,
+                       help="output index directory")
+    build.add_argument("--nlist", type=int, default=0,
+                       help="k-means cells; 0 = auto (~sqrt(N))")
+    build.add_argument("--nprobe", type=int, default=8,
+                       help="default cells scanned per query")
+    build.add_argument("--no-int8", action="store_true",
+                       help="store float32 vectors only (no int8 codes)")
+    build.add_argument("--seed", type=int, default=0,
+                       help="k-means RNG seed (default 0)")
+    build.set_defaults(func=_cmd_index_build)
+    stats = index_sub.add_parser(
+        "stats", help="inspect a saved IVF index directory")
+    stats.add_argument("--index", required=True,
+                       help="index directory written by `repro index build`")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the raw stats dict as JSON")
+    stats.add_argument("--no-verify", dest="verify", action="store_false",
+                       help="skip the sha256 check (keeps a cold open lazy)")
+    stats.set_defaults(func=_cmd_index_stats)
 
     lint = sub.add_parser(
         "lint", help="run the project static analyzer",

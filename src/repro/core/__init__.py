@@ -1,5 +1,6 @@
 """NeuTraj core: seed-guided neural metric learning."""
 
+from .backends import (ExactBackend, IVFBackend, SearchBackend, make_backend)
 from .config import (NeuTrajConfig, PrecomputeConfig, get_precompute_config,
                      set_precompute_config)
 from .encoder import TrajectoryEncoder
@@ -15,6 +16,7 @@ from .trainer import (DivergenceGuard, EpochStats, GuardrailConfig,
                       training_step)
 
 __all__ = [
+    "ExactBackend", "IVFBackend", "SearchBackend", "make_backend",
     "NeuTrajConfig", "PrecomputeConfig", "get_precompute_config",
     "set_precompute_config", "TrajectoryEncoder",
     "dissimilar_loss", "mse_pair_loss", "ranking_loss", "similar_loss",

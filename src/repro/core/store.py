@@ -1,21 +1,29 @@
 """Embedding store: an incremental similarity-search database.
 
 The deployment pattern from §VI-A: embed every database trajectory once,
-then answer ad-hoc queries in O(L + N·d). The store owns the embedding
-table, supports incremental inserts (new trajectories only pay their own
-O(L) encoding) and persists to ``.npz`` alongside the model.
+then answer ad-hoc queries in O(L + search). The store owns the
+embedding table, supports incremental inserts (new trajectories only pay
+their own O(L) encoding) and persists to ``.npz`` alongside the model.
+
+*How* a query searches the table is a pluggable
+:class:`~repro.core.backends.SearchBackend`: the default
+:class:`~repro.core.backends.ExactBackend` is the brute-force O(N·d)
+scan (bit-identical to the historical behaviour); ``"ivf"`` switches to
+the sub-linear :class:`~repro.index.ann.IVFIndex` ANN path for large
+databases. Backends are kept consistent by the store's mutation hooks.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..datasets.trajectory import Trajectory
 from ..exceptions import CorruptArtifactError, NotFittedError
+from .backends import SearchBackend, make_backend
 from .model import MetricModel
 
 PathLike = Union[str, Path]
@@ -29,18 +37,32 @@ class EmbeddingStore:
     model:
         A trained :class:`~repro.core.model.MetricModel`; its encoder maps
         every inserted trajectory to the store's embedding space.
+    backend:
+        Search strategy: ``"exact"`` (default), ``"ivf"``, or a
+        :class:`~repro.core.backends.SearchBackend` instance (e.g. an
+        :class:`~repro.core.backends.IVFBackend` wrapping a
+        memory-mapped index loaded from disk).
+    backend_options:
+        Keyword options forwarded to
+        :func:`~repro.core.backends.make_backend` for by-name backends
+        (for ``"ivf"``: ``nlist``, ``nprobe``, ``quantize``, ``seed``,
+        ...).
     """
 
-    def __init__(self, model: MetricModel):
+    def __init__(self, model: MetricModel,
+                 backend: Union[str, SearchBackend, None] = "exact",
+                 **backend_options):
         model._require_fitted()
         self.model = model
         dim = model.config.embedding_dim
         self._embeddings = np.zeros((0, dim))
-        self._ids: List[int] = []
+        self._ids = np.zeros(0, dtype=np.int64)
         self._next_id = 0
+        self._backend = make_backend(backend, **backend_options)
+        self._backend.bind(self)
 
     def __len__(self) -> int:
-        return len(self._ids)
+        return int(self._ids.shape[0])
 
     @property
     def embeddings(self) -> np.ndarray:
@@ -51,12 +73,38 @@ class EmbeddingStore:
 
     @property
     def ids(self) -> List[int]:
-        return list(self._ids)
+        return [int(i) for i in self._ids]
 
     @property
     def next_id(self) -> int:
         """The id the next inserted trajectory will receive."""
         return self._next_id
+
+    # -------------------------------------------------------------- backends
+
+    @property
+    def backend(self) -> SearchBackend:
+        """The active search backend."""
+        return self._backend
+
+    def use_backend(self, backend: Union[str, SearchBackend],
+                    **backend_options) -> SearchBackend:
+        """Switch search strategy (rebuilding backend state as needed).
+
+        Returns the installed backend. The embedding table itself is
+        untouched — only the search path changes, so answers from
+        ``"exact"`` remain the ground truth an ANN backend approximates.
+        """
+        new = make_backend(backend, **backend_options)
+        new.bind(self)
+        self._backend = new
+        return new
+
+    def search_stats(self) -> Dict:
+        """The backend's cumulative counters (kind, queries, scanned...)."""
+        return self._backend.stats()
+
+    # -------------------------------------------------------------- mutation
 
     def add(self, trajectories: Sequence[Trajectory],
             batch_size: int = 128) -> List[int]:
@@ -65,21 +113,30 @@ class EmbeddingStore:
         if not items:
             return []
         new = self.model.embed(items, batch_size=batch_size)
-        assigned = list(range(self._next_id, self._next_id + len(items)))
+        assigned = np.arange(self._next_id, self._next_id + len(items),
+                             dtype=np.int64)
         self._next_id += len(items)
         self._embeddings = np.concatenate([self._embeddings, new], axis=0)
-        self._ids.extend(assigned)
-        return assigned
+        self._ids = np.concatenate([self._ids, assigned])
+        self._backend.on_add(assigned, new)
+        return [int(i) for i in assigned]
 
     def remove(self, ids: Sequence[int]) -> int:
         """Remove entries by id; returns how many were removed."""
-        drop = set(ids)
-        keep = [i for i, item_id in enumerate(self._ids)
-                if item_id not in drop]
-        removed = len(self._ids) - len(keep)
+        drop = np.unique(np.asarray(list(ids), dtype=np.int64))
+        if drop.size == 0 or len(self) == 0:
+            return 0
+        keep = ~np.isin(self._ids, drop)
+        removed = int(self._ids.shape[0] - keep.sum())
+        if removed == 0:
+            return 0
+        dropped = self._ids[~keep]
         self._embeddings = self._embeddings[keep]
-        self._ids = [self._ids[i] for i in keep]
+        self._ids = self._ids[keep]
+        self._backend.on_remove(dropped)
         return removed
+
+    # ----------------------------------------------------------------- search
 
     def query(self, trajectory: Trajectory, k: int = 10
               ) -> Tuple[np.ndarray, np.ndarray]:
@@ -99,6 +156,10 @@ class EmbeddingStore:
         The serving layer uses this to search with embeddings produced by
         its micro-batched encoder instead of re-encoding per query.
         """
+        if not isinstance(k, (int, np.integer)) or isinstance(k, bool):
+            raise ValueError(f"k must be an integer, got {type(k).__name__}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
         if len(self) == 0:
             raise NotFittedError("the store is empty")
         embedding = np.asarray(embedding, dtype=self._embeddings.dtype)
@@ -106,28 +167,23 @@ class EmbeddingStore:
             raise ValueError(
                 f"expected embedding of shape ({self._embeddings.shape[1]},), "
                 f"got {embedding.shape}")
-        diffs = self._embeddings - embedding[None, :]
-        distances = np.sqrt((diffs * diffs).sum(axis=1))
-        k = min(k, len(distances))
-        order = np.argpartition(distances, k - 1)[:k]
-        order = order[np.argsort(distances[order], kind="stable")]
-        return (np.array([self._ids[i] for i in order]),
-                distances[order])
+        return self._backend.search(embedding, int(k))
 
     def query_radius(self, trajectory: Trajectory, radius: float
                      ) -> Tuple[np.ndarray, np.ndarray]:
-        """All (ids, distances) within an embedding-distance radius."""
+        """All (ids, distances) within an embedding-distance radius.
+
+        Exact under the default backend; under an ANN backend the scan
+        covers only the probed cells (see
+        :meth:`repro.index.ann.IVFIndex.search_radius`).
+        """
         if radius < 0:
             raise ValueError("radius must be non-negative")
         if len(self) == 0:
-            return np.array([], dtype=int), np.array([])
+            return np.array([], dtype=np.int64), np.array([])
         query_emb = self.model.embed([trajectory])[0]
-        diffs = self._embeddings - query_emb[None, :]
-        distances = np.sqrt((diffs * diffs).sum(axis=1))
-        hit = np.flatnonzero(distances <= radius)
-        order = hit[np.argsort(distances[hit], kind="stable")]
-        return (np.array([self._ids[i] for i in order]),
-                distances[order])
+        query_emb = np.asarray(query_emb, dtype=self._embeddings.dtype)
+        return self._backend.search_radius(query_emb, radius)
 
     # ----------------------------------------------------------- persistence
 
@@ -137,11 +193,13 @@ class EmbeddingStore:
         The file lands at exactly ``path`` (``np.savez``'s implicit
         ``.npz``-appending is undone), via a temporary file and an atomic
         rename so a crashed writer never leaves a torn store behind.
+        The search backend is not part of the payload — an IVF index has
+        its own on-disk form (:meth:`repro.index.ann.IVFIndex.save`).
         """
         path = Path(path)
         tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
         np.savez_compressed(tmp, embeddings=self._embeddings,
-                            ids=np.array(self._ids, dtype=np.int64),
+                            ids=self._ids,
                             next_id=np.array(self._next_id))
         # np.savez appends .npz when missing; our tmp name has none.
         tmp_written = tmp if tmp.exists() else tmp.with_suffix(
@@ -149,19 +207,23 @@ class EmbeddingStore:
         os.replace(tmp_written, path)
 
     @classmethod
-    def load(cls, path: PathLike, model: MetricModel) -> "EmbeddingStore":
+    def load(cls, path: PathLike, model: MetricModel,
+             backend: Union[str, SearchBackend, None] = "exact",
+             **backend_options) -> "EmbeddingStore":
         """Restore a store saved by :meth:`save` (model supplied separately).
 
         The id state round-trips exactly: inserts after a load continue
         from the persisted ``next_id`` and can never reuse a live id, even
         for legacy files written before ``next_id`` was stored (the
-        counter is floored at ``max(ids) + 1``).
+        counter is floored at ``max(ids) + 1``). ``backend`` picks the
+        search strategy for the loaded table (built after the rows are
+        in place, so an ``"ivf"`` load trains on the full table once).
         """
         store = cls(model)
         try:
             with np.load(path, allow_pickle=False) as data:
                 embeddings = np.array(data["embeddings"])
-                ids = [int(i) for i in data["ids"]]
+                ids = np.asarray(data["ids"], dtype=np.int64)
                 saved_next = (int(data["next_id"])
                               if "next_id" in data.files else 0)
         except FileNotFoundError:
@@ -177,14 +239,16 @@ class EmbeddingStore:
                 f"expected a 2-D embedding table, got shape "
                 f"{embeddings.shape}")
         store._embeddings = embeddings
-        if len(ids) != store._embeddings.shape[0]:
+        if ids.shape[0] != store._embeddings.shape[0]:
             raise ValueError(
-                f"id/embedding count mismatch: {len(ids)} ids for "
+                f"id/embedding count mismatch: {ids.shape[0]} ids for "
                 f"{store._embeddings.shape[0]} rows")
-        if len(set(ids)) != len(ids):
+        if np.unique(ids).size != ids.size:
             raise ValueError("store contains duplicate ids")
         store._ids = ids
-        store._next_id = max(saved_next, max(ids) + 1 if ids else 0)
+        store._next_id = max(saved_next,
+                             int(ids.max()) + 1 if ids.size else 0)
         if store._embeddings.shape[1] != model.config.embedding_dim:
             raise ValueError("store dimensionality does not match the model")
+        store.use_backend(backend, **backend_options)
         return store

@@ -1,11 +1,14 @@
-"""Spatial indexes: STR R-tree, grid inverted index, search pipelines."""
+"""Spatial + embedding indexes: STR R-tree, grid inverted index, IVF ANN,
+search pipelines."""
 
+from .ann import IVFConfig, IVFIndex, auto_nlist, kmeans
 from .rtree import RTree, bbox_intersects, bbox_union, expand_bbox
 from .grid_index import GridInvertedIndex
 from .search import (IndexedSearchResult, candidates_for_query, search_approx,
                      search_embedding, search_exact)
 
 __all__ = [
+    "IVFConfig", "IVFIndex", "auto_nlist", "kmeans",
     "RTree", "bbox_intersects", "bbox_union", "expand_bbox",
     "GridInvertedIndex",
     "IndexedSearchResult", "candidates_for_query", "search_approx",

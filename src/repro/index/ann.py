@@ -1,0 +1,678 @@
+"""IVF approximate-nearest-neighbour index over embedding vectors.
+
+The embedding store's exact search is an O(N·d) scan per query — fine at
+thousands of trajectories, hopeless at millions. This module implements
+the classic inverted-file (IVF) design from scratch:
+
+* a **coarse quantizer** — seeded k-means over the stored embeddings
+  partitions them into ``nlist`` cells; a query ranks the ``nlist``
+  centroids (cheap) and scans only the ``nprobe`` nearest cells, so it
+  touches roughly ``nprobe/nlist`` of the database;
+* optional **int8 scalar quantization** of cell residuals
+  (``vector - centroid``), shrinking the scanned bytes 4x; the
+  approximate ranking is then repaired by an **exact rerank** of the top
+  candidates against the stored float32 vectors;
+* a **memory-mapped on-disk layout** — one contiguous ``data.bin``
+  (centroids, per-cell offsets, ids, codes, vectors) described by a
+  sha256-carrying ``MANIFEST.json``, so a million-embedding index opens
+  lazily and survives restarts;
+* **incremental maintenance** — inserts append to in-memory per-cell
+  overflow lists, deletes tombstone ids, and :meth:`IVFIndex.compact`
+  folds both back into the contiguous base arrays.
+
+Determinism: k-means is seeded (``IVFConfig.seed``) and ties in every
+ranking break on row order, so the same build inputs always produce the
+same index and the same answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, CorruptArtifactError
+
+PathLike = Union[str, Path]
+
+__all__ = ["IVFConfig", "IVFIndex", "kmeans", "auto_nlist"]
+
+MANIFEST_NAME = "MANIFEST.json"
+DATA_NAME = "data.bin"
+IVF_SCHEMA = "repro.ivf.v1"
+
+#: Rows per chunk for blocked centroid-assignment matmuls: bounds the
+#: temporary (chunk × nlist) distance matrix to a few hundred MB even at
+#: nlist=4096.
+_ASSIGN_CHUNK = 16384
+
+
+def auto_nlist(count: int) -> int:
+    """Default cell count for a database of ``count`` vectors (~sqrt(N))."""
+    if count <= 0:
+        return 1
+    return int(np.clip(round(np.sqrt(count)), 1, 4096))
+
+
+@dataclass
+class IVFConfig:
+    """Build/search parameters of an :class:`IVFIndex`.
+
+    Attributes
+    ----------
+    nlist:
+        Number of k-means cells. 0 picks :func:`auto_nlist` at build
+        time.
+    nprobe:
+        Cells scanned per query. Recall/latency dial: higher probes more
+        of the database.
+    quantize:
+        Store int8 residual codes and scan those instead of the float32
+        vectors (4x fewer scanned bytes); exact rerank repairs the
+        ranking.
+    rerank:
+        With ``quantize``, how many approximate candidates are reranked
+        exactly, as a multiple of ``k`` (floored at 32 candidates).
+    train_sample:
+        Max vectors fed to k-means (assignment still covers everything).
+    kmeans_iters:
+        Lloyd iterations.
+    seed:
+        RNG seed for k-means init (all randomness flows through it).
+    """
+
+    nlist: int = 0
+    nprobe: int = 8
+    quantize: bool = True
+    rerank: int = 4
+    train_sample: int = 65536
+    kmeans_iters: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nlist < 0:
+            raise ConfigurationError("nlist must be >= 0 (0 = auto)")
+        if self.nprobe < 1:
+            raise ConfigurationError("nprobe must be >= 1")
+        if self.rerank < 1:
+            raise ConfigurationError("rerank must be >= 1")
+        if self.train_sample < 1:
+            raise ConfigurationError("train_sample must be >= 1")
+        if self.kmeans_iters < 1:
+            raise ConfigurationError("kmeans_iters must be >= 1")
+
+
+def _chunked_assign(vectors: np.ndarray, centroids: np.ndarray
+                    ) -> np.ndarray:
+    """Nearest-centroid id per vector, in bounded-memory chunks.
+
+    Uses the ``|x|^2 + |c|^2 - 2 x·c`` expansion so the inner loop is one
+    GEMM per chunk instead of a broadcasted (N, nlist, d) temporary.
+    """
+    cent_sq = (centroids * centroids).sum(axis=1)
+    out = np.empty(vectors.shape[0], dtype=np.int64)
+    for start in range(0, vectors.shape[0], _ASSIGN_CHUNK):
+        chunk = vectors[start:start + _ASSIGN_CHUNK]
+        scores = chunk @ centroids.T
+        scores *= -2.0
+        scores += cent_sq[None, :]
+        # |x|^2 is constant per row — argmin does not need it.
+        out[start:start + _ASSIGN_CHUNK] = np.argmin(scores, axis=1)
+    return out
+
+
+def kmeans(vectors: np.ndarray, k: int, rng: np.random.Generator,
+           iters: int = 10) -> np.ndarray:
+    """Seeded Lloyd k-means; returns (k, d) float32 centroids.
+
+    Initialisation samples ``k`` distinct rows; empty cells are reseeded
+    from the data so every centroid stays live. Deterministic for a
+    given generator state.
+    """
+    vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+    n = vectors.shape[0]
+    if n == 0:
+        raise ValueError("cannot run k-means on an empty vector set")
+    k = min(k, n)
+    centroids = vectors[rng.choice(n, size=k, replace=False)].copy()
+    for _ in range(iters):
+        assign = _chunked_assign(vectors, centroids)
+        counts = np.bincount(assign, minlength=k)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assign, vectors)
+        live = counts > 0
+        centroids[live] = sums[live] / counts[live, None]
+        dead = np.flatnonzero(~live)
+        if dead.size:
+            centroids[dead] = vectors[rng.choice(n, size=dead.size,
+                                                 replace=False)]
+    return centroids
+
+
+def _as_vectors(vectors: np.ndarray, dim: Optional[int] = None
+                ) -> np.ndarray:
+    out = np.ascontiguousarray(vectors, dtype=np.float32)
+    if out.ndim != 2:
+        raise ValueError(f"expected a 2-D vector table, got shape "
+                         f"{out.shape}")
+    if dim is not None and out.shape[1] != dim:
+        raise ValueError(f"expected dimensionality {dim}, got "
+                         f"{out.shape[1]}")
+    return out
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass
+class _SearchStats:
+    """Cumulative search-side counters (read via :meth:`IVFIndex.stats`)."""
+
+    queries: int = 0
+    candidates_scanned: int = 0
+    cells_probed: int = 0
+    reranked: int = 0
+
+
+class IVFIndex:
+    """Inverted-file ANN index with int8 residual codes and exact rerank.
+
+    Build one with :meth:`build`, reopen a saved one with :meth:`load`.
+    ``search`` answers top-k; ``add``/``remove`` maintain the index
+    incrementally (per-cell append + tombstones) until :meth:`compact`
+    or :meth:`save` folds the deltas back into the contiguous arrays.
+    """
+
+    def __init__(self, dim: int, config: Optional[IVFConfig] = None):
+        if dim < 1:
+            raise ConfigurationError("dim must be >= 1")
+        self.dim = dim
+        self.config = config or IVFConfig()
+        self._centroids = np.zeros((0, dim), dtype=np.float32)
+        self._scales = np.zeros(0, dtype=np.float32)
+        # Contiguous base arrays: rows sorted by cell, bounds[c]:bounds[c+1]
+        # is cell c's slice. May be np.memmap views after `load(mmap=True)`.
+        self._bounds = np.zeros(1, dtype=np.int64)
+        self._ids = np.zeros(0, dtype=np.int64)
+        self._vectors = np.zeros((0, dim), dtype=np.float32)
+        self._codes = np.zeros((0, dim), dtype=np.int8)
+        # Incremental state: per-cell overflow appends + tombstoned ids.
+        self._pending_ids: Dict[int, List[int]] = {}
+        self._pending_vectors: Dict[int, List[np.ndarray]] = {}
+        self._tombstones: set = set()
+        self._search_stats = _SearchStats()
+
+    # -------------------------------------------------------------- properties
+
+    @property
+    def nlist(self) -> int:
+        return self._centroids.shape[0]
+
+    @property
+    def ntotal(self) -> int:
+        """Rows held (base + pending), including tombstoned ones."""
+        return int(self._ids.shape[0]) + sum(
+            len(v) for v in self._pending_ids.values())
+
+    @property
+    def live_count(self) -> int:
+        """Rows a search can return (``ntotal`` minus tombstones)."""
+        return self.ntotal - len(self._tombstones)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(v) for v in self._pending_ids.values())
+
+    @property
+    def is_trained(self) -> bool:
+        return self.nlist > 0
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    # ------------------------------------------------------------------- build
+
+    @classmethod
+    def build(cls, ids: np.ndarray, vectors: np.ndarray,
+              config: Optional[IVFConfig] = None) -> "IVFIndex":
+        """Train the quantizer on ``vectors`` and index every row."""
+        config = config or IVFConfig()
+        vectors = _as_vectors(vectors)
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        if ids.shape != (vectors.shape[0],):
+            raise ValueError(
+                f"ids shape {ids.shape} does not match {vectors.shape[0]} "
+                f"vectors")
+        if np.unique(ids).size != ids.size:
+            raise ValueError("index ids must be unique")
+        index = cls(vectors.shape[1], config)
+        if vectors.shape[0] == 0:
+            return index
+        rng = np.random.default_rng(config.seed)
+        nlist = config.nlist or auto_nlist(vectors.shape[0])
+        nlist = min(nlist, vectors.shape[0])
+        sample = vectors
+        if vectors.shape[0] > config.train_sample:
+            pick = rng.choice(vectors.shape[0], size=config.train_sample,
+                              replace=False)
+            sample = vectors[np.sort(pick)]
+        index._centroids = kmeans(sample, nlist, rng,
+                                  iters=config.kmeans_iters)
+        index._install(ids, vectors,
+                       _chunked_assign(vectors, index._centroids))
+        return index
+
+    def _install(self, ids: np.ndarray, vectors: np.ndarray,
+                 assign: np.ndarray) -> None:
+        """Lay out rows contiguously by cell and (re)encode residuals."""
+        order = np.argsort(assign, kind="stable")
+        assign = assign[order]
+        self._ids = np.ascontiguousarray(ids[order])
+        self._vectors = np.ascontiguousarray(vectors[order])
+        counts = np.bincount(assign, minlength=self.nlist)
+        self._bounds = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)])
+        if self.config.quantize:
+            self._encode_cells()
+        else:
+            self._codes = np.zeros((0, self.dim), dtype=np.int8)
+            self._scales = np.zeros(0, dtype=np.float32)
+
+    def _encode_cells(self) -> None:
+        """Per-cell int8 codes: ``round(residual / scale)``, symmetric."""
+        self._codes = np.empty_like(self._vectors, dtype=np.int8)
+        self._scales = np.ones(self.nlist, dtype=np.float32)
+        for cell in range(self.nlist):
+            lo, hi = self._bounds[cell], self._bounds[cell + 1]
+            if hi <= lo:
+                continue
+            residual = self._vectors[lo:hi] - self._centroids[cell][None, :]
+            peak = float(np.abs(residual).max())
+            scale = (peak / 127.0) if peak > 0 else 1.0
+            self._scales[cell] = scale
+            np.clip(np.rint(residual / scale), -127, 127,
+                    out=residual)
+            self._codes[lo:hi] = residual.astype(np.int8)
+
+    # ------------------------------------------------------------------ search
+
+    def _probe_order(self, query: np.ndarray, nprobe: int) -> np.ndarray:
+        """The ``nprobe`` nearest cell ids, nearest first."""
+        diffs = self._centroids - query[None, :]
+        cell_d = (diffs * diffs).sum(axis=1)
+        nprobe = min(nprobe, self.nlist)
+        probe = np.argpartition(cell_d, nprobe - 1)[:nprobe]
+        return probe[np.argsort(cell_d[probe], kind="stable")]
+
+    def _cell_candidates(self, cell: int, query: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(row ids, approx sq-distances, rows-for-rerank) for one cell.
+
+        With quantization on, distances come from decoded int8 residuals;
+        otherwise they are exact. Pending (not yet compacted) rows are
+        always scanned at full precision.
+        """
+        lo, hi = int(self._bounds[cell]), int(self._bounds[cell + 1])
+        ids = [np.asarray(self._ids[lo:hi])]
+        if self.config.quantize and hi > lo:
+            decoded = self._codes[lo:hi].astype(np.float32)
+            decoded *= self._scales[cell]
+            decoded += self._centroids[cell][None, :]
+            diffs = decoded - query[None, :]
+            vectors = [np.asarray(self._vectors[lo:hi])]
+        else:
+            vectors = [np.asarray(self._vectors[lo:hi])]
+            diffs = vectors[0] - query[None, :]
+        sq = [(diffs * diffs).sum(axis=1)]
+        if cell in self._pending_ids:
+            pend_vecs = np.stack(self._pending_vectors[cell])
+            pend_diffs = pend_vecs - query[None, :]
+            ids.append(np.asarray(self._pending_ids[cell], dtype=np.int64))
+            sq.append((pend_diffs * pend_diffs).sum(axis=1))
+            vectors.append(pend_vecs)
+        return (np.concatenate(ids), np.concatenate(sq),
+                np.concatenate(vectors))
+
+    def search(self, query: np.ndarray, k: int,
+               nprobe: Optional[int] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k ``(ids, L2 distances)`` over the ``nprobe`` nearest cells.
+
+        Distances are exact (float32 arithmetic) for every returned row:
+        quantized scans rerank the ``config.rerank * k`` best approximate
+        candidates against the stored vectors before answering.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"expected query of shape ({self.dim},), got "
+                             f"{query.shape}")
+        if not self.is_trained or self.live_count == 0:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0))
+        probe = self._probe_order(query, nprobe or self.config.nprobe)
+        cand_ids, cand_sq, cand_vecs = zip(
+            *(self._cell_candidates(int(c), query) for c in probe))
+        ids = np.concatenate(cand_ids)
+        sq = np.concatenate(cand_sq)
+        vectors = np.concatenate(cand_vecs)
+        if self._tombstones:
+            live = ~np.isin(ids, np.fromiter(
+                self._tombstones, dtype=np.int64,
+                count=len(self._tombstones)))
+            ids, sq, vectors = ids[live], sq[live], vectors[live]
+        stats = self._search_stats
+        stats.queries += 1
+        stats.cells_probed += probe.size
+        stats.candidates_scanned += int(ids.size)
+        if ids.size == 0:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0))
+        if self.config.quantize:
+            keep = min(max(self.config.rerank * k, 32), ids.size)
+            top = np.argpartition(sq, keep - 1)[:keep]
+            diffs = vectors[top] - query[None, :]
+            sq = (diffs * diffs).sum(axis=1)
+            ids = ids[top]
+            stats.reranked += int(keep)
+        k = min(k, ids.size)
+        best = np.argpartition(sq, k - 1)[:k]
+        best = best[np.lexsort((ids[best], sq[best]))]
+        return (ids[best].astype(np.int64),
+                np.sqrt(sq[best].astype(np.float64)))
+
+    def search_radius(self, query: np.ndarray, radius: float
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """All ``(ids, distances)`` within ``radius`` in the probed cells.
+
+        Approximate by construction: rows whose cell is not among the
+        ``nprobe`` nearest are never seen, exactly like :meth:`search`.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if not self.is_trained or self.live_count == 0:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0))
+        probe = self._probe_order(query, self.config.nprobe)
+        out_ids: List[np.ndarray] = []
+        out_d: List[np.ndarray] = []
+        stats = self._search_stats
+        stats.queries += 1
+        stats.cells_probed += probe.size
+        for cell in probe:
+            ids, sq, vectors = self._cell_candidates(int(cell), query)
+            stats.candidates_scanned += int(ids.size)
+            if self.config.quantize and ids.size:
+                # Radius answers are exact over the probed cells: always
+                # recompute against the stored vectors.
+                diffs = vectors - query[None, :]
+                sq = (diffs * diffs).sum(axis=1)
+            dist = np.sqrt(sq.astype(np.float64))
+            hit = dist <= radius
+            out_ids.append(ids[hit])
+            out_d.append(dist[hit])
+        ids = np.concatenate(out_ids) if out_ids else np.zeros(0, np.int64)
+        dist = np.concatenate(out_d) if out_d else np.zeros(0)
+        if self._tombstones and ids.size:
+            live = ~np.isin(ids, np.fromiter(
+                self._tombstones, dtype=np.int64,
+                count=len(self._tombstones)))
+            ids, dist = ids[live], dist[live]
+        order = np.lexsort((ids, dist))
+        return ids[order].astype(np.int64), dist[order]
+
+    # -------------------------------------------------------------- mutation
+
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        """Append rows to their nearest cells (no retraining).
+
+        New rows live in per-cell overflow lists (scanned at full
+        precision) until :meth:`compact` folds them into the base
+        arrays.
+        """
+        vectors = _as_vectors(vectors, dim=self.dim)
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        if ids.shape != (vectors.shape[0],):
+            raise ValueError("ids/vectors length mismatch")
+        if vectors.shape[0] == 0:
+            return
+        if not self.is_trained:
+            raise ConfigurationError(
+                "cannot add to an untrained index; use IVFIndex.build")
+        assign = _chunked_assign(vectors, self._centroids)
+        for row, cell in enumerate(assign):
+            cell = int(cell)
+            self._pending_ids.setdefault(cell, []).append(int(ids[row]))
+            self._pending_vectors.setdefault(cell, []).append(
+                vectors[row].copy())
+            self._tombstones.discard(int(ids[row]))
+
+    def remove(self, ids: Sequence[int]) -> int:
+        """Tombstone rows by id; returns how many live rows were hit."""
+        drop = {int(i) for i in ids}
+        if not drop:
+            return 0
+        removed = 0
+        # Pending rows can be dropped outright — they are plain lists.
+        for cell in list(self._pending_ids):
+            cell_ids = self._pending_ids[cell]
+            keep = [i for i, row_id in enumerate(cell_ids)
+                    if row_id not in drop]
+            removed += len(cell_ids) - len(keep)
+            if len(keep) < len(cell_ids):
+                self._pending_ids[cell] = [cell_ids[i] for i in keep]
+                self._pending_vectors[cell] = [
+                    self._pending_vectors[cell][i] for i in keep]
+                if not self._pending_ids[cell]:
+                    del self._pending_ids[cell]
+                    del self._pending_vectors[cell]
+        # Base rows are immutable (possibly mmap) — tombstone them.
+        if self._ids.size:
+            drop_arr = np.fromiter(drop, dtype=np.int64, count=len(drop))
+            hit = np.asarray(self._ids)[np.isin(self._ids, drop_arr)]
+            fresh = {int(i) for i in hit} - self._tombstones
+            removed += len(fresh)
+            self._tombstones |= fresh
+        return removed
+
+    def compact(self) -> "IVFIndex":
+        """Fold pending appends and tombstones into the base arrays.
+
+        Rewrites the contiguous per-cell layout in memory (detaching
+        from any mmap backing) and re-encodes int8 codes; centroids are
+        untouched. Returns ``self``.
+        """
+        ids, vectors, assign = self._materialise_live()
+        self._pending_ids.clear()
+        self._pending_vectors.clear()
+        self._tombstones.clear()
+        self._install(ids, vectors, assign)
+        return self
+
+    def _materialise_live(self
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(ids, vectors, cell assignment) of every live row, base-first."""
+        parts_ids = [np.asarray(self._ids)]
+        parts_vecs = [np.asarray(self._vectors)]
+        cell_of_base = np.repeat(
+            np.arange(self.nlist, dtype=np.int64),
+            np.diff(self._bounds))
+        parts_assign = [cell_of_base]
+        for cell in sorted(self._pending_ids):
+            parts_ids.append(np.asarray(self._pending_ids[cell],
+                                        dtype=np.int64))
+            parts_vecs.append(np.stack(self._pending_vectors[cell]))
+            parts_assign.append(np.full(len(self._pending_ids[cell]), cell,
+                                        dtype=np.int64))
+        ids = np.concatenate(parts_ids)
+        vectors = (np.concatenate(parts_vecs) if ids.size else
+                   np.zeros((0, self.dim), dtype=np.float32))
+        assign = np.concatenate(parts_assign)
+        if self._tombstones:
+            live = ~np.isin(ids, np.fromiter(
+                self._tombstones, dtype=np.int64,
+                count=len(self._tombstones)))
+            ids, vectors, assign = ids[live], vectors[live], assign[live]
+        return ids, np.ascontiguousarray(vectors, dtype=np.float32), assign
+
+    # ----------------------------------------------------------- persistence
+
+    def _array_plan(self) -> List[Tuple[str, np.ndarray]]:
+        arrays = [("centroids", self._centroids),
+                  ("scales", self._scales),
+                  ("bounds", self._bounds),
+                  ("ids", self._ids),
+                  ("vectors", self._vectors)]
+        if self.config.quantize:
+            arrays.append(("codes", self._codes))
+        return arrays
+
+    def save(self, path: PathLike) -> Path:
+        """Write the index directory (``data.bin`` + ``MANIFEST.json``).
+
+        Pending appends and tombstones are compacted first, so a saved
+        index is always in contiguous form. Both files are written via
+        temp-file + atomic rename.
+        """
+        if self.pending_count or self._tombstones:
+            self.compact()
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        data_path = path / DATA_NAME
+        tmp = data_path.with_name(DATA_NAME + f".tmp-{os.getpid()}")
+        manifest_arrays = {}
+        offset = 0
+        with open(tmp, "wb") as handle:
+            for name, array in self._array_plan():
+                array = np.ascontiguousarray(array)
+                raw = array.tobytes()
+                handle.write(raw)
+                manifest_arrays[name] = {
+                    "offset": offset,
+                    "dtype": str(array.dtype),
+                    "shape": list(array.shape),
+                }
+                offset += len(raw)
+        os.replace(tmp, data_path)
+        manifest = {
+            "schema": IVF_SCHEMA,
+            "dim": self.dim,
+            "nlist": self.nlist,
+            "count": int(self._ids.shape[0]),
+            "config": {
+                "nlist": self.config.nlist,
+                "nprobe": self.config.nprobe,
+                "quantize": self.config.quantize,
+                "rerank": self.config.rerank,
+                "train_sample": self.config.train_sample,
+                "kmeans_iters": self.config.kmeans_iters,
+                "seed": self.config.seed,
+            },
+            "data": {"file": DATA_NAME, "bytes": offset,
+                     "sha256": _sha256_file(data_path)},
+            "arrays": manifest_arrays,
+        }
+        tmp_manifest = path / (MANIFEST_NAME + f".tmp-{os.getpid()}")
+        tmp_manifest.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp_manifest, path / MANIFEST_NAME)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike, mmap: bool = True,
+             verify: bool = True) -> "IVFIndex":
+        """Reopen a saved index.
+
+        ``mmap=True`` (default) maps ``data.bin`` read-only so a large
+        index costs no up-front reads; ``verify=True`` checks the
+        manifest's sha256 first (which does read the file once — pass
+        ``verify=False`` to keep a cold open lazy).
+        """
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CorruptArtifactError(f"no {MANIFEST_NAME} in {path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (ValueError, OSError) as exc:
+            raise CorruptArtifactError(
+                f"unreadable IVF manifest in {path}: {exc}") from exc
+        if manifest.get("schema") != IVF_SCHEMA:
+            raise CorruptArtifactError(
+                f"unsupported IVF schema {manifest.get('schema')!r} "
+                f"(expected {IVF_SCHEMA})")
+        data_path = path / manifest["data"]["file"]
+        if not data_path.exists():
+            raise CorruptArtifactError(f"IVF data file missing: {data_path}")
+        if data_path.stat().st_size != manifest["data"]["bytes"]:
+            raise CorruptArtifactError(
+                f"IVF data file truncated: {data_path.stat().st_size} "
+                f"bytes != manifest {manifest['data']['bytes']}")
+        if verify and _sha256_file(data_path) != manifest["data"]["sha256"]:
+            raise CorruptArtifactError(
+                f"IVF data file corrupted (sha256 mismatch): {data_path}")
+        config = IVFConfig(**manifest["config"])
+        index = cls(int(manifest["dim"]), config)
+
+        def read_array(name: str) -> np.ndarray:
+            meta = manifest["arrays"][name]
+            shape = tuple(meta["shape"])
+            if mmap:
+                return np.memmap(data_path, dtype=np.dtype(meta["dtype"]),
+                                 mode="r", offset=int(meta["offset"]),
+                                 shape=shape)
+            count = int(np.prod(shape, dtype=np.int64))
+            return np.fromfile(data_path, dtype=np.dtype(meta["dtype"]),
+                               count=count,
+                               offset=int(meta["offset"])).reshape(shape)
+
+        try:
+            index._centroids = read_array("centroids")
+            index._scales = read_array("scales")
+            index._bounds = read_array("bounds")
+            index._ids = read_array("ids")
+            index._vectors = read_array("vectors")
+            if config.quantize:
+                index._codes = read_array("codes")
+        except (KeyError, ValueError, OSError) as exc:
+            raise CorruptArtifactError(
+                f"cannot map IVF arrays from {path}: {exc}") from exc
+        if index._ids.shape[0] != int(manifest["count"]):
+            raise CorruptArtifactError(
+                f"IVF manifest count {manifest['count']} != mapped "
+                f"{index._ids.shape[0]} rows")
+        return index
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> Dict:
+        """JSON-friendly snapshot: layout facts + cumulative search work."""
+        counts = np.diff(self._bounds) if self.nlist else np.zeros(0)
+        stats = self._search_stats
+        return {
+            "kind": "ivf",
+            "dim": self.dim,
+            "nlist": self.nlist,
+            "nprobe": self.config.nprobe,
+            "quantize": self.config.quantize,
+            "ntotal": self.ntotal,
+            "live": self.live_count,
+            "pending": self.pending_count,
+            "tombstones": len(self._tombstones),
+            "cell_min": int(counts.min()) if counts.size else 0,
+            "cell_mean": float(counts.mean()) if counts.size else 0.0,
+            "cell_max": int(counts.max()) if counts.size else 0,
+            "queries": stats.queries,
+            "candidates_scanned": stats.candidates_scanned,
+            "cells_probed": stats.cells_probed,
+            "reranked": stats.reranked,
+        }

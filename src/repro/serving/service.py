@@ -98,6 +98,20 @@ class ServingConfig:
         :class:`~repro.dataquality.SanitizeConfig` for sanitize mode.
         ``None`` derives one from the model: bbox = the encoder's grid,
         ``max_jump`` = 100 grid cells. Ignored when ``sanitize=False``.
+    index:
+        Store search strategy: ``"exact"`` (default, brute-force scan)
+        or ``"ivf"`` (sub-linear ANN via
+        :class:`~repro.index.ann.IVFIndex`; the service installs the
+        backend on its store at startup). ``"keep"`` leaves whatever
+        backend the store already has — the hook for serving a
+        memory-mapped index built offline with ``python -m repro index
+        build``.
+    nlist:
+        IVF cell count; 0 picks ``auto_nlist(len(store))`` (~sqrt(N)).
+        Only used when ``index="ivf"``.
+    nprobe:
+        IVF cells scanned per query (the recall/latency dial). Only
+        used when ``index="ivf"``.
     """
 
     max_batch_size: int = 16
@@ -111,6 +125,9 @@ class ServingConfig:
     default_timeout_s: Optional[float] = 30.0
     sanitize: bool = False
     sanitize_config: Optional[SanitizeConfig] = None
+    index: str = "exact"
+    nlist: int = 0
+    nprobe: int = 8
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -133,6 +150,14 @@ class ServingConfig:
                 and self.default_timeout_s <= 0):
             raise ConfigurationError(
                 "default_timeout_s must be positive (or None)")
+        if self.index not in ("exact", "ivf", "keep"):
+            raise ConfigurationError(
+                f"index must be 'exact', 'ivf' or 'keep', got "
+                f"{self.index!r}")
+        if self.nlist < 0:
+            raise ConfigurationError("nlist must be >= 0 (0 = auto)")
+        if self.nprobe < 1:
+            raise ConfigurationError("nprobe must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -201,6 +226,15 @@ class SimilarityService:
             self._sanitize_config = sanitize_cfg
         self.probes: List[Trajectory] = list(probes or [])
         self.fallback_index = fallback_index
+        # Install the configured search backend before the first query;
+        # "keep" preserves a backend attached out-of-band (e.g. a
+        # memory-mapped IVF index built offline).
+        if self.config.index == "ivf":
+            store.use_backend("ivf", nlist=self.config.nlist,
+                              nprobe=self.config.nprobe)
+        elif (self.config.index == "exact"
+              and store.backend.name != "exact"):
+            store.use_backend("exact")
         self.registry = MetricsRegistry()
         self._started = time.monotonic()
         self._store_lock = threading.Lock()
@@ -247,6 +281,14 @@ class SimilarityService:
         self._m_breaker_transitions = reg.counter(
             "repro_breaker_transitions_total",
             "Encoder circuit-breaker state transitions.")
+        self._m_candidates = reg.counter(
+            "repro_search_candidates_total",
+            "Store rows scanned across all top-k searches.")
+        self._h_candidates = reg.histogram(
+            "repro_topk_candidates",
+            "Store rows scanned per top-k query (ANN probes a fraction "
+            "of the database; exact scans all of it).",
+            buckets=(10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0))
         self._h_latency = reg.histogram(
             "repro_topk_latency_seconds", "End-to-end top-k latency.")
         self._h_encode = reg.histogram(
@@ -469,7 +511,13 @@ class SimilarityService:
             raise DeadlineExceededError(
                 "deadline expired before the store search")
         with self._store_lock:
+            before = self.store.search_stats().get("candidates_scanned", 0)
             ids, distances = self.store.query_embedding(embedding, k)
+            scanned = (self.store.search_stats().get("candidates_scanned", 0)
+                       - before)
+        if scanned > 0:
+            self._m_candidates.inc(scanned)
+            self._h_candidates.observe(scanned)
         result = TopKResult(ids=[int(i) for i in ids],
                             distances=[float(d) for d in distances],
                             quality=quality)
@@ -595,11 +643,13 @@ class SimilarityService:
             size = len(self.store)
             next_id = self.store.next_id
             generation = self._generation
+            search_backend = self.store.search_stats()
         return {
             "store": {"size": size, "next_id": next_id,
                       "generation": generation,
                       "embedding_dim": self.model.config.embedding_dim,
-                      "measure": self.model.config.measure},
+                      "measure": self.model.config.measure,
+                      "search_backend": search_backend},
             "sanitize_mode": self._sanitize_config is not None,
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),

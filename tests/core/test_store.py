@@ -232,6 +232,58 @@ def test_query_embedding_matches_query(world):
     np.testing.assert_array_equal(ids_a, ids_c)
 
 
+@pytest.mark.parametrize("bad_k", [0, -1, -100])
+def test_query_rejects_non_positive_k(world, bad_k):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    emb = model.embed([items[0]])[0]
+    with pytest.raises(ValueError, match="k"):
+        store.query(items[0], k=bad_k)
+    with pytest.raises(ValueError, match="k"):
+        store.query_embedding(emb, k=bad_k)
+    with pytest.raises(ValueError, match="k"):
+        store.top_k(items[0], k=bad_k)
+
+
+@pytest.mark.parametrize("bad_k", [1.5, "3", None, True])
+def test_query_rejects_non_integer_k(world, bad_k):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:3])
+    with pytest.raises(ValueError, match="k"):
+        store.query(items[0], k=bad_k)
+
+
+def test_query_accepts_numpy_integer_k(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:5])
+    found, _ = store.query(items[0], k=np.int64(3))
+    assert len(found) == 3
+
+
+def test_k_validated_before_empty_store_check(world):
+    """A bad k is a caller bug even when the store is empty."""
+    model, items = world
+    store = EmbeddingStore(model)
+    with pytest.raises(ValueError, match="k"):
+        store.query(items[0], k=0)
+
+
+def test_internal_ids_are_int64_ndarray(world):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:4])
+    assert isinstance(store._ids, np.ndarray)
+    assert store._ids.dtype == np.int64
+    store.remove([1, 2])
+    assert store._ids.dtype == np.int64
+    assert store.ids == [0, 3]         # public API stays a python list
+    ids, _ = store.query(items[0], k=2)
+    assert ids.dtype == np.int64
+
+
 def test_query_embedding_rejects_bad_shape(world):
     model, items = world
     store = EmbeddingStore(model)
