@@ -31,7 +31,10 @@ import threading
 import time
 from pathlib import Path
 
-import numpy as np
+if __package__:
+    from .latency import percentiles_ms
+else:  # run as a script: sibling import off sys.path[0]
+    from latency import percentiles_ms
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_serving.json"
 
@@ -48,15 +51,6 @@ CONFIG = {
     "max_batch_size": 16,
     "max_wait_ms": 2.0,
 }
-
-
-def _percentiles_ms(latencies_s) -> dict:
-    arr = np.asarray(latencies_s) * 1000.0
-    return {
-        "p50_ms": float(np.percentile(arr, 50)),
-        "p95_ms": float(np.percentile(arr, 95)),
-        "p99_ms": float(np.percentile(arr, 99)),
-    }
 
 
 def build_world(config=CONFIG):
@@ -96,7 +90,7 @@ def bench_offline_serial(store, queries, k=10) -> dict:
     elapsed = time.perf_counter() - start
     result = {"queries": len(queries), "seconds": elapsed,
               "qps": len(queries) / elapsed}
-    result.update(_percentiles_ms(latencies))
+    result.update(percentiles_ms(latencies))
     return result
 
 
@@ -136,7 +130,7 @@ def bench_service(service, queries, clients, per_client, k=10) -> dict:
         "mean_batch_size": (dispatched_items / dispatched_batches
                             if dispatched_batches else 0.0),
     }
-    result.update(_percentiles_ms([l for per in latencies for l in per]))
+    result.update(percentiles_ms([l for per in latencies for l in per]))
     return result
 
 

@@ -1,0 +1,25 @@
+"""Shared latency aggregation for the serving benchmarks.
+
+Both ``bench_serving.py`` and ``bench_sharded_serving.py`` report the
+same ``p50_ms``/``p95_ms``/``p99_ms`` keys from this helper, so their
+numbers are directly comparable and ``check_bench_regression.py`` can
+read either report with one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["percentiles_ms"]
+
+
+def percentiles_ms(latencies_s) -> dict:
+    """p50/p95/p99 of per-query latencies, in milliseconds."""
+    arr = np.asarray(list(latencies_s), dtype=np.float64) * 1000.0
+    if arr.size == 0:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+    }

@@ -26,7 +26,14 @@ baselines. Exits non-zero when
   acceptance contract — the selected 100k operating point falls under
   0.9 recall@10 vs exact or scans more than 10% of the database, the
   1M IVF search drops under 5x the brute-force qps, or its qps
-  regresses past the threshold against the committed baseline.
+  regresses past the threshold against the committed baseline;
+* the sharded-serving benchmark (``benchmarks/BENCH_sharding.json``)
+  breaks its acceptance contract — 4-shard top-k throughput at 1M rows
+  under 2x the 1-shard run (measured wall qps when the machine has at
+  least as many CPUs as shards, otherwise the critical-path projection
+  from per-shard CPU time — the report's ``floor_basis``), any sharded
+  answer diverging from the single-store exact answer, or throughput
+  regressing past the threshold against the committed baseline.
 
 Wall-clock on shared CPUs is noisy, so the 1.5× threshold is deliberately
 loose: it catches "someone un-vectorised the hot path", not 10% jitter.
@@ -56,6 +63,7 @@ SERVING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_serving.json"
 RESILIENCE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_resilience.json"
 SANITIZE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sanitize.json"
 ANN_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_ann.json"
+SHARDING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sharding.json"
 DEFAULT_THRESHOLD = 1.5
 
 #: Acceptance floor: 16-client micro-batched throughput over serial.
@@ -76,6 +84,12 @@ SANITIZE_QUALITY_SLACK = 0.10
 ANN_RECALL_FLOOR = 0.9
 ANN_SCAN_FRACTION_CEILING = 0.10
 ANN_SPEEDUP_FLOOR = 5.0
+
+#: Sharded-serving acceptance floor: 4-shard top-k throughput at 1M rows
+#: over the 1-shard run, on the report's ``floor_basis`` (wall qps with
+#: enough CPUs, else the critical-path projection from per-shard CPU
+#: time — a 1-core runner cannot show a wall-clock parallel speedup).
+SHARDING_SPEEDUP_FLOOR = 2.0
 
 
 def _import_bench(module_name: str):
@@ -296,6 +310,43 @@ def run_ann_check(threshold: float = DEFAULT_THRESHOLD) -> list:
     return compare_ann_reports(baseline, fresh, threshold)
 
 
+# ---------------------------------------------------------------- sharding
+
+def compare_sharding_reports(baseline: dict, fresh: dict,
+                             threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Failure strings for the sharded-serving benchmark (empty = pass)."""
+    failures = []
+    fresh_results = fresh["results"]
+    if not fresh_results.get("identical", False):
+        failures.append(
+            "sharding: sharded answers diverged from the single-store "
+            "exact answers")
+    basis = fresh.get("floor_basis", "projected")
+    speedup = fresh_results["speedup_4_vs_1_at_1m"]
+    if speedup < SHARDING_SPEEDUP_FLOOR:
+        failures.append(
+            f"sharding: 4-shard speedup at 1M is {speedup:.2f}x "
+            f"({basis} basis) — under the {SHARDING_SPEEDUP_FLOOR:.1f}x "
+            f"floor")
+    basis_key = "wall_qps" if basis == "wall" else "projected_qps"
+    fresh_qps = fresh_results["1m"]["4"][basis_key]
+    base_qps = baseline["results"]["1m"]["4"][basis_key]
+    if fresh_qps * threshold < base_qps:
+        failures.append(
+            f"sharding: 4-shard 1M throughput {fresh_qps:.1f} qps "
+            f"({basis_key}) is {base_qps / fresh_qps:.2f}x under the "
+            f"committed {base_qps:.1f} qps (threshold {threshold:.2f}x)")
+    return failures
+
+
+def run_sharding_check(threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Run the sharded bench and compare against the committed baseline."""
+    bench_sharding = _import_bench("bench_sharded_serving")
+    baseline = json.loads(SHARDING_BASELINE.read_text())
+    fresh = bench_sharding.run_all()
+    return compare_sharding_reports(baseline, fresh, threshold)
+
+
 # -------------------------------------------------------------------- main
 
 def main(argv=None) -> int:
@@ -305,7 +356,7 @@ def main(argv=None) -> int:
                              f"(default {DEFAULT_THRESHOLD})")
     parser.add_argument("--only",
                         choices=["kernels", "serving", "resilience",
-                                 "sanitize", "ann", "all"],
+                                 "sanitize", "ann", "sharding", "all"],
                         default="all", help="which suite to check")
     args = parser.parse_args(argv)
 
@@ -336,6 +387,11 @@ def main(argv=None) -> int:
             print(f"no committed baseline at {ANN_BASELINE}")
             return 1
         failures += run_ann_check(args.threshold)
+    if args.only in ("sharding", "all"):
+        if not SHARDING_BASELINE.exists():
+            print(f"no committed baseline at {SHARDING_BASELINE}")
+            return 1
+        failures += run_sharding_check(args.threshold)
 
     if failures:
         print("PERFORMANCE REGRESSION:")

@@ -12,6 +12,9 @@
 #      committed baseline
 #   5. ANN gate         — IVF recall@10/scan-fraction/qps acceptance
 #      floors at 100k/1M synthetic embeddings (BENCH_ann.json)
+#   6. sharding gate    — scatter-gather tier: 4-shard-vs-1-shard
+#      throughput floor at 1M rows and id-identity against the exact
+#      single store (BENCH_sharding.json)
 #
 # Usage: scripts/ci.sh [pytest args...]
 set -euo pipefail
@@ -44,5 +47,8 @@ python scripts/check_bench_regression.py --only kernels
 
 echo "==> ANN recall/qps gate (IVF vs exact at 100k/1M)"
 python scripts/check_bench_regression.py --only ann
+
+echo "==> sharded serving gate (4-shard speedup + id-identity at 1M)"
+python scripts/check_bench_regression.py --only sharding
 
 echo "ci.sh: all gates passed"

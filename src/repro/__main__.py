@@ -14,9 +14,17 @@ Commands
     Run the online similarity-query service over a saved bundle
     (``repro.serving``); ``--once`` performs a loopback self-test and
     exits. ``--index ivf`` serves through the ANN backend.
-``index build`` / ``index stats``
-    Build an IVF ANN index from a bundle's embedding store, or inspect
-    a saved index directory (``repro.index.ann``).
+    ``--shards N`` serves the scatter-gather sharded tier instead
+    (``repro.serving.sharding``), splitting the bundle's store on first
+    use when ``--partitions`` does not exist yet.
+``shard-tool split`` / ``shard-tool status``
+    Offline partitioning for the sharded tier: split a bundle's store
+    into N consistent-hash partitions, or inspect/verify an existing
+    partition directory.
+``index build`` / ``index stats`` / ``index compact``
+    Build an IVF ANN index from a bundle's embedding store, inspect a
+    saved index directory, or fold a saved index's pending
+    inserts/tombstones into its contiguous layout (``repro.index.ann``).
 ``lint``
     Run the project static analyzer (``repro.analysis``) over ``src``
     (or given paths); exit 0 means no non-baselined findings.
@@ -129,9 +137,13 @@ def _self_test(server, service) -> int:
     print(f"topk:    {status} ids={answer.get('ids')}")
     if status != 200:
         return 1
-    expected, _ = service.store.query(probe, k=5)
-    if answer["ids"] != [int(i) for i in expected]:
-        print(f"self-test mismatch: expected ids {expected.tolist()}")
+    store = getattr(service, "store", None)
+    if store is not None:
+        expected = [int(i) for i in store.query(probe, k=5)[0]]
+    else:  # sharded tier: compare against the in-process scatter path
+        expected = service.top_k(probe, k=5, use_cache=False).ids
+    if answer["ids"] != expected:
+        print(f"self-test mismatch: expected ids {expected}")
         return 1
 
     status, body = call("/metrics")
@@ -144,25 +156,79 @@ def _self_test(server, service) -> int:
     return 0
 
 
+def _split_bundle_store(bundle_dir, partition_dir, shards: int,
+                        vnodes: int) -> dict:
+    """Split a bundle's store into a partition directory; returns manifest."""
+    import numpy as np
+
+    from .core.partition import save_partitions
+    from .serving.bundle import load_bundle
+
+    bundle = load_bundle(bundle_dir)
+    store = bundle.store
+    if len(store) == 0:
+        raise ValueError(f"bundle {bundle_dir!r} has an empty store")
+    return save_partitions(
+        partition_dir, np.asarray(store.ids, dtype=np.int64),
+        store.embeddings, num_shards=shards, vnodes=vnodes,
+        next_id=store.next_id,
+        metadata={"source_bundle": str(bundle_dir)})
+
+
+def _build_sharded_service(args):
+    from pathlib import Path
+
+    from .core.partition import load_partition_manifest
+    from .serving.sharding import ShardedConfig, ShardedService
+
+    partition_dir = Path(args.partitions
+                         or Path(args.bundle) / f"partitions-{args.shards}")
+    if not (partition_dir / "PARTITIONS.json").exists():
+        print(f"splitting bundle store into {args.shards} partitions at "
+              f"{partition_dir} ...")
+        _split_bundle_store(args.bundle, partition_dir, args.shards,
+                            args.vnodes)
+    manifest = load_partition_manifest(partition_dir)
+    if manifest["num_shards"] != args.shards:
+        raise ValueError(
+            f"{partition_dir} holds {manifest['num_shards']} partitions but "
+            f"--shards {args.shards} was requested; re-split with "
+            f"shard-tool split")
+    config = ShardedConfig(index=args.index, nlist=args.nlist,
+                           nprobe=args.nprobe,
+                           max_batch_size=args.max_batch,
+                           max_wait_ms=args.max_wait_ms)
+    return ShardedService(partition_dir, bundle_dir=args.bundle,
+                          config=config)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import ServingConfig, SimilarityService, make_server
     from .serving.bundle import BundleError
 
     try:
-        service = SimilarityService.from_bundle(
-            args.bundle,
-            ServingConfig(max_batch_size=args.max_batch,
-                          max_wait_ms=args.max_wait_ms,
-                          cache_capacity=args.cache_capacity,
-                          index=args.index, nlist=args.nlist,
-                          nprobe=args.nprobe))
-    except (BundleError, OSError) as exc:
+        if args.shards and args.shards > 1:
+            service = _build_sharded_service(args)
+        elif args.partitions:
+            print("--partitions requires --shards > 1", file=sys.stderr)
+            return 2
+        else:
+            service = SimilarityService.from_bundle(
+                args.bundle,
+                ServingConfig(max_batch_size=args.max_batch,
+                              max_wait_ms=args.max_wait_ms,
+                              cache_capacity=args.cache_capacity,
+                              index=args.index, nlist=args.nlist,
+                              nprobe=args.nprobe))
+    except (BundleError, OSError, ValueError) as exc:
         print(f"cannot load bundle {args.bundle!r}: {exc}", file=sys.stderr)
         return 2
     with service:
         served = service.warmup()
-        print(f"loaded bundle {args.bundle} "
-              f"(store size {len(service.store)}, "
+        tier = (f"{args.shards}-shard" if args.shards and args.shards > 1
+                else "single-process")
+        print(f"loaded bundle {args.bundle} as a {tier} service "
+              f"(store size {service.size()}, "
               f"dim {service.model.config.embedding_dim}, "
               f"measure {service.model.config.measure}); "
               f"warmup ran {served} queries")
@@ -250,6 +316,81 @@ def _cmd_index_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_compact(args: argparse.Namespace) -> int:
+    from .exceptions import CorruptArtifactError
+    from .index.ann import IVFIndex
+
+    try:
+        index = IVFIndex.load(args.index, mmap=False, verify=True)
+    except (CorruptArtifactError, OSError) as exc:
+        print(f"cannot load index {args.index!r}: {exc}", file=sys.stderr)
+        return 2
+    before = index.stats()
+    index.compact()
+    out = args.out or args.index
+    index.save(out)
+    after = index.stats()
+    print(f"compacted {args.index} -> {out}: folded "
+          f"{before['pending']} pending insert(s), dropped "
+          f"{before['tombstones']} tombstone(s) "
+          f"({after['ntotal']} rows, {after['nlist']} cells)")
+    return 0
+
+
+def _cmd_shard_split(args: argparse.Namespace) -> int:
+    from .serving.bundle import BundleError
+
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        manifest = _split_bundle_store(args.bundle, args.out, args.shards,
+                                       args.vnodes)
+    except (BundleError, OSError, ValueError) as exc:
+        print(f"cannot split bundle {args.bundle!r}: {exc}", file=sys.stderr)
+        return 2
+    counts = [entry["count"] for entry in manifest["shards"]]
+    print(f"wrote {args.out}: {manifest['total_count']} rows "
+          f"(dim {manifest['embedding_dim']}) across "
+          f"{manifest['num_shards']} partitions, per-shard counts "
+          f"{counts}, next_id {manifest['next_id']}")
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.partition import load_partition, load_partition_manifest
+    from .exceptions import CorruptArtifactError
+
+    try:
+        manifest = load_partition_manifest(args.partitions)
+    except CorruptArtifactError as exc:
+        print(f"cannot read partitions {args.partitions!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        print(f"partitions at {args.partitions}")
+        for key in ("schema", "num_shards", "vnodes", "embedding_dim",
+                    "total_count", "next_id"):
+            print(f"  {key:<14} {manifest[key]}")
+        for entry in manifest["shards"]:
+            print(f"  shard {entry['shard']:<4} {entry['count']:>10} rows "
+                  f"{entry['bytes']:>12} bytes  {entry['file']}")
+    if args.verify:
+        for entry in manifest["shards"]:
+            try:
+                load_partition(args.partitions, entry["shard"], verify=True)
+            except (CorruptArtifactError, ValueError) as exc:
+                print(f"  shard {entry['shard']} FAILED verification: {exc}",
+                      file=sys.stderr)
+                return 1
+        print(f"  verified {manifest['num_shards']} partition file(s) OK")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.cli import main as lint_main
 
@@ -299,7 +440,44 @@ def main(argv=None) -> int:
                        help="IVF cells; 0 = auto (~sqrt(N))")
     serve.add_argument("--nprobe", type=int, default=8,
                        help="IVF cells scanned per query (default 8)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve the scatter-gather sharded tier with "
+                            "this many worker processes (default: "
+                            "single-process)")
+    serve.add_argument("--partitions", default=None,
+                       help="partition directory for --shards (default "
+                            "<bundle>/partitions-<N>, split on first use)")
+    serve.add_argument("--vnodes", type=int, default=64,
+                       help="hash-ring virtual nodes per shard when "
+                            "splitting (default 64)")
     serve.set_defaults(func=_cmd_serve)
+
+    shard_tool = sub.add_parser(
+        "shard-tool", help="offline partition management for the sharded "
+                           "serving tier")
+    shard_sub = shard_tool.add_subparsers(dest="shard_command", required=True)
+    split = shard_sub.add_parser(
+        "split", help="split a bundle's store into N consistent-hash "
+                      "partitions")
+    split.add_argument("--bundle", required=True,
+                       help="bundle directory written by save_bundle()")
+    split.add_argument("--out", required=True,
+                       help="output partition directory")
+    split.add_argument("--shards", type=int, required=True,
+                       help="number of partitions")
+    split.add_argument("--vnodes", type=int, default=64,
+                       help="hash-ring virtual nodes per shard (default 64)")
+    split.set_defaults(func=_cmd_shard_split)
+    status = shard_sub.add_parser(
+        "status", help="inspect (and optionally verify) a partition "
+                       "directory")
+    status.add_argument("--partitions", required=True,
+                        help="directory written by shard-tool split")
+    status.add_argument("--verify", action="store_true",
+                        help="sha256-check every partition file")
+    status.add_argument("--json", action="store_true",
+                        help="emit the manifest as JSON")
+    status.set_defaults(func=_cmd_shard_status)
 
     index = sub.add_parser(
         "index", help="build or inspect an ANN index over a bundle's store")
@@ -328,6 +506,16 @@ def main(argv=None) -> int:
     stats.add_argument("--no-verify", dest="verify", action="store_false",
                        help="skip the sha256 check (keeps a cold open lazy)")
     stats.set_defaults(func=_cmd_index_stats)
+    compact = index_sub.add_parser(
+        "compact", help="fold a saved index's pending inserts/tombstones "
+                        "into the contiguous layout")
+    compact.add_argument("--index", required=True,
+                         help="index directory written by `repro index "
+                              "build` (rewritten in place unless --out)")
+    compact.add_argument("--out", default=None,
+                         help="write the compacted index here instead of "
+                              "in place")
+    compact.set_defaults(func=_cmd_index_compact)
 
     lint = sub.add_parser(
         "lint", help="run the project static analyzer",
@@ -338,7 +526,13 @@ def main(argv=None) -> int:
     lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early; not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

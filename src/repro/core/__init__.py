@@ -6,6 +6,8 @@ from .config import (NeuTrajConfig, PrecomputeConfig, get_precompute_config,
 from .encoder import TrajectoryEncoder
 from .loss import (dissimilar_loss, mse_pair_loss, ranking_loss, similar_loss)
 from .model import MetricModel, NeuTraj
+from .partition import (HashRing, load_partition, load_partition_manifest,
+                        save_partitions)
 from .sampling import AnchorSamples, PairSampler, rank_weights
 from .siamese import SiameseTraj
 from .store import EmbeddingStore
@@ -21,6 +23,8 @@ __all__ = [
     "set_precompute_config", "TrajectoryEncoder",
     "dissimilar_loss", "mse_pair_loss", "ranking_loss", "similar_loss",
     "EmbeddingStore", "MetricModel", "NeuTraj", "SiameseTraj",
+    "HashRing", "load_partition", "load_partition_manifest",
+    "save_partitions",
     "AnchorSamples", "PairSampler", "rank_weights",
     "distance_to_similarity", "exponential_similarity",
     "pair_similarity", "suggest_alpha",

@@ -106,19 +106,30 @@ class ExactBackend(SearchBackend):
         distances = self._distances(query)
         self._queries += 1
         self._scanned += int(distances.shape[0])
+        ids = self._store._ids
         k = min(k, distances.shape[0])
-        order = np.argpartition(distances, k - 1)[:k]
-        order = order[np.argsort(distances[order], kind="stable")]
-        return self._store._ids[order], distances[order]
+        # Deterministic (distance, id) order, independent of row layout:
+        # pick k rows by distance, then widen to every row tied with the
+        # worst selected distance so the lexsort can break ties by id.
+        # Without this, which tied row wins would depend on argpartition's
+        # internal order — and a sharded store (rows split across
+        # partitions) could disagree with the single-store answer.
+        part = np.argpartition(distances, k - 1)[:k]
+        threshold = distances[part].max()
+        candidates = np.flatnonzero(distances <= threshold)
+        order = candidates[np.lexsort((ids[candidates],
+                                       distances[candidates]))][:k]
+        return ids[order], distances[order]
 
     def search_radius(self, query: np.ndarray, radius: float
                       ) -> Tuple[np.ndarray, np.ndarray]:
         distances = self._distances(query)
         self._queries += 1
         self._scanned += int(distances.shape[0])
+        ids = self._store._ids
         hit = np.flatnonzero(distances <= radius)
-        order = hit[np.argsort(distances[hit], kind="stable")]
-        return self._store._ids[order], distances[order]
+        order = hit[np.lexsort((ids[hit], distances[hit]))]
+        return ids[order], distances[order]
 
     def stats(self) -> Dict:
         return {"kind": self.name, "queries": self._queries,

@@ -36,7 +36,14 @@ class EmbeddingStore:
     ----------
     model:
         A trained :class:`~repro.core.model.MetricModel`; its encoder maps
-        every inserted trajectory to the store's embedding space.
+        every inserted trajectory to the store's embedding space. May be
+        ``None`` for a *search-only* store (shard workers and benchmarks
+        that deal in raw embeddings): trajectory-level entry points then
+        raise :class:`~repro.exceptions.NotFittedError`, but
+        :meth:`add_embeddings`, :meth:`remove`, :meth:`query_embedding`
+        and persistence all work. A model-less store needs ``dim``.
+    dim:
+        Embedding dimensionality; required iff ``model`` is ``None``.
     backend:
         Search strategy: ``"exact"`` (default), ``"ivf"``, or a
         :class:`~repro.core.backends.SearchBackend` instance (e.g. an
@@ -49,12 +56,24 @@ class EmbeddingStore:
         ...).
     """
 
-    def __init__(self, model: MetricModel,
+    def __init__(self, model: Optional[MetricModel],
                  backend: Union[str, SearchBackend, None] = "exact",
+                 dim: Optional[int] = None,
                  **backend_options):
-        model._require_fitted()
+        if model is not None:
+            model._require_fitted()
+            model_dim = model.config.embedding_dim
+            if dim is not None and int(dim) != model_dim:
+                raise ValueError(
+                    f"dim={dim} conflicts with the model's embedding_dim "
+                    f"{model_dim}")
+            dim = model_dim
+        elif dim is None:
+            raise ValueError("a model-less store needs an explicit dim")
+        elif not isinstance(dim, (int, np.integer)) or dim < 1:
+            raise ValueError(f"dim must be a positive integer, got {dim!r}")
         self.model = model
-        dim = model.config.embedding_dim
+        dim = int(dim)
         self._embeddings = np.zeros((0, dim))
         self._ids = np.zeros(0, dtype=np.int64)
         self._next_id = 0
@@ -106,16 +125,57 @@ class EmbeddingStore:
 
     # -------------------------------------------------------------- mutation
 
+    def _require_model(self) -> MetricModel:
+        """Fetch the encoder, or explain that this store is search-only."""
+        if self.model is None:
+            raise NotFittedError(
+                "this store has no model (search-only); use "
+                "add_embeddings/query_embedding with precomputed vectors")
+        return self.model
+
     def add(self, trajectories: Sequence[Trajectory],
             batch_size: int = 128) -> List[int]:
         """Embed and insert trajectories; returns their assigned ids."""
         items = list(trajectories)
         if not items:
             return []
-        new = self.model.embed(items, batch_size=batch_size)
-        assigned = np.arange(self._next_id, self._next_id + len(items),
-                             dtype=np.int64)
-        self._next_id += len(items)
+        new = self._require_model().embed(items, batch_size=batch_size)
+        return self.add_embeddings(new)
+
+    def add_embeddings(self, embeddings: np.ndarray,
+                       ids: Optional[Sequence[int]] = None) -> List[int]:
+        """Insert precomputed embedding rows; returns their ids.
+
+        With ``ids=None`` the store assigns consecutive ids from
+        ``next_id`` (exactly what :meth:`add` does after embedding).
+        Explicit ``ids`` let a coordinator keep one global id space
+        across shard-local stores; they must be unique, non-negative and
+        not already present, and ``next_id`` advances past the largest
+        so later auto-assigned ids never collide.
+        """
+        new = np.asarray(embeddings, dtype=self._embeddings.dtype)
+        if new.ndim != 2 or new.shape[1] != self._embeddings.shape[1]:
+            raise ValueError(
+                f"expected embeddings of shape (n, "
+                f"{self._embeddings.shape[1]}), got {new.shape}")
+        if new.shape[0] == 0:
+            return []
+        if ids is None:
+            assigned = np.arange(self._next_id, self._next_id + new.shape[0],
+                                 dtype=np.int64)
+        else:
+            assigned = np.asarray(list(ids), dtype=np.int64)
+            if assigned.shape != (new.shape[0],):
+                raise ValueError(
+                    f"expected {new.shape[0]} ids, got shape "
+                    f"{assigned.shape}")
+            if assigned.size and assigned.min() < 0:
+                raise ValueError("ids must be non-negative")
+            if np.unique(assigned).size != assigned.size:
+                raise ValueError("duplicate ids in one insert")
+            if np.isin(assigned, self._ids).any():
+                raise ValueError("some ids are already in the store")
+        self._next_id = max(self._next_id, int(assigned.max()) + 1)
         self._embeddings = np.concatenate([self._embeddings, new], axis=0)
         self._ids = np.concatenate([self._ids, assigned])
         self._backend.on_add(assigned, new)
@@ -141,7 +201,7 @@ class EmbeddingStore:
     def query(self, trajectory: Trajectory, k: int = 10
               ) -> Tuple[np.ndarray, np.ndarray]:
         """Top-k (ids, embedding distances) for a query trajectory."""
-        query_emb = self.model.embed([trajectory])[0]
+        query_emb = self._require_model().embed([trajectory])[0]
         return self.query_embedding(query_emb, k)
 
     def top_k(self, trajectory: Trajectory, k: int = 10
@@ -181,7 +241,7 @@ class EmbeddingStore:
             raise ValueError("radius must be non-negative")
         if len(self) == 0:
             return np.array([], dtype=np.int64), np.array([])
-        query_emb = self.model.embed([trajectory])[0]
+        query_emb = self._require_model().embed([trajectory])[0]
         query_emb = np.asarray(query_emb, dtype=self._embeddings.dtype)
         return self._backend.search_radius(query_emb, radius)
 
@@ -207,7 +267,7 @@ class EmbeddingStore:
         os.replace(tmp_written, path)
 
     @classmethod
-    def load(cls, path: PathLike, model: MetricModel,
+    def load(cls, path: PathLike, model: Optional[MetricModel],
              backend: Union[str, SearchBackend, None] = "exact",
              **backend_options) -> "EmbeddingStore":
         """Restore a store saved by :meth:`save` (model supplied separately).
@@ -218,8 +278,9 @@ class EmbeddingStore:
         counter is floored at ``max(ids) + 1``). ``backend`` picks the
         search strategy for the loaded table (built after the rows are
         in place, so an ``"ivf"`` load trains on the full table once).
+        ``model=None`` restores a search-only store whose dimensionality
+        comes from the file itself.
         """
-        store = cls(model)
         try:
             with np.load(path, allow_pickle=False) as data:
                 embeddings = np.array(data["embeddings"])
@@ -238,6 +299,10 @@ class EmbeddingStore:
             raise ValueError(
                 f"expected a 2-D embedding table, got shape "
                 f"{embeddings.shape}")
+        if model is not None and \
+                embeddings.shape[1] != model.config.embedding_dim:
+            raise ValueError("store dimensionality does not match the model")
+        store = cls(model, dim=int(embeddings.shape[1]))
         store._embeddings = embeddings
         if ids.shape[0] != store._embeddings.shape[0]:
             raise ValueError(
@@ -248,7 +313,5 @@ class EmbeddingStore:
         store._ids = ids
         store._next_id = max(saved_next,
                              int(ids.max()) + 1 if ids.size else 0)
-        if store._embeddings.shape[1] != model.config.embedding_dim:
-            raise ValueError("store dimensionality does not match the model")
         store.use_backend(backend, **backend_options)
         return store

@@ -54,3 +54,16 @@ class ServiceUnavailableError(ReproError):
 
 class DeadlineExceededError(ReproError):
     """The request's deadline expired before an answer was produced."""
+
+
+class ShardUnavailableError(ServiceUnavailableError):
+    """A shard worker is dead, timed out, or behind an open breaker.
+
+    Inside the scatter-gather tier this marks one fan-out leg as failed;
+    it only escapes to callers when *every* shard is unavailable (a
+    partial answer is impossible)."""
+
+
+class ReloadError(ReproError):
+    """A zero-downtime bundle reload could not be prepared or activated;
+    the serving tier keeps answering from the old generation."""

@@ -19,17 +19,22 @@ or over HTTP: ``python -m repro serve --bundle bundle/ --port 8080``.
 
 from .batching import BatcherClosedError, MicroBatcher
 from .bundle import (Bundle, BundleError, BUNDLE_SCHEMA, load_bundle,
-                     save_bundle)
+                     load_bundle_model, save_bundle)
 from .cache import LRUCache, result_key, trajectory_fingerprint
 from .http import ServingHTTPServer, make_server, serve
 from .metrics import Counter, Histogram, MetricsRegistry
+from .router import group_by_shard, merge_top_k
 from .service import ServingConfig, SimilarityService, TopKResult
+from .sharding import ShardedConfig, ShardedService, ShardRequestError
 
 __all__ = [
     "BatcherClosedError", "MicroBatcher",
-    "Bundle", "BundleError", "BUNDLE_SCHEMA", "load_bundle", "save_bundle",
+    "Bundle", "BundleError", "BUNDLE_SCHEMA", "load_bundle",
+    "load_bundle_model", "save_bundle",
     "LRUCache", "result_key", "trajectory_fingerprint",
     "ServingHTTPServer", "make_server", "serve",
     "Counter", "Histogram", "MetricsRegistry",
+    "group_by_shard", "merge_top_k",
     "ServingConfig", "SimilarityService", "TopKResult",
+    "ShardedConfig", "ShardedService", "ShardRequestError",
 ]

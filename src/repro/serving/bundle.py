@@ -40,7 +40,7 @@ from ..exceptions import ReproError
 PathLike = Union[str, Path]
 
 __all__ = ["Bundle", "BundleError", "save_bundle", "load_bundle",
-           "BUNDLE_SCHEMA"]
+           "load_bundle_model", "BUNDLE_SCHEMA"]
 
 BUNDLE_SCHEMA = "repro.bundle.v1"
 MANIFEST_NAME = "MANIFEST.json"
@@ -134,7 +134,9 @@ def save_bundle(path: PathLike, model: MetricModel,
     """
     model._require_fitted()
     if store is not None and store.model is not model:
-        if store.model.config.embedding_dim != model.config.embedding_dim:
+        store_dim = (store.embeddings.shape[1] if store.model is None
+                     else store.model.config.embedding_dim)
+        if store_dim != model.config.embedding_dim:
             raise BundleError(
                 "store embedding_dim does not match the bundled model")
     path = Path(path)
@@ -175,11 +177,16 @@ def save_bundle(path: PathLike, model: MetricModel,
     return path
 
 
-def load_bundle(path: PathLike, verify: bool = True) -> Bundle:
-    """Load and validate a bundle written by :func:`save_bundle`.
+def load_bundle_model(path: PathLike, verify: bool = True
+                      ) -> "tuple[MetricModel, Dict]":
+    """Load only the model (+ manifest) from a bundle directory.
 
-    ``verify=True`` (default) additionally checks the sha256 of every
-    artifact file against the manifest, catching torn or tampered writes.
+    The shard workers of :mod:`repro.serving.sharding` use this for
+    their encoder replicas: each worker owns a store *partition* loaded
+    separately, so pulling the bundle's full ``store.npz`` through
+    :func:`load_bundle` would cost N× the table's memory for nothing.
+    Validation matches :func:`load_bundle` for the files actually read
+    (manifest schema, model sha256, model/manifest compatibility).
     """
     path = Path(path)
     manifest_path = path / MANIFEST_NAME
@@ -196,12 +203,12 @@ def load_bundle(path: PathLike, verify: bool = True) -> Bundle:
             f"unsupported bundle schema {schema!r} (expected {BUNDLE_SCHEMA})")
 
     files = manifest.get("files", {})
-    for name, meta in files.items():
-        file_path = path / name
-        if not file_path.exists():
-            raise BundleError(f"bundle file missing: {name}")
-        if verify and _sha256(file_path) != meta.get("sha256"):
-            raise BundleError(f"bundle file corrupted (sha256 mismatch): {name}")
+    model_meta = files.get(MODEL_FILE)
+    if model_meta is None or not (path / MODEL_FILE).exists():
+        raise BundleError(f"bundle file missing: {MODEL_FILE}")
+    if verify and _sha256(path / MODEL_FILE) != model_meta.get("sha256"):
+        raise BundleError(
+            f"bundle file corrupted (sha256 mismatch): {MODEL_FILE}")
 
     class_name = manifest.get("model_class", "")
     model_cls = MODEL_CLASSES.get(class_name)
@@ -223,6 +230,26 @@ def load_bundle(path: PathLike, verify: bool = True) -> Bundle:
     if model.config.measure != measure:
         raise BundleError(
             f"manifest measure {measure!r} != model {model.config.measure!r}")
+    return model, manifest
+
+
+def load_bundle(path: PathLike, verify: bool = True) -> Bundle:
+    """Load and validate a bundle written by :func:`save_bundle`.
+
+    ``verify=True`` (default) additionally checks the sha256 of every
+    artifact file against the manifest, catching torn or tampered writes.
+    """
+    path = Path(path)
+    model, manifest = load_bundle_model(path, verify=verify)
+
+    files = manifest.get("files", {})
+    for name, meta in files.items():
+        file_path = path / name
+        if not file_path.exists():
+            raise BundleError(f"bundle file missing: {name}")
+        if verify and name != MODEL_FILE and \
+                _sha256(file_path) != meta.get("sha256"):
+            raise BundleError(f"bundle file corrupted (sha256 mismatch): {name}")
 
     if STORE_FILE in files:
         # EmbeddingStore.load raises ValueError on dim mismatch / bad ids.

@@ -23,12 +23,25 @@ POST        ``/v1/embed``            ``{"trajectory": [[x,y],...]}`` ->
 POST        ``/v1/insert``           ``{"trajectories": [[[x,y],...],...]}`` ->
                                      ``{"ids": [...]}``
 POST        ``/v1/delete``           ``{"ids": [...]}`` -> ``{"removed": n}``
+POST        ``/admin/compact``       ``{}`` -> ``{"compacted": {"0": true}}``
+                                     — folds pending IVF inserts/tombstones
+POST        ``/admin/reload``        ``{"partition_dir": ..., "bundle_dir":
+                                     ...}`` -> generation-flip report (sharded
+                                     tier only; 409 when unsupported/failed)
 ==========  =======================  ==========================================
 
+Serves either tier: a single-process
+:class:`~repro.serving.service.SimilarityService` or the sharded
+:class:`~repro.serving.sharding.ShardedService` — the handler relies only
+on their shared surface (``top_k``/``insert``/``delete``/``size``/
+``stats``/``compact``/...). ``/admin/reload`` answers 409 on a service
+without zero-downtime reload.
+
 Errors come back as ``{"error": "..."}`` with 400 (bad request), 404
-(unknown route), 409 (empty store), 429 (load shed — retry later), 503
-(degradation the service could not absorb: breaker open with no fallback,
-or shut down), 504 (request deadline expired), or 500 (unexpected).
+(unknown route), 409 (empty store / unsupported admin op / failed
+reload), 429 (load shed — retry later), 503 (degradation the service
+could not absorb: breaker open with no fallback, every shard down, or
+shut down), 504 (request deadline expired), or 500 (unexpected).
 """
 
 from __future__ import annotations
@@ -40,7 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from ..exceptions import (DeadlineExceededError, InvalidTrajectoryError,
-                          NotFittedError, ServiceClosedError,
+                          NotFittedError, ReloadError, ServiceClosedError,
                           ServiceOverloadedError, ServiceUnavailableError)
 from .service import SimilarityService
 
@@ -132,7 +145,7 @@ class _Handler(BaseHTTPRequestHandler):
         except (InvalidTrajectoryError, ValueError) as exc:
             status = 400
             self._send_error_json(status, str(exc))
-        except NotFittedError as exc:
+        except (NotFittedError, ReloadError) as exc:
             status = 409
             self._send_error_json(status, str(exc))
         except ServiceOverloadedError as exc:
@@ -174,6 +187,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._route(self._post_insert)
         elif self.path == "/v1/delete":
             self._route(self._post_delete)
+        elif self.path == "/admin/compact":
+            self._route(self._post_compact)
+        elif self.path == "/admin/reload":
+            self._route(self._post_reload)
         else:
             self._route(self._not_found)
 
@@ -183,7 +200,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_healthz(self) -> int:
         self._send_json(200, {"status": "ok",
-                              "store_size": len(self.service.store)})
+                              "store_size": self.service.size()})
         return 200
 
     def _get_readyz(self) -> int:
@@ -215,7 +232,7 @@ class _Handler(BaseHTTPRequestHandler):
         if k < 1:
             self._send_error_json(400, "k must be >= 1")
             return 400
-        store_size = len(self.service.store)
+        store_size = self.service.size()
         if store_size and k > store_size:
             self._send_error_json(
                 400, f"k={k} exceeds store size {store_size}")
@@ -259,6 +276,30 @@ class _Handler(BaseHTTPRequestHandler):
             return 400
         removed = self.service.delete(ids)
         self._send_json(200, {"removed": removed})
+        return 200
+
+    def _post_compact(self) -> int:
+        # Body is optional (an empty POST compacts everything).
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(min(length, MAX_BODY_BYTES))
+        compacted = self.service.compact()
+        self._send_json(200, {"compacted": {str(s): bool(v)
+                                            for s, v in compacted.items()}})
+        return 200
+
+    def _post_reload(self) -> int:
+        payload = self._read_json()
+        if payload is None:
+            return 400
+        reload_fn = getattr(self.service, "reload", None)
+        if reload_fn is None:
+            raise ReloadError(
+                "this service does not support zero-downtime reload "
+                "(sharded tier only); restart it with the new bundle")
+        result = reload_fn(partition_dir=payload.get("partition_dir"),
+                           bundle_dir=payload.get("bundle_dir"))
+        self._send_json(200, result)
         return 200
 
 

@@ -1,0 +1,66 @@
+"""Routing and merge logic for the sharded serving tier.
+
+Pure functions shared by the scatter-gather coordinator
+(:mod:`repro.serving.sharding`) and its tests. Everything here is
+deterministic by construction:
+
+* :func:`merge_top_k` — fold per-shard ``(ids, distances)`` answers into
+  the global top-k with the same ``(distance, id)`` tie-break the exact
+  backend uses, so a sharded answer over any partitioning is id-identical
+  to the single-store scan.
+* :func:`group_by_shard` — split an id batch into per-shard sub-batches
+  via the :class:`~repro.core.partition.HashRing`, preserving each
+  sub-batch's original positions so results can be scattered back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.partition import HashRing
+
+__all__ = ["merge_top_k", "group_by_shard"]
+
+
+def merge_top_k(per_shard: Sequence[Tuple[np.ndarray, np.ndarray]],
+                k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Global top-k from per-shard candidate lists.
+
+    Each element of ``per_shard`` is one shard's ``(ids, distances)``
+    top-k (already at most k long). Candidates are pooled and re-ranked
+    by ``(distance, id)`` — the same lexsort order
+    :meth:`~repro.core.backends.ExactBackend.search` uses — so the merge
+    is associative: any split of the rows across shards yields the same
+    global answer, ties included.
+    """
+    if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be a positive integer, got {k!r}")
+    if not per_shard:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+    ids = np.concatenate(
+        [np.asarray(i, dtype=np.int64) for i, _ in per_shard])
+    distances = np.concatenate(
+        [np.asarray(d, dtype=np.float64) for _, d in per_shard])
+    if ids.shape != distances.shape:
+        raise ValueError(
+            f"ragged shard answer: {ids.shape[0]} ids vs "
+            f"{distances.shape[0]} distances")
+    order = np.lexsort((ids, distances))[:int(k)]
+    return ids[order], distances[order]
+
+
+def group_by_shard(ring: HashRing, ids: Sequence[int]
+                   ) -> Dict[int, List[int]]:
+    """Positions of each shard's ids within the batch.
+
+    Returns ``{shard: [positions...]}`` covering only shards that own at
+    least one id; ``ids[positions]`` is the sub-batch to send to that
+    shard. Positions (not ids) are returned so callers can scatter
+    parallel arrays (ids + embeddings) with one grouping.
+    """
+    arr = np.asarray(list(ids), dtype=np.int64)
+    owners = np.atleast_1d(ring.shard_for(arr))
+    return {int(s): np.flatnonzero(owners == s).tolist()
+            for s in np.unique(owners)}

@@ -172,6 +172,11 @@ class TopKResult:
     ``quality`` is the sanitize-mode boundary report (what was repaired
     in the query before answering); ``None`` in strict mode. It is
     recomputed per request, so even cache hits report accurately.
+
+    ``partial`` marks sharded answers that are missing at least one
+    shard (dead worker / open breaker / timeout): the ids are exact for
+    the surviving partitions but rows owned by unavailable shards could
+    not be considered. Always ``False`` from the single-process service.
     """
 
     ids: List[int]
@@ -179,11 +184,12 @@ class TopKResult:
     cached: bool = False
     degraded: bool = False
     quality: Optional[Dict] = None
+    partial: bool = False
 
     def to_json(self) -> Dict:
         return {"ids": self.ids, "distances": self.distances,
                 "cached": self.cached, "degraded": self.degraded,
-                "quality": self.quality}
+                "quality": self.quality, "partial": self.partial}
 
 
 class SimilarityService:
@@ -591,6 +597,28 @@ class SimilarityService:
         except Exception:
             self._m_errors.inc()
             raise
+
+    # ----------------------------------------------------------- maintenance
+
+    def compact(self) -> Dict[int, bool]:
+        """Fold pending inserts/tombstones on the store's index.
+
+        Mirrors :meth:`ShardedService.compact` (shard 0 = this process's
+        whole store) so ``/admin/compact`` works against either tier.
+        ``False`` means the active backend has nothing to compact (the
+        exact scan has no deferred state).
+        """
+        with self._store_lock:
+            compact = getattr(self.store.backend, "compact", None)
+            if compact is None:
+                return {0: False}
+            compact()
+            return {0: True}
+
+    def size(self) -> int:
+        """Rows in the store (transport-facing; see ShardedService.size)."""
+        with self._store_lock:
+            return len(self.store)
 
     # ------------------------------------------------------------- lifecycle
 

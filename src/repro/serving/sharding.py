@@ -1,0 +1,1139 @@
+"""Sharded scatter-gather serving tier.
+
+Scales the single-process :class:`~repro.serving.service.SimilarityService`
+past one GIL by splitting the embedding store across N worker
+*processes*, each owning one consistent-hash partition (see
+:mod:`repro.core.partition`) with its own
+:class:`~repro.core.backends.SearchBackend` and an optional encoder
+replica. The parent-side :class:`ShardedService` is the coordinator:
+
+* **Queries** encode once (through the same micro-batcher the
+  single-process service uses), fan the query *embedding* out to every
+  shard in parallel, and merge per-shard top-k with the deterministic
+  ``(distance, id)`` order (:func:`~repro.serving.router.merge_top_k`)
+  — so a sharded answer is id-identical to the single-store exact scan.
+* **Mutations** route to exactly one shard by hashing the trajectory id
+  on the ring; the coordinator owns the global id space.
+* **Failures** are per-shard: each worker sits behind its own
+  :class:`~repro.resilience.CircuitBreaker`, and a dead/slow/tripped
+  shard drops out of the scatter — the query still answers from the
+  surviving shards, flagged ``partial=True`` — until every shard is
+  unavailable (:class:`~repro.exceptions.ShardUnavailableError`).
+* **Reload** is zero-downtime and two-phase: ``prepare`` loads the new
+  partition/bundle generation in every worker *alongside* the old one
+  (requests keep answering from the old), then ``activate`` flips each
+  worker and the coordinator's encoder atomically; any prepare failure
+  aborts the whole reload and the old generation keeps serving.
+
+Worker protocol (one ``multiprocessing`` pipe per shard, request serial
+per worker): requests are ``(req_id, op, payload)`` tuples, replies are
+``(req_id, status, result, busy_s)`` where ``busy_s`` is the worker-side
+wall time spent on the request — the input to the critical-path
+throughput model in ``benchmarks/bench_sharded_serving.py``. The parent
+matches replies by ``req_id`` and silently drains stale replies left by
+timed-out calls, so one slow request can never mis-pair a later one.
+Workers are spawned with the ``fork`` start method **before** the
+coordinator starts any threads (micro-batcher, scatter pool) — forking a
+threaded process is undefined behaviour.
+
+Fault injection: ``request_hooks={shard_id: hook}`` installs an object
+whose ``trigger()`` runs in the worker before each request —
+:class:`repro.testing.faults.KillWorkerOnce` slots in directly, which is
+how the degraded-mode tests kill exactly one shard exactly once.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _mp_wait
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.partition import (HashRing, load_partition,
+                              load_partition_manifest)
+from ..datasets.trajectory import Trajectory
+from ..exceptions import (ConfigurationError, CorruptArtifactError,
+                          DeadlineExceededError, InvalidTrajectoryError,
+                          NotFittedError, ReloadError, ReproError,
+                          ServiceClosedError, ServiceOverloadedError,
+                          ServiceUnavailableError, ShardUnavailableError)
+from ..resilience.admission import AdmissionGate
+from ..resilience.breaker import CircuitBreaker
+from .batching import MicroBatcher
+from .bundle import load_bundle_model
+from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from .router import group_by_shard, merge_top_k
+from .service import TopKResult
+
+PathLike = Union[str, Path]
+
+__all__ = ["ShardedConfig", "ShardedService", "ShardRequestError"]
+
+_LOG = logging.getLogger(__name__)
+
+_DEFAULT = object()  # sentinel: timeout=None means "no deadline"
+
+_BOOT_REQ_ID = 0  # the worker's unsolicited "I'm up" message
+
+
+class ShardRequestError(ReproError):
+    """A shard worker processed the request but raised while doing so.
+
+    Transport-level failures (dead worker, timeout, open breaker) raise
+    :class:`~repro.exceptions.ShardUnavailableError` instead and count
+    against the shard's circuit breaker; this error does not — the
+    worker is healthy, the request was bad.
+    """
+
+
+@dataclass
+class ShardedConfig:
+    """Tunables of the sharded serving tier.
+
+    Attributes
+    ----------
+    index:
+        Per-shard search backend: ``"exact"`` or ``"ivf"``.
+    nlist / nprobe:
+        IVF parameters for each shard's local index (``index="ivf"``
+        only). ``nlist=0`` auto-sizes per shard (~sqrt of the shard's
+        row count).
+    max_batch_size / max_wait_ms:
+        Coordinator encoder micro-batcher settings (same semantics as
+        :class:`~repro.serving.service.ServingConfig`).
+    default_k:
+        ``k`` used when a query does not specify one.
+    max_points:
+        Longest trajectory accepted at the boundary (0 disables).
+    max_inflight:
+        Concurrent requests admitted; 0 disables shedding.
+    request_timeout_s:
+        Per-shard call timeout: a shard that does not answer within this
+        window is treated as unavailable for that request (and the
+        failure counts toward its breaker).
+    boot_timeout_s:
+        How long to wait for a worker to load its partition at startup,
+        restart, and reload-prepare.
+    breaker_failure_threshold / breaker_reset_s:
+        Per-shard circuit breaker: consecutive transport failures that
+        open it, and how long it stays open before probing the shard
+        again.
+    default_timeout_s:
+        Per-request deadline when the caller does not pass one
+        (``None`` disables deadlines by default).
+    """
+
+    index: str = "exact"
+    nlist: int = 0
+    nprobe: int = 8
+    max_batch_size: int = 16
+    max_wait_ms: float = 2.0
+    default_k: int = 10
+    max_points: int = 100_000
+    max_inflight: int = 0
+    request_timeout_s: float = 30.0
+    boot_timeout_s: float = 120.0
+    breaker_failure_threshold: int = 3
+    breaker_reset_s: float = 5.0
+    default_timeout_s: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.index not in ("exact", "ivf"):
+            raise ConfigurationError(
+                f"index must be 'exact' or 'ivf', got {self.index!r}")
+        if self.nlist < 0:
+            raise ConfigurationError("nlist must be >= 0 (0 = auto)")
+        if self.nprobe < 1:
+            raise ConfigurationError("nprobe must be >= 1")
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be >= 0")
+        if self.default_k < 1:
+            raise ConfigurationError("default_k must be >= 1")
+        if self.max_points < 0:
+            raise ConfigurationError("max_points must be >= 0")
+        if self.max_inflight < 0:
+            raise ConfigurationError("max_inflight must be >= 0")
+        if self.request_timeout_s <= 0:
+            raise ConfigurationError("request_timeout_s must be positive")
+        if self.boot_timeout_s <= 0:
+            raise ConfigurationError("boot_timeout_s must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError("breaker_failure_threshold must be >= 1")
+        if self.breaker_reset_s < 0:
+            raise ConfigurationError("breaker_reset_s must be >= 0")
+        if (self.default_timeout_s is not None
+                and self.default_timeout_s <= 0):
+            raise ConfigurationError(
+                "default_timeout_s must be positive (or None)")
+
+
+# --------------------------------------------------------------------- worker
+
+
+def _load_generation(shard_id: int, boot: Dict) -> Dict:
+    """Load one (partition, model) generation from a boot spec.
+
+    ``boot`` keys: ``partition_dir`` (required), ``bundle_dir``
+    (optional encoder replica — ``None`` gives a search-only worker),
+    ``index``/``nlist``/``nprobe`` (per-shard backend).
+    """
+    model = None
+    if boot.get("bundle_dir"):
+        model, _ = load_bundle_model(boot["bundle_dir"])
+    options = ({"nlist": boot.get("nlist", 0),
+                "nprobe": boot.get("nprobe", 8)}
+               if boot.get("index") == "ivf" else {})
+    store = load_partition(boot["partition_dir"], shard_id, model=model,
+                           backend=boot.get("index", "exact"), **options)
+    return {"store": store, "model": model, "boot": dict(boot)}
+
+
+def _shard_worker_main(conn, shard_id: int, boot: Dict, hook) -> None:
+    """Entry point of one shard worker process.
+
+    Serial request loop over the pipe: recv ``(req_id, op, payload)``,
+    answer ``(req_id, status, result, busy_s)``. The first message is
+    unsolicited (req_id 0): a boot report, or the boot error if the
+    partition/bundle failed to load. ``hook`` (when given) is triggered
+    before each request — the fault-injection seam.
+    """
+    try:
+        active = _load_generation(shard_id, boot)
+    except Exception as exc:
+        try:
+            conn.send((_BOOT_REQ_ID, "error",
+                       f"{type(exc).__name__}: {exc}", 0.0))
+        finally:
+            conn.close()
+        return
+    staged: Optional[Dict] = None
+    generation = 0
+    conn.send((_BOOT_REQ_ID, "ok",
+               {"shard": shard_id, "pid": os.getpid(),
+                "count": len(active["store"])}, 0.0))
+
+    def dispatch(op: str, payload):
+        nonlocal active, staged, generation
+        store = active["store"]
+        if op == "ping":
+            return {"shard": shard_id, "pid": os.getpid(),
+                    "count": len(store), "generation": generation}
+        if op == "search":
+            embedding, k = payload
+            if len(store) == 0:
+                return np.zeros(0, dtype=np.int64), np.zeros(0)
+            return store.query_embedding(embedding, k)
+        if op == "search_many":
+            embeddings, k = payload
+            if len(store) == 0:
+                empty = (np.zeros(0, dtype=np.int64), np.zeros(0))
+                return [empty for _ in range(len(embeddings))]
+            return [store.query_embedding(e, k) for e in embeddings]
+        if op == "insert":
+            ids, kind, data = payload
+            if kind == "embeddings":
+                vectors = np.asarray(data)
+            else:  # trajectories: encode on the worker's model replica
+                model = active["model"]
+                if model is None:
+                    raise NotFittedError(
+                        "shard has no encoder replica (search-only); "
+                        "send embeddings")
+                vectors = model.embed([Trajectory(p) for p in data])
+            return len(store.add_embeddings(vectors, ids=ids))
+        if op == "delete":
+            return store.remove(payload)
+        if op == "compact":
+            compact = getattr(store.backend, "compact", None)
+            if compact is None:
+                return False
+            compact()
+            return True
+        if op == "stats":
+            return {"shard": shard_id, "pid": os.getpid(),
+                    "count": len(store), "generation": generation,
+                    "staged": None if staged is None
+                    else len(staged["store"]),
+                    "search": store.search_stats()}
+        if op == "prepare":
+            staged = _load_generation(shard_id, payload)
+            return {"count": len(staged["store"])}
+        if op == "activate":
+            if staged is None:
+                raise ReloadError("activate without a prepared generation")
+            active = staged
+            staged = None
+            generation += 1
+            return {"generation": generation, "count": len(active["store"])}
+        if op == "abort":
+            had = staged is not None
+            staged = None
+            return had
+        if op == "shutdown":
+            return "bye"
+        raise ValueError(f"unknown op {op!r}")
+
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        req_id, op, payload = request
+        # CPU time, not wall: when shards outnumber cores the workers
+        # time-slice, and wall time would book a neighbour's quantum as
+        # this shard's work — poisoning the bench's critical-path
+        # projection. The worker is single-threaded, so process CPU
+        # time is exactly this request's compute.
+        start = time.process_time()
+        try:
+            if hook is not None:
+                hook.trigger()
+            status, result = "ok", dispatch(op, payload)
+        except Exception as exc:
+            status, result = "error", f"{type(exc).__name__}: {exc}"
+        busy = time.process_time() - start
+        try:
+            conn.send((req_id, status, result, busy))
+        except (BrokenPipeError, OSError):
+            break
+        if op == "shutdown" and status == "ok":
+            break
+    conn.close()
+
+
+# --------------------------------------------------------------- parent side
+
+
+class _ShardHandle:
+    """Parent-side proxy for one shard worker: pipe + process + breaker.
+
+    Thread-safe: ``call`` serialises requests to the worker under the
+    handle lock (the worker itself is a serial loop), tracks the
+    worker's cumulative busy time, and converts transport failures
+    (dead worker, timeout) into
+    :class:`~repro.exceptions.ShardUnavailableError` while counting
+    them against the shard's circuit breaker.
+    """
+
+    def __init__(self, shard_id: int, boot: Dict, hook,
+                 failure_threshold: int, reset_timeout_s: float,
+                 boot_timeout_s: float,
+                 ctx: Optional[multiprocessing.context.BaseContext] = None):
+        self.shard_id = shard_id
+        self._boot = dict(boot)
+        self._hook = hook
+        self._failure_threshold = failure_threshold
+        self._reset_timeout_s = reset_timeout_s
+        self._boot_timeout_s = boot_timeout_s
+        self._ctx = ctx or multiprocessing.get_context("fork")
+        self._lock = threading.Lock()
+        self.breaker = CircuitBreaker(failure_threshold=failure_threshold,
+                                      reset_timeout_s=reset_timeout_s)
+        self._conn = None
+        self._proc = None
+        self._req_seq = _BOOT_REQ_ID
+        self._requests = 0
+        self._failures = 0
+        self._busy_s = 0.0
+        self._spawn_locked()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def _spawn_locked(self) -> None:
+        """Fork the worker and wait for its boot report.
+
+        Caller must hold ``self._lock`` (or be ``__init__``, before the
+        handle is shared).
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self.shard_id, self._boot, self._hook),
+            name=f"repro-shard-{self.shard_id}", daemon=True)
+        proc.start()
+        child_conn.close()
+        self._conn, self._proc = parent_conn, proc
+        self._req_seq = _BOOT_REQ_ID
+        reply = self._recv_locked(
+            time.monotonic() + self._boot_timeout_s, _BOOT_REQ_ID)
+        if reply[1] != "ok":
+            self._teardown_locked()
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} failed to boot: {reply[2]}")
+
+    def _teardown_locked(self) -> None:
+        """Close the pipe and reap the process. Caller must hold
+        ``self._lock``."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._conn = None
+        self._proc = None
+
+    def restart(self) -> None:
+        """Respawn the worker from its current boot spec.
+
+        An explicit operator action (tests, ``shard-tool``, admin): the
+        circuit breaker is replaced by a fresh closed one, so the first
+        request after a successful restart goes straight through instead
+        of waiting out the open window.
+        """
+        with self._lock:
+            self._teardown_locked()
+            self._spawn_locked()
+            self.breaker = CircuitBreaker(
+                failure_threshold=self._failure_threshold,
+                reset_timeout_s=self._reset_timeout_s)
+
+    def close(self) -> None:
+        """Best-effort graceful shutdown, then teardown."""
+        with self._lock:
+            if self._conn is not None and self._proc is not None \
+                    and self._proc.is_alive():
+                try:
+                    self._req_seq += 1
+                    self._conn.send((self._req_seq, "shutdown", None))
+                    self._recv_locked(time.monotonic() + 2.0, self._req_seq)
+                except (ShardUnavailableError, OSError):
+                    pass  # dying worker: terminate below either way
+            self._teardown_locked()
+
+    @property
+    def alive(self) -> bool:
+        with self._lock:
+            return self._proc is not None and self._proc.is_alive()
+
+    # --------------------------------------------------------------- requests
+
+    def _recv_locked(self, deadline: float, want_req_id: int):
+        """Wait for the reply to ``want_req_id``, draining stale replies.
+
+        Caller must hold ``self._lock``. Raises
+        :class:`ShardUnavailableError` on timeout or a dead worker
+        (without touching the breaker — the caller decides).
+        """
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id} did not answer in time")
+            try:
+                ready = _mp_wait([self._conn, self._proc.sentinel],
+                                 timeout=remaining)
+                if self._conn not in ready:
+                    if self._proc.sentinel in ready:
+                        raise EOFError("worker process died")
+                    continue  # timed out this round; loop re-checks
+                reply = self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id} worker died: {exc}") from exc
+            if reply[0] < want_req_id:
+                continue  # stale reply from a timed-out earlier call
+            return reply
+
+    def call(self, op: str, payload, timeout: Optional[float] = None):
+        """One request/reply round-trip with the worker.
+
+        Raises :class:`ShardUnavailableError` when the worker is down,
+        its breaker is open, or the reply misses ``timeout`` — those
+        count as breaker failures. A worker-side exception raises
+        :class:`ShardRequestError` and does *not* trip the breaker.
+        """
+        with self._lock:
+            if self._conn is None or self._proc is None:
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id} is down")
+            if not self.breaker.allow():
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id} circuit breaker is open")
+            self._req_seq += 1
+            req_id = self._req_seq
+            deadline = time.monotonic() + (timeout if timeout is not None
+                                           else 3600.0)
+            try:
+                self._conn.send((req_id, op, payload))
+                reply = self._recv_locked(deadline, req_id)
+            except ShardUnavailableError:
+                self._failures += 1
+                self.breaker.record_failure()
+                if self._proc is not None and not self._proc.is_alive():
+                    self._teardown_locked()
+                raise
+            except (BrokenPipeError, OSError) as exc:
+                self._failures += 1
+                self.breaker.record_failure()
+                self._teardown_locked()
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id} pipe broke: {exc}") from exc
+            _, status, result, busy = reply
+            self._requests += 1
+            self._busy_s += float(busy)
+            self.breaker.record_success()
+        if status != "ok":
+            raise ShardRequestError(f"shard {self.shard_id}: {result}")
+        return result
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {"shard": self.shard_id,
+                    "alive": (self._proc is not None
+                              and self._proc.is_alive()),
+                    "requests": self._requests,
+                    "transport_failures": self._failures,
+                    "busy_seconds": self._busy_s,
+                    "breaker": self.breaker.stats()}
+
+    def busy_seconds(self) -> float:
+        """Cumulative worker-side busy time (critical-path bench input)."""
+        with self._lock:
+            return self._busy_s
+
+
+class ShardedService:
+    """Scatter-gather coordinator over N shard worker processes.
+
+    Parameters
+    ----------
+    partition_dir:
+        Directory written by :func:`repro.core.partition.save_partitions`
+        (or ``python -m repro shard-tool split``); fixes the shard count.
+    bundle_dir:
+        Serving bundle whose model becomes the coordinator's encoder and
+        every worker's encoder replica. ``None`` builds a *search-only*
+        tier: ``query_embedding``/``insert_embeddings`` work, trajectory
+        entry points raise :class:`~repro.exceptions.NotFittedError`.
+    config:
+        :class:`ShardedConfig`.
+    request_hooks:
+        ``{shard_id: hook}`` fault-injection hooks; each worker calls
+        ``hook.trigger()`` before every request (see
+        :class:`repro.testing.faults.KillWorkerOnce`).
+    """
+
+    def __init__(self, partition_dir: PathLike,
+                 bundle_dir: Optional[PathLike] = None,
+                 config: Optional[ShardedConfig] = None,
+                 request_hooks: Optional[Dict] = None):
+        self.config = config or ShardedConfig()
+        self.partition_dir = Path(partition_dir)
+        self.bundle_dir = None if bundle_dir is None else Path(bundle_dir)
+        manifest = load_partition_manifest(self.partition_dir)
+        self.num_shards = int(manifest["num_shards"])
+        self._dim = int(manifest["embedding_dim"])
+        self._ring = HashRing(self.num_shards,
+                              vnodes=int(manifest["vnodes"]))
+        hooks = dict(request_hooks or {})
+        boot = {"partition_dir": str(self.partition_dir),
+                "bundle_dir": None if self.bundle_dir is None
+                else str(self.bundle_dir),
+                "index": self.config.index, "nlist": self.config.nlist,
+                "nprobe": self.config.nprobe}
+        # Workers MUST fork before any coordinator thread exists
+        # (micro-batcher, scatter pool): forking a threaded process can
+        # deadlock the child on locks held by threads that don't exist
+        # there.
+        ctx = multiprocessing.get_context("fork")
+        self._shards: List[_ShardHandle] = []
+        try:
+            for shard_id in range(self.num_shards):
+                self._shards.append(_ShardHandle(
+                    shard_id, boot, hooks.get(shard_id),
+                    self.config.breaker_failure_threshold,
+                    self.config.breaker_reset_s,
+                    self.config.boot_timeout_s, ctx=ctx))
+        except Exception:
+            for handle in self._shards:
+                handle.close()
+            raise
+
+        self.model = None
+        self._batcher = None
+        self.probes: List[Trajectory] = []
+        if self.bundle_dir is not None:
+            self.model, _ = load_bundle_model(self.bundle_dir)
+            if self.model.config.embedding_dim != self._dim:
+                for handle in self._shards:
+                    handle.close()
+                raise ConfigurationError(
+                    f"bundle embedding_dim "
+                    f"{self.model.config.embedding_dim} != partition "
+                    f"manifest {self._dim}")
+        self.registry = MetricsRegistry()
+        self._started = time.monotonic()
+        self._lock = threading.Lock()
+        self._next_id = int(manifest["next_id"])
+        self._count = int(manifest["total_count"])
+        self._generation = 0
+        self._closed = False
+        self._warmed = False
+
+        reg = self.registry
+        self._m_queries = reg.counter(
+            "repro_topk_requests_total", "Top-k queries answered.")
+        self._m_partial = reg.counter(
+            "repro_partial_answers_total",
+            "Top-k answers missing at least one shard.")
+        self._m_shard_requests = reg.counter(
+            "repro_shard_requests_total", "Per-shard requests issued.")
+        self._m_shard_failures = reg.counter(
+            "repro_shard_failures_total",
+            "Per-shard transport failures (dead worker, timeout).")
+        self._m_inserts = reg.counter(
+            "repro_inserted_trajectories_total", "Trajectories inserted.")
+        self._m_deletes = reg.counter(
+            "repro_deleted_trajectories_total", "Trajectories deleted.")
+        self._m_errors = reg.counter(
+            "repro_request_errors_total", "Requests that raised.")
+        self._m_shed = reg.counter(
+            "repro_shed_requests_total",
+            "Requests refused by the admission gate (HTTP 429).")
+        self._m_deadline = reg.counter(
+            "repro_deadline_exceeded_total",
+            "Requests dropped because their deadline expired.")
+        self._m_encoder_failures = reg.counter(
+            "repro_encoder_failures_total",
+            "Batched encoder calls that raised.")
+        self._m_breaker_transitions = reg.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions (encoder + shards).")
+        self._m_reloads = reg.counter(
+            "repro_reloads_total", "Successful generation flips.")
+        self._h_latency = reg.histogram(
+            "repro_topk_latency_seconds", "End-to-end top-k latency.")
+        self._h_scatter = reg.histogram(
+            "repro_scatter_seconds",
+            "Fan-out + merge time per top-k (excludes encoding).")
+        self._h_encode = reg.histogram(
+            "repro_encode_batch_seconds", "Batched encoder call latency.")
+        self._h_batch_size = reg.histogram(
+            "repro_encode_batch_size", "Trajectories per encoder batch.",
+            buckets=DEFAULT_SIZE_BUCKETS)
+
+        self._gate = AdmissionGate(self.config.max_inflight)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+            on_transition=lambda old, new:
+                self._m_breaker_transitions.inc())
+        if self.model is not None:
+            self._batcher = MicroBatcher(
+                self._encode_batch,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_ms / 1000.0,
+                on_batch=self._record_batch,
+                name="repro-sharded-encode-batcher")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, self.num_shards),
+            thread_name_prefix="repro-scatter")
+
+    # ------------------------------------------------------------ encoder path
+
+    def _encode_batch(self, trajectories: List[Trajectory]) -> np.ndarray:
+        if not self.breaker.allow():
+            raise ServiceUnavailableError("encoder circuit breaker is open")
+        try:
+            out = self.model.embed(trajectories,
+                                   batch_size=self.config.max_batch_size)
+        except Exception:
+            self._m_encoder_failures.inc()
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return out
+
+    def _record_batch(self, batch_size: int, seconds: float) -> None:
+        self._h_batch_size.observe(batch_size)
+        self._h_encode.observe(seconds)
+
+    def _require_batcher(self) -> MicroBatcher:
+        if self._batcher is None:
+            raise NotFittedError(
+                "this sharded service has no encoder (no bundle_dir); "
+                "use query_embedding/insert_embeddings")
+        return self._batcher
+
+    def _resolve_deadline(self, timeout):
+        """Map a caller timeout to (timeout_s, monotonic deadline)."""
+        if timeout is _DEFAULT:
+            timeout = self.config.default_timeout_s
+        if timeout is None:
+            return None, None
+        return timeout, time.monotonic() + timeout
+
+    def _as_trajectory(self, trajectory) -> Trajectory:
+        """Boundary validation: anything malformed raises the typed error."""
+        try:
+            traj = (trajectory if isinstance(trajectory, Trajectory)
+                    else Trajectory(trajectory))
+        except InvalidTrajectoryError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise InvalidTrajectoryError(
+                f"not a valid trajectory: {exc}") from exc
+        limit = self.config.max_points
+        if limit and len(traj.points) > limit:
+            raise InvalidTrajectoryError(
+                f"trajectory has {len(traj.points)} points (limit {limit})")
+        return traj
+
+    def embed(self, trajectory, timeout=_DEFAULT) -> np.ndarray:
+        """Embedding of one trajectory via the coordinator's batcher."""
+        batcher = self._require_batcher()
+        try:
+            query = self._as_trajectory(trajectory)
+            timeout, deadline = self._resolve_deadline(timeout)
+            with self._gate.admit("embed"):
+                try:
+                    return batcher(query, timeout=timeout, deadline=deadline)
+                except FuturesTimeoutError as exc:
+                    self._m_deadline.inc()
+                    raise DeadlineExceededError(
+                        f"no embedding within {timeout}s") from exc
+        except ServiceOverloadedError:
+            self._m_shed.inc()
+            self._m_errors.inc()
+            raise
+        except Exception:
+            self._m_errors.inc()
+            raise
+
+    # ------------------------------------------------------------- query path
+
+    def top_k(self, trajectory, k: Optional[int] = None,
+              use_cache: bool = True, timeout=_DEFAULT) -> TopKResult:
+        """Scatter-gather top-k for a query trajectory.
+
+        Encodes once, fans the embedding to every shard, merges with the
+        deterministic ``(distance, id)`` order. With all shards healthy
+        the answer is id-identical to a single-store exact scan; when
+        some (but not all) shards are unavailable the answer covers the
+        survivors and is flagged ``partial=True``.
+
+        ``use_cache`` is accepted for transport parity with
+        :class:`~repro.serving.service.SimilarityService` and currently
+        ignored — the coordinator keeps no result cache (per-shard
+        answers are already parallel, and a coordinator cache would need
+        cross-shard generation tracking to invalidate correctly).
+        """
+        start = time.monotonic()
+        try:
+            query = self._as_trajectory(trajectory)
+            if k is None:
+                k = self.config.default_k
+            timeout, deadline = self._resolve_deadline(timeout)
+            batcher = self._require_batcher()
+            with self._gate.admit("top_k"):
+                try:
+                    embedding = batcher(query, timeout=timeout,
+                                        deadline=deadline)
+                except FuturesTimeoutError as exc:
+                    self._m_deadline.inc()
+                    raise DeadlineExceededError(
+                        f"no answer within {timeout}s") from exc
+                return self._scatter_top_k(embedding, k, deadline)
+        except ServiceOverloadedError:
+            self._m_shed.inc()
+            self._m_errors.inc()
+            raise
+        except Exception:
+            self._m_errors.inc()
+            raise
+        finally:
+            self._h_latency.observe(time.monotonic() - start)
+
+    def query_embedding(self, embedding: np.ndarray,
+                        k: Optional[int] = None,
+                        timeout=_DEFAULT) -> TopKResult:
+        """Scatter-gather top-k for an already-computed query embedding."""
+        try:
+            if k is None:
+                k = self.config.default_k
+            embedding = np.asarray(embedding, dtype=np.float64)
+            if embedding.shape != (self._dim,):
+                raise ValueError(
+                    f"expected embedding of shape ({self._dim},), got "
+                    f"{embedding.shape}")
+            _, deadline = self._resolve_deadline(timeout)
+            with self._gate.admit("query_embedding"):
+                return self._scatter_top_k(embedding, k, deadline)
+        except ServiceOverloadedError:
+            self._m_shed.inc()
+            self._m_errors.inc()
+            raise
+        except Exception:
+            self._m_errors.inc()
+            raise
+
+    def _call_timeout(self, deadline: Optional[float]) -> float:
+        limit = self.config.request_timeout_s
+        if deadline is None:
+            return limit
+        return max(0.0, min(limit, deadline - time.monotonic()))
+
+    def _scatter(self, op: str, payload, deadline: Optional[float],
+                 shard_ids: Optional[Sequence[int]] = None
+                 ) -> "Tuple[Dict[int, object], List[int]]":
+        """Fan one request to shards in parallel; returns (results, failed).
+
+        ``results`` maps shard id -> worker result for every shard that
+        answered; ``failed`` lists shards that were unavailable
+        (transport failures only — a worker-side exception propagates as
+        :class:`ShardRequestError`)."""
+        if self._closed:
+            raise ServiceClosedError("sharded service is closed")
+        targets = (range(self.num_shards) if shard_ids is None
+                   else list(shard_ids))
+        timeout = self._call_timeout(deadline)
+        futures = {s: self._pool.submit(self._shards[s].call, op, payload,
+                                        timeout)
+                   for s in targets}
+        results: Dict[int, object] = {}
+        failed: List[int] = []
+        error: Optional[ShardRequestError] = None
+        for s, fut in futures.items():
+            self._m_shard_requests.inc()
+            try:
+                results[s] = fut.result()
+            except ShardUnavailableError:
+                self._m_shard_failures.inc()
+                failed.append(s)
+            except ShardRequestError as exc:
+                error = exc
+        if error is not None:
+            raise error
+        return results, failed
+
+    def _scatter_top_k(self, embedding: np.ndarray, k: int,
+                       deadline: Optional[float]) -> TopKResult:
+        if not isinstance(k, (int, np.integer)) or isinstance(k, bool) \
+                or k < 1:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        start = time.monotonic()
+        results, failed = self._scatter("search", (embedding, int(k)),
+                                        deadline)
+        if not results:
+            raise ShardUnavailableError(
+                f"all {self.num_shards} shards unavailable")
+        ids, distances = merge_top_k(list(results.values()), int(k))
+        self._h_scatter.observe(time.monotonic() - start)
+        partial = bool(failed)
+        if partial:
+            self._m_partial.inc()
+            _LOG.warning("partial top-k: shards %s unavailable", failed)
+        self._m_queries.inc()
+        return TopKResult(ids=[int(i) for i in ids],
+                          distances=[float(d) for d in distances],
+                          partial=partial)
+
+    # --------------------------------------------------------------- mutation
+
+    def insert(self, trajectories: Sequence) -> List[int]:
+        """Encode + insert trajectories; returns their assigned ids.
+
+        Each trajectory routes to the single shard owning its id on the
+        hash ring. Embeddings are computed once on the coordinator (the
+        workers' replicas serve reloads and trajectory-payload inserts
+        from other clients)."""
+        items = [self._as_trajectory(t) for t in trajectories]
+        if not items:
+            return []
+        batcher = self._require_batcher()
+        timeout, deadline = self._resolve_deadline(_DEFAULT)
+        futures = [batcher.submit(t, deadline=deadline) for t in items]
+        embeddings = np.stack([f.result(timeout=timeout) for f in futures])
+        return self.insert_embeddings(embeddings, deadline=deadline)
+
+    def insert_embeddings(self, embeddings: np.ndarray,
+                          deadline: Optional[float] = None) -> List[int]:
+        """Insert precomputed embedding rows; returns their assigned ids."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[1] != self._dim:
+            raise ValueError(
+                f"expected embeddings of shape (n, {self._dim}), got "
+                f"{embeddings.shape}")
+        if embeddings.shape[0] == 0:
+            return []
+        with self._lock:
+            assigned = list(range(self._next_id,
+                                  self._next_id + embeddings.shape[0]))
+            self._next_id += embeddings.shape[0]
+        groups = group_by_shard(self._ring, assigned)
+        inserted = 0
+        failed: List[int] = []
+        for shard_id, positions in groups.items():
+            ids = [assigned[p] for p in positions]
+            payload = (ids, "embeddings", embeddings[positions])
+            try:
+                inserted += int(self._shards[shard_id].call(
+                    "insert", payload, self._call_timeout(deadline)))
+            except ShardUnavailableError:
+                self._m_shard_failures.inc()
+                failed.append(shard_id)
+        with self._lock:
+            self._count += inserted
+            self._generation += 1
+        self._m_inserts.inc(inserted)
+        if failed:
+            raise ShardUnavailableError(
+                f"insert lost rows owned by unavailable shard(s) {failed} "
+                f"({inserted} of {len(assigned)} rows inserted)")
+        return assigned
+
+    def delete(self, ids: Sequence[int]) -> int:
+        """Remove entries by id; returns how many were removed."""
+        id_list = [int(i) for i in ids]
+        if not id_list:
+            return 0
+        groups = group_by_shard(self._ring, id_list)
+        removed = 0
+        failed: List[int] = []
+        for shard_id, positions in groups.items():
+            owned = [id_list[p] for p in positions]
+            try:
+                removed += int(self._shards[shard_id].call(
+                    "delete", owned, self.config.request_timeout_s))
+            except ShardUnavailableError:
+                self._m_shard_failures.inc()
+                failed.append(shard_id)
+        with self._lock:
+            self._count -= removed
+            self._generation += 1
+        self._m_deletes.inc(removed)
+        if failed:
+            raise ShardUnavailableError(
+                f"delete could not reach shard(s) {failed} "
+                f"({removed} rows removed elsewhere)")
+        return removed
+
+    # ----------------------------------------------------------- maintenance
+
+    def compact(self) -> Dict[int, bool]:
+        """Fold pending inserts/tombstones on every shard's index.
+
+        Returns ``{shard: compacted}`` — ``False`` means the shard's
+        backend has nothing to compact (exact scan). Unavailable shards
+        are omitted (compaction is advisory; they compact on restart).
+        """
+        results, _ = self._scatter("compact", None, None)
+        return {s: bool(v) for s, v in results.items()}
+
+    def reload(self, partition_dir: Optional[PathLike] = None,
+               bundle_dir: Optional[PathLike] = None) -> Dict:
+        """Zero-downtime flip to a new partition/bundle generation.
+
+        Two phases: every worker *prepares* (loads the new generation
+        alongside the one still serving), then every worker *activates*
+        (atomic in-worker swap; the worker is serial, so no request ever
+        sees a half-flipped store) and the coordinator swaps its own
+        encoder and id state. Any prepare failure aborts everywhere and
+        the old generation keeps serving — :class:`ReloadError`.
+
+        The shard count is fixed for the life of the tier; resharding is
+        the offline ``shard-tool split`` + restart path.
+        """
+        new_partition = (self.partition_dir if partition_dir is None
+                         else Path(partition_dir))
+        new_bundle = (self.bundle_dir if bundle_dir is None
+                      else Path(bundle_dir))
+        try:
+            manifest = load_partition_manifest(new_partition)
+        except CorruptArtifactError as exc:
+            raise ReloadError(
+                f"cannot reload from {new_partition}: {exc}") from exc
+        if int(manifest["num_shards"]) != self.num_shards:
+            raise ReloadError(
+                f"cannot reload across shard counts ({manifest['num_shards']}"
+                f" != {self.num_shards}); run shard-tool split + restart")
+        if int(manifest["embedding_dim"]) != self._dim:
+            raise ReloadError(
+                f"new partitions have embedding_dim "
+                f"{manifest['embedding_dim']}, serving {self._dim}")
+        new_model = None
+        if new_bundle is not None:
+            new_model, _ = load_bundle_model(new_bundle)
+            if new_model.config.embedding_dim != self._dim:
+                raise ReloadError(
+                    "new bundle's embedding_dim does not match the tier")
+        boot = {"partition_dir": str(new_partition),
+                "bundle_dir": None if new_bundle is None else str(new_bundle),
+                "index": self.config.index, "nlist": self.config.nlist,
+                "nprobe": self.config.nprobe}
+
+        prepared, failed = self._scatter("prepare", boot, None)
+        if failed or len(prepared) < self.num_shards:
+            self._scatter("abort", None, None,
+                          shard_ids=sorted(prepared))
+            raise ReloadError(
+                f"prepare failed on shard(s) "
+                f"{sorted(set(range(self.num_shards)) - set(prepared))}; "
+                f"old generation keeps serving")
+
+        activated, failed = self._scatter("activate", None, None)
+        for shard_id in failed:
+            # A worker that died between prepare and activate: restart
+            # it straight onto the new generation so the tier converges.
+            handle = self._shards[shard_id]
+            handle._boot = boot
+            try:
+                handle.restart()
+                activated[shard_id] = {"restarted": True}
+            except ShardUnavailableError:
+                _LOG.warning("shard %d unavailable after reload; it will "
+                             "serve the new generation once restarted",
+                             shard_id)
+        for handle in self._shards:
+            handle._boot = dict(boot)
+        self.partition_dir = new_partition
+        self.bundle_dir = new_bundle
+        if new_model is not None:
+            self.model = new_model
+        with self._lock:
+            self._next_id = max(self._next_id, int(manifest["next_id"]))
+            self._count = int(manifest["total_count"])
+            self._generation += 1
+            generation = self._generation
+        self._m_reloads.inc()
+        return {"generation": generation,
+                "partition_dir": str(new_partition),
+                "activated": sorted(activated),
+                "total_count": int(manifest["total_count"])}
+
+    def restart_shard(self, shard_id: int) -> Dict:
+        """Respawn one worker from its current boot spec (admin path)."""
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"no shard {shard_id}")
+        self._shards[shard_id].restart()
+        return self._shards[shard_id].stats()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def synthetic_probe(self) -> Trajectory:
+        """A short trajectory through the centre of the encoder's grid."""
+        if self.model is None:
+            raise NotFittedError(
+                "a search-only sharded service has no encoder grid")
+        encoder = self.model._require_fitted()
+        xmin, ymin, xmax, ymax = encoder.grid.bbox
+        cx, cy = (xmin + xmax) / 2.0, (ymin + ymax) / 2.0
+        step = encoder.grid.cell_size
+        return Trajectory([[cx - step, cy], [cx, cy], [cx + step, cy]])
+
+    def warmup(self, queries: int = 4) -> int:
+        """Touch every shard through the full scatter path; returns count."""
+        rng = np.random.default_rng(0)
+        served = 0
+        for _ in range(max(1, queries)):
+            self.query_embedding(rng.standard_normal(self._dim), k=1)
+            served += 1
+        with self._lock:
+            self._warmed = True
+        return served
+
+    def readiness(self) -> Dict:
+        """Readiness checks for ``/readyz``: every shard up and answering."""
+        shard_checks = {f"shard_{h.shard_id}_alive": h.alive
+                        for h in self._shards}
+        checks = {
+            "store_nonempty": self.size() > 0,
+            "warmed": self._warmed,
+            "all_shards_alive": all(shard_checks.values()),
+            "accepting_requests": not self._closed,
+        }
+        checks.update(shard_checks)
+        ready = (checks["store_nonempty"] and checks["warmed"]
+                 and checks["all_shards_alive"]
+                 and checks["accepting_requests"])
+        return {"ready": ready, "checks": checks}
+
+    def size(self) -> int:
+        """Total rows across all shards (coordinator-tracked)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def ring(self) -> HashRing:
+        """The id-routing ring (identical to shard-tool split's)."""
+        return self._ring
+
+    @property
+    def shards(self) -> List[_ShardHandle]:
+        """Per-shard handles — a read-only diagnostics surface."""
+        return list(self._shards)
+
+    def shard_busy_seconds(self) -> List[float]:
+        """Cumulative worker-side busy time per shard (bench input)."""
+        return [h.busy_seconds() for h in self._shards]
+
+    def stats(self) -> Dict:
+        """JSON-friendly operational snapshot (also the ``/v1/stats`` body)."""
+        shard_stats = [h.stats() for h in self._shards]
+        with self._lock:
+            size, next_id = self._count, self._next_id
+            generation = self._generation
+        worker_stats, _ = self._scatter("stats", None, None)
+        return {
+            "store": {"size": size, "next_id": next_id,
+                      "generation": generation,
+                      "embedding_dim": self._dim,
+                      "sharding": {
+                          "num_shards": self.num_shards,
+                          "ring_vnodes": self._ring.vnodes,
+                          "index": self.config.index,
+                          "shards": shard_stats,
+                          "workers": {str(s): w for s, w in
+                                      sorted(worker_stats.items())},
+                      }},
+            "batcher": (None if self._batcher is None
+                        else self._batcher.stats()),
+            "resilience": {
+                "encoder_breaker": self.breaker.stats(),
+                "admission": self._gate.stats(),
+            },
+            "readiness": self.readiness(),
+            "uptime_seconds": time.monotonic() - self._started,
+            "metrics": self.registry.snapshot(),
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition (the ``/metrics`` body)."""
+        return self.registry.render()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the tier down: batcher, scatter pool, then every worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._batcher is not None:
+            self._batcher.close(drain=drain)
+        self._pool.shutdown(wait=True)
+        for handle in self._shards:
+            handle.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -334,3 +334,74 @@ def test_load_missing_file_is_not_corruption(world, tmp_path):
     model, _ = world
     with pytest.raises(FileNotFoundError):
         EmbeddingStore.load(tmp_path / "nope.npz", model)
+
+
+# --------------------------------------------------- model-less (search-only)
+
+
+def test_modelless_store_requires_dim():
+    with pytest.raises(ValueError):
+        EmbeddingStore(None)
+
+
+def test_modelless_store_add_embeddings_and_query_embedding():
+    rng = np.random.default_rng(3)
+    store = EmbeddingStore(None, dim=8)
+    emb = rng.standard_normal((6, 8)).astype(np.float32)
+    assigned = store.add_embeddings(emb)
+    assert assigned == [0, 1, 2, 3, 4, 5]
+    ids, dist = store.query_embedding(emb[2], k=1)
+    assert int(ids[0]) == 2
+    assert dist[0] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_modelless_store_explicit_ids_and_next_id():
+    rng = np.random.default_rng(3)
+    store = EmbeddingStore(None, dim=4)
+    store.add_embeddings(rng.standard_normal((2, 4)), ids=[10, 40])
+    assert store.next_id == 41
+    auto = store.add_embeddings(rng.standard_normal((1, 4)))
+    assert auto == [41]
+
+
+def test_modelless_store_rejects_trajectory_entry_points(world):
+    _, items = world
+    store = EmbeddingStore(None, dim=8)
+    store.add_embeddings(np.zeros((1, 8)))
+    with pytest.raises(NotFittedError):
+        store.add(items[:1])
+    with pytest.raises(NotFittedError):
+        store.query(items[0], k=1)
+
+
+def test_add_embeddings_validation():
+    store = EmbeddingStore(None, dim=4)
+    with pytest.raises(ValueError):  # wrong dim
+        store.add_embeddings(np.zeros((2, 5)))
+    with pytest.raises(ValueError):  # not 2-D
+        store.add_embeddings(np.zeros(4))
+    store.add_embeddings(np.zeros((1, 4)), ids=[7])
+    with pytest.raises(ValueError):  # id already present
+        store.add_embeddings(np.ones((1, 4)), ids=[7])
+    with pytest.raises(ValueError):  # duplicate within batch
+        store.add_embeddings(np.ones((2, 4)), ids=[8, 8])
+    with pytest.raises(ValueError):  # negative id
+        store.add_embeddings(np.ones((1, 4)), ids=[-2])
+
+
+def test_dim_conflicts_with_model(world):
+    model, _ = world
+    with pytest.raises(ValueError):
+        EmbeddingStore(model, dim=99)
+
+
+def test_modelless_load_roundtrip(world, tmp_path):
+    model, items = world
+    store = EmbeddingStore(model)
+    store.add(items[:5])
+    store.save(tmp_path / "s.npz")
+    reloaded = EmbeddingStore.load(tmp_path / "s.npz", None)
+    assert reloaded.model is None
+    assert len(reloaded) == 5
+    ids, _ = reloaded.query_embedding(store.embeddings[3], k=1)
+    assert int(ids[0]) == 3

@@ -250,3 +250,15 @@ def test_degraded_answer_serialized(server, serving_world):
     payload = _json(body)
     assert payload["degraded"] is True
     assert payload["ids"] == [3, 1]
+
+
+def test_admin_compact_single_process(server):
+    status, body = _call(server, "/admin/compact", method="POST")
+    assert status == 200
+    assert _json(body) == {"compacted": {"0": False}}  # exact backend
+
+
+def test_admin_reload_unsupported_409(server):
+    status, body = _call(server, "/admin/reload", {})
+    assert status == 409
+    assert "reload" in _json(body)["error"]

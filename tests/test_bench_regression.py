@@ -66,3 +66,17 @@ def test_resilience_contract_holds_against_committed_baseline():
         "benchmarks/BENCH_resilience.json not committed"
     failures = run_resilience_check()
     assert not failures, "\n".join(failures)
+
+
+@pytest.mark.bench_regression
+def test_sharding_speedup_and_identity_hold_against_baseline():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        from check_bench_regression import (SHARDING_BASELINE,
+                                            run_sharding_check)
+    finally:
+        sys.path.pop(0)
+    assert SHARDING_BASELINE.exists(), \
+        "benchmarks/BENCH_sharding.json not committed"
+    failures = run_sharding_check()
+    assert not failures, "\n".join(failures)
