@@ -33,7 +33,15 @@ baselines. Exits non-zero when
   least as many CPUs as shards, otherwise the critical-path projection
   from per-shard CPU time — the report's ``floor_basis``), any sharded
   answer diverging from the single-store exact answer, or throughput
-  regressing past the threshold against the committed baseline.
+  regressing past the threshold against the committed baseline;
+* the durability benchmark (``benchmarks/BENCH_durability.json``)
+  breaks its contract — an append acked before its record was fsynced,
+  a reopen recovering fewer records than were acked, the widest
+  group-commit window never batching fsyncs, snapshot recovery that is
+  not id-identical (or fails to truncate the WAL), a failover that
+  answers partial or loses acked rows — or WAL replay / failover time
+  regresses past the (looser, fsync-noise-tolerant) durability
+  threshold.
 
 Wall-clock on shared CPUs is noisy, so the 1.5× threshold is deliberately
 loose: it catches "someone un-vectorised the hot path", not 10% jitter.
@@ -64,6 +72,7 @@ RESILIENCE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_resilience.json"
 SANITIZE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sanitize.json"
 ANN_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_ann.json"
 SHARDING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sharding.json"
+DURABILITY_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_durability.json"
 DEFAULT_THRESHOLD = 1.5
 
 #: Acceptance floor: 16-client micro-batched throughput over serial.
@@ -90,6 +99,13 @@ ANN_SPEEDUP_FLOOR = 5.0
 #: enough CPUs, else the critical-path projection from per-shard CPU
 #: time — a 1-core runner cannot show a wall-clock parallel speedup).
 SHARDING_SPEEDUP_FLOOR = 2.0
+
+#: Timing slack for the durability benchmark: fsync and process-fork
+#: latency on shared runners is far noisier than compute kernels, so the
+#: wall-clock comparisons run at this threshold; the durability gates
+#: themselves (acked == durable, id-identical recovery, zero-loss
+#: failover) are hard checks independent of timing.
+DURABILITY_TIME_THRESHOLD = 3.0
 
 
 def _import_bench(module_name: str):
@@ -347,6 +363,78 @@ def run_sharding_check(threshold: float = DEFAULT_THRESHOLD) -> list:
     return compare_sharding_reports(baseline, fresh, threshold)
 
 
+# ------------------------------------------------------------- durability
+
+def compare_durability_reports(baseline: dict, fresh: dict,
+                               threshold: float = DURABILITY_TIME_THRESHOLD
+                               ) -> list:
+    """Failure strings for the durability benchmark (empty = pass)."""
+    failures = []
+    results = fresh["results"]
+    for label, entry in results["append"].items():
+        if not entry.get("durable_ok", False):
+            failures.append(
+                f"durability: {label} acked an append before its fsync — "
+                f"an acked write could be lost on crash")
+        if entry["recovered"] != entry["acked"]:
+            failures.append(
+                f"durability: {label} recovered {entry['recovered']} of "
+                f"{entry['acked']} acked records after reopen")
+    slowest = max(results["append"],
+                  key=lambda k: results["append"][k]["window_ms"])
+    widest = results["append"][slowest]
+    if widest["fsyncs"] >= widest["acked"]:
+        failures.append(
+            f"durability: {slowest} issued {widest['fsyncs']} fsyncs for "
+            f"{widest['acked']} appends — group commit never batched")
+
+    recovery = results["recovery"]
+    if not recovery.get("id_identical", False):
+        failures.append(
+            "durability: snapshot-recovered store is not id-identical to "
+            "the WAL-replayed one")
+    if recovery["post_snapshot_replayed"] != 0:
+        failures.append(
+            f"durability: {recovery['post_snapshot_replayed']} WAL records "
+            f"survived snapshot truncation (expected 0)")
+    base_replay = baseline["results"]["recovery"]["wal_replay_s"]
+    if recovery["wal_replay_s"] > base_replay * threshold:
+        failures.append(
+            f"durability: WAL replay took {recovery['wal_replay_s']:.3f}s, "
+            f"{recovery['wal_replay_s'] / base_replay:.2f}x over the "
+            f"committed {base_replay:.3f}s (threshold {threshold:.1f}x)")
+
+    failover = results["failover"]
+    if failover["partial"]:
+        failures.append(
+            "durability: post-failover answer was partial — the standby "
+            "was not promoted")
+    if failover["failovers"] != 1:
+        failures.append(
+            f"durability: {failover['failovers']} failovers recorded for "
+            f"one primary kill (expected 1)")
+    if failover["acked_lost"] != 0:
+        failures.append(
+            f"durability: {failover['acked_lost']} acked rows lost across "
+            f"the failover")
+    base_failover = baseline["results"]["failover"]["failover_s"]
+    if failover["failover_s"] > base_failover * threshold:
+        failures.append(
+            f"durability: failover took {failover['failover_s']:.3f}s, "
+            f"{failover['failover_s'] / base_failover:.2f}x over the "
+            f"committed {base_failover:.3f}s (threshold {threshold:.1f}x)")
+    return failures
+
+
+def run_durability_check(threshold: float = DURABILITY_TIME_THRESHOLD
+                         ) -> list:
+    """Run the durability bench and compare against the committed baseline."""
+    bench_durability = _import_bench("bench_durability")
+    baseline = json.loads(DURABILITY_BASELINE.read_text())
+    fresh = bench_durability.run_all()
+    return compare_durability_reports(baseline, fresh, threshold)
+
+
 # -------------------------------------------------------------------- main
 
 def main(argv=None) -> int:
@@ -356,7 +444,8 @@ def main(argv=None) -> int:
                              f"(default {DEFAULT_THRESHOLD})")
     parser.add_argument("--only",
                         choices=["kernels", "serving", "resilience",
-                                 "sanitize", "ann", "sharding", "all"],
+                                 "sanitize", "ann", "sharding",
+                                 "durability", "all"],
                         default="all", help="which suite to check")
     args = parser.parse_args(argv)
 
@@ -392,6 +481,12 @@ def main(argv=None) -> int:
             print(f"no committed baseline at {SHARDING_BASELINE}")
             return 1
         failures += run_sharding_check(args.threshold)
+    if args.only in ("durability", "all"):
+        if not DURABILITY_BASELINE.exists():
+            print(f"no committed baseline at {DURABILITY_BASELINE}")
+            return 1
+        failures += run_durability_check(
+            max(args.threshold, DURABILITY_TIME_THRESHOLD))
 
     if failures:
         print("PERFORMANCE REGRESSION:")

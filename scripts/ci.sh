@@ -15,6 +15,9 @@
 #   6. sharding gate    — scatter-gather tier: 4-shard-vs-1-shard
 #      throughput floor at 1M rows and id-identity against the exact
 #      single store (BENCH_sharding.json)
+#   7. durability gate  — WAL append acks are fsynced, group commit
+#      batches, snapshot recovery is id-identical, replica failover
+#      loses zero acked writes (BENCH_durability.json)
 #
 # Usage: scripts/ci.sh [pytest args...]
 set -euo pipefail
@@ -50,5 +53,8 @@ python scripts/check_bench_regression.py --only ann
 
 echo "==> sharded serving gate (4-shard speedup + id-identity at 1M)"
 python scripts/check_bench_regression.py --only sharding
+
+echo "==> durability gate (WAL acks, recovery identity, failover loss)"
+python scripts/check_bench_regression.py --only durability
 
 echo "ci.sh: all gates passed"

@@ -197,12 +197,15 @@ def _build_sharded_service(args):
     config = ShardedConfig(index=args.index, nlist=args.nlist,
                            nprobe=args.nprobe,
                            max_batch_size=args.max_batch,
-                           max_wait_ms=args.max_wait_ms)
+                           max_wait_ms=args.max_wait_ms,
+                           fsync_window_ms=args.fsync_window_ms,
+                           replicas=args.replicas)
     return ShardedService(partition_dir, bundle_dir=args.bundle,
-                          config=config)
+                          config=config, durable_dir=args.durable_dir)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .exceptions import ConfigurationError
     from .serving import ServingConfig, SimilarityService, make_server
     from .serving.bundle import BundleError
 
@@ -220,7 +223,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                               cache_capacity=args.cache_capacity,
                               index=args.index, nlist=args.nlist,
                               nprobe=args.nprobe))
-    except (BundleError, OSError, ValueError) as exc:
+    except (BundleError, ConfigurationError, OSError, ValueError) as exc:
         print(f"cannot load bundle {args.bundle!r}: {exc}", file=sys.stderr)
         return 2
     with service:
@@ -450,6 +453,17 @@ def main(argv=None) -> int:
     serve.add_argument("--vnodes", type=int, default=64,
                        help="hash-ring virtual nodes per shard when "
                             "splitting (default 64)")
+    serve.add_argument("--durable-dir", default=None,
+                       help="per-shard WAL + snapshot root: mutations are "
+                            "fsynced before they are acked and restarts "
+                            "recover them (sharded tier only)")
+    serve.add_argument("--fsync-window-ms", type=float, default=0.0,
+                       help="WAL group-commit window; 0 fsyncs every ack "
+                            "(default 0)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="warm-standby workers per shard tailing the "
+                            "primary's WAL; requires --durable-dir "
+                            "(default 0)")
     serve.set_defaults(func=_cmd_serve)
 
     shard_tool = sub.add_parser(

@@ -44,6 +44,7 @@ def get_rule(rule_id: str) -> Type[Rule]:
 from . import api  # noqa: E402,F401
 from . import determinism  # noqa: E402,F401
 from . import dtype  # noqa: E402,F401
+from . import durability  # noqa: E402,F401
 from . import exception_hygiene  # noqa: E402,F401
 from . import locks  # noqa: E402,F401
 from . import tape  # noqa: E402,F401

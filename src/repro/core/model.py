@@ -14,7 +14,6 @@ is O(d) — the linear-time similarity primitive of the title.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
@@ -24,6 +23,7 @@ from ..datasets.grid import CoordinateNormalizer, Grid
 from ..datasets.trajectory import Trajectory, TrajectoryDataset
 from ..exceptions import CorruptArtifactError, NotFittedError, ReproError
 from ..measures import get_measure, pairwise_distances
+from .atomicio import atomic_savez
 from ..nn.optim import Adam
 from .config import NeuTrajConfig
 from .encoder import TrajectoryEncoder
@@ -105,13 +105,7 @@ class MetricModel:
                 [e.seconds for e in history.epochs])
             payload["history/anchors"] = np.array(
                 [e.num_anchors for e in history.epochs])
-        path = Path(path)
-        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
-        np.savez_compressed(tmp, **payload)
-        # np.savez appends .npz when missing; our tmp name has none.
-        tmp_written = tmp if tmp.exists() else tmp.with_suffix(
-            tmp.suffix + ".npz")
-        os.replace(tmp_written, path)
+        atomic_savez(Path(path), compressed=True, **payload)
 
     @classmethod
     def load(cls, path: PathLike) -> "MetricModel":

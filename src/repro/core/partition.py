@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -39,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..exceptions import CorruptArtifactError
+from .atomicio import atomic_savez, atomic_write_text
 from .store import EmbeddingStore
 
 PathLike = Union[str, Path]
@@ -156,11 +156,7 @@ def _atomic_savez(path: Path, **arrays) -> None:
     hundreds of MB of near-incompressible floats, and zlib would
     dominate split/reload time for a few percent of size.
     """
-    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
-    np.savez(tmp, **arrays)
-    tmp_written = tmp if tmp.exists() else tmp.with_suffix(
-        tmp.suffix + ".npz")
-    os.replace(tmp_written, path)
+    atomic_savez(path, compressed=False, **arrays)
 
 
 def save_partitions(out_dir: PathLike, ids: np.ndarray,
@@ -219,9 +215,8 @@ def save_partitions(out_dir: PathLike, ids: np.ndarray,
         "shards": shard_entries,
         "user_metadata": metadata or {},
     }
-    tmp = out_dir / (MANIFEST_NAME + f".tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, out_dir / MANIFEST_NAME)
+    atomic_write_text(out_dir / MANIFEST_NAME,
+                      json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return manifest
 
 

@@ -15,7 +15,6 @@ databases. Backends are kept consistent by the store's mutation hooks.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -23,6 +22,7 @@ import numpy as np
 
 from ..datasets.trajectory import Trajectory
 from ..exceptions import CorruptArtifactError, NotFittedError
+from .atomicio import atomic_savez
 from .backends import SearchBackend, make_backend
 from .model import MetricModel
 
@@ -98,6 +98,17 @@ class EmbeddingStore:
     def next_id(self) -> int:
         """The id the next inserted trajectory will receive."""
         return self._next_id
+
+    def contains(self, ids: Sequence[int]) -> np.ndarray:
+        """Boolean mask of which ``ids`` are currently in the store.
+
+        The shard workers use this to make inserts idempotent: a retried
+        (or WAL-replayed) batch is filtered down to the ids not already
+        present instead of tripping :meth:`add_embeddings`'s duplicate
+        check.
+        """
+        probe = np.asarray(list(ids), dtype=np.int64)
+        return np.isin(probe, self._ids)
 
     # -------------------------------------------------------------- backends
 
@@ -256,15 +267,9 @@ class EmbeddingStore:
         The search backend is not part of the payload — an IVF index has
         its own on-disk form (:meth:`repro.index.ann.IVFIndex.save`).
         """
-        path = Path(path)
-        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
-        np.savez_compressed(tmp, embeddings=self._embeddings,
-                            ids=self._ids,
-                            next_id=np.array(self._next_id))
-        # np.savez appends .npz when missing; our tmp name has none.
-        tmp_written = tmp if tmp.exists() else tmp.with_suffix(
-            tmp.suffix + ".npz")
-        os.replace(tmp_written, path)
+        atomic_savez(path, compressed=True,
+                     embeddings=self._embeddings, ids=self._ids,
+                     next_id=np.array(self._next_id))
 
     @classmethod
     def load(cls, path: PathLike, model: Optional[MetricModel],

@@ -67,3 +67,26 @@ class ShardUnavailableError(ServiceUnavailableError):
 class ReloadError(ReproError):
     """A zero-downtime bundle reload could not be prepared or activated;
     the serving tier keeps answering from the old generation."""
+
+
+class WALCorruptionError(CorruptArtifactError):
+    """A write-ahead log is corrupted *mid-stream*: a record failed its
+    checksum (or framing) and at least one structurally valid record
+    follows it, so the damage cannot be explained as a torn tail from a
+    crash during append. Recovery refuses to guess and raises instead of
+    silently dropping acknowledged mutations.
+
+    A torn tail — garbage with **no** valid record after it — is the
+    expected signature of a crash mid-write and is repaired silently by
+    truncating to the longest valid prefix."""
+
+
+class PartialWriteError(ShardUnavailableError):
+    """A mutation fan-out failed after some shards durably applied their
+    sub-batch. ``applied_ids`` lists exactly the ids that are on disk
+    (WAL-acknowledged), so callers can retry the remainder idempotently:
+    re-sending an already-applied id is a no-op at the shard."""
+
+    def __init__(self, message, applied_ids=()):
+        super().__init__(message)
+        self.applied_ids = list(applied_ids)

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core.atomicio import atomic_replace, atomic_write_text
 from ..exceptions import ConfigurationError, CorruptArtifactError
 
 PathLike = Union[str, Path]
@@ -562,7 +563,7 @@ class IVFIndex:
                     "shape": list(array.shape),
                 }
                 offset += len(raw)
-        os.replace(tmp, data_path)
+        atomic_replace(tmp, data_path)
         manifest = {
             "schema": IVF_SCHEMA,
             "dim": self.dim,
@@ -581,10 +582,9 @@ class IVFIndex:
                      "sha256": _sha256_file(data_path)},
             "arrays": manifest_arrays,
         }
-        tmp_manifest = path / (MANIFEST_NAME + f".tmp-{os.getpid()}")
-        tmp_manifest.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp_manifest, path / MANIFEST_NAME)
+        atomic_write_text(path / MANIFEST_NAME,
+                          json.dumps(manifest, indent=2, sort_keys=True)
+                          + "\n")
         return path
 
     @classmethod

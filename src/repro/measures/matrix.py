@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.atomicio import atomic_replace
 from ..exceptions import PrecomputeError
 from .base import TrajectoryMeasure
 
@@ -114,7 +115,7 @@ def _cache_store(cache_dir: Optional[str], key: str,
         with os.fdopen(fd, "wb") as handle:
             # String payload, not numeric data.  # repro: disable=dtype-discipline
             np.savez(handle, matrix=matrix, key=np.asarray(key))
-        os.replace(tmp, path)  # atomic publish; safe under parallel warm-up
+        atomic_replace(tmp, path)  # atomic publish; safe under parallel warm-up
     except OSError:
         if os.path.exists(tmp):
             os.unlink(tmp)

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..core.atomicio import atomic_replace, atomic_write_text
 from ..exceptions import CheckpointError
 
 PathLike = Union[str, Path]
@@ -108,10 +109,9 @@ class CheckpointManager:
             return {"schema": CHECKPOINT_SCHEMA, "checkpoints": {}}
 
     def _write_manifest(self, manifest: Dict) -> None:
-        tmp = self._manifest_path().with_name(
-            MANIFEST_NAME + f".tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, self._manifest_path())
+        atomic_write_text(self._manifest_path(),
+                          json.dumps(manifest, indent=2, sort_keys=True)
+                          + "\n")
 
     # ------------------------------------------------------------------ save
 
@@ -138,7 +138,7 @@ class CheckpointManager:
         try:
             with open(tmp, "wb") as handle:
                 np.savez_compressed(handle, **payload)
-            os.replace(tmp, path)
+            atomic_replace(tmp, path)
         except OSError as exc:
             if tmp.exists():
                 tmp.unlink()

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from .. import __version__
+from ..core.atomicio import atomic_write_text
 from ..core.model import MetricModel, NeuTraj
 from ..core.siamese import SiameseTraj
 from ..core.store import EmbeddingStore
@@ -171,9 +172,8 @@ def save_bundle(path: PathLike, model: MetricModel,
                   for name in files},
         "user_metadata": metadata or {},
     }
-    tmp = path / (MANIFEST_NAME + f".tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path / MANIFEST_NAME)
+    atomic_write_text(path / MANIFEST_NAME,
+                      json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -28,6 +28,9 @@ POST        ``/admin/compact``       ``{}`` -> ``{"compacted": {"0": true}}``
 POST        ``/admin/reload``        ``{"partition_dir": ..., "bundle_dir":
                                      ...}`` -> generation-flip report (sharded
                                      tier only; 409 when unsupported/failed)
+POST        ``/admin/restart/<id>``  respawn one shard worker; on a durable
+                                     tier it recovers snapshot + WAL (sharded
+                                     tier only; 409 when unsupported)
 ==========  =======================  ==========================================
 
 Serves either tier: a single-process
@@ -53,8 +56,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from ..exceptions import (DeadlineExceededError, InvalidTrajectoryError,
-                          NotFittedError, ReloadError, ServiceClosedError,
-                          ServiceOverloadedError, ServiceUnavailableError)
+                          NotFittedError, PartialWriteError, ReloadError,
+                          ServiceClosedError, ServiceOverloadedError,
+                          ServiceUnavailableError)
 from .service import SimilarityService
 
 __all__ = ["ServingHTTPServer", "make_server", "serve"]
@@ -154,6 +158,11 @@ class _Handler(BaseHTTPRequestHandler):
         except DeadlineExceededError as exc:
             status = 504
             self._send_error_json(status, str(exc))
+        except PartialWriteError as exc:
+            # The durably applied ids let the client retry idempotently.
+            status = 503
+            self._send_json(status, {"error": str(exc),
+                                     "applied_ids": exc.applied_ids})
         except (ServiceUnavailableError, ServiceClosedError) as exc:
             status = 503
             self._send_error_json(status, str(exc))
@@ -191,6 +200,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._route(self._post_compact)
         elif self.path == "/admin/reload":
             self._route(self._post_reload)
+        elif self.path.startswith("/admin/restart/"):
+            self._route(self._post_restart)
         else:
             self._route(self._not_found)
 
@@ -300,6 +311,27 @@ class _Handler(BaseHTTPRequestHandler):
         result = reload_fn(partition_dir=payload.get("partition_dir"),
                            bundle_dir=payload.get("bundle_dir"))
         self._send_json(200, result)
+        return 200
+
+    def _post_restart(self) -> int:
+        # Body is optional; the shard id rides in the path.
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(min(length, MAX_BODY_BYTES))
+        suffix = self.path[len("/admin/restart/"):]
+        try:
+            shard_id = int(suffix)
+        except ValueError:
+            self._send_error_json(400, f"shard id must be an integer, "
+                                       f"got {suffix!r}")
+            return 400
+        restart_fn = getattr(self.service, "restart_shard", None)
+        if restart_fn is None:
+            raise ReloadError(
+                "this service has no shard workers to restart "
+                "(sharded tier only)")
+        result = restart_fn(shard_id)
+        self._send_json(200, {"restarted": shard_id, "shard": result})
         return 200
 
 

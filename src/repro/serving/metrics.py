@@ -16,7 +16,7 @@ import math
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry",
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_LATENCY_BUCKETS", "DEFAULT_SIZE_BUCKETS"]
 
 #: Latency buckets in seconds — 0.5 ms .. 2.5 s, roughly log-spaced.
@@ -75,6 +75,57 @@ class Counter:
 
     def snapshot(self) -> float:
         return self.value
+
+
+class Gauge:
+    """A settable value, optionally split by a label set.
+
+    ``set(value)`` drives the unlabelled series; ``set(value, shard="3")``
+    drives one labelled child per distinct label combination (rendered as
+    ``name{shard="3"} value``). The sharded tier uses labelled gauges for
+    per-shard health — breaker state, last WAL fsync latency — where a
+    counter's monotonicity would hide recoveries.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._values: "Dict[Tuple[Tuple[str, str], ...], float]" = {}
+
+    @staticmethod
+    def _key(labels: Dict[str, str]) -> "Tuple[Tuple[str, str], ...]":
+        for label in labels:
+            _check_name(label)
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def get(self, **labels) -> Optional[float]:
+        with self._lock:
+            return self._values.get(self._key(labels))
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = []
+        for key, value in items:
+            if key:
+                rendered = ",".join(f'{k}="{v}"' for k, v in key)
+                lines.append(f"{self.name}{{{rendered}}} "
+                             f"{_format_value(value)}")
+            else:
+                lines.append(f"{self.name} {_format_value(value)}")
+        return lines
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {(",".join(f"{k}={v}" for k, v in key) if key else ""):
+                    value for key, value in sorted(self._values.items())}
 
 
 class Histogram:
@@ -183,6 +234,9 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
 
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS

@@ -40,6 +40,22 @@ Fault injection: ``request_hooks={shard_id: hook}`` installs an object
 whose ``trigger()`` runs in the worker before each request —
 :class:`repro.testing.faults.KillWorkerOnce` slots in directly, which is
 how the degraded-mode tests kill exactly one shard exactly once.
+``wal_hooks={shard_id: hook}`` reaches deeper: the hook fires inside the
+WAL append path (``after_write`` / ``before_fsync`` / ``after_fsync``),
+which is how the crash-chaos tests kill a worker mid-group-commit.
+
+Durability (``durable_dir=...``): each worker keeps a per-shard
+write-ahead log (:mod:`repro.serving.wal`) and acknowledges a mutation
+only after its record is fsynced, so ``restart_shard`` and a cold
+coordinator start recover to an id-identical store (snapshot + WAL
+replay) including the coordinator's ``_next_id``. With
+``config.replicas > 0`` each shard also runs warm-standby workers that
+tail the primary's acked WAL; when a primary dies the coordinator
+*promotes* a replica (it catches up to the end of the log, repairs any
+torn tail, and takes over the WAL for append) instead of degrading to a
+partial answer, then respawns a replacement replica that rebuilds from
+the shared snapshot+WAL. The old primary is always torn down before
+promotion so the log never has two appenders.
 """
 
 from __future__ import annotations
@@ -60,19 +76,24 @@ import numpy as np
 
 from ..core.partition import (HashRing, load_partition,
                               load_partition_manifest)
+from ..core.store import EmbeddingStore
 from ..datasets.trajectory import Trajectory
 from ..exceptions import (ConfigurationError, CorruptArtifactError,
                           DeadlineExceededError, InvalidTrajectoryError,
-                          NotFittedError, ReloadError, ReproError,
-                          ServiceClosedError, ServiceOverloadedError,
-                          ServiceUnavailableError, ShardUnavailableError)
+                          NotFittedError, PartialWriteError, ReloadError,
+                          ReproError, ServiceClosedError,
+                          ServiceOverloadedError, ServiceUnavailableError,
+                          ShardUnavailableError)
 from ..resilience.admission import AdmissionGate
+from ..resilience.breaker import CLOSED as _BREAKER_CLOSED
 from ..resilience.breaker import CircuitBreaker
 from .batching import MicroBatcher
 from .bundle import load_bundle_model
 from .metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from .router import group_by_shard, merge_top_k
 from .service import TopKResult
+from .wal import (OP_DELETE, OP_INSERT, ShardDurability, ShardWAL,
+                  WALGapError, WALTailer)
 
 PathLike = Union[str, Path]
 
@@ -130,6 +151,15 @@ class ShardedConfig:
     default_timeout_s:
         Per-request deadline when the caller does not pass one
         (``None`` disables deadlines by default).
+    fsync_window_ms:
+        Group-commit window for durable tiers: 0 fsyncs on every ack;
+        a positive window batches fsyncs, trading up to that much ack
+        latency for amortised disk flushes under concurrent writers.
+    wal_segment_bytes:
+        WAL log-rotation threshold per shard.
+    replicas:
+        Warm-standby workers per shard tailing the primary's acked WAL;
+        requires ``durable_dir`` on the service. 0 disables replication.
     """
 
     index: str = "exact"
@@ -145,6 +175,9 @@ class ShardedConfig:
     breaker_failure_threshold: int = 3
     breaker_reset_s: float = 5.0
     default_timeout_s: Optional[float] = 30.0
+    fsync_window_ms: float = 0.0
+    wal_segment_bytes: int = 64 << 20
+    replicas: int = 0
 
     def __post_init__(self) -> None:
         if self.index not in ("exact", "ivf"):
@@ -176,40 +209,141 @@ class ShardedConfig:
                 and self.default_timeout_s <= 0):
             raise ConfigurationError(
                 "default_timeout_s must be positive (or None)")
+        if self.fsync_window_ms < 0:
+            raise ConfigurationError("fsync_window_ms must be >= 0")
+        if self.wal_segment_bytes < 4096:
+            raise ConfigurationError("wal_segment_bytes must be >= 4096")
+        if self.replicas < 0:
+            raise ConfigurationError("replicas must be >= 0")
 
 
 # --------------------------------------------------------------------- worker
 
 
-def _load_generation(shard_id: int, boot: Dict) -> Dict:
+def _backend_spec(boot: Dict) -> Tuple[str, Dict]:
+    """(backend name, backend options) from a boot spec."""
+    if boot.get("index") == "ivf":
+        return "ivf", {"nlist": boot.get("nlist", 0),
+                       "nprobe": boot.get("nprobe", 8)}
+    return boot.get("index", "exact"), {}
+
+
+def _shard_base_tag(boot: Dict, shard_id: int) -> str:
+    """sha256 of the shard's partition file — the durability base tag.
+
+    Snapshot + WAL state only composes with the exact partition bytes
+    it was recorded against; a reload (new bytes, new tag) resets it.
+    """
+    manifest = load_partition_manifest(boot["partition_dir"])
+    return str(manifest["shards"][shard_id]["sha256"])
+
+
+def _apply_wal_record(store: EmbeddingStore, record) -> List[int]:
+    """Idempotently apply one WAL record; returns the ids it touched.
+
+    Replay-safe by construction: inserts skip ids already present,
+    deletes skip ids already gone — so replaying a prefix that partially
+    overlaps the snapshot (or a coordinator retry after failover) never
+    double-applies.
+    """
+    if record.op == OP_INSERT:
+        fresh = ~store.contains(record.ids)
+        if not fresh.any():
+            return []
+        return store.add_embeddings(record.embeddings[fresh],
+                                    ids=record.ids[fresh])
+    present = store.contains(record.ids)
+    if not present.any():
+        return []
+    touched = [int(i) for i in record.ids[present]]
+    store.remove(touched)
+    return touched
+
+
+def _recover_durable(shard_id: int, boot: Dict, model, wal_hook,
+                     prebuilt_store: Optional[EmbeddingStore] = None
+                     ) -> Tuple[EmbeddingStore, Dict]:
+    """Recover a durable shard: snapshot (or base partition) + WAL replay.
+
+    Primaries open the WAL for append — repairing a torn tail — and
+    replay every record past the snapshot's ``applied_lsn``; replicas
+    attach a read-only tailer instead (they must never truncate or
+    append the shared log). Returns ``(store, dur_state)`` where
+    ``dur_state`` carries the durability handles the dispatch loop uses.
+    """
+    role = boot.get("role", "primary")
+    base = _shard_base_tag(boot, shard_id)
+    dur = ShardDurability(Path(boot["durable_dir"]) / f"shard-{shard_id:04d}",
+                          base, read_only=(role == "replica"))
+    backend, options = _backend_spec(boot)
+    snapshot = dur.snapshot_path()
+    if snapshot is not None:
+        store = EmbeddingStore.load(snapshot, model=model, backend=backend,
+                                    **options)
+    elif prebuilt_store is not None:
+        store = prebuilt_store
+    else:
+        store = load_partition(boot["partition_dir"], shard_id, model=model,
+                               backend=backend, **options)
+    applied = dur.applied_lsn
+    if role == "replica":
+        tailer = WALTailer(dur.directory, applied_lsn=applied)
+        for record in tailer.poll():
+            _apply_wal_record(store, record)
+        return store, {"dur": dur, "wal": None, "tailer": tailer,
+                       "applied_lsn": tailer.last_lsn, "role": role}
+    wal = ShardWAL(dur.directory,
+                   segment_bytes=boot.get("wal_segment_bytes", 64 << 20),
+                   fsync_window_ms=boot.get("fsync_window_ms", 0.0),
+                   hook=wal_hook)
+    for record in wal.drain_recovered():
+        if record.lsn <= applied:
+            continue
+        _apply_wal_record(store, record)
+        applied = record.lsn
+    return store, {"dur": dur, "wal": wal, "tailer": None,
+                   "applied_lsn": applied, "role": role}
+
+
+def _load_generation(shard_id: int, boot: Dict, wal_hook=None,
+                     attach_durability: bool = True) -> Dict:
     """Load one (partition, model) generation from a boot spec.
 
     ``boot`` keys: ``partition_dir`` (required), ``bundle_dir``
     (optional encoder replica — ``None`` gives a search-only worker),
-    ``index``/``nlist``/``nprobe`` (per-shard backend).
+    ``index``/``nlist``/``nprobe`` (per-shard backend), and for durable
+    tiers ``durable_dir``/``fsync_window_ms``/``wal_segment_bytes``/
+    ``role``. ``attach_durability=False`` loads the partition only —
+    the reload *prepare* path, which must not touch the WAL the active
+    generation still appends to.
     """
     model = None
     if boot.get("bundle_dir"):
         model, _ = load_bundle_model(boot["bundle_dir"])
-    options = ({"nlist": boot.get("nlist", 0),
-                "nprobe": boot.get("nprobe", 8)}
-               if boot.get("index") == "ivf" else {})
-    store = load_partition(boot["partition_dir"], shard_id, model=model,
-                           backend=boot.get("index", "exact"), **options)
-    return {"store": store, "model": model, "boot": dict(boot)}
+    if boot.get("durable_dir") and attach_durability:
+        store, dur_state = _recover_durable(shard_id, boot, model, wal_hook)
+    else:
+        backend, options = _backend_spec(boot)
+        store = load_partition(boot["partition_dir"], shard_id, model=model,
+                               backend=backend, **options)
+        dur_state = None
+    return {"store": store, "model": model, "boot": dict(boot),
+            "dur": dur_state}
 
 
-def _shard_worker_main(conn, shard_id: int, boot: Dict, hook) -> None:
+def _shard_worker_main(conn, shard_id: int, boot: Dict, hook,
+                       wal_hook=None) -> None:
     """Entry point of one shard worker process.
 
     Serial request loop over the pipe: recv ``(req_id, op, payload)``,
     answer ``(req_id, status, result, busy_s)``. The first message is
     unsolicited (req_id 0): a boot report, or the boot error if the
     partition/bundle failed to load. ``hook`` (when given) is triggered
-    before each request — the fault-injection seam.
+    before each request — the fault-injection seam; ``wal_hook`` fires
+    inside the WAL append path (crash-chaos seam).
     """
     try:
-        active = _load_generation(shard_id, boot)
+        active = _load_generation(shard_id, boot, wal_hook=wal_hook)
     except Exception as exc:
         try:
             conn.send((_BOOT_REQ_ID, "error",
@@ -219,16 +353,113 @@ def _shard_worker_main(conn, shard_id: int, boot: Dict, hook) -> None:
         return
     staged: Optional[Dict] = None
     generation = 0
-    conn.send((_BOOT_REQ_ID, "ok",
-               {"shard": shard_id, "pid": os.getpid(),
-                "count": len(active["store"])}, 0.0))
+    boot_report = {"shard": shard_id, "pid": os.getpid(),
+                   "count": len(active["store"])}
+    if active["dur"] is not None:
+        boot_report.update({
+            "role": active["dur"]["role"],
+            "applied_lsn": active["dur"]["applied_lsn"],
+            "next_id": active["store"].next_id})
+    conn.send((_BOOT_REQ_ID, "ok", boot_report, 0.0))
+
+    def require_primary(op: str) -> None:
+        dur = active["dur"]
+        if dur is not None and dur["role"] != "primary":
+            raise ValueError(
+                f"shard {shard_id} replica refuses {op!r}: replicas are "
+                f"read-only tailers until promoted")
+
+    def log_mutation(opcode: int, ids, embeddings=None) -> None:
+        """WAL-first: the record is durable before the store mutates."""
+        dur = active["dur"]
+        if dur is None:
+            return
+        dur["applied_lsn"] = dur["wal"].append(opcode, ids,
+                                               embeddings=embeddings)
+
+    def catch_up() -> Dict:
+        """Replica: apply newly acked primary records; rebuild on gap."""
+        nonlocal active
+        dur = active["dur"]
+        if dur is None or dur["role"] != "replica":
+            raise ValueError(f"shard {shard_id} is not a replica")
+        try:
+            records = dur["tailer"].poll()
+        except WALGapError:
+            # The primary truncated past our cursor (snapshot+truncate
+            # while we lagged): rebuild from the shared snapshot.
+            store, dur_state = _recover_durable(
+                shard_id, active["boot"], active["model"], None)
+            active = {**active, "store": store, "dur": dur_state}
+            return {"applied_lsn": dur_state["applied_lsn"],
+                    "count": len(store), "rebuilt": True}
+        for record in records:
+            _apply_wal_record(active["store"], record)
+        dur["applied_lsn"] = dur["tailer"].last_lsn
+        return {"applied_lsn": dur["applied_lsn"],
+                "count": len(active["store"]), "rebuilt": False}
+
+    def promote() -> Dict:
+        """Replica -> primary: drain the log tail, take over for append.
+
+        The coordinator guarantees the old primary is dead before this
+        runs, so opening the WAL for append (which repairs a torn tail)
+        is safe — there is exactly one appender per shard log.
+        """
+        nonlocal active
+        dur = active["dur"]
+        if dur is None:
+            raise ValueError(f"shard {shard_id} is not durable")
+        if dur["role"] == "primary":
+            return {"count": len(active["store"]),
+                    "next_id": active["store"].next_id,
+                    "applied_lsn": dur["applied_lsn"]}
+        try:
+            for record in dur["tailer"].poll():
+                _apply_wal_record(active["store"], record)
+            applied = dur["tailer"].last_lsn
+        except WALGapError:
+            boot_p = {**active["boot"], "role": "primary"}
+            store, dur_state = _recover_durable(
+                shard_id, boot_p, active["model"], wal_hook)
+            active = {**active, "boot": boot_p, "store": store,
+                      "dur": dur_state}
+            return {"count": len(store), "next_id": store.next_id,
+                    "applied_lsn": dur_state["applied_lsn"]}
+        boot_p = {**active["boot"], "role": "primary"}
+        wal = ShardWAL(dur["dur"].directory,
+                       segment_bytes=boot_p.get("wal_segment_bytes",
+                                                64 << 20),
+                       fsync_window_ms=boot_p.get("fsync_window_ms", 0.0),
+                       hook=wal_hook)
+        # Opening for append repaired any torn tail; replay whatever the
+        # tailer had not seen yet (normally nothing).
+        for record in wal.drain_recovered():
+            if record.lsn <= applied:
+                continue
+            _apply_wal_record(active["store"], record)
+            applied = record.lsn
+        base = dur["dur"]
+        base.read_only = False
+        active = {**active, "boot": boot_p,
+                  "dur": {"dur": base, "wal": wal, "tailer": None,
+                          "applied_lsn": applied, "role": "primary"}}
+        return {"count": len(active["store"]),
+                "next_id": active["store"].next_id,
+                "applied_lsn": applied}
 
     def dispatch(op: str, payload):
         nonlocal active, staged, generation
         store = active["store"]
+        dur = active["dur"]
         if op == "ping":
-            return {"shard": shard_id, "pid": os.getpid(),
-                    "count": len(store), "generation": generation}
+            report = {"shard": shard_id, "pid": os.getpid(),
+                      "count": len(store), "generation": generation}
+            if dur is not None:
+                report.update({"role": dur["role"],
+                               "applied_lsn": dur["applied_lsn"],
+                               "next_id": store.next_id})
+            return report
         if op == "search":
             embedding, k = payload
             if len(store) == 0:
@@ -241,6 +472,7 @@ def _shard_worker_main(conn, shard_id: int, boot: Dict, hook) -> None:
                 return [empty for _ in range(len(embeddings))]
             return [store.query_embedding(e, k) for e in embeddings]
         if op == "insert":
+            require_primary(op)
             ids, kind, data = payload
             if kind == "embeddings":
                 vectors = np.asarray(data)
@@ -251,29 +483,79 @@ def _shard_worker_main(conn, shard_id: int, boot: Dict, hook) -> None:
                         "shard has no encoder replica (search-only); "
                         "send embeddings")
                 vectors = model.embed([Trajectory(p) for p in data])
-            return len(store.add_embeddings(vectors, ids=ids))
+            id_arr = np.asarray(ids, dtype=np.int64)
+            fresh = ~store.contains(id_arr)  # idempotent retry: skip dupes
+            if fresh.any():
+                log_mutation(OP_INSERT, id_arr[fresh],
+                             np.asarray(vectors)[fresh])
+                store.add_embeddings(np.asarray(vectors)[fresh],
+                                     ids=id_arr[fresh])
+            return {"applied": [int(i) for i in id_arr],
+                    "count": int(fresh.sum())}
         if op == "delete":
-            return store.remove(payload)
+            require_primary(op)
+            id_arr = np.unique(np.asarray(list(payload), dtype=np.int64))
+            present = store.contains(id_arr)
+            touched = [int(i) for i in id_arr[present]]
+            if touched:
+                log_mutation(OP_DELETE, id_arr[present])
+                store.remove(touched)
+            return {"removed": len(touched), "ids": touched}
         if op == "compact":
+            require_primary(op)
             compact = getattr(store.backend, "compact", None)
-            if compact is None:
-                return False
-            compact()
-            return True
+            compacted = False
+            if compact is not None:
+                compact()
+                compacted = True
+            if dur is None:
+                return compacted
+            dur["dur"].commit_snapshot(
+                store.save, count=len(store), next_id=store.next_id,
+                applied_lsn=dur["applied_lsn"], wal=dur["wal"])
+            return {"compacted": compacted,
+                    "snapshot_generation": dur["dur"].generation}
+        if op == "catch_up":
+            return catch_up()
+        if op == "promote":
+            return promote()
+        if op == "ids":
+            return sorted(int(i) for i in store.ids)
         if op == "stats":
-            return {"shard": shard_id, "pid": os.getpid(),
-                    "count": len(store), "generation": generation,
-                    "staged": None if staged is None
-                    else len(staged["store"]),
-                    "search": store.search_stats()}
+            report = {"shard": shard_id, "pid": os.getpid(),
+                      "count": len(store), "generation": generation,
+                      "staged": None if staged is None
+                      else len(staged["store"]),
+                      "search": store.search_stats()}
+            if dur is not None:
+                report["durability"] = {
+                    "role": dur["role"],
+                    "applied_lsn": dur["applied_lsn"],
+                    "snapshot_generation": dur["dur"].generation,
+                    "wal": (None if dur["wal"] is None
+                            else dur["wal"].stats())}
+            return report
         if op == "prepare":
-            staged = _load_generation(shard_id, payload)
+            # Load the new generation's partition only: the active
+            # generation still owns the WAL, and a second appender (or a
+            # premature base-tag reset) would corrupt it. Durability
+            # re-attaches at activation.
+            staged = _load_generation(shard_id, payload,
+                                      attach_durability=False)
             return {"count": len(staged["store"])}
         if op == "activate":
             if staged is None:
                 raise ReloadError("activate without a prepared generation")
-            active = staged
+            if dur is not None and dur["wal"] is not None:
+                dur["wal"].close()
+            new = staged
             staged = None
+            if new["boot"].get("durable_dir"):
+                store2, dur_state = _recover_durable(
+                    shard_id, new["boot"], new["model"], wal_hook,
+                    prebuilt_store=new["store"])
+                new = {**new, "store": store2, "dur": dur_state}
+            active = new
             generation += 1
             return {"generation": generation, "count": len(active["store"])}
         if op == "abort":
@@ -309,6 +591,12 @@ def _shard_worker_main(conn, shard_id: int, boot: Dict, hook) -> None:
             break
         if op == "shutdown" and status == "ok":
             break
+    dur = active.get("dur")
+    if dur is not None and dur.get("wal") is not None:
+        try:
+            dur["wal"].close()
+        except OSError:
+            _LOG.exception("shard %d: WAL close failed on exit", shard_id)
     conn.close()
 
 
@@ -329,10 +617,13 @@ class _ShardHandle:
     def __init__(self, shard_id: int, boot: Dict, hook,
                  failure_threshold: int, reset_timeout_s: float,
                  boot_timeout_s: float,
-                 ctx: Optional[multiprocessing.context.BaseContext] = None):
+                 ctx: Optional[multiprocessing.context.BaseContext] = None,
+                 wal_hook=None):
         self.shard_id = shard_id
         self._boot = dict(boot)
         self._hook = hook
+        self._wal_hook = wal_hook
+        self.boot_info: Dict = {}
         self._failure_threshold = failure_threshold
         self._reset_timeout_s = reset_timeout_s
         self._boot_timeout_s = boot_timeout_s
@@ -359,7 +650,8 @@ class _ShardHandle:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_shard_worker_main,
-            args=(child_conn, self.shard_id, self._boot, self._hook),
+            args=(child_conn, self.shard_id, self._boot, self._hook,
+                  self._wal_hook),
             name=f"repro-shard-{self.shard_id}", daemon=True)
         proc.start()
         child_conn.close()
@@ -371,6 +663,7 @@ class _ShardHandle:
             self._teardown_locked()
             raise ShardUnavailableError(
                 f"shard {self.shard_id} failed to boot: {reply[2]}")
+        self.boot_info = reply[2] if isinstance(reply[2], dict) else {}
 
     def _teardown_locked(self) -> None:
         """Close the pipe and reap the process. Caller must hold
@@ -526,41 +819,61 @@ class ShardedService:
         ``{shard_id: hook}`` fault-injection hooks; each worker calls
         ``hook.trigger()`` before every request (see
         :class:`repro.testing.faults.KillWorkerOnce`).
+    durable_dir:
+        Root directory for per-shard WALs and snapshots. ``None`` keeps
+        the pre-durability behaviour: mutations live only in worker
+        memory and restarts rebuild from the partition files.
+    wal_hooks:
+        ``{shard_id: hook}`` crash-injection hooks fired inside the
+        primary's WAL append path (see
+        :class:`repro.testing.faults.KillAtWALPoint`).
     """
 
     def __init__(self, partition_dir: PathLike,
                  bundle_dir: Optional[PathLike] = None,
                  config: Optional[ShardedConfig] = None,
-                 request_hooks: Optional[Dict] = None):
+                 request_hooks: Optional[Dict] = None,
+                 durable_dir: Optional[PathLike] = None,
+                 wal_hooks: Optional[Dict] = None):
         self.config = config or ShardedConfig()
         self.partition_dir = Path(partition_dir)
         self.bundle_dir = None if bundle_dir is None else Path(bundle_dir)
+        self.durable_dir = None if durable_dir is None else Path(durable_dir)
+        if self.config.replicas > 0 and self.durable_dir is None:
+            raise ConfigurationError(
+                "replicas require durable_dir: a standby tails the "
+                "primary's WAL, which only exists on a durable tier")
         manifest = load_partition_manifest(self.partition_dir)
         self.num_shards = int(manifest["num_shards"])
         self._dim = int(manifest["embedding_dim"])
         self._ring = HashRing(self.num_shards,
                               vnodes=int(manifest["vnodes"]))
         hooks = dict(request_hooks or {})
-        boot = {"partition_dir": str(self.partition_dir),
-                "bundle_dir": None if self.bundle_dir is None
-                else str(self.bundle_dir),
-                "index": self.config.index, "nlist": self.config.nlist,
-                "nprobe": self.config.nprobe}
+        self._wal_hooks = dict(wal_hooks or {})
+        boot = self._boot_spec(self.partition_dir, self.bundle_dir)
         # Workers MUST fork before any coordinator thread exists
         # (micro-batcher, scatter pool): forking a threaded process can
         # deadlock the child on locks held by threads that don't exist
         # there.
         ctx = multiprocessing.get_context("fork")
+        self._ctx = ctx
         self._shards: List[_ShardHandle] = []
+        self._replicas: Dict[int, List[_ShardHandle]] = {
+            s: [] for s in range(self.num_shards)}
         try:
             for shard_id in range(self.num_shards):
                 self._shards.append(_ShardHandle(
                     shard_id, boot, hooks.get(shard_id),
                     self.config.breaker_failure_threshold,
                     self.config.breaker_reset_s,
-                    self.config.boot_timeout_s, ctx=ctx))
+                    self.config.boot_timeout_s, ctx=ctx,
+                    wal_hook=self._wal_hooks.get(shard_id)))
+            for shard_id in range(self.num_shards):
+                for _ in range(self.config.replicas):
+                    self._replicas[shard_id].append(
+                        self._spawn_replica_handle(shard_id))
         except Exception:
-            for handle in self._shards:
+            for handle in self._all_handles():
                 handle.close()
             raise
 
@@ -584,6 +897,7 @@ class ShardedService:
         self._generation = 0
         self._closed = False
         self._warmed = False
+        self._failover_lock = threading.Lock()
 
         reg = self.registry
         self._m_queries = reg.counter(
@@ -626,6 +940,15 @@ class ShardedService:
         self._h_batch_size = reg.histogram(
             "repro_encode_batch_size", "Trajectories per encoder batch.",
             buckets=DEFAULT_SIZE_BUCKETS)
+        self._m_failovers = reg.counter(
+            "repro_failovers_total",
+            "Replica promotions after a primary failure.")
+        self._g_breaker = reg.gauge(
+            "repro_shard_breaker_open",
+            "1 when the shard's circuit breaker is open/half-open.")
+        self._g_fsync = reg.gauge(
+            "repro_wal_fsync_seconds",
+            "Duration of the shard's most recent WAL fsync.")
 
         self._gate = AdmissionGate(self.config.max_inflight)
         self.breaker = CircuitBreaker(
@@ -643,6 +966,146 @@ class ShardedService:
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, self.num_shards),
             thread_name_prefix="repro-scatter")
+        if self.durable_dir is not None:
+            # WAL replay may have advanced shards past the partition
+            # manifest's id space; adopt the workers' recovered state.
+            self._resync_id_space()
+
+    # ---------------------------------------------------- durability plumbing
+
+    def _boot_spec(self, partition_dir: Path,
+                   bundle_dir: Optional[Path]) -> Dict:
+        """The boot dict every worker (primary and replica) forks with."""
+        return {"partition_dir": str(partition_dir),
+                "bundle_dir": None if bundle_dir is None else str(bundle_dir),
+                "index": self.config.index, "nlist": self.config.nlist,
+                "nprobe": self.config.nprobe,
+                "durable_dir": (None if self.durable_dir is None
+                                else str(self.durable_dir)),
+                "fsync_window_ms": self.config.fsync_window_ms,
+                "wal_segment_bytes": self.config.wal_segment_bytes,
+                "role": "primary"}
+
+    def _all_handles(self) -> List[_ShardHandle]:
+        handles = list(self._shards)
+        for standby in self._replicas.values():
+            handles.extend(standby)
+        return handles
+
+    def _spawn_replica_handle(self, shard_id: int) -> _ShardHandle:
+        """Fork one warm-standby worker for ``shard_id``.
+
+        Safe to call after coordinator threads exist *only* because
+        replica workers re-exec nothing and take no coordinator locks —
+        but the initial fleet is still forked before any thread starts;
+        post-thread spawns reuse the same (fork) path the existing
+        ``restart_shard`` admin action already exercises.
+        """
+        boot = {**self._boot_spec(self.partition_dir, self.bundle_dir),
+                "role": "replica"}
+        return _ShardHandle(
+            shard_id, boot, None,
+            self.config.breaker_failure_threshold,
+            self.config.breaker_reset_s,
+            self.config.boot_timeout_s, ctx=self._ctx)
+
+    def _resync_id_space(self) -> None:
+        """Adopt recovered per-shard state into the coordinator's counters.
+
+        After WAL replay a shard may hold rows (and a ``next_id``
+        high-water mark) the partition manifest has never heard of; the
+        global id space must start past every shard's recovered ids or a
+        fresh insert would collide with a recovered one.
+        """
+        counts: List[int] = []
+        next_ids: List[int] = []
+        for handle in self._shards:
+            try:
+                info = handle.call("ping", None, self.config.boot_timeout_s)
+            except (ShardUnavailableError, ShardRequestError) as exc:
+                _LOG.warning("id-space resync skipped shard %d: %s",
+                             handle.shard_id, exc)
+                continue
+            counts.append(int(info.get("count", 0)))
+            if "next_id" in info:
+                next_ids.append(int(info["next_id"]))
+        with self._lock:
+            self._next_id = max([self._next_id] + next_ids)
+            if len(counts) == self.num_shards:
+                self._count = sum(counts)
+
+    def _tail_replicas(self, shard_id: int) -> None:
+        """Nudge the shard's standbys to apply newly acked WAL records."""
+        for replica in self._replicas.get(shard_id, ()):
+            try:
+                replica.call("catch_up", None, self.config.request_timeout_s)
+            except (ShardUnavailableError, ShardRequestError) as exc:
+                _LOG.warning("replica catch-up failed on shard %d: %s",
+                             shard_id, exc)
+
+    def _promote(self, shard_id: int, failed: _ShardHandle) -> None:
+        """Promote a standby to primary after the primary failed.
+
+        Serialised under ``_failover_lock``; racing scatter legs that
+        all saw the same dead primary are detected by handle identity —
+        promotion swaps the handle, so a ``failed`` that is no longer
+        installed means another leg already promoted. (Liveness checks
+        race here: right after SIGKILL ``Process.is_alive()`` can still
+        report True, and one failure leaves the breaker closed.) The old
+        primary's handle is closed (worker terminated) *before* the
+        standby takes over the WAL so the log never has two appenders.
+        """
+        with self._failover_lock:
+            current = self._shards[shard_id]
+            if current is not failed:
+                return  # another caller already promoted
+            standbys = self._replicas.get(shard_id, [])
+            if not standbys:
+                raise ShardUnavailableError(
+                    f"shard {shard_id} is down and has no replica")
+            current.close()
+            replica = standbys.pop(0)
+            try:
+                info = replica.call("promote", None,
+                                    self.config.boot_timeout_s)
+            except (ShardUnavailableError, ShardRequestError) as exc:
+                replica.close()
+                raise ShardUnavailableError(
+                    f"shard {shard_id}: replica promotion failed: "
+                    f"{exc}") from exc
+            replica._boot["role"] = "primary"
+            replica._hook = current._hook
+            self._shards[shard_id] = replica
+            self._m_failovers.inc()
+            with self._lock:
+                self._next_id = max(self._next_id,
+                                    int(info.get("next_id", 0)))
+            _LOG.warning(
+                "shard %d: promoted replica (count=%d, applied_lsn=%d)",
+                shard_id, info.get("count", -1), info.get("applied_lsn", -1))
+            try:
+                standbys.append(self._spawn_replica_handle(shard_id))
+            except (ShardUnavailableError, OSError) as exc:
+                _LOG.warning("shard %d: could not respawn a replacement "
+                             "replica: %s", shard_id, exc)
+
+    def _shard_call(self, shard_id: int, op: str, payload,
+                    timeout: Optional[float]):
+        """One shard request with transparent failover.
+
+        On a transport failure the coordinator promotes a standby (when
+        one exists) and retries the request exactly once — callers see a
+        complete answer instead of a partial/failed one. Mutation retry
+        is safe because shard mutations are idempotent by id.
+        """
+        handle = self._shards[shard_id]
+        try:
+            return handle.call(op, payload, timeout)
+        except ShardUnavailableError:
+            if not self._replicas.get(shard_id):
+                raise
+            self._promote(shard_id, handle)
+            return self._shards[shard_id].call(op, payload, timeout)
 
     # ------------------------------------------------------------ encoder path
 
@@ -802,7 +1265,7 @@ class ShardedService:
         targets = (range(self.num_shards) if shard_ids is None
                    else list(shard_ids))
         timeout = self._call_timeout(deadline)
-        futures = {s: self._pool.submit(self._shards[s].call, op, payload,
+        futures = {s: self._pool.submit(self._shard_call, s, op, payload,
                                         timeout)
                    for s in targets}
         results: Dict[int, object] = {}
@@ -877,24 +1340,32 @@ class ShardedService:
             self._next_id += embeddings.shape[0]
         groups = group_by_shard(self._ring, assigned)
         inserted = 0
+        applied: List[int] = []
         failed: List[int] = []
         for shard_id, positions in groups.items():
             ids = [assigned[p] for p in positions]
             payload = (ids, "embeddings", embeddings[positions])
             try:
-                inserted += int(self._shards[shard_id].call(
-                    "insert", payload, self._call_timeout(deadline)))
+                result = self._shard_call(shard_id, "insert", payload,
+                                          self._call_timeout(deadline))
             except ShardUnavailableError:
                 self._m_shard_failures.inc()
                 failed.append(shard_id)
+                continue
+            inserted += int(result["count"])
+            applied.extend(int(i) for i in result["applied"])
+            self._tail_replicas(shard_id)
         with self._lock:
             self._count += inserted
             self._generation += 1
         self._m_inserts.inc(inserted)
         if failed:
-            raise ShardUnavailableError(
+            # Only count durably applied sub-batches; the caller can
+            # retry the whole batch — re-sent ids no-op at the shard.
+            raise PartialWriteError(
                 f"insert lost rows owned by unavailable shard(s) {failed} "
-                f"({inserted} of {len(assigned)} rows inserted)")
+                f"({inserted} of {len(assigned)} rows inserted)",
+                applied_ids=applied)
         return assigned
 
     def delete(self, ids: Sequence[int]) -> int:
@@ -904,23 +1375,29 @@ class ShardedService:
             return 0
         groups = group_by_shard(self._ring, id_list)
         removed = 0
+        deleted_ids: List[int] = []
         failed: List[int] = []
         for shard_id, positions in groups.items():
             owned = [id_list[p] for p in positions]
             try:
-                removed += int(self._shards[shard_id].call(
-                    "delete", owned, self.config.request_timeout_s))
+                result = self._shard_call(shard_id, "delete", owned,
+                                          self.config.request_timeout_s)
             except ShardUnavailableError:
                 self._m_shard_failures.inc()
                 failed.append(shard_id)
+                continue
+            removed += int(result["removed"])
+            deleted_ids.extend(int(i) for i in result["ids"])
+            self._tail_replicas(shard_id)
         with self._lock:
             self._count -= removed
             self._generation += 1
         self._m_deletes.inc(removed)
         if failed:
-            raise ShardUnavailableError(
+            raise PartialWriteError(
                 f"delete could not reach shard(s) {failed} "
-                f"({removed} rows removed elsewhere)")
+                f"({removed} rows removed elsewhere)",
+                applied_ids=deleted_ids)
         return removed
 
     # ----------------------------------------------------------- maintenance
@@ -931,9 +1408,19 @@ class ShardedService:
         Returns ``{shard: compacted}`` — ``False`` means the shard's
         backend has nothing to compact (exact scan). Unavailable shards
         are omitted (compaction is advisory; they compact on restart).
+
+        On a durable tier this also folds each shard's live store into a
+        fresh checksummed snapshot generation and truncates its WAL;
+        replicas are caught up *first* so truncation cannot strand them
+        mid-log (a lagging replica that still misses records rebuilds
+        from the new snapshot via the WAL-gap path).
         """
+        if self.durable_dir is not None:
+            for shard_id in range(self.num_shards):
+                self._tail_replicas(shard_id)
         results, _ = self._scatter("compact", None, None)
-        return {s: bool(v) for s, v in results.items()}
+        return {s: (bool(v["compacted"]) if isinstance(v, dict) else bool(v))
+                for s, v in results.items()}
 
     def reload(self, partition_dir: Optional[PathLike] = None,
                bundle_dir: Optional[PathLike] = None) -> Dict:
@@ -972,10 +1459,7 @@ class ShardedService:
             if new_model.config.embedding_dim != self._dim:
                 raise ReloadError(
                     "new bundle's embedding_dim does not match the tier")
-        boot = {"partition_dir": str(new_partition),
-                "bundle_dir": None if new_bundle is None else str(new_bundle),
-                "index": self.config.index, "nlist": self.config.nlist,
-                "nprobe": self.config.nprobe}
+        boot = self._boot_spec(new_partition, new_bundle)
 
         prepared, failed = self._scatter("prepare", boot, None)
         if failed or len(prepared) < self.num_shards:
@@ -1001,6 +1485,17 @@ class ShardedService:
                              shard_id)
         for handle in self._shards:
             handle._boot = dict(boot)
+        for shard_id, standbys in self._replicas.items():
+            for replica in standbys:
+                # Standbys tail the old generation's WAL, which the new
+                # base tag just invalidated: restart them onto the new
+                # generation (a standby restart never blocks serving).
+                replica._boot = {**boot, "role": "replica"}
+                try:
+                    replica.restart()
+                except ShardUnavailableError as exc:
+                    _LOG.warning("shard %d replica restart after reload "
+                                 "failed: %s", shard_id, exc)
         self.partition_dir = new_partition
         self.bundle_dir = new_bundle
         if new_model is not None:
@@ -1017,10 +1512,17 @@ class ShardedService:
                 "total_count": int(manifest["total_count"])}
 
     def restart_shard(self, shard_id: int) -> Dict:
-        """Respawn one worker from its current boot spec (admin path)."""
+        """Respawn one worker from its current boot spec (admin path).
+
+        On a durable tier the restarted worker recovers snapshot + WAL,
+        and the coordinator re-adopts its id space so recovered rows
+        survive the restart id-identically.
+        """
         if not 0 <= shard_id < self.num_shards:
             raise ValueError(f"no shard {shard_id}")
         self._shards[shard_id].restart()
+        if self.durable_dir is not None:
+            self._resync_id_space()
         return self._shards[shard_id].stats()
 
     # ------------------------------------------------------------- lifecycle
@@ -1107,6 +1609,17 @@ class ShardedService:
                 "encoder_breaker": self.breaker.stats(),
                 "admission": self._gate.stats(),
             },
+            "durability": {
+                "durable_dir": (None if self.durable_dir is None
+                                else str(self.durable_dir)),
+                "fsync_window_ms": self.config.fsync_window_ms,
+                "replicas": self.config.replicas,
+                "failovers": self._m_failovers.value,
+                "replica_handles": {
+                    str(s): [r.stats() for r in standbys]
+                    for s, standbys in sorted(self._replicas.items())
+                    if standbys},
+            },
             "readiness": self.readiness(),
             "uptime_seconds": time.monotonic() - self._started,
             "metrics": self.registry.snapshot(),
@@ -1114,6 +1627,21 @@ class ShardedService:
 
     def render_metrics(self) -> str:
         """Prometheus text exposition (the ``/metrics`` body)."""
+        for handle in self._shards:
+            is_open = handle.breaker.state != _BREAKER_CLOSED
+            self._g_breaker.set(1.0 if is_open else 0.0,
+                                shard=str(handle.shard_id))
+        if self.durable_dir is not None and not self._closed:
+            try:
+                worker_stats, _ = self._scatter("stats", None, None)
+            except (ReproError, OSError) as exc:
+                _LOG.warning("metrics: worker stats scatter failed: %s", exc)
+                worker_stats = {}
+            for s, report in worker_stats.items():
+                wal = (report.get("durability") or {}).get("wal") or {}
+                if "last_fsync_seconds" in wal:
+                    self._g_fsync.set(float(wal["last_fsync_seconds"]),
+                                      shard=str(s))
         return self.registry.render()
 
     @property
@@ -1129,7 +1657,7 @@ class ShardedService:
         if self._batcher is not None:
             self._batcher.close(drain=drain)
         self._pool.shutdown(wait=True)
-        for handle in self._shards:
+        for handle in self._all_handles():
             handle.close()
 
     def __enter__(self) -> "ShardedService":

@@ -12,6 +12,10 @@ scripted and reproducible:
 * :class:`KillWorkerOnce` — a measure wrapper that SIGKILLs the worker
   process evaluating it, exactly once per marker file; exercises the
   precompute driver's dead-worker path.
+* :class:`KillAtWALPoint` — a WAL-append hook that SIGKILLs a shard
+  worker at a chosen point of the group-commit path (after the write,
+  before the fsync, after the fsync); drives the crash-chaos durability
+  property tests.
 * :class:`HangInWorker` — a measure wrapper that sleeps only inside
   *child* processes, so per-chunk timeouts fire in the pool while the
   parent's serial fallback still computes the true values.
@@ -37,8 +41,8 @@ import numpy as np
 PathLike = Union[str, Path]
 
 __all__ = ["CorruptionSpec", "FaultInjected", "FlakyCallable",
-           "HangInWorker", "KillWorkerOnce", "PoisonOnCalls",
-           "corrupt_bytes", "fail_on_nth_call"]
+           "HangInWorker", "KillAtWALPoint", "KillWorkerOnce",
+           "PoisonOnCalls", "corrupt_bytes", "fail_on_nth_call"]
 
 
 class FaultInjected(RuntimeError):
@@ -257,6 +261,71 @@ class KillWorkerOnce(_MeasureWrapper):
         try:
             # O_EXCL: exactly one racing process wins the kill.
             fd = os.open(self.marker_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+class KillAtWALPoint:
+    """SIGKILL the process at a chosen point of the WAL append path.
+
+    Installed as a :class:`repro.serving.wal.ShardWAL` hook (via
+    ``ShardedService(wal_hooks={shard_id: ...})``), it is called with the
+    append path's checkpoint names — ``"after_write"``, ``"before_fsync"``,
+    ``"after_fsync"`` — and kills the worker the ``nth`` time (1-based)
+    the matching point fires:
+
+    * ``"after_write"`` — the record is in the OS page cache but not
+      fsynced and the client was **not** acked: recovery may keep or
+      drop it, but must never half-apply it.
+    * ``"before_fsync"`` — same durability state, taken on the
+      group-commit thread: kills mid-commit with appenders parked.
+    * ``"after_fsync"`` — the record is durable; the ack may or may not
+      have escaped the worker. An acked write lost here is a bug.
+
+    Cross-process coordination goes through ``marker_dir``: each kill
+    appends a marker file, and once ``max_kills`` markers exist the hook
+    goes inert — so a recovered worker (which re-runs the same schedule)
+    survives, and crash-recover-crash schedules just set
+    ``max_kills=2``. The counter is per-process; determinism comes from
+    the worker's serial request loop, which replays an identical append
+    sequence after each restart.
+    """
+
+    def __init__(self, point: str, marker_dir: PathLike, nth: int = 1,
+                 max_kills: int = 1):
+        if point not in ("after_write", "before_fsync", "after_fsync"):
+            raise ValueError(f"unknown WAL point {point!r}")
+        if nth < 1 or max_kills < 1:
+            raise ValueError("nth and max_kills must be >= 1")
+        self.point = point
+        self.marker_dir = str(marker_dir)
+        self.nth = int(nth)
+        self.max_kills = int(max_kills)
+        self._hits = 0
+
+    def kills_so_far(self) -> int:
+        try:
+            return len([name for name in os.listdir(self.marker_dir)
+                        if name.startswith("wal-kill-")])
+        except FileNotFoundError:
+            return 0
+
+    def __call__(self, point: str) -> None:
+        if point != self.point:
+            return
+        self._hits += 1
+        if self._hits != self.nth:
+            return
+        os.makedirs(self.marker_dir, exist_ok=True)
+        kills = self.kills_so_far()
+        if kills >= self.max_kills:
+            return
+        marker = os.path.join(self.marker_dir, f"wal-kill-{kills}")
+        try:
+            # O_EXCL: exactly one racing thread/process wins this kill.
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             return
         os.close(fd)

@@ -17,10 +17,11 @@ def rules_of(findings):
     return [f.rule for f in findings]
 
 
-def test_registry_has_the_six_project_rules():
+def test_registry_has_the_seven_project_rules():
     assert set(all_rules()) == {
         "api-hygiene", "determinism", "dtype-discipline",
-        "exception-hygiene", "lock-discipline", "tape-discipline",
+        "durability-discipline", "exception-hygiene", "lock-discipline",
+        "tape-discipline",
     }
     for rule_id, rule_cls in all_rules().items():
         assert rule_cls.rule_id == rule_id
@@ -322,6 +323,76 @@ def test_api_rule_pragma_suppresses():
     source = """\
         def f(x):
             assert x  # repro: disable=api-hygiene
+    """
+    assert run(source) == []
+
+
+# ------------------------------------------------------- durability-discipline
+
+def test_durability_rule_fires_on_rename_and_stray_replace():
+    source = """\
+        import os
+
+        def publish(tmp, dst):
+            os.rename(tmp, dst)
+            os.replace(tmp, dst)
+    """
+    findings = run(source)
+    assert rules_of(findings) == ["durability-discipline"] * 2
+    assert "atomic_replace" in findings[0].message
+    assert "atomicio" in findings[1].message
+
+
+def test_durability_rule_resolves_import_aliases():
+    source = """\
+        from os import rename as mv
+
+        def publish(tmp, dst):
+            mv(tmp, dst)
+    """
+    assert rules_of(run(source)) == ["durability-discipline"]
+
+
+def test_durability_rule_allows_replace_inside_atomicio():
+    source = """\
+        import os
+
+        def atomic_replace(tmp, dst):
+            os.replace(tmp, dst)
+    """
+    assert run(source, rel_path="src/repro/core/atomicio.py") == []
+
+
+def test_durability_rule_fires_on_unsynced_append_outside_wal():
+    source = """\
+        def handle(wal, ids):
+            wal.append(1, ids, sync=False)
+    """
+    findings = run(source)
+    assert rules_of(findings) == ["durability-discipline"]
+    assert "sync=False" in findings[0].message
+    # The WAL module itself may defer its own syncs ...
+    assert run(source, rel_path="src/repro/serving/wal.py") == []
+    # ... and the relaxed option waives the check (benchmarks profile).
+    assert run(source, **{"durability-discipline":
+                          {"flag_unsynced_appends": False}}) == []
+
+
+def test_durability_rule_ignores_plain_list_appends():
+    source = """\
+        def collect(out, item):
+            out.append(item)
+            out.append(item, sync=True)
+    """
+    assert run(source) == []
+
+
+def test_durability_rule_pragma_suppresses():
+    source = """\
+        import os
+
+        def publish(tmp, dst):
+            os.rename(tmp, dst)  # repro: disable=durability-discipline
     """
     assert run(source) == []
 

@@ -80,3 +80,17 @@ def test_sharding_speedup_and_identity_hold_against_baseline():
         "benchmarks/BENCH_sharding.json not committed"
     failures = run_sharding_check()
     assert not failures, "\n".join(failures)
+
+
+@pytest.mark.bench_regression
+def test_durability_contract_holds_against_committed_baseline():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        from check_bench_regression import (DURABILITY_BASELINE,
+                                            run_durability_check)
+    finally:
+        sys.path.pop(0)
+    assert DURABILITY_BASELINE.exists(), \
+        "benchmarks/BENCH_durability.json not committed"
+    failures = run_durability_check()
+    assert not failures, "\n".join(failures)
