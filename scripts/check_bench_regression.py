@@ -437,51 +437,78 @@ def run_durability_check(threshold: float = DURABILITY_TIME_THRESHOLD
 
 # -------------------------------------------------------------------- main
 
+KNOWN_SUITES = ("kernels", "serving", "resilience", "sanitize", "ann",
+                "sharding", "durability")
+
+
+def _parse_only(raw: str) -> set:
+    """``--only`` value -> suite set; accepts a comma-separated list.
+
+    ``--only ann,sharding`` checks exactly those two suites; ``all``
+    (alone or in a list) selects every suite. Unknown names raise
+    ``ValueError`` listing the valid ones.
+    """
+    wanted = {part.strip() for part in raw.split(",") if part.strip()}
+    if not wanted:
+        raise ValueError("--only got an empty suite list")
+    unknown = wanted - set(KNOWN_SUITES) - {"all"}
+    if unknown:
+        raise ValueError(
+            f"unknown suite(s) {sorted(unknown)}; "
+            f"valid: {', '.join(KNOWN_SUITES)}, all")
+    if "all" in wanted:
+        return set(KNOWN_SUITES)
+    return wanted
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="max allowed slowdown vs the committed baseline "
                              f"(default {DEFAULT_THRESHOLD})")
-    parser.add_argument("--only",
-                        choices=["kernels", "serving", "resilience",
-                                 "sanitize", "ann", "sharding",
-                                 "durability", "all"],
-                        default="all", help="which suite to check")
+    parser.add_argument("--only", default="all",
+                        help="comma-separated suites to check "
+                             f"({', '.join(KNOWN_SUITES)}, or 'all'; "
+                             f"default all)")
     args = parser.parse_args(argv)
+    try:
+        selected = _parse_only(args.only)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     failures = []
-    if args.only in ("kernels", "all"):
+    if "kernels" in selected:
         if not BASELINE.exists():
             print(f"no committed baseline at {BASELINE}")
             return 1
         failures += run_check(args.threshold)
-    if args.only in ("serving", "all"):
+    if "serving" in selected:
         if not SERVING_BASELINE.exists():
             print(f"no committed baseline at {SERVING_BASELINE}")
             return 1
         failures += run_serving_check(args.threshold)
-    if args.only in ("resilience", "all"):
+    if "resilience" in selected:
         if not RESILIENCE_BASELINE.exists():
             print(f"no committed baseline at {RESILIENCE_BASELINE}")
             return 1
         failures += run_resilience_check(
             max(args.threshold, RESILIENCE_P99_THRESHOLD))
-    if args.only in ("sanitize", "all"):
+    if "sanitize" in selected:
         if not SANITIZE_BASELINE.exists():
             print(f"no committed baseline at {SANITIZE_BASELINE}")
             return 1
         failures += run_sanitize_check()
-    if args.only in ("ann", "all"):
+    if "ann" in selected:
         if not ANN_BASELINE.exists():
             print(f"no committed baseline at {ANN_BASELINE}")
             return 1
         failures += run_ann_check(args.threshold)
-    if args.only in ("sharding", "all"):
+    if "sharding" in selected:
         if not SHARDING_BASELINE.exists():
             print(f"no committed baseline at {SHARDING_BASELINE}")
             return 1
         failures += run_sharding_check(args.threshold)
-    if args.only in ("durability", "all"):
+    if "durability" in selected:
         if not DURABILITY_BASELINE.exists():
             print(f"no committed baseline at {DURABILITY_BASELINE}")
             return 1

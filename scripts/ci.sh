@@ -18,6 +18,10 @@
 #   7. durability gate  — WAL append acks are fsynced, group commit
 #      batches, snapshot recovery is id-identical, replica failover
 #      loses zero acked writes (BENCH_durability.json)
+#   8. whole-program analysis — python -m repro analyze src
+#      (interprocedural lockset races, tape shape/dtype abstract
+#      interpretation, resource-leak tracking) with an incremental
+#      content-hash cache and a 30 s wall-clock budget
 #
 # Usage: scripts/ci.sh [pytest args...]
 set -euo pipefail
@@ -56,5 +60,8 @@ python scripts/check_bench_regression.py --only sharding
 
 echo "==> durability gate (WAL acks, recovery identity, failover loss)"
 python scripts/check_bench_regression.py --only durability
+
+echo "==> whole-program analysis (lockset, tape-shape, resource-leak)"
+python -m repro analyze src --cache .cache/analyze.json --max-seconds 30
 
 echo "ci.sh: all gates passed"

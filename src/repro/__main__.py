@@ -28,6 +28,11 @@ Commands
 ``lint``
     Run the project static analyzer (``repro.analysis``) over ``src``
     (or given paths); exit 0 means no non-baselined findings.
+    ``--stale-pragmas`` audits suppressions instead.
+``analyze``
+    Run the whole-program analyzer (interprocedural lockset races, tape
+    shape/dtype abstract interpretation, resource-leak tracking) over
+    ``src`` (or given paths); exit 0 means no non-baselined findings.
 """
 
 from __future__ import annotations
@@ -400,6 +405,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.cli import analyze_main
+
+    return analyze_main(args.analyze_args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="NeuTraj reproduction CLI")
@@ -538,6 +549,15 @@ def main(argv=None) -> int:
                       help="arguments forwarded to the analyzer "
                            "(paths, --json, --write-baseline, ...)")
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze", help="run the whole-program analyzer",
+        add_help=False)
+    analyze.add_argument("analyze_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to the analyzer "
+                              "(paths, --json, --cache, --max-seconds, "
+                              "...)")
+    analyze.set_defaults(func=_cmd_analyze)
 
     args = parser.parse_args(argv)
     try:

@@ -43,9 +43,19 @@ def load_baseline(path: PathLike) -> Dict[str, Dict]:
     return entries
 
 
-def write_baseline(path: PathLike, findings: Iterable[Finding]) -> int:
-    """Write (or rewrite) the baseline from findings; returns entry count."""
+def write_baseline(path: PathLike, findings: Iterable[Finding],
+                   keep: Iterable[Dict] = ()) -> int:
+    """Write (or rewrite) the baseline from findings; returns entry count.
+
+    ``keep`` passes through existing entries verbatim — ``lint`` and
+    ``analyze`` share one baseline file, so each command regenerates only
+    its own rules' entries and keeps the other command's.
+    """
     entries: Dict[str, Dict] = {}
+    for entry in keep:
+        fingerprint = entry.get("fingerprint")
+        if fingerprint:
+            entries[str(fingerprint)] = entry
     for finding in findings:
         entries[finding.fingerprint] = {
             "rule": finding.rule,

@@ -1,0 +1,124 @@
+"""Interprocedural call graph over the :class:`~.program.ProgramModel`.
+
+Edges are resolved purely syntactically, which covers the dispatch shapes
+the whole-program rules need:
+
+* ``self.method(...)`` — the enclosing class's method, falling back to
+  the nearest base class defined inside the program;
+* ``helper(...)`` — a module-level function of the same module, or one
+  imported via ``from mod import helper`` when ``mod`` is in the program;
+* ``pkg.mod.helper(...)`` / ``alias.helper(...)`` — attribute calls whose
+  prefix resolves (through the import map) to a program module;
+* ``ClassName(...)`` — the class's ``__init__``.
+
+Anything else (dynamic dispatch, callables stored in fields, stdlib) has
+no edge: callers must treat missing edges as "unknown callee". Each edge
+keeps the :class:`ast.Call` node so analyses can reason about the call
+*site* (the lockset rule propagates the locks held there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .program import FunctionInfo, ModuleInfo, ProgramModel, dotted_name
+
+
+class CallSite:
+    """One resolved call edge: caller -> callee at a specific Call node."""
+
+    def __init__(self, caller: FunctionInfo, callee: FunctionInfo,
+                 node: ast.Call):
+        self.caller = caller
+        self.callee = callee
+        self.node = node
+
+
+class CallGraph:
+    """Caller/callee indexes over every function in the program."""
+
+    def __init__(self, program: ProgramModel):
+        self.program = program
+        self._callees: Dict[str, List[CallSite]] = {}
+        self._callers: Dict[str, List[CallSite]] = {}
+        for fn in program.functions.values():
+            for call in self._calls_in(fn.node):
+                callee = self.resolve(fn, call)
+                if callee is None:
+                    continue
+                site = CallSite(fn, callee, call)
+                self._callees.setdefault(fn.key, []).append(site)
+                self._callers.setdefault(callee.key, []).append(site)
+
+    @staticmethod
+    def _calls_in(node: ast.AST) -> List[ast.Call]:
+        return [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+
+    def callees(self, key: str) -> List[CallSite]:
+        return self._callees.get(key, [])
+
+    def callers(self, key: str) -> List[CallSite]:
+        return self._callers.get(key, [])
+
+    # ------------------------------------------------------------- resolution
+
+    def resolve(self, caller: FunctionInfo,
+                call: ast.Call) -> Optional[FunctionInfo]:
+        func = call.func
+        module = caller.module
+        # self.method(...)
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "self" and caller.cls is not None:
+            return self.program.resolve_method(caller.cls, func.attr)
+        # bare name: module function, from-import, or local class ctor
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(module, func.id)
+        # dotted: alias/module-prefixed function or class ctor
+        name = dotted_name(func)
+        if name is None:
+            return None
+        return self._resolve_dotted(module, name)
+
+    def _resolve_bare(self, module: ModuleInfo,
+                      name: str) -> Optional[FunctionInfo]:
+        fn = self.program.functions.get(f"{module.name}:{name}")
+        if fn is not None and fn.cls is None:
+            return fn
+        ctor = self._class_init(module, name)
+        if ctor is not None:
+            return ctor
+        origin = module.imports.get(name)
+        if origin is None:
+            return None
+        return self._by_origin(origin)
+
+    def _resolve_dotted(self, module: ModuleInfo,
+                        name: str) -> Optional[FunctionInfo]:
+        first, _, rest = name.partition(".")
+        if not rest:
+            return None
+        origin = module.imports.get(first)
+        canonical = f"{origin}.{rest}" if origin else name
+        return self._by_origin(canonical)
+
+    def _by_origin(self, origin: str) -> Optional[FunctionInfo]:
+        """``pkg.mod.func`` or ``pkg.mod.Class`` -> FunctionInfo."""
+        mod_name, _, member = origin.rpartition(".")
+        if not member:
+            return None
+        target = self.program.by_name.get(mod_name)
+        if target is None:
+            return None
+        fn = self.program.functions.get(f"{target.name}:{member}")
+        if fn is not None and fn.cls is None:
+            return fn
+        return self._class_init(target, member)
+
+    def _class_init(self, module: ModuleInfo,
+                    name: str) -> Optional[FunctionInfo]:
+        cls = self.program.classes.get(f"{module.name}:{name}")
+        if cls is None:
+            return None
+        return self.program.resolve_method(cls, "__init__")

@@ -1,10 +1,19 @@
-"""``python -m repro lint`` — the CI entry point of the analyzer.
+"""``python -m repro lint`` / ``python -m repro analyze`` CLI entry points.
+
+Both commands share the engine, pragma, and baseline machinery; ``lint``
+runs the per-file rules, ``analyze`` the whole-program rules (lockset,
+tape-shape, resource-leak). They also share one baseline file — each
+command grandfathers and expires only entries belonging to its own rule
+namespace, so ``lint --write-baseline`` cannot silently drop ``analyze``
+debt or vice versa.
 
 Exit codes: ``0`` clean (no non-baselined findings), ``1`` findings,
 ``2`` usage or I/O error. ``--json`` emits a machine-readable report;
 ``--write-baseline`` (re)generates the baseline from the current
 findings, which both grandfathers new debt explicitly and expires stale
-entries.
+entries. ``lint --stale-pragmas`` audits suppressions instead: it runs
+*both* engines and reports every ``# repro: disable`` pragma and every
+baseline entry that no longer suppresses anything.
 """
 
 from __future__ import annotations
@@ -12,12 +21,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional, Set, Tuple
 
 from .baseline import load_baseline, write_baseline
 from .config import AnalysisConfig, default_config, relaxed_config
-from .engine import AnalysisResult, analyze_paths
-from .rules import all_rules
+from .engine import (AnalysisResult, analyze_paths, analyze_program_paths)
+from .rules import all_program_rules, all_rules
 
 DEFAULT_BASELINE = "analysis-baseline.json"
 
@@ -47,6 +57,42 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="emit a JSON report instead of text")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--stale-pragmas", action="store_true",
+                        help="audit suppressions: report pragmas and "
+                             "baseline entries that no longer suppress "
+                             "any finding (runs both lint and analyze "
+                             "rules); exit 1 if any are stale")
+    return parser
+
+
+def _build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Whole-program analysis: interprocedural lockset "
+                    "races, tape shape/dtype abstract interpretation, "
+                    "resource-leak tracking.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: {DEFAULT_BASELINE}; "
+                             f"missing file = empty baseline)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite this command's baseline entries "
+                             "from current findings and exit 0")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a JSON report instead of text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered whole-program rules and exit")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        help="incremental cache file: modules whose import "
+                             "neighborhood is unchanged reuse their "
+                             "previous findings")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="fail (exit 2) if the run exceeds this "
+                             "wall-clock budget")
     return parser
 
 
@@ -58,6 +104,7 @@ def _print_report(result: AnalysisResult, as_json: bool) -> None:
             "stale_baseline": result.stale_baseline,
             "suppressed": result.suppressed,
             "files_checked": result.files_checked,
+            "cached_modules": result.cached_modules,
             "clean": result.clean,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -71,6 +118,75 @@ def _print_report(result: AnalysisResult, as_json: bool) -> None:
     print(result.summary(), file=sys.stderr)
 
 
+def _filter_stale(result: AnalysisResult, namespace: Set[str]) -> None:
+    """Keep only stale-baseline entries owned by this command's rules.
+
+    The two commands share one baseline file; an ``analyze`` entry is not
+    stale just because ``lint`` (which never runs those rules) produced
+    no matching finding.
+    """
+    result.stale_baseline = [entry for entry in result.stale_baseline
+                             if entry.get("rule") in namespace]
+
+
+def _split_keep(baseline: Dict[str, Dict],
+                namespace: Set[str]) -> List[Dict]:
+    """Baseline entries owned by the *other* command, passed through on
+    ``--write-baseline``."""
+    return [entry for entry in baseline.values()
+            if entry.get("rule") not in namespace]
+
+
+def _stale_pragma_audit(paths: List[str], baseline: Dict[str, Dict],
+                        as_json: bool) -> int:
+    """Run both engines, report pragmas/baseline entries nothing needs."""
+    lint_result = analyze_paths(paths, config=default_config(),
+                                baseline=baseline)
+    program_result = analyze_program_paths(paths, config=default_config(),
+                                           baseline=baseline)
+    used: Set[Tuple[str, int, bool]] = set()
+    for result in (lint_result, program_result):
+        for path, index in result.pragma_indexes.items():
+            for entry in index.entries:
+                if entry.used:
+                    used.add((path, entry.source_line, entry.is_file))
+    stale_pragmas: Dict[Tuple[str, int, bool], Tuple[str, "object"]] = {}
+    for result in (lint_result, program_result):
+        for path, entry in result.stale_pragmas():
+            key = (path, entry.source_line, entry.is_file)
+            if key not in used:
+                stale_pragmas.setdefault(key, (path, entry))
+    # a baseline entry is stale only if *neither* engine matched it
+    lint_stale = {e["fingerprint"]: e for e in lint_result.stale_baseline}
+    program_stale = {e["fingerprint"]: e
+                     for e in program_result.stale_baseline}
+    stale_entries = [entry for fp, entry in sorted(lint_stale.items())
+                     if fp in program_stale]
+
+    if as_json:
+        payload = {
+            "stale_pragmas": [
+                {"path": path, "line": entry.source_line,
+                 "pragma": entry.text}
+                for path, entry in
+                (stale_pragmas[k] for k in sorted(stale_pragmas))],
+            "stale_baseline": stale_entries,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for key in sorted(stale_pragmas):
+            path, entry = stale_pragmas[key]
+            print(f"{path}:{entry.source_line}: stale pragma "
+                  f"`{entry.text}` suppresses nothing")
+        for entry in stale_entries:
+            print(f"stale baseline entry ({entry.get('rule')}) for "
+                  f"{entry.get('path')}: no current finding matches")
+        print(f"{len(stale_pragmas)} stale pragma(s), "
+              f"{len(stale_entries)} stale baseline entr(y/ies)",
+              file=sys.stderr)
+    return 1 if (stale_pragmas or stale_entries) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -79,6 +195,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         for rule_id, rule_cls in all_rules().items():
             print(f"{rule_id:<20} {rule_cls.description}")
         return 0
+
+    try:
+        baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.stale_pragmas:
+        try:
+            return _stale_pragma_audit(args.paths, baseline, args.as_json)
+        except (FileNotFoundError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     config: AnalysisConfig = (relaxed_config() if args.relaxed
                               else default_config())
@@ -91,25 +220,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         config.rules = wanted
 
     try:
-        baseline = {} if args.no_baseline else load_baseline(args.baseline)
-    except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-
-    try:
         result = analyze_paths(args.paths, config=config, baseline=baseline)
     except (FileNotFoundError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    _filter_stale(result, set(all_rules()))
 
     if args.write_baseline:
         count = write_baseline(args.baseline,
-                               result.findings + result.grandfathered)
+                               result.findings + result.grandfathered,
+                               keep=_split_keep(baseline,
+                                                set(all_rules())))
         print(f"wrote {count} entr(y/ies) to {args.baseline}",
               file=sys.stderr)
         return 0
 
     _print_report(result, args.as_json)
+    return 0 if result.clean else 1
+
+
+def analyze_main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_analyze_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in all_program_rules().items():
+            print(f"{rule_id:<20} {rule_cls.description}")
+        return 0
+
+    try:
+        baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    started = time.monotonic()
+    try:
+        result = analyze_program_paths(args.paths, config=default_config(),
+                                       baseline=baseline,
+                                       cache_path=args.cache)
+    except (FileNotFoundError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    elapsed = time.monotonic() - started
+    _filter_stale(result, set(all_program_rules()))
+
+    if args.write_baseline:
+        count = write_baseline(args.baseline,
+                               result.findings + result.grandfathered,
+                               keep=_split_keep(baseline,
+                                                set(all_program_rules())))
+        print(f"wrote {count} entr(y/ies) to {args.baseline}",
+              file=sys.stderr)
+        return 0
+
+    _print_report(result, args.as_json)
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"analyze took {elapsed:.1f}s, over the --max-seconds "
+              f"{args.max_seconds:.1f}s budget", file=sys.stderr)
+        return 2
     return 0 if result.clean else 1
 
 

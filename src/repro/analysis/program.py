@@ -1,0 +1,313 @@
+"""Whole-program model: module graph, class/field database, lock inventory.
+
+``python -m repro lint`` reasons about one file at a time; the
+whole-program rules (``lockset``, ``tape-shape``, ``resource-leak``) need
+to see *across* files and methods. This module builds the shared
+substrate they all consume:
+
+* :class:`ModuleInfo` — one parsed module with its dotted name, source
+  hash (the key of the incremental analyze cache) and import map;
+* :class:`ClassInfo` / :class:`FunctionInfo` — a database of every class,
+  method and module-level function, with per-class field and lock
+  inventories (``self._x = threading.Lock()`` and Condition aliases such
+  as ``self._cond = threading.Condition(self._mu)`` canonicalise to the
+  underlying lock attribute);
+* :class:`ProgramModel` — the container, plus the subclass map used to
+  resolve inherited ``self.``-method dispatch.
+
+The model is purely syntactic (no imports are executed) and cheap to
+build — parsing dominates — which is what makes per-module caching in
+:func:`repro.analysis.engine.analyze_program_paths` honest: every rule
+packaged here derives its findings from a single module's AST plus this
+program-wide index.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .findings import Finding
+
+#: Canonical dotted names that construct a mutual-exclusion lock.
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Semaphore",
+    "threading.BoundedSemaphore", "multiprocessing.Lock",
+    "multiprocessing.RLock",
+})
+
+#: Condition variables wrap a lock; holding one holds the other.
+CONDITION_FACTORIES = frozenset({"threading.Condition"})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a file path (``src/`` prefixes stripped)."""
+    parts = list(Path(rel_path).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("src"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _import_map(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> canonical dotted origin (absolute imports only)."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+class ModuleInfo:
+    """One parsed module of the program."""
+
+    def __init__(self, rel_path: str, source: str, tree: ast.Module):
+        self.rel_path = rel_path
+        self.name = module_name_for(rel_path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = _import_map(tree)
+        self.sha256 = hashlib.sha256(source.encode("utf-8",
+                                                   "replace")).hexdigest()
+        self.classes: List["ClassInfo"] = []
+        self.functions: List["FunctionInfo"] = []
+
+    def resolve_name(self, node: ast.AST) -> Optional[str]:
+        """Dotted name with import aliases canonicalised."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        first, _, rest = name.partition(".")
+        origin = self.imports.get(first)
+        if origin is None:
+            return name
+        return f"{origin}.{rest}" if rest else origin
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class FunctionInfo:
+    """A module-level function or a method."""
+
+    def __init__(self, module: ModuleInfo, node: ast.AST,
+                 cls: Optional["ClassInfo"] = None):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.cls = cls
+
+    @property
+    def qualname(self) -> str:
+        if self.cls is not None:
+            return f"{self.cls.name}.{self.name}"
+        return self.name
+
+    @property
+    def key(self) -> str:
+        """Globally unique id: ``module.dotted.name:Class.method``."""
+        return f"{self.module.name}:{self.qualname}"
+
+    @property
+    def docstring(self) -> str:
+        return ast.get_docstring(self.node, clean=True) or ""
+
+
+class ClassInfo:
+    """A class with its method table, field writes and lock inventory."""
+
+    def __init__(self, module: ModuleInfo, node: ast.ClassDef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.bases = [b for b in (dotted_name(base) for base in node.bases)
+                      if b]
+        self.methods: Dict[str, FunctionInfo] = {}
+        #: lock-like attribute -> canonical lock attribute. A plain
+        #: ``self._lock = threading.Lock()`` maps to itself; a Condition
+        #: built over an existing lock maps to that lock's attribute.
+        self.lock_attrs: Dict[str, str] = {}
+        #: attributes assigned anywhere (``self.x = ...`` targets).
+        self.fields: Dict[str, List[ast.AST]] = {}
+
+    @property
+    def key(self) -> str:
+        return f"{self.module.name}:{self.name}"
+
+    def canonical_lock(self, attr: str) -> Optional[str]:
+        return self.lock_attrs.get(attr)
+
+    def _index(self) -> None:
+        for stmt in self.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[stmt.name] = FunctionInfo(self.module, stmt,
+                                                       cls=self)
+        # Field and lock inventory: every `self.<attr> = <value>` in any
+        # method (nested defs included — a closure still writes the field).
+        pending_conditions: List[Tuple[str, ast.Call]] = []
+        for fn in self.methods.values():
+            for node in ast.walk(fn.node):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                value = node.value
+                for target in targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    self.fields.setdefault(target.attr, []).append(node)
+                    if not isinstance(value, ast.Call):
+                        continue
+                    factory = self.module.resolve_name(value.func)
+                    if factory in LOCK_FACTORIES:
+                        self.lock_attrs[target.attr] = target.attr
+                    elif factory in CONDITION_FACTORIES:
+                        pending_conditions.append((target.attr, value))
+        for attr, call in pending_conditions:
+            underlying = attr
+            if call.args:
+                arg = call.args[0]
+                if isinstance(arg, ast.Attribute) \
+                        and isinstance(arg.value, ast.Name) \
+                        and arg.value.id == "self" \
+                        and arg.attr in self.lock_attrs:
+                    underlying = self.lock_attrs[arg.attr]
+            self.lock_attrs[attr] = underlying
+
+
+class ProgramModel:
+    """The whole-program database the analyze rules run against."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}      # rel_path -> module
+        self.by_name: Dict[str, ModuleInfo] = {}      # dotted name -> module
+        self.classes: Dict[str, ClassInfo] = {}       # key -> class
+        self.functions: Dict[str, FunctionInfo] = {}  # key -> function
+        #: class name (unqualified) -> ClassInfo list; resolves bases.
+        self._by_class_name: Dict[str, List[ClassInfo]] = {}
+
+    # -------------------------------------------------------------- building
+
+    @classmethod
+    def from_sources(cls, sources: Iterable[Tuple[str, str]]
+                     ) -> "ProgramModel":
+        """Build from ``(rel_path, source)`` pairs; unparseable files are
+        skipped here (the engine reports them as ``syntax-error``)."""
+        program = cls()
+        for rel_path, source in sources:
+            try:
+                tree = ast.parse(source, filename=rel_path)
+            except SyntaxError:
+                continue
+            program.add_module(ModuleInfo(rel_path, source, tree))
+        return program
+
+    def add_module(self, module: ModuleInfo) -> None:
+        self.modules[module.rel_path] = module
+        self.by_name[module.name] = module
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(module, stmt)
+                module.functions.append(fn)
+                self.functions[fn.key] = fn
+            elif isinstance(stmt, ast.ClassDef):
+                info = ClassInfo(module, stmt)
+                info._index()
+                module.classes.append(info)
+                self.classes[info.key] = info
+                self._by_class_name.setdefault(info.name, []).append(info)
+                for method in info.methods.values():
+                    self.functions[method.key] = method
+
+    # ------------------------------------------------------------- resolution
+
+    def resolve_class(self, name: str,
+                      from_module: ModuleInfo) -> Optional[ClassInfo]:
+        """A class by (possibly unqualified) name, as seen from a module."""
+        simple = name.rsplit(".", 1)[-1]
+        candidates = self._by_class_name.get(simple, [])
+        if not candidates:
+            return None
+        for candidate in candidates:
+            if candidate.module is from_module:
+                return candidate
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_method(self, cls: ClassInfo, method: str,
+                       _depth: int = 0) -> Optional[FunctionInfo]:
+        """``cls``'s own method or the nearest base-class definition."""
+        if method in cls.methods:
+            return cls.methods[method]
+        if _depth > 8:  # defensive: cyclic base declarations
+            return None
+        for base in cls.bases:
+            base_cls = self.resolve_class(base, cls.module)
+            if base_cls is not None and base_cls is not cls:
+                found = self.resolve_method(base_cls, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def subclasses_of(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Direct and transitive subclasses known to the program."""
+        out: List[ClassInfo] = []
+        frontier = [cls]
+        seen = {cls.key}
+        while frontier:
+            current = frontier.pop()
+            for candidate in self.classes.values():
+                if candidate.key in seen:
+                    continue
+                for base in candidate.bases:
+                    resolved = self.resolve_class(base, candidate.module)
+                    if resolved is current:
+                        seen.add(candidate.key)
+                        out.append(candidate)
+                        frontier.append(candidate)
+                        break
+        return out
+
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        return iter(self.classes.values())
+
+    # --------------------------------------------------------------- findings
+
+    def finding(self, module: ModuleInfo, rule_id: str, node: ast.AST,
+                message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule_id, path=module.rel_path, line=lineno,
+                       col=col + 1, message=message,
+                       line_text=module.line_text(lineno))

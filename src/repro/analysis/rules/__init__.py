@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Type
 
-from .base import ModuleContext, Rule
+from .base import ModuleContext, ProgramRule, Rule
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROGRAM_REGISTRY: Dict[str, Type[ProgramRule]] = {}
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
@@ -26,9 +27,24 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     return cls
 
 
+def register_program(cls: Type[ProgramRule]) -> Type[ProgramRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _PROGRAM_REGISTRY or cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _PROGRAM_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
 def all_rules() -> Dict[str, Type[Rule]]:
     """Registered rules, keyed and sorted by rule id."""
     return dict(sorted(_REGISTRY.items()))
+
+
+def all_program_rules() -> Dict[str, Type[ProgramRule]]:
+    """Registered whole-program rules, keyed and sorted by rule id."""
+    return dict(sorted(_PROGRAM_REGISTRY.items()))
 
 
 def get_rule(rule_id: str) -> Type[Rule]:
@@ -49,4 +65,10 @@ from . import exception_hygiene  # noqa: E402,F401
 from . import locks  # noqa: E402,F401
 from . import tape  # noqa: E402,F401
 
-__all__ = ["ModuleContext", "Rule", "register", "all_rules", "get_rule"]
+# Whole-program rules (``python -m repro analyze``).
+from . import leaks  # noqa: E402,F401
+from . import lockset  # noqa: E402,F401
+from . import tape_shape  # noqa: E402,F401
+
+__all__ = ["ModuleContext", "ProgramRule", "Rule", "register",
+           "register_program", "all_rules", "all_program_rules", "get_rule"]

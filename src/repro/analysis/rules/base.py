@@ -99,3 +99,27 @@ class Rule:
 
     def check(self, ctx: ModuleContext) -> List[Finding]:
         raise NotImplementedError
+
+
+class ProgramRule:
+    """Base class for whole-program rules (``python -m repro analyze``).
+
+    Unlike :class:`Rule`, a program rule sees the full
+    :class:`~repro.analysis.program.ProgramModel` and the interprocedural
+    :class:`~repro.analysis.callgraph.CallGraph`. It is still invoked
+    once *per module* — every finding it returns must be attributable to
+    ``module`` (so per-module caching in the engine stays honest: a
+    module's findings depend only on its own source plus the cheap
+    program-wide index, and the cache key includes the whole-program
+    digest).
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    default_options: Dict = {}
+    #: bump when the rule's semantics change; salts the analyze cache.
+    version: int = 1
+
+    def check_module(self, program, callgraph, module,
+                     options: Dict) -> List[Finding]:
+        raise NotImplementedError

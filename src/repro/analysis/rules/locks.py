@@ -12,7 +12,11 @@ Private helper methods that are *only called with the lock already
 held* declare that contract in their docstring — any docstring
 containing ``must hold``/``lock held`` (e.g. "Caller must hold
 ``self._lock``.") exempts the whole method. That keeps the invariant
-greppable and the rule honest about what it cannot prove.
+greppable and the rule honest about what it cannot prove. The
+exemption is no longer taken on faith: the whole-program ``lockset``
+rule (``python -m repro analyze``) treats these docstrings as checked
+claims and flags every internal call site that does not actually hold
+the declared lock.
 
 Known limitations (by design, to stay AST-only): mutating *method
 calls* on guarded containers (``self._queue.append(...)``) and reads

@@ -56,8 +56,10 @@ class AdmissionGate:
     def admit(self, what: str = "request"):
         """Context manager: admit or raise :class:`ServiceOverloadedError`."""
         if not self.try_acquire():
+            with self._lock:
+                in_flight = self._in_flight
             raise ServiceOverloadedError(
-                f"{what} shed: {self._in_flight}/{self.limit} in flight")
+                f"{what} shed: {in_flight}/{self.limit} in flight")
         try:
             yield
         finally:

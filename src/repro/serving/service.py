@@ -481,8 +481,10 @@ class SimilarityService:
         # The cache key is built from the *sanitized* points, so distinct
         # dirty requests that repair to the same clean trajectory share an
         # entry; `quality` is re-derived per request even on hits.
+        with self._store_lock:
+            generation = self._generation
         key = result_key(query.points, k, self.model.config.measure,
-                         self._generation)
+                         generation)
         if use_cache:
             hit = self._cache.get(key)
             if hit is not None:
@@ -505,6 +507,11 @@ class SimilarityService:
         except (ServiceClosedError, ServiceOverloadedError):
             raise
         except Exception as exc:
+            # The fallback_index *reference* is assigned once in __init__
+            # and never rebound; _store_lock guards the object's contents
+            # (insert/match_counts), both of which are locked at their
+            # sites. Reading the reference itself needs no lock.
+            # repro: disable=lockset
             if (self.fallback_index is not None
                     and (isinstance(exc, ServiceUnavailableError)
                          or self.breaker.state == "open")):
@@ -634,7 +641,9 @@ class SimilarityService:
         probes = self.probes[:queries] or [self.synthetic_probe()]
         served = 0
         for probe in probes:
-            if len(self.store):
+            with self._store_lock:
+                store_nonempty = len(self.store) > 0
+            if store_nonempty:
                 self.top_k(probe, k=1, use_cache=False)
             else:
                 self.embed(probe)
@@ -657,11 +666,15 @@ class SimilarityService:
         Ready means: the store has data, :meth:`warmup` completed, the
         encoder breaker is not open, and the service is accepting work.
         """
+        with self._store_lock:
+            store_nonempty = len(self.store) > 0
+            warmed = self._warmed
+            closed = self._closed
         checks = {
-            "store_nonempty": len(self.store) > 0,
-            "warmed": self._warmed,
+            "store_nonempty": store_nonempty,
+            "warmed": warmed,
             "encoder_breaker_closed": self.breaker.state != "open",
-            "accepting_requests": not self._closed,
+            "accepting_requests": not closed,
         }
         return {"ready": all(checks.values()), "checks": checks}
 
@@ -698,7 +711,8 @@ class SimilarityService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._store_lock:
+            return self._closed
 
     def close(self, drain: bool = True) -> None:
         """Shut down; pending batcher futures never hang (see batcher docs)."""

@@ -987,6 +987,11 @@ class ShardedService:
                 "role": "primary"}
 
     def _all_handles(self) -> List[_ShardHandle]:
+        # Runs without _failover_lock on purpose: it is also the cleanup
+        # path of __init__, which can fail before that lock exists.
+        # Promotion swaps list slots atomically (CPython) and handles
+        # close idempotently, so a stale snapshot here is harmless.
+        # repro: disable=lockset
         handles = list(self._shards)
         for standby in self._replicas.values():
             handles.extend(standby)
@@ -1260,6 +1265,12 @@ class ShardedService:
         answered; ``failed`` lists shards that were unavailable
         (transport failures only — a worker-side exception propagates as
         :class:`ShardRequestError`)."""
+        # Unlocked fast-fail: _closed flips once, under _lock, in close();
+        # a scatter racing the flip either errors here or fails on the
+        # closed worker pipes — both surface ServiceClosedError. Taking
+        # _lock on every scatter would serialise the hot path for a
+        # shutdown-only check.
+        # repro: disable=lockset
         if self._closed:
             raise ServiceClosedError("sharded service is closed")
         targets = (range(self.num_shards) if shard_ids is None
@@ -1436,9 +1447,12 @@ class ShardedService:
         The shard count is fixed for the life of the tier; resharding is
         the offline ``shard-tool split`` + restart path.
         """
-        new_partition = (self.partition_dir if partition_dir is None
+        with self._failover_lock:
+            current_partition, current_bundle = (self.partition_dir,
+                                                 self.bundle_dir)
+        new_partition = (current_partition if partition_dir is None
                          else Path(partition_dir))
-        new_bundle = (self.bundle_dir if bundle_dir is None
+        new_bundle = (current_bundle if bundle_dir is None
                       else Path(bundle_dir))
         try:
             manifest = load_partition_manifest(new_partition)
@@ -1496,8 +1510,11 @@ class ShardedService:
                 except ShardUnavailableError as exc:
                     _LOG.warning("shard %d replica restart after reload "
                                  "failed: %s", shard_id, exc)
-        self.partition_dir = new_partition
-        self.bundle_dir = new_bundle
+        with self._failover_lock:
+            # A failover racing the reload must spawn its standby from
+            # the *new* generation's boot spec, never a torn pair.
+            self.partition_dir = new_partition
+            self.bundle_dir = new_bundle
         if new_model is not None:
             self.model = new_model
         with self._lock:
@@ -1553,11 +1570,14 @@ class ShardedService:
         """Readiness checks for ``/readyz``: every shard up and answering."""
         shard_checks = {f"shard_{h.shard_id}_alive": h.alive
                         for h in self._shards}
+        with self._lock:
+            warmed = self._warmed
+            closed = self._closed
         checks = {
             "store_nonempty": self.size() > 0,
-            "warmed": self._warmed,
+            "warmed": warmed,
             "all_shards_alive": all(shard_checks.values()),
-            "accepting_requests": not self._closed,
+            "accepting_requests": not closed,
         }
         checks.update(shard_checks)
         ready = (checks["store_nonempty"] and checks["warmed"]

@@ -1,0 +1,8 @@
+"""Golden fixtures for the whole-program analyzer.
+
+Each module here seeds exactly the bugs its name says (or none, for the
+``clean_*`` negatives); ``tests/analysis/test_program_rules.py`` asserts
+the exact rule ids, anchor lines and fingerprints the analyzer must
+report for them. The modules are parsed, never imported — do not add
+imports of them here.
+"""

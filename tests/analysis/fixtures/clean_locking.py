@@ -1,0 +1,29 @@
+"""Clean negative: every path to the field holds the lock.
+
+The helper itself never takes ``self._lock`` — its callers do — so a
+purely lexical checker would flag ``_bump``. The interprocedural entry
+lockset (intersection over call sites, all of which hold the lock)
+proves it safe, and the satisfied docstring contract must not fire
+either.
+"""
+
+import threading
+
+
+class SafeCounter:
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def increment(self):
+        with self._lock:
+            self._bump()
+
+    def value(self):
+        with self._lock:
+            return self._count
+
+    def _bump(self):
+        """Caller must hold ``self._lock``."""
+        self._count += 1

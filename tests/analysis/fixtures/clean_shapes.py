@@ -1,0 +1,19 @@
+"""Clean negative: a shape joined at a branch must not be guessed at.
+
+``hidden`` is ``(4, 8)`` on one branch and ``(4, 6)`` on the other; the
+join is ``(4, T)`` and the following matmul against ``(8, 3)`` is *not*
+provably wrong, so the tape-shape rule stays silent.
+"""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor  # opts this module into tape-shape
+
+
+def branch_blend(flag):
+    if flag:
+        hidden = np.zeros((4, 8))
+    else:
+        hidden = np.zeros((4, 6))
+    weights = np.zeros((8, 3))
+    return Tensor(np.matmul(hidden, weights))

@@ -1,0 +1,20 @@
+"""Seeded dead weight: a Parameter no forward path ever reads.
+
+``w_spare`` is registered by ``parameters()`` (so the optimiser pays for
+it) but no method of the class reads it — its tape backward is
+unreachable and its gradient is forever zero.
+"""
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class PaddedEncoder(Module):
+
+    def __init__(self, hidden_size):
+        self.w_step = Parameter(np.zeros((hidden_size, hidden_size)))
+        self.w_spare = Parameter(np.zeros((hidden_size, hidden_size)))
+
+    def forward(self, x):
+        return x @ self.w_step

@@ -1,0 +1,17 @@
+"""Seeded dtype bug: float32 reaches the tape through an alias.
+
+No ``np.float32`` literal appears on the offending lines — the dtype
+travels through the ``compact`` variable into a constructor keyword and
+then into a ``Tensor``, which is exactly the gap the per-file
+dtype-discipline rule cannot see.
+"""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def half_precision_embedding(count, dim):
+    compact = np.float32
+    buffer = np.zeros((count, dim), dtype=compact)
+    return Tensor(buffer)

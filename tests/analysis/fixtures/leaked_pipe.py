@@ -1,0 +1,25 @@
+"""Seeded leak: one end of a Pipe never closed on the success path.
+
+``handshake`` closes the child connection but returns with ``parent``
+still open and never escaped — the fd is pinned for the life of the
+process. ``handshake_clean`` releases both ends and must stay silent.
+"""
+
+from multiprocessing import Pipe
+
+
+def handshake(payload):
+    parent, child = Pipe()
+    child.send(payload)
+    child.close()
+    return payload
+
+
+def handshake_clean(payload):
+    parent, child = Pipe()
+    try:
+        child.send(payload)
+    finally:
+        parent.close()
+        child.close()
+    return payload

@@ -1,0 +1,26 @@
+"""Seeded contract violation: a "caller must hold" docstring that one
+call site contradicts.
+
+``_append`` declares its lock contract; ``add`` honours it, ``add_fast``
+calls it bare-handed.
+"""
+
+import threading
+
+
+class Registry:
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._append(item)
+
+    def add_fast(self, item):
+        self._append(item)
+
+    def _append(self, item):
+        """Caller must hold ``self._lock``."""
+        self._items.append(item)

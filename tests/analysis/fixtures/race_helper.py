@@ -1,0 +1,26 @@
+"""Seeded race: a guarded counter read lock-free through a helper.
+
+``increment`` mutates ``self._count`` under ``self._lock``, but the
+public ``snapshot`` path reaches the same field through
+``_unlocked_read`` without taking the lock — the helper's inferred
+entry lockset is the intersection over its call sites, which is empty.
+"""
+
+import threading
+
+
+class Counter:
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def snapshot(self):
+        return self._unlocked_read()
+
+    def _unlocked_read(self):
+        return self._count

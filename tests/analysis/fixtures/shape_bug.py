@@ -1,0 +1,23 @@
+"""Seeded shape bug: a provable symbolic matmul mismatch.
+
+``self.w_in`` is ``(hidden_size, 2*hidden_size)``; squaring it needs the
+inner dims ``2*hidden_size`` and ``hidden_size`` to agree, which is
+impossible for any positive ``hidden_size``. The ``repro.nn`` import is
+what opts this module into the tape-shape rule's scope.
+"""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor  # opts this module into tape-shape
+
+
+class BrokenEncoder:
+
+    def __init__(self, hidden_size):
+        self.w_in = np.zeros((hidden_size, 2 * hidden_size))
+
+    def step(self):
+        return self.w_in @ self.w_in
+
+    def to_tensor(self):
+        return Tensor(self.w_in)

@@ -1,0 +1,221 @@
+"""Golden-fixture tests for the whole-program analyzer.
+
+Every seeded bug under ``tests/analysis/fixtures/`` must be reported
+with the exact rule id, anchor line and fingerprint; every ``clean_*``
+negative must stay silent. On top of that, ``src/`` itself must analyze
+clean (the gate ci.sh stage 8 enforces), the incremental cache must
+reproduce findings byte-for-byte, and the CLI exit codes must hold.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, load_baseline
+from repro.analysis.cli import (DEFAULT_BASELINE, analyze_main,
+                                main as lint_main)
+from repro.analysis.engine import analyze_program_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze_program_paths([FIXTURES])
+
+
+def findings_in(result, name):
+    path = (FIXTURES / name).as_posix()
+    return sorted((f for f in result.findings if f.path == path),
+                  key=lambda f: f.line)
+
+
+def line_of(name, snippet):
+    """1-based line of the first source line containing ``snippet``."""
+    for lineno, text in enumerate(
+            (FIXTURES / name).read_text().splitlines(), start=1):
+        if snippet in text:
+            return lineno
+    raise AssertionError(f"{snippet!r} not in {name}")
+
+
+def expected_fingerprint(name, line, rule):
+    """The fingerprint contract: sha over rule, path and line *text*."""
+    text = (FIXTURES / name).read_text().splitlines()[line - 1]
+    return Finding(rule=rule, path=(FIXTURES / name).as_posix(), line=line,
+                   col=0, message="", line_text=text).fingerprint
+
+
+# ------------------------------------------------------------------- lockset
+
+def test_lockset_flags_lock_free_read_through_helper(result):
+    findings = findings_in(result, "race_helper.py")
+    assert [f.rule for f in findings] == ["lockset"]
+    finding = findings[0]
+    # anchored at the unguarded read inside the helper, naming both sites
+    assert finding.line == line_of("race_helper.py",
+                                   "return self._count")
+    assert "`self._count`" in finding.message
+    assert "_unlocked_read" in finding.message
+    assert "increment" in finding.message
+    assert finding.fingerprint == expected_fingerprint(
+        "race_helper.py", finding.line, "lockset")
+
+
+def test_lockset_flags_contradicted_docstring_contract(result):
+    findings = findings_in(result, "race_contract.py")
+    assert [f.rule for f in findings] == ["lockset"]
+    finding = findings[0]
+    # anchored at the bare-handed call site in add_fast
+    assert finding.line == line_of("race_contract.py",
+                                   "    def add_fast") + 1
+    assert "self._lock" in finding.message
+    assert "contradicting" in finding.message
+    assert finding.fingerprint == expected_fingerprint(
+        "race_contract.py", finding.line, "lockset")
+
+
+def test_lock_taken_in_caller_is_clean(result):
+    assert findings_in(result, "clean_locking.py") == []
+
+
+# ---------------------------------------------------------------- tape-shape
+
+def test_tape_shape_flags_provable_symbolic_matmul_mismatch(result):
+    findings = findings_in(result, "shape_bug.py")
+    assert [f.rule for f in findings] == ["tape-shape"]
+    finding = findings[0]
+    assert finding.line == line_of("shape_bug.py",
+                                   "self.w_in @ self.w_in")
+    assert finding.message.startswith("matmul of")
+    assert finding.fingerprint == expected_fingerprint(
+        "shape_bug.py", finding.line, "tape-shape")
+
+
+def test_shape_joined_at_branch_is_clean(result):
+    assert findings_in(result, "clean_shapes.py") == []
+
+
+def test_tape_shape_flags_aliased_float32(result):
+    findings = findings_in(result, "dtype_alias.py")
+    assert [f.rule for f in findings] == ["tape-shape"] * 2
+    ctor, tensor = findings
+    assert ctor.line == line_of("dtype_alias.py", "dtype=compact")
+    assert "alias" in ctor.message
+    assert tensor.line == line_of("dtype_alias.py", "Tensor(buffer)")
+    assert "float32" in tensor.message
+    assert tensor.fingerprint == expected_fingerprint(
+        "dtype_alias.py", tensor.line, "tape-shape")
+
+
+def test_tape_shape_flags_dead_parameter(result):
+    findings = findings_in(result, "dead_parameter.py")
+    assert [f.rule for f in findings] == ["tape-shape"]
+    finding = findings[0]
+    assert finding.line == line_of("dead_parameter.py", "self.w_spare")
+    assert "`self.w_spare`" in finding.message
+    assert "gradient" in finding.message
+    assert finding.fingerprint == expected_fingerprint(
+        "dead_parameter.py", finding.line, "tape-shape")
+
+
+# ------------------------------------------------------------- resource-leak
+
+def test_leaked_pipe_end_is_flagged_and_clean_variant_is_not(result):
+    findings = findings_in(result, "leaked_pipe.py")
+    # exactly one: handshake leaks `parent`, handshake_clean is silent
+    assert [f.rule for f in findings] == ["resource-leak"]
+    finding = findings[0]
+    assert finding.line == line_of("leaked_pipe.py",
+                                   "parent, child = Pipe()")
+    assert "`parent`" in finding.message
+    assert "Pipe connection" in finding.message
+    assert finding.fingerprint == expected_fingerprint(
+        "leaked_pipe.py", finding.line, "resource-leak")
+
+
+def test_fixture_sweep_is_exhaustive(result):
+    """No finding outside the ones the tests above pin down."""
+    flagged = {Path(f.path).name for f in result.findings}
+    assert flagged == {"race_helper.py", "race_contract.py",
+                       "shape_bug.py", "dtype_alias.py",
+                       "dead_parameter.py", "leaked_pipe.py"}
+
+
+# ---------------------------------------------------------------- src/ gate
+
+def test_repo_src_analyzes_clean():
+    baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+    result = analyze_program_paths([REPO_ROOT / "src"], baseline=baseline)
+    assert result.files_checked > 50
+    details = "\n".join(f.format() for f in result.findings)
+    assert result.clean, f"whole-program findings in src/:\n{details}"
+
+
+# ------------------------------------------------------------------- caching
+
+def test_incremental_cache_reproduces_findings(tmp_path, result):
+    cache = tmp_path / "analyze.json"
+    first = analyze_program_paths([FIXTURES], cache_path=cache)
+    assert first.cached_modules == 0
+    second = analyze_program_paths([FIXTURES], cache_path=cache)
+    assert second.cached_modules == second.files_checked
+    # byte-identical findings, fingerprints included
+    key = lambda r: sorted((f.fingerprint, f.line, f.message)
+                           for f in r.findings)
+    assert key(second) == key(first) == key(result)
+
+
+def test_cache_invalidates_when_an_import_neighbor_changes(tmp_path):
+    lib = "def helper():\n    return 1\n"
+    app = "import lib\n\nvalue = lib.helper()\n"
+    (tmp_path / "lib.py").write_text(lib)
+    (tmp_path / "app.py").write_text(app)
+    cache = tmp_path / "cache.json"
+    analyze_program_paths([tmp_path], cache_path=cache)
+    # editing lib.py must also evict app.py (facts flow along imports)
+    (tmp_path / "lib.py").write_text(lib + "\nEXTRA = 2\n")
+    rerun = analyze_program_paths([tmp_path], cache_path=cache)
+    assert rerun.cached_modules == 0
+
+
+# ----------------------------------------------------------------------- CLI
+
+def test_analyze_cli_exit_codes():
+    dirty = str(FIXTURES / "leaked_pipe.py")
+    clean = str(FIXTURES / "clean_locking.py")
+    assert analyze_main([dirty, "--no-baseline"]) == 1
+    assert analyze_main([clean, "--no-baseline"]) == 0
+    # over the wall-clock budget: exit 2 even when clean
+    assert analyze_main([clean, "--no-baseline", "--max-seconds", "0"]) == 2
+
+
+def test_module_cli_wires_analyze_subcommand():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", str(REPO_ROOT / "src"),
+         "--baseline", str(REPO_ROOT / DEFAULT_BASELINE)],
+        capture_output=True, text=True, cwd=REPO_ROOT, env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stderr
+
+
+def test_stale_pragma_audit_reports_and_clears(tmp_path, capsys):
+    used = ("import time\n"
+            "created = time.time()  # repro: disable=determinism\n")
+    unused = "x = 1  # repro: disable=determinism\n"
+    (tmp_path / "used.py").write_text(used)
+    (tmp_path / "unused.py").write_text(unused)
+    exit_code = lint_main(["--stale-pragmas", "--no-baseline",
+                           str(tmp_path)])
+    output = capsys.readouterr().out
+    assert exit_code == 1
+    assert "unused.py:1" in output
+    assert output.count("stale pragma") == 1
+    (tmp_path / "unused.py").write_text("x = 1\n")
+    assert lint_main(["--stale-pragmas", "--no-baseline",
+                      str(tmp_path)]) == 0

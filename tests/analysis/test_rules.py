@@ -289,6 +289,52 @@ def test_exception_rule_pragma_suppresses():
     assert run(source) == []
 
 
+def test_exception_rule_whitelists_typed_wrap_first_class():
+    source = """\
+        from repro.exceptions import CheckpointError
+
+        def f():
+            try:
+                work()
+            except Exception as exc:
+                raise CheckpointError("bad") from exc
+            try:
+                work()
+            except Exception:
+                raise CheckpointError("bad")
+    """
+    assert run(source) == []
+
+
+def test_exception_rule_flags_unchained_foreign_raise():
+    # `raise ValueError(...)` without `from` drops the real traceback —
+    # only typed project exceptions are blessed unchained.
+    source = """\
+        def f():
+            try:
+                work()
+            except Exception:
+                raise ValueError("bad")
+    """
+    findings = run(source)
+    assert rules_of(findings) == ["exception-hygiene"]
+
+
+def test_exception_rule_ignores_deferred_raise_in_nested_def():
+    # A raise inside a nested def is deferred code, not handling.
+    source = """\
+        def f():
+            try:
+                work()
+            except Exception:
+                def poison():
+                    raise
+                callbacks.append(poison)
+    """
+    findings = run(source)
+    assert rules_of(findings) == ["exception-hygiene"]
+
+
 # ----------------------------------------------------------------- api-hygiene
 
 def test_api_rule_fires_on_mutable_defaults_and_assert():

@@ -94,3 +94,19 @@ def test_durability_contract_holds_against_committed_baseline():
         "benchmarks/BENCH_durability.json not committed"
     failures = run_durability_check()
     assert not failures, "\n".join(failures)
+
+
+def test_only_flag_parses_comma_separated_suite_lists():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        from check_bench_regression import KNOWN_SUITES, _parse_only
+    finally:
+        sys.path.pop(0)
+    assert _parse_only("kernels") == {"kernels"}
+    assert _parse_only("kernels,ann, durability") == {"kernels", "ann",
+                                                      "durability"}
+    assert _parse_only("all") == set(KNOWN_SUITES)
+    with pytest.raises(ValueError):
+        _parse_only("kernels,bogus")
+    with pytest.raises(ValueError):
+        _parse_only(" , ")
