@@ -1,0 +1,234 @@
+"""Streaming-ingest benchmark: sustained rate, freshness, crash recovery.
+
+Three sections, each with functional hard gates (checked by
+``check_bench_regression.py --only streaming``) plus loose wall-clock
+numbers for trend-watching:
+
+* **ingest** — a fault-injected Porto fleet replay (duplicates, reorder,
+  drops) pushed through a :class:`StreamIngestor` with synchronous
+  incremental re-embedding, so each batch is *queryable when its ack
+  returns*: the per-batch ack latency distribution IS the
+  point-to-queryable freshness. Hard gates: the replayed window absorbs
+  every pathology (counters add up) and a reopen recovers a
+  fingerprint-identical window — zero acked-point loss.
+* **incremental** — the O(new points) claim: extending a long segment's
+  prefix state by a small tail must beat re-encoding the whole segment
+  from scratch by at least ``incremental_speedup_floor``. (The two paths
+  are bit-identical — asserted, not timed.)
+* **recovery** — kill/resume time: constructing an ingester over the
+  ingest section's WAL (full replay + window re-encode), which is the
+  restart path after a crash.
+
+Timing comparisons against the committed ``BENCH_streaming.json`` use
+the loosened durability threshold (fsync latency on shared runners).
+
+Run with ``PYTHONPATH=src python benchmarks/bench_streaming.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_streaming.json"
+
+CONFIG = {
+    "embedding_dim": 16,
+    "num_sources": 16,
+    "min_points": 16,
+    "max_points": 32,
+    "batch_size": 16,
+    "duplicate_fraction": 0.05,
+    "reorder_fraction": 0.10,
+    "drop_fraction": 0.02,
+    "long_segment_points": 512,
+    "incremental_tail_points": 16,
+    "incremental_repeats": 3,
+    "incremental_speedup_floor": 4.0,
+    "seed": 2026,
+}
+
+
+def _encoder(config: dict):
+    from repro.core.config import NeuTrajConfig
+    from repro.core.encoder import TrajectoryEncoder
+    from repro.datasets import Grid
+    from repro.datasets.grid import CoordinateNormalizer
+
+    grid = Grid((0.0, 0.0, 1000.0, 1000.0), cell_size=100.0)
+    normalizer = CoordinateNormalizer(mean=[500.0, 500.0],
+                                      std=[250.0, 250.0])
+    cfg = NeuTrajConfig(embedding_dim=config["embedding_dim"], use_sam=True,
+                        cell_size=100.0, seed=config["seed"])
+    return TrajectoryEncoder(grid, normalizer, cfg,
+                             np.random.default_rng(config["seed"]))
+
+
+def _stream_config():
+    from repro.streaming import StreamConfig, WindowConfig
+
+    return StreamConfig(
+        window=WindowConfig(lateness_s=1e6, ttl_s=1e9, reorder_buffer=32,
+                            max_segment_points=64),
+        sync_encode=True, admission_limit=64)
+
+
+def _arrivals(config: dict):
+    from repro.datasets.porto import (PortoConfig, StreamReplayConfig,
+                                      generate_porto, replay_stream)
+
+    dataset = generate_porto(
+        PortoConfig(num_trajectories=config["num_sources"],
+                    min_points=config["min_points"],
+                    max_points=config["max_points"], extent=1000.0),
+        seed=config["seed"])
+    replay = StreamReplayConfig(
+        duplicate_fraction=config["duplicate_fraction"],
+        reorder_fraction=config["reorder_fraction"],
+        drop_fraction=config["drop_fraction"])
+    return replay_stream(dataset, replay, seed=config["seed"])[0]
+
+
+def _ingest_section(directory: Path, config: dict) -> dict:
+    from repro.streaming import StreamIngestor
+
+    encoder = _encoder(config)
+    arrivals = _arrivals(config)
+    batch = config["batch_size"]
+    ingestor = StreamIngestor(encoder, directory, _stream_config())
+
+    ack_latencies = []
+    started = time.perf_counter()
+    accepted = 0
+    for start in range(0, len(arrivals), batch):
+        t0 = time.perf_counter()
+        result = ingestor.ingest(arrivals[start:start + batch])
+        ack_latencies.append(time.perf_counter() - t0)
+        accepted += result.accepted
+    elapsed = time.perf_counter() - started
+
+    stats = ingestor.stats()
+    window = stats["window"]
+    counters_add_up = (window["applied"] + window["buffered"]
+                       == accepted == stats["accepted_total"])
+    fingerprint = ingestor._window.state_fingerprint()
+    ingestor.close()
+
+    # Zero acked loss: a reopen (pure WAL replay here) must land on the
+    # same window state.
+    reopened = StreamIngestor(encoder, directory, _stream_config())
+    durable_ok = reopened._window.state_fingerprint() == fingerprint
+    reopened.close()
+
+    lat = np.sort(np.asarray(ack_latencies))
+    return {
+        "arrivals": len(arrivals),
+        "accepted": accepted,
+        "points_per_s": len(arrivals) / elapsed,
+        "freshness_p50_s": float(lat[len(lat) // 2]),
+        "freshness_p99_s": float(lat[min(int(len(lat) * 0.99),
+                                         len(lat) - 1)]),
+        "counters_add_up": bool(counters_add_up),
+        "durable_ok": bool(durable_ok),
+    }
+
+
+def _incremental_section(config: dict) -> dict:
+    encoder = _encoder(config)
+    rng = np.random.default_rng(config["seed"] + 1)
+    n = config["long_segment_points"]
+    tail = config["incremental_tail_points"]
+    points = rng.uniform(50.0, 950.0, size=(n, 2))
+
+    prefix = encoder.encode_prefix(points[:n - tail])
+    incremental_s, full_s = [], []
+    extended = None
+    for _ in range(config["incremental_repeats"]):
+        t0 = time.perf_counter()
+        extended = encoder.extend_prefix(prefix, points[n - tail:])
+        incremental_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        full = encoder.encode_prefix(points)
+        full_s.append(time.perf_counter() - t0)
+    bit_identical = bool(np.array_equal(extended.embedding, full.embedding))
+
+    best_inc, best_full = min(incremental_s), min(full_s)
+    return {
+        "segment_points": n,
+        "tail_points": tail,
+        "incremental_s": best_inc,
+        "full_reencode_s": best_full,
+        "speedup": best_full / best_inc,
+        "bit_identical": bit_identical,
+    }
+
+
+def _recovery_section(directory: Path, config: dict) -> dict:
+    from repro.streaming import StreamIngestor
+
+    encoder = _encoder(config)
+    started = time.perf_counter()
+    ingestor = StreamIngestor(encoder, directory, _stream_config())
+    recovery_s = time.perf_counter() - started
+    stats = ingestor.stats()
+    ingestor.close()
+    return {
+        "recovery_s": recovery_s,
+        "recovered_points": stats["recovered_points"],
+        "window_points": stats["window"]["window_points"],
+        "segments": stats["window"]["segments"],
+    }
+
+
+def run_all(config=CONFIG) -> dict:
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="bench-streaming-") as tmp:
+        wal_dir = Path(tmp) / "stream"
+        results["ingest"] = _ingest_section(wal_dir, config)
+        entry = results["ingest"]
+        print(f"  ingest: {entry['points_per_s']:.0f} points/s acked "
+              f"(freshness p99 {entry['freshness_p99_s'] * 1e3:.1f} ms), "
+              f"durable_ok={entry['durable_ok']}")
+        results["incremental"] = _incremental_section(config)
+        entry = results["incremental"]
+        print(f"  incremental: {entry['speedup']:.1f}x over full re-encode "
+              f"({entry['tail_points']} of {entry['segment_points']} points, "
+              f"bit_identical={entry['bit_identical']})")
+        results["recovery"] = _recovery_section(wal_dir, config)
+        entry = results["recovery"]
+        print(f"  recovery: {entry['recovery_s']:.3f}s for "
+              f"{entry['recovered_points']} points / "
+              f"{entry['segments']} segments")
+    return {
+        "schema": "repro.bench_streaming.v1",
+        "config": dict(config),
+        "cpu_count": os.cpu_count() or 1,
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run_all()
+    results = report["results"]
+    ok = (results["ingest"]["durable_ok"]
+          and results["ingest"]["counters_add_up"]
+          and results["incremental"]["bit_identical"]
+          and results["incremental"]["speedup"]
+          >= CONFIG["incremental_speedup_floor"])
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,14 @@ baselines. Exits non-zero when
   not id-identical (or fails to truncate the WAL), a failover that
   answers partial or loses acked rows — or WAL replay / failover time
   regresses past the (looser, fsync-noise-tolerant) durability
-  threshold.
+  threshold;
+* the streaming-ingest benchmark (``benchmarks/BENCH_streaming.json``)
+  breaks its contract — a reopen that is not fingerprint-identical to
+  the acked window (acked-point loss), window counters that do not add
+  up, incremental prefix encoding that diverges from a full re-encode
+  or loses its speedup floor — or the ingest rate / p99 freshness /
+  crash-recovery time regresses past the (fsync-noise-tolerant)
+  streaming threshold.
 
 Wall-clock on shared CPUs is noisy, so the 1.5× threshold is deliberately
 loose: it catches "someone un-vectorised the hot path", not 10% jitter.
@@ -73,6 +80,7 @@ SANITIZE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sanitize.json"
 ANN_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_ann.json"
 SHARDING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_sharding.json"
 DURABILITY_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_durability.json"
+STREAMING_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_streaming.json"
 DEFAULT_THRESHOLD = 1.5
 
 #: Acceptance floor: 16-client micro-batched throughput over serial.
@@ -106,6 +114,13 @@ SHARDING_SPEEDUP_FLOOR = 2.0
 #: themselves (acked == durable, id-identical recovery, zero-loss
 #: failover) are hard checks independent of timing.
 DURABILITY_TIME_THRESHOLD = 3.0
+
+#: Timing slack for the streaming-ingest benchmark: its ack latencies
+#: are fsync-bound like the durability suite's, so the same loosened
+#: threshold applies; the functional gates (fingerprint-identical reopen,
+#: counters adding up, bit-identical incremental encoding and its
+#: speedup floor) are hard checks independent of timing.
+STREAMING_TIME_THRESHOLD = 3.0
 
 
 def _import_bench(module_name: str):
@@ -435,10 +450,76 @@ def run_durability_check(threshold: float = DURABILITY_TIME_THRESHOLD
     return compare_durability_reports(baseline, fresh, threshold)
 
 
+# --------------------------------------------------------------- streaming
+
+def compare_streaming_reports(baseline: dict, fresh: dict,
+                              threshold: float = STREAMING_TIME_THRESHOLD
+                              ) -> list:
+    """Failure strings for the streaming-ingest benchmark (empty = pass)."""
+    failures = []
+    results = fresh["results"]
+
+    ingest = results["ingest"]
+    if not ingest.get("durable_ok", False):
+        failures.append(
+            "streaming: reopening the ingester did not recover a "
+            "fingerprint-identical window — an acked point could be lost")
+    if not ingest.get("counters_add_up", False):
+        failures.append(
+            "streaming: window applied+buffered counters disagree with the "
+            "acked-point total — points were silently dropped or recounted")
+    base_rate = baseline["results"]["ingest"]["points_per_s"]
+    if ingest["points_per_s"] * threshold < base_rate:
+        failures.append(
+            f"streaming: ingest rate {ingest['points_per_s']:.0f} points/s "
+            f"fell {base_rate / ingest['points_per_s']:.2f}x under the "
+            f"committed {base_rate:.0f} (threshold {threshold:.1f}x)")
+    base_p99 = baseline["results"]["ingest"]["freshness_p99_s"]
+    if ingest["freshness_p99_s"] > base_p99 * threshold:
+        failures.append(
+            f"streaming: p99 point-to-queryable freshness "
+            f"{ingest['freshness_p99_s'] * 1e3:.1f}ms is "
+            f"{ingest['freshness_p99_s'] / base_p99:.2f}x over the "
+            f"committed {base_p99 * 1e3:.1f}ms (threshold {threshold:.1f}x)")
+
+    incremental = results["incremental"]
+    if not incremental.get("bit_identical", False):
+        failures.append(
+            "streaming: extend_prefix diverged from a full re-encode — "
+            "incremental embeddings are no longer bit-identical")
+    floor = fresh["config"]["incremental_speedup_floor"]
+    if incremental["speedup"] < floor:
+        failures.append(
+            f"streaming: incremental encode only {incremental['speedup']:.1f}x "
+            f"faster than full re-encode (floor {floor:.1f}x) — the "
+            f"O(new points) path is gone")
+
+    recovery = results["recovery"]
+    if recovery["window_points"] == 0:
+        failures.append(
+            "streaming: recovery replayed an empty window — the WAL suffix "
+            "was not applied")
+    base_recovery = baseline["results"]["recovery"]["recovery_s"]
+    if recovery["recovery_s"] > base_recovery * threshold:
+        failures.append(
+            f"streaming: crash recovery took {recovery['recovery_s']:.3f}s, "
+            f"{recovery['recovery_s'] / base_recovery:.2f}x over the "
+            f"committed {base_recovery:.3f}s (threshold {threshold:.1f}x)")
+    return failures
+
+
+def run_streaming_check(threshold: float = STREAMING_TIME_THRESHOLD) -> list:
+    """Run the streaming bench and compare against the committed baseline."""
+    bench_streaming = _import_bench("bench_streaming")
+    baseline = json.loads(STREAMING_BASELINE.read_text())
+    fresh = bench_streaming.run_all()
+    return compare_streaming_reports(baseline, fresh, threshold)
+
+
 # -------------------------------------------------------------------- main
 
 KNOWN_SUITES = ("kernels", "serving", "resilience", "sanitize", "ann",
-                "sharding", "durability")
+                "sharding", "durability", "streaming")
 
 
 def _parse_only(raw: str) -> set:
@@ -514,6 +595,12 @@ def main(argv=None) -> int:
             return 1
         failures += run_durability_check(
             max(args.threshold, DURABILITY_TIME_THRESHOLD))
+    if "streaming" in selected:
+        if not STREAMING_BASELINE.exists():
+            print(f"no committed baseline at {STREAMING_BASELINE}")
+            return 1
+        failures += run_streaming_check(
+            max(args.threshold, STREAMING_TIME_THRESHOLD))
 
     if failures:
         print("PERFORMANCE REGRESSION:")

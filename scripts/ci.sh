@@ -64,4 +64,7 @@ python scripts/check_bench_regression.py --only durability
 echo "==> whole-program analysis (lockset, tape-shape, resource-leak)"
 python -m repro analyze src --cache .cache/analyze.json --max-seconds 30
 
+echo "==> streaming gate (acked-loss, incremental identity, freshness)"
+python scripts/check_bench_regression.py --only streaming
+
 echo "ci.sh: all gates passed"

@@ -63,7 +63,9 @@ def default_config() -> AnalysisConfig:
                 # Tensor.data/.grad; everything else must go through ops.
                 "allowed_paths": ("repro/nn/",),
                 # Inference entry points that must run under no_grad().
-                "entry_points": {"repro/core/encoder.py": ("embed",)},
+                "entry_points": {
+                    "repro/core/encoder.py": ("embed", "extend_prefix"),
+                },
             },
             "dtype-discipline": {
                 "packages": ("repro/nn/", "repro/measures/"),

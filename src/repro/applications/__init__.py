@@ -7,9 +7,12 @@ and become tractable once pairs cost O(d) instead of O(L²).
 
 from .join import (JoinResult, calibrate_threshold, exact_join,
                    similarity_join)
-from .anomaly import AnomalyResult, detect_anomalies, knn_outlier_scores
+from .anomaly import (AnomalyResult, OnlineAnomalyResult,
+                      detect_anomalies, detect_online_anomalies,
+                      knn_outlier_scores)
 
 __all__ = [
     "JoinResult", "calibrate_threshold", "exact_join", "similarity_join",
-    "AnomalyResult", "detect_anomalies", "knn_outlier_scores",
+    "AnomalyResult", "OnlineAnomalyResult", "detect_anomalies",
+    "detect_online_anomalies", "knn_outlier_scores",
 ]

@@ -29,6 +29,24 @@ class AnomalyResult:
     anomalies: np.ndarray  # indices sorted by descending score
 
 
+@dataclass(frozen=True)
+class OnlineAnomalyResult:
+    """Live-window scores from :func:`detect_online_anomalies`.
+
+    ``segment_ids`` aligns with ``scores``; ``anomalies`` holds segment
+    ids (not row indices) sorted by descending score. ``degraded`` and
+    ``watermark`` carry the ingester's freshness context: a degraded
+    window scored stale embeddings for some segments.
+    """
+
+    segment_ids: np.ndarray
+    scores: np.ndarray
+    threshold: float
+    anomalies: np.ndarray
+    degraded: bool
+    watermark: float
+
+
 def knn_outlier_scores(embeddings: np.ndarray, k: int = 5) -> np.ndarray:
     """Mean distance to the k nearest other embeddings, per row."""
     from ..eval import embedding_distance_matrix
@@ -66,3 +84,29 @@ def detect_anomalies(model: MetricModel, trajectories: Sequence,
     order = np.argsort(-scores[flagged], kind="stable")
     return AnomalyResult(scores=scores, threshold=threshold,
                          anomalies=flagged[order])
+
+
+def detect_online_anomalies(ingestor, k: int = 5,
+                            quantile: float = 0.95) -> OnlineAnomalyResult:
+    """Score the *live* streaming window for anomalous segments.
+
+    Runs the same kNN-distance outlier score over the embeddings a
+    :class:`~repro.streaming.ingest.StreamIngestor` maintains for its
+    window segments — no re-encoding, the incremental prefix states
+    already paid for it. Call it on a cadence (or after every ingest
+    batch) for continuous monitoring; segments evicted by the watermark
+    drop out of scoring automatically.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    segment_ids, embeddings = ingestor.window_embeddings()
+    scores = knn_outlier_scores(embeddings, k=k)
+    threshold = float(np.quantile(scores, quantile))
+    flagged = np.flatnonzero(scores > threshold)
+    order = np.argsort(-scores[flagged], kind="stable")
+    stats = ingestor.stats()
+    return OnlineAnomalyResult(
+        segment_ids=segment_ids, scores=scores, threshold=threshold,
+        anomalies=segment_ids[flagged[order]],
+        degraded=bool(stats["degraded"]),
+        watermark=float(stats["window"]["watermark"]))

@@ -203,6 +203,24 @@ class IVFBackend(SearchBackend):
         if self.index is not None:
             self.index.compact()
 
+    def maybe_compact(self, max_pending_fraction: float = 0.25) -> bool:
+        """Compact once pending mutations outgrow the fraction threshold.
+
+        Continuous insert/evict churn (the streaming window) otherwise
+        accumulates tombstones and tail rows indefinitely; returns True
+        when a compaction ran.
+        """
+        if self.index is None:
+            return False
+        stats = self.index.stats()
+        live = max(int(stats.get("live", 0)), 1)
+        pending = (int(stats.get("pending", 0))
+                   + int(stats.get("tombstones", 0)))
+        if pending <= max_pending_fraction * live:
+            return False
+        self.index.compact()
+        return True
+
     def stats(self) -> Dict:
         if self.index is None:
             return {"kind": self.name, "queries": 0,

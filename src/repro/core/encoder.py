@@ -9,6 +9,7 @@ recurrent pass is the trajectory representation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
@@ -20,6 +21,40 @@ from ..nn.rnn import LSTM
 from ..nn.sam import SAMLSTM, SpatialMemory
 from ..nn.tensor import Tensor
 from .config import NeuTrajConfig
+
+
+@dataclass(frozen=True)
+class PrefixState:
+    """Resumable encoder state after folding a trajectory prefix.
+
+    The recurrent encoders are left folds over points: the state after
+    point ``t`` depends only on the state after ``t-1`` and point ``t``
+    (inference reads the SAM memory but never writes it). Persisting
+    ``(h, c)`` therefore lets a *growing* trajectory re-embed in O(new
+    points) instead of O(length): the streaming ingest tier keeps one
+    ``PrefixState`` per live trajectory segment.
+
+    Instances are immutable value objects — extending a prefix returns a
+    new state, so a caller can keep the old one (e.g. for speculative
+    growth or crash-safe checkpointing).
+
+    Attributes
+    ----------
+    h, c:
+        Hidden and cell state, each of shape (1, d). ``h[0]`` is the
+        embedding of the prefix consumed so far.
+    length:
+        Number of points folded into this state.
+    """
+
+    h: np.ndarray
+    c: np.ndarray
+    length: int
+
+    @property
+    def embedding(self) -> np.ndarray:
+        """The (d,) embedding of the consumed prefix (a copy)."""
+        return self.h[0].copy()
 
 
 class TrajectoryEncoder(Module):
@@ -82,6 +117,67 @@ class TrajectoryEncoder(Module):
         if not chunks:
             return np.zeros((0, self.config.embedding_dim))
         return np.concatenate(chunks, axis=0)
+
+    # -------------------------------------------------- incremental encoding
+
+    def init_prefix(self) -> PrefixState:
+        """Fresh encoder state (the empty-prefix fold identity)."""
+        d = self.config.embedding_dim
+        return PrefixState(h=np.zeros((1, d)), c=np.zeros((1, d)), length=0)
+
+    def extend_prefix(self, state: PrefixState,
+                      points: np.ndarray) -> PrefixState:
+        """Fold ``points`` ((n, 2) raw coordinates) into ``state``.
+
+        Runs the recurrence one point at a time with batch size 1 under
+        ``no_grad`` and the memory read-only. Each point's input
+        projection is computed individually, so the result is invariant
+        to how a growing trajectory is chunked across calls: extending
+        point by point, in bursts, or all at once produces bit-identical
+        states. (The batched :meth:`embed` path hoists all projections
+        into one GEMM whose BLAS kernel may round differently by ~1 ulp;
+        :meth:`encode_prefix` is the canonical full re-encoding to
+        compare incremental growth against.)
+
+        Returns a new state; ``state`` itself is not mutated.
+        """
+        from ..nn.tensor import no_grad
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(
+                f"expected points of shape (n, 2), got {points.shape}")
+        if points.shape[0] == 0:
+            return PrefixState(h=state.h.copy(), c=state.c.copy(),
+                               length=state.length)
+        if not np.isfinite(points).all():
+            raise ValueError("points must be finite")
+        inputs = self.normalizer.transform(points)
+        cells = self.grid.to_cells(points) if self.uses_sam else None
+        cell = self.rnn.cell
+        with no_grad():
+            h = Tensor(state.h.copy())
+            c = Tensor(state.c.copy())
+            for t in range(inputs.shape[0]):
+                # Project exactly one point: (1, 1, 2) -> one step's
+                # pre-activations, keeping the fold chunk-invariant.
+                x_gates, x_cand = cell.project_inputs(inputs[t:t + 1][None])
+                if self.uses_sam:
+                    h, c = cell.step(x_gates[0], x_cand[0], cells[t:t + 1],
+                                     h, c, self.memory, write=False)
+                else:
+                    h, c = cell.step(x_gates[0], x_cand[0], h, c)
+        return PrefixState(h=h.data, c=c.data,
+                           length=state.length + int(points.shape[0]))
+
+    def encode_prefix(self, points: np.ndarray) -> PrefixState:
+        """Full re-encoding through the incremental path (from scratch).
+
+        ``encode_prefix(all_points)`` is bit-identical to any sequence of
+        :meth:`extend_prefix` calls that feeds the same points in order —
+        the property the streaming tier's O(new points) re-embedding
+        relies on.
+        """
+        return self.extend_prefix(self.init_prefix(), points)
 
     def reset_memory(self) -> None:
         if self.memory is not None:

@@ -192,6 +192,26 @@ class EmbeddingStore:
         self._backend.on_add(assigned, new)
         return [int(i) for i in assigned]
 
+    def upsert_embeddings(self, embeddings: np.ndarray,
+                          ids: Sequence[int]) -> List[int]:
+        """Insert-or-replace embedding rows at explicit ids.
+
+        Rows whose id is already present are replaced (remove + add, so
+        both mutations flow through the backend hooks and an ANN backend
+        stays consistent); new ids are plain inserts. The streaming tier
+        uses this to refresh a growing segment's embedding in place.
+        """
+        new = np.asarray(embeddings)
+        assigned = np.asarray(list(ids), dtype=np.int64)
+        if new.ndim != 2 or assigned.shape != (new.shape[0],):
+            raise ValueError(
+                f"expected one id per embedding row, got {new.shape} rows "
+                f"and {assigned.shape} ids")
+        present = assigned[self.contains(assigned)]
+        if present.size:
+            self.remove(present)
+        return self.add_embeddings(new, ids=assigned)
+
     def remove(self, ids: Sequence[int]) -> int:
         """Remove entries by id; returns how many were removed."""
         drop = np.unique(np.asarray(list(ids), dtype=np.int64))

@@ -14,6 +14,7 @@ Coordinates are meters in a city frame ``[0, extent] x [0, extent]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -77,3 +78,125 @@ def generate_porto(config: PortoConfig = PortoConfig(),
         route = np.clip(route, 0.0, config.extent)
         trajectories.append(Trajectory(route, traj_id=i))
     return TrajectoryDataset(trajectories)
+
+
+# --------------------------------------------------------------------------
+# Timed replay: trajectories -> per-source live point streams
+
+
+@dataclass(frozen=True)
+class StreamReplayConfig:
+    """Fault knobs for :func:`replay_stream`.
+
+    Turns a generated dataset into the *arrival sequence* a streaming
+    ingester would see from a fleet: each trajectory becomes one source
+    emitting sequence-numbered, event-timestamped points, and the knobs
+    inject the transport pathologies the window store must absorb.
+
+    Attributes
+    ----------
+    dt_s:
+        Nominal event-time spacing between a source's consecutive points.
+    dt_jitter:
+        Fractional uniform jitter on each spacing (0 = exact cadence).
+    start_spread_s:
+        Sources start uniformly within this event-time span, so their
+        streams interleave instead of moving in lockstep.
+    drop_fraction:
+        Probability a point is lost in transit (never arrives; its
+        sequence number is a permanent gap).
+    duplicate_fraction:
+        Probability an arriving point is delivered twice.
+    reorder_fraction:
+        Probability a point is displaced forward in the arrival order.
+    reorder_span:
+        Maximum number of arrival slots a displaced point moves.
+    late_fraction:
+        Probability a point is delayed so far that it arrives near the
+        end of the replay (the "beyond the watermark" case).
+    """
+
+    dt_s: float = 1.0
+    dt_jitter: float = 0.2
+    start_spread_s: float = 5.0
+    drop_fraction: float = 0.0
+    duplicate_fraction: float = 0.0
+    reorder_fraction: float = 0.0
+    reorder_span: int = 8
+    late_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise ValueError("dt_s must be > 0")
+        if not 0 <= self.dt_jitter < 1:
+            raise ValueError("dt_jitter must be in [0, 1)")
+        for name in ("drop_fraction", "duplicate_fraction",
+                     "reorder_fraction", "late_fraction"):
+            if not 0 <= getattr(self, name) < 1:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.reorder_span < 1:
+            raise ValueError("reorder_span must be >= 1")
+
+
+def replay_stream(dataset: TrajectoryDataset,
+                  config: StreamReplayConfig = StreamReplayConfig(),
+                  seed: int = 0) -> Tuple[List, Dict[int, np.ndarray]]:
+    """Replay a dataset as one interleaved, fault-injected point stream.
+
+    Trajectory ``traj_id`` becomes source ``traj_id`` emitting its points
+    as :class:`~repro.streaming.events.StreamPoint` with sequence numbers
+    ``1..n`` and event times on a jittered cadence. The *arrival order*
+    is the event-time merge of all sources, then perturbed by the
+    reorder / duplicate / late knobs; dropped points never appear.
+
+    Returns ``(arrivals, truth)``: the arrival-ordered point list, and
+    per-source ground truth — the (n, 2) coordinates of the points that
+    were actually sent (post-drop), in sequence order — which is what an
+    ingester that absorbed every pathology should converge to.
+
+    Deterministic for a given ``(dataset, config, seed)``.
+    """
+    # Local import: repro.streaming imports this package for its grids.
+    from ..streaming.events import StreamPoint
+
+    rng = np.random.default_rng(seed)
+    sent: List = []
+    truth: Dict[int, np.ndarray] = {}
+    for trajectory in dataset:
+        source_id = int(trajectory.traj_id)
+        points = np.asarray(trajectory.points, dtype=np.float64)
+        start = float(rng.uniform(0.0, config.start_spread_s))
+        spacing = config.dt_s * (
+            1.0 + config.dt_jitter * rng.uniform(-1.0, 1.0, len(points)))
+        times = start + np.concatenate([[0.0], np.cumsum(spacing[:-1])])
+        keep = rng.random(len(points)) >= config.drop_fraction
+        kept_rows = np.flatnonzero(keep)
+        truth[source_id] = points[kept_rows]
+        for seq0, row in enumerate(kept_rows):
+            sent.append(StreamPoint(source_id=source_id, seq=seq0 + 1,
+                                    t=float(times[row]),
+                                    x=float(points[row, 0]),
+                                    y=float(points[row, 1])))
+    sent.sort(key=lambda p: (p.t, p.source_id, p.seq))
+
+    arrivals: List = []
+    parked: List[Tuple[int, object]] = []  # (release_slot, point)
+    for slot, point in enumerate(sent):
+        while parked and parked[0][0] <= slot:
+            arrivals.append(parked.pop(0)[1])
+        roll = rng.random()
+        if roll < config.late_fraction:
+            # Arrives long after its peers: near the tail of the replay.
+            release = len(sent) - int(rng.integers(0, max(len(sent) // 10, 1)))
+            parked.append((release, point))
+            parked.sort(key=lambda item: item[0])
+        elif roll < config.late_fraction + config.reorder_fraction:
+            release = slot + 1 + int(rng.integers(1, config.reorder_span + 1))
+            parked.append((release, point))
+            parked.sort(key=lambda item: item[0])
+        else:
+            arrivals.append(point)
+        if rng.random() < config.duplicate_fraction and arrivals:
+            arrivals.append(arrivals[-1])
+    arrivals.extend(point for _, point in parked)
+    return arrivals, truth

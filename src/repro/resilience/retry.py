@@ -1,16 +1,21 @@
-"""Bounded retries with exponential backoff.
+"""Bounded retries with exponential backoff (optionally jittered).
 
-A tiny, dependency-free policy object shared by the precompute driver and
-anything else that re-attempts flaky work. Delays are deterministic (no
-jitter) so fault-injection tests can reason about exact schedules; the
-``sleep`` hook is injectable for the same reason.
+A tiny, dependency-free policy object shared by the precompute driver,
+the streaming source supervisor and anything else that re-attempts flaky
+work. Delays are deterministic by default (no jitter) so fault-injection
+tests can reason about exact schedules; callers that fan many retriers
+out against one dependency (per-source stream reconnects) opt into
+jitter with a *seeded* generator, keeping determinism while decorrelating
+the herd. The ``sleep`` hook is injectable for the same reason.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
 
@@ -31,12 +36,17 @@ class RetryPolicy:
         Exponential growth factor between consecutive retries.
     max_delay_s:
         Cap on any single delay.
+    jitter:
+        Fractional spread applied to each delay when an ``rng`` is
+        supplied: the delay is scaled uniformly within ``1 ± jitter``.
+        0 (the default) keeps schedules exact.
     """
 
     max_retries: int = 2
     base_delay_s: float = 0.1
     multiplier: float = 2.0
     max_delay_s: float = 5.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -45,22 +55,33 @@ class RetryPolicy:
             raise ConfigurationError("delays must be >= 0")
         if self.multiplier < 1.0:
             raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
+    def delay(self, attempt: int,
+              rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        With ``jitter > 0`` and an ``rng``, the exponential delay is
+        scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``.
+        """
         if attempt < 1:
             raise ValueError("attempt is 1-based")
-        return min(self.base_delay_s * self.multiplier ** (attempt - 1),
-                   self.max_delay_s)
+        duration = min(self.base_delay_s * self.multiplier ** (attempt - 1),
+                       self.max_delay_s)
+        if self.jitter and rng is not None:
+            duration *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return duration
 
     def should_retry(self, attempt: int) -> bool:
         """True when retry number ``attempt`` (1-based) is still allowed."""
         return attempt <= self.max_retries
 
     def sleep(self, attempt: int,
-              sleep: Callable[[float], None] = time.sleep) -> float:
+              sleep: Callable[[float], None] = time.sleep,
+              rng: Optional[np.random.Generator] = None) -> float:
         """Sleep out the backoff for ``attempt``; returns the delay used."""
-        duration = self.delay(attempt)
+        duration = self.delay(attempt, rng=rng)
         if duration > 0:
             sleep(duration)
         return duration

@@ -16,6 +16,9 @@ GET         ``/readyz``              readiness: 200 when the service can give
                                      failing checks in the body
 GET         ``/metrics``             Prometheus text exposition
 GET         ``/v1/stats``            operational snapshot (JSON)
+GET         ``/v1/stream``           streaming-ingest snapshot: window /
+                                     watermark / backlog stats (409 when no
+                                     stream ingester is attached)
 POST        ``/v1/topk``             ``{"trajectory": [[x,y],...], "k": 5}`` ->
                                      ``{"ids": [...], "distances": [...]}``
 POST        ``/v1/embed``            ``{"trajectory": [[x,y],...]}`` ->
@@ -23,6 +26,11 @@ POST        ``/v1/embed``            ``{"trajectory": [[x,y],...]}`` ->
 POST        ``/v1/insert``           ``{"trajectories": [[[x,y],...],...]}`` ->
                                      ``{"ids": [...]}``
 POST        ``/v1/delete``           ``{"ids": [...]}`` -> ``{"removed": n}``
+POST        ``/v1/ingest``           ``{"points": [[source_id, seq, t, x, y],
+                                     ...]}`` -> per-batch ingest report; acked
+                                     only after the stream WAL fsync (409 when
+                                     no stream ingester is attached, 429 when
+                                     its admission gate sheds)
 POST        ``/admin/compact``       ``{}`` -> ``{"compacted": {"0": true}}``
                                      — folds pending IVF inserts/tombstones
 POST        ``/admin/reload``        ``{"partition_dir": ..., "bundle_dir":
@@ -184,6 +192,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._route(self._get_metrics)
         elif self.path == "/v1/stats":
             self._route(self._get_stats)
+        elif self.path == "/v1/stream":
+            self._route(self._get_stream)
         else:
             self._route(self._not_found)
 
@@ -196,6 +206,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._route(self._post_insert)
         elif self.path == "/v1/delete":
             self._route(self._post_delete)
+        elif self.path == "/v1/ingest":
+            self._route(self._post_ingest)
         elif self.path == "/admin/compact":
             self._route(self._post_compact)
         elif self.path == "/admin/reload":
@@ -227,6 +239,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_stats(self) -> int:
         self._send_json(200, self.service.stats())
+        return 200
+
+    def _get_stream(self) -> int:
+        stats_fn = getattr(self.service, "stream_stats", None)
+        if stats_fn is None:
+            raise ReloadError("this service has no streaming ingest tier")
+        self._send_json(200, stats_fn())
         return 200
 
     def _post_topk(self) -> int:
@@ -287,6 +306,21 @@ class _Handler(BaseHTTPRequestHandler):
             return 400
         removed = self.service.delete(ids)
         self._send_json(200, {"removed": removed})
+        return 200
+
+    def _post_ingest(self) -> int:
+        payload = self._read_json()
+        if payload is None:
+            return 400
+        points = payload.get("points")
+        if not isinstance(points, list):
+            self._send_error_json(
+                400, "points must be a list of [source_id, seq, t, x, y]")
+            return 400
+        ingest_fn = getattr(self.service, "stream_ingest", None)
+        if ingest_fn is None:
+            raise ReloadError("this service has no streaming ingest tier")
+        self._send_json(200, ingest_fn(points))
         return 200
 
     def _post_compact(self) -> int:

@@ -40,8 +40,9 @@ from ..core.store import EmbeddingStore
 from ..dataquality import QualityReport, SanitizeConfig, sanitize
 from ..datasets.trajectory import Trajectory
 from ..exceptions import (ConfigurationError, DeadlineExceededError,
-                          InvalidTrajectoryError, ServiceClosedError,
-                          ServiceOverloadedError, ServiceUnavailableError)
+                          InvalidTrajectoryError, ReloadError,
+                          ServiceClosedError, ServiceOverloadedError,
+                          ServiceUnavailableError)
 from ..index.grid_index import GridInvertedIndex
 from ..resilience.admission import AdmissionGate
 from ..resilience.breaker import CircuitBreaker
@@ -232,6 +233,7 @@ class SimilarityService:
             self._sanitize_config = sanitize_cfg
         self.probes: List[Trajectory] = list(probes or [])
         self.fallback_index = fallback_index
+        self.stream = None  # optional StreamIngestor; see attach_stream()
         # Install the configured search backend before the first query;
         # "keep" preserves a backend attached out-of-band (e.g. a
         # memory-mapped IVF index built offline).
@@ -627,6 +629,53 @@ class SimilarityService:
         with self._store_lock:
             return len(self.store)
 
+    # -------------------------------------------------------- streaming ingest
+
+    def attach_stream(self, ingestor) -> None:
+        """Attach a :class:`~repro.streaming.ingest.StreamIngestor`.
+
+        Enables the ``/v1/ingest`` and ``/v1/stream`` HTTP routes.
+        Lifecycle stays with the caller: the ingester owns its own WAL and
+        snapshot directory, so closing this service does *not* close it.
+        """
+        self.stream = ingestor
+
+    def stream_ingest(self, rows: Sequence[Sequence[float]]) -> Dict:
+        """Apply ``[source_id, seq, t, x, y]`` rows to the attached stream.
+
+        The transport-facing half of :meth:`attach_stream` — rows arrive
+        as plain lists (JSON), are validated into
+        :class:`~repro.streaming.events.StreamPoint`, and acknowledged
+        only after the ingester's WAL fsync. Raises
+        :class:`~repro.exceptions.ReloadError` when no stream is attached
+        (the HTTP layer maps it to 409, the capability-missing status).
+        """
+        if self.stream is None:
+            raise ReloadError("this service has no stream ingester attached "
+                              "(build one with repro.streaming and call "
+                              "attach_stream)")
+        from ..streaming.events import StreamPoint
+        points = []
+        for row in rows:
+            if len(row) != 5:
+                raise ValueError("each point must be [source_id, seq, t, x, y]"
+                                 f", got {row!r}")
+            source_id, seq, t, x, y = row
+            points.append(StreamPoint(source_id=int(source_id), seq=int(seq),
+                                      t=float(t), x=float(x), y=float(y)))
+        result = self.stream.ingest(points)
+        return {"accepted": result.accepted, "applied": result.applied,
+                "buffered": result.buffered,
+                "duplicates": result.duplicates, "late": result.late,
+                "evicted_segments": result.evicted_segments,
+                "lsn": result.lsn, "degraded": result.degraded}
+
+    def stream_stats(self) -> Dict:
+        """Operational snapshot of the attached stream ingester."""
+        if self.stream is None:
+            raise ReloadError("this service has no stream ingester attached")
+        return self.stream.stats()
+
     # ------------------------------------------------------------- lifecycle
 
     def warmup(self, queries: int = 4) -> int:
@@ -701,6 +750,7 @@ class SimilarityService:
                                    {"size": self.fallback_index.size}),
             },
             "readiness": self.readiness(),
+            "stream": None if self.stream is None else self.stream.stats(),
             "uptime_seconds": time.monotonic() - self._started,
             "metrics": self.registry.snapshot(),
         }

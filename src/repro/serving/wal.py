@@ -577,7 +577,14 @@ class ShardWAL:
 class WALGapError(LookupError):
     """The tail being followed was truncated past the reader's position
     (the primary snapshotted and dropped segments the reader had not
-    applied yet). The reader must rebuild from the current snapshot."""
+    applied yet, or repaired a torn tail below bytes the reader had
+    already consumed). The reader must rebuild from the current
+    snapshot. ``last_lsn`` is the last record this reader applied
+    successfully — everything after it must come from the snapshot."""
+
+    def __init__(self, message: str, last_lsn: int = 0):
+        super().__init__(message)
+        self.last_lsn = int(last_lsn)
 
 
 class WALTailer:
@@ -612,7 +619,18 @@ class WALTailer:
             except FileNotFoundError:
                 logger.debug("wal: segment %s vanished during tail", segment)
                 break
-            if offset >= len(data):
+            if offset > len(data):
+                # The segment shrank below bytes this reader already
+                # consumed: the primary truncated (torn-tail repair or
+                # snapshot) records we may have applied. Surface it the
+                # same way as a clean LSN gap — silence here would let
+                # the reader diverge from the primary.
+                raise WALGapError(
+                    f"wal segment {segment.name} shrank below this "
+                    f"reader's offset ({len(data)} < {offset} bytes): "
+                    f"truncated past records already consumed (last good "
+                    f"lsn {self._last_lsn})", last_lsn=self._last_lsn)
+            if offset == len(data):
                 continue
             records, valid_end, damage = scan_buffer(data[offset:])
             if damage == "corrupt":
@@ -625,7 +643,9 @@ class WALTailer:
                 if record.lsn != self._last_lsn + 1:
                     raise WALGapError(
                         f"wal tail jumped from lsn {self._last_lsn} to "
-                        f"{record.lsn}: truncated past this reader")
+                        f"{record.lsn}: truncated past this reader (last "
+                        f"good lsn {self._last_lsn})",
+                        last_lsn=self._last_lsn)
                 self._last_lsn = record.lsn
                 out.append(record)
             if damage == "torn":

@@ -1,0 +1,91 @@
+"""Streaming event vocabulary and its WAL codec.
+
+A :class:`StreamPoint` is one GPS fix from one source (vehicle): the
+source's id, the source-assigned sequence number, the event timestamp
+(seconds, *event time* — assigned by the source, never by our clock) and
+the raw coordinates.
+
+Durability reuses the shard WAL's record framing unchanged: a batch of
+accepted points becomes one ``OP_INSERT`` record whose "embedding" rows
+are ``[source_id, seq, t, x, y]`` (:data:`STREAM_WAL_DIM` columns) and
+whose ids are the ingester's global accept counter. Integer ids and
+sequence numbers round-trip exactly through float64 up to 2**53, far
+beyond any window this tier holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..serving.wal import OP_INSERT, WALRecord
+
+__all__ = ["STREAM_WAL_DIM", "StreamPoint", "points_to_record",
+           "points_from_record"]
+
+#: Columns of a point row in a streaming WAL record.
+STREAM_WAL_DIM = 5
+
+#: Sequence numbers and source ids must survive the float64 round-trip.
+_MAX_EXACT_INT = 2 ** 53
+
+
+@dataclass(frozen=True, order=True)
+class StreamPoint:
+    """One sequence-numbered, event-timestamped fix from one source.
+
+    Ordering is lexicographic ``(source_id, seq, t, x, y)``, which makes
+    per-source event order the natural sort order in tests.
+    """
+
+    source_id: int
+    seq: int
+    t: float
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source_id < _MAX_EXACT_INT:
+            raise ValueError(f"source_id {self.source_id} out of range")
+        if not 1 <= self.seq < _MAX_EXACT_INT:
+            raise ValueError(f"seq must be >= 1, got {self.seq}")
+        if not (np.isfinite(self.t) and np.isfinite(self.x)
+                and np.isfinite(self.y)):
+            raise ValueError("t/x/y must be finite")
+
+    @property
+    def coords(self) -> np.ndarray:
+        """The (2,) coordinate array."""
+        return np.array([self.x, self.y], dtype=np.float64)
+
+
+def points_to_record(points: Sequence[StreamPoint],
+                     first_accept_id: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode accepted points as one WAL insert payload.
+
+    Returns ``(ids, rows)`` for ``ShardWAL.append(OP_INSERT, ids, rows)``:
+    ids are the global accept counter ``first_accept_id ..``, rows are the
+    (n, :data:`STREAM_WAL_DIM`) point fields.
+    """
+    n = len(points)
+    ids = np.arange(first_accept_id, first_accept_id + n, dtype=np.int64)
+    rows = np.empty((n, STREAM_WAL_DIM), dtype=np.float64)
+    for i, point in enumerate(points):
+        rows[i] = (point.source_id, point.seq, point.t, point.x, point.y)
+    return ids, rows
+
+
+def points_from_record(record: WALRecord) -> List[StreamPoint]:
+    """Decode a streaming WAL record back into points (replay path)."""
+    if record.op != OP_INSERT or record.embeddings is None:
+        raise ValueError(f"not a streaming insert record (op {record.op})")
+    rows = record.embeddings
+    if rows.ndim != 2 or rows.shape[1] != STREAM_WAL_DIM:
+        raise ValueError(
+            f"streaming WAL rows must have {STREAM_WAL_DIM} columns, "
+            f"got shape {rows.shape}")
+    return [StreamPoint(source_id=int(row[0]), seq=int(row[1]),
+                        t=float(row[2]), x=float(row[3]), y=float(row[4]))
+            for row in rows]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the streaming-tier tests.
+
+The encoder is built deterministically from a seed (no training), so a
+child process in a crash test can rebuild the *same* encoder and the
+recovered embeddings can be compared bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NeuTrajConfig
+from repro.core.encoder import TrajectoryEncoder
+from repro.datasets import Grid
+from repro.datasets.grid import CoordinateNormalizer
+from repro.streaming import StreamPoint
+
+
+def make_encoder(use_sam: bool = True, seed: int = 0,
+                 dim: int = 8) -> TrajectoryEncoder:
+    """Deterministic untrained encoder over a [0, 1000]^2 frame."""
+    grid = Grid((0.0, 0.0, 1000.0, 1000.0), cell_size=100.0)
+    normalizer = CoordinateNormalizer(mean=[500.0, 500.0],
+                                      std=[250.0, 250.0])
+    cfg = NeuTrajConfig(embedding_dim=dim, use_sam=use_sam, cell_size=100.0,
+                        seed=seed)
+    return TrajectoryEncoder(grid, normalizer, cfg,
+                             np.random.default_rng(seed))
+
+
+@pytest.fixture
+def encoder():
+    return make_encoder(use_sam=True)
+
+
+def in_order_points(source_id: int, n: int, *, t0: float = 0.0,
+                    dt: float = 1.0, seed: int = 0):
+    """``n`` sequential points for one source on a fixed cadence."""
+    rng = np.random.default_rng(seed + source_id)
+    coords = rng.uniform(100.0, 900.0, size=(n, 2))
+    return [StreamPoint(source_id=source_id, seq=i + 1, t=t0 + i * dt,
+                        x=float(coords[i, 0]), y=float(coords[i, 1]))
+            for i in range(n)]

@@ -1,0 +1,109 @@
+"""WALTailer gap detection: LSN jumps and shrunk (truncated) segments.
+
+A reader that silently skipped records would diverge from the primary;
+both truncation shapes must surface as :class:`WALGapError` carrying the
+last successfully applied LSN so the reader knows where its good prefix
+ends and rebuilds from the snapshot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving.wal import (OP_INSERT, ShardWAL, WALGapError, WALTailer,
+                               list_segments)
+
+pytestmark = pytest.mark.streaming
+
+
+def _append_n(wal, n, dim=3, start=0):
+    for i in range(n):
+        ids = np.array([start + i], dtype=np.int64)
+        rows = np.full((1, dim), float(start + i))
+        wal.append(OP_INSERT, ids, rows)
+
+
+def test_tailer_reads_records_in_lsn_order(tmp_path):
+    wal = ShardWAL(tmp_path, segment_bytes=1 << 20)
+    _append_n(wal, 5)
+    tailer = WALTailer(tmp_path)
+    records = tailer.poll()
+    assert [r.lsn for r in records] == [1, 2, 3, 4, 5]
+    assert tailer.last_lsn == 5
+    assert tailer.poll() == []  # each record exactly once
+    wal.close()
+
+
+def test_shrunk_segment_raises_gap_with_last_good_lsn(tmp_path):
+    wal = ShardWAL(tmp_path, segment_bytes=1 << 20)
+    _append_n(wal, 4)
+    tailer = WALTailer(tmp_path)
+    assert len(tailer.poll()) == 4
+    wal.close()
+
+    # The primary rewrites the segment shorter than bytes this reader
+    # already consumed (torn-tail repair / truncation gone wrong).
+    [segment] = list_segments(tmp_path)
+    data = segment.read_bytes()
+    with open(segment, "r+b") as handle:
+        handle.truncate(len(data) // 2)
+
+    with pytest.raises(WALGapError) as excinfo:
+        tailer.poll()
+    assert excinfo.value.last_lsn == 4
+    assert "shrank" in str(excinfo.value)
+
+
+def test_unchanged_segment_is_not_a_gap(tmp_path):
+    """Boundary: offset == len(data) means caught up, not truncated."""
+    wal = ShardWAL(tmp_path, segment_bytes=1 << 20)
+    _append_n(wal, 2)
+    tailer = WALTailer(tmp_path)
+    assert len(tailer.poll()) == 2
+    assert tailer.poll() == []
+    assert tailer.poll() == []
+    wal.close()
+
+
+def test_lsn_jump_raises_gap_with_last_good_lsn(tmp_path):
+    # Tiny segments: every record rotates into its own file, so
+    # truncating the WAL behind a snapshot removes whole early segments.
+    wal = ShardWAL(tmp_path, segment_bytes=1)
+    _append_n(wal, 5)
+    tailer = WALTailer(tmp_path)
+    records = tailer.poll()
+    assert [r.lsn for r in records][:1] == [1]
+    applied = tailer.last_lsn
+    assert applied == 5
+
+    # A reader that only applied lsn 1 while the primary truncated
+    # through 3: its next record is lsn 4 — a jump it must not bridge.
+    stale = WALTailer(tmp_path, applied_lsn=1)
+    wal.truncate_through(3)
+    with pytest.raises(WALGapError) as excinfo:
+        stale.poll()
+    assert excinfo.value.last_lsn == 1
+    assert "jumped" in str(excinfo.value) or "gap" in str(excinfo.value)
+    wal.close()
+
+
+def test_torn_tail_ends_poll_without_error(tmp_path):
+    """A mid-record tail is in-flight, not a gap: poll returns the clean
+    prefix and picks the record up once its bytes complete."""
+    wal = ShardWAL(tmp_path, segment_bytes=1 << 20)
+    _append_n(wal, 3)
+    [segment] = list_segments(tmp_path)
+    whole = segment.read_bytes()
+    wal.close()
+
+    with open(segment, "r+b") as handle:
+        handle.truncate(len(whole) - 4)  # shear the last record's tail
+
+    tailer = WALTailer(tmp_path)
+    records = tailer.poll()
+    assert [r.lsn for r in records] == [1, 2]
+
+    with open(segment, "r+b") as handle:
+        handle.seek(0, 2)
+        handle.write(whole[-4:])  # the missing bytes land
+    assert [r.lsn for r in tailer.poll()] == [3]
+    assert tailer.last_lsn == 3

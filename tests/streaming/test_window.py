@@ -1,0 +1,173 @@
+"""Sliding-window state-machine invariants (dedup, watermark, eviction)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streaming import SlidingWindowStore, StreamPoint, WindowConfig
+
+from tests.streaming.conftest import in_order_points
+
+pytestmark = pytest.mark.streaming
+
+
+def _point(source=1, seq=1, t=0.0, x=100.0, y=100.0):
+    return StreamPoint(source_id=source, seq=seq, t=t, x=x, y=y)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        WindowConfig(lateness_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        WindowConfig(ttl_s=0.0)
+    with pytest.raises(ConfigurationError):
+        WindowConfig(reorder_buffer=0)
+    with pytest.raises(ConfigurationError):
+        WindowConfig(max_segment_points=1)
+
+
+def test_in_order_points_apply_and_segment_grows():
+    window = SlidingWindowStore(WindowConfig())
+    for point in in_order_points(1, 5):
+        result = window.apply(point)
+        assert result.status == "applied" and result.accepted
+    [sid] = window.live_segments()
+    assert len(window.segment(sid)) == 5
+    assert window.segment(sid).points().shape == (5, 2)
+    assert window.applied_through(1) == 5
+
+
+def test_duplicates_are_acknowledged_but_inert():
+    window = SlidingWindowStore(WindowConfig())
+    points = in_order_points(1, 4)
+    for point in points:
+        window.apply(point)
+    fingerprint = window.state_fingerprint()
+    for point in points:
+        result = window.apply(point)
+        assert result.status == "duplicate" and not result.accepted
+    assert window.duplicates == 4
+    # Dedup is idempotent: re-offering changed nothing but the counter.
+    assert window.state_fingerprint() == fingerprint
+
+
+def test_out_of_order_buffers_then_drains():
+    window = SlidingWindowStore(WindowConfig())
+    p1, p2, p3 = in_order_points(1, 3)
+    assert window.apply(p3).status == "buffered"
+    assert window.buffered() == 1
+    assert window.apply(p1).status == "applied"
+    # seq 2 closes the gap; 3 drains behind it in one apply.
+    result = window.apply(p2)
+    assert [seq for _, p in result.appended for seq in [p.seq]] == [2, 3]
+    assert window.buffered() == 0
+    [sid] = window.live_segments()
+    assert window.segment(sid).seqs == [1, 2, 3]
+
+
+def test_buffered_duplicate_detected():
+    window = SlidingWindowStore(WindowConfig())
+    _, p2, _ = in_order_points(1, 3)
+    assert window.apply(p2).status == "buffered"
+    assert window.apply(p2).status == "duplicate"
+
+
+def test_watermark_is_monotone_under_any_arrival_order():
+    window = SlidingWindowStore(WindowConfig(lateness_s=5.0))
+    rng = np.random.default_rng(3)
+    points = in_order_points(1, 30)
+    rng.shuffle(points)
+    last = window.watermark
+    for point in points:
+        window.apply(point)
+        assert window.watermark >= last
+        last = window.watermark
+
+
+def test_late_points_are_counted_and_dropped_never_applied():
+    window = SlidingWindowStore(WindowConfig(lateness_s=2.0))
+    for point in in_order_points(1, 10):  # t = 0..9, watermark 7
+        window.apply(point)
+    late = _point(source=2, seq=1, t=1.0)
+    result = window.apply(late)
+    assert result.status == "late" and not result.accepted
+    assert window.late_dropped == 1
+    assert 2 not in window.source_ids() or window.applied_through(2) == 0
+    # A fresh point from the same source at current time still applies.
+    ok = window.apply(_point(source=2, seq=2, t=9.0))
+    assert ok.status == "buffered"  # seq 1 never applied; 2 waits
+
+
+def test_reorder_overflow_force_advances_and_counts_gap():
+    window = SlidingWindowStore(WindowConfig(reorder_buffer=3))
+    points = in_order_points(1, 10)
+    # seq 1 never arrives; 2..5 overflow the 3-slot buffer.
+    for point in points[1:5]:
+        window.apply(point)
+    assert window.gaps_abandoned == 1
+    assert window.applied_through(1) == 5
+    [sid] = window.live_segments()
+    assert window.segment(sid).seqs == [2, 3, 4, 5]
+    # The abandoned point retransmitted later is a duplicate, not a
+    # resurrection.
+    assert window.apply(points[0]).status == "duplicate"
+
+
+def test_segments_roll_at_max_points():
+    window = SlidingWindowStore(WindowConfig(max_segment_points=4))
+    for point in in_order_points(1, 10):
+        window.apply(point)
+    segments = [window.segment(s) for s in window.live_segments()]
+    assert [len(s) for s in segments] == [4, 4, 2]
+    assert [s.sealed for s in segments] == [True, True, False]
+    assert window.segments_rolled == 2
+    # Seq runs are contiguous across the roll boundary.
+    seqs = [seq for s in segments for seq in s.seqs]
+    assert seqs == list(range(1, 11))
+
+
+def test_ttl_evicts_whole_stale_segments():
+    window = SlidingWindowStore(WindowConfig(lateness_s=1.0, ttl_s=5.0))
+    for point in in_order_points(1, 3):  # t = 0, 1, 2
+        window.apply(point)
+    # Source 2 starts much later; source 1's segment falls behind the
+    # ttl horizon (watermark - ttl) and is evicted wholesale.
+    result = window.apply(_point(source=2, seq=1, t=50.0))
+    assert len(result.evicted) == 1
+    assert window.segments_evicted == 1
+    remaining = [window.segment(s).source_id for s in window.live_segments()]
+    assert remaining == [2]
+
+
+def test_snapshot_roundtrip_preserves_everything():
+    window = SlidingWindowStore(WindowConfig(reorder_buffer=4,
+                                             max_segment_points=5))
+    rng = np.random.default_rng(9)
+    for source in (1, 2, 3):
+        points = in_order_points(source, 12, seed=source)
+        rng.shuffle(points)
+        for point in points[:-2]:  # leave holes so buffers are non-empty
+            window.apply(point)
+    arrays = window.snapshot_arrays()
+    rebuilt = SlidingWindowStore.from_snapshot_arrays(window.config, arrays)
+    assert rebuilt.state_fingerprint() == window.state_fingerprint()
+    assert rebuilt.stats() == window.stats()
+
+
+def test_replay_of_accepted_sequence_reproduces_state():
+    """The WAL-recovery contract: state = f(accepted points, in order)."""
+    config = WindowConfig(lateness_s=3.0, reorder_buffer=4,
+                          max_segment_points=6)
+    window = SlidingWindowStore(config)
+    rng = np.random.default_rng(11)
+    accepted = []
+    for source in (1, 2):
+        points = in_order_points(source, 25, seed=source)
+        rng.shuffle(points)
+        for point in points:
+            if window.apply(point).accepted:
+                accepted.append(point)
+    replayed = SlidingWindowStore(config)
+    for point in accepted:
+        replayed.apply(point)
+    assert replayed.state_fingerprint() == window.state_fingerprint()
