@@ -35,7 +35,7 @@ class RetryPolicy:
     multiplier:
         Exponential growth factor between consecutive retries.
     max_delay_s:
-        Cap on any single delay.
+        Cap on any single delay, jittered or not.
     jitter:
         Fractional spread applied to each delay when an ``rng`` is
         supplied: the delay is scaled uniformly within ``1 ± jitter``.
@@ -63,14 +63,17 @@ class RetryPolicy:
         """Backoff before retry number ``attempt`` (1-based).
 
         With ``jitter > 0`` and an ``rng``, the exponential delay is
-        scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``.
+        scaled by a uniform factor in ``[1 - jitter, 1 + jitter]`` and
+        re-clamped, so ``max_delay_s`` caps the *jittered* delay too.
         """
         if attempt < 1:
             raise ValueError("attempt is 1-based")
         duration = min(self.base_delay_s * self.multiplier ** (attempt - 1),
                        self.max_delay_s)
         if self.jitter and rng is not None:
-            duration *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            duration = min(
+                duration * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)),
+                self.max_delay_s)
         return duration
 
     def should_retry(self, attempt: int) -> bool:

@@ -117,12 +117,20 @@ class SourceSupervisor:
                 # rather than spinning on refused probes.
                 self._sleep(max(self._breaker.reset_timeout_s / 4, 0.001))
                 continue
+            delivered_before = self.delivered
             try:
                 self._consume(self._connect())
             except Exception as exc:
                 self.last_error = repr(exc)
                 self._breaker.record_failure()
                 self.flaps += 1
+                if self.delivered > delivered_before:
+                    # The connection made progress before flapping: this
+                    # is a fresh outage, not a continuation — the retry
+                    # budget and backoff schedule are per-outage, so a
+                    # long-lived source is never abandoned for flapping
+                    # max_retries times over its whole lifetime.
+                    attempt = 0
                 attempt += 1
                 if not self._reconnect.should_retry(attempt):
                     return self.stats()

@@ -7,8 +7,11 @@ tier out of existing subsystems:
   each offered point *means* (applied / buffered / duplicate / late);
 * every state-changing (accepted) point in a batch is appended to a
   :class:`~repro.serving.wal.ShardWAL` record and **fsynced before the
-  call returns** — the ack-after-fsync invariant the durable serving
-  tier already enforces, reused verbatim;
+  window is mutated** (the batch is classified with a dry run first) —
+  the ack-after-fsync invariant the durable serving tier already
+  enforces, strengthened so a failed append leaves the window untouched
+  and a retried batch is re-accepted instead of dedup-ing away points
+  that never became durable;
 * segments touched by applied points are re-embedded *incrementally*
   through the encoder's :class:`~repro.core.encoder.PrefixState` fold —
   O(new points), bit-identical to re-encoding from scratch — and upserted
@@ -239,10 +242,13 @@ class StreamIngestor:
     def ingest(self, points: Sequence[StreamPoint]) -> IngestResult:
         """Offer a batch of points; returns once accepted ones are durable.
 
-        Every point is classified by the window; the accepted ones
-        (applied or reorder-buffered) are appended as one fsynced WAL
-        record before this method returns, so a crash after the return
-        loses none of them. Raises
+        Every point is classified by the window (a dry run — no state
+        changes yet); the accepted ones (applied or reorder-buffered)
+        are appended as one fsynced WAL record, and only then is the
+        window mutated — so a crash after the return loses none of
+        them, and a WAL failure fails the whole batch with the window
+        untouched (the retry is re-accepted, not absorbed as duplicates
+        of points that were never logged). Raises
         :class:`~repro.exceptions.ServiceOverloadedError` when admission
         sheds the call — retry with backoff.
         """
@@ -261,11 +267,32 @@ class StreamIngestor:
             with self._lock:
                 if self._closed:
                     raise ServiceClosedError("stream ingester is closed")
-                accepted: List[StreamPoint] = []
+                # Durability before mutation: classify the batch with a
+                # dry run, fsync the accepted points into the WAL, and
+                # only then apply them. If the append raises, the window
+                # is untouched — the whole batch fails, and a client
+                # retry re-classifies identically instead of dedup-ing
+                # away points that were never made durable.
+                statuses = self._window.classify(batch)
+                accepted = [point for point, status in zip(batch, statuses)
+                            if status in ("applied", "buffered")]
+                if accepted:
+                    ids, rows = points_to_record(accepted,
+                                                 self._accepted_total)
+                    result.lsn = self._wal.append(OP_INSERT, ids, rows)
+                    self._accepted_total += len(accepted)
+                    self._applied_lsn = result.lsn
+                    self._accepted_since_snapshot += len(accepted)
+                result.accepted = len(accepted)
                 touched: Set[int] = set()
                 evicted: List[int] = []
-                for point in batch:
+                for point, planned in zip(batch, statuses):
                     applied = self._window.apply(point)
+                    if applied.status != planned:
+                        raise RuntimeError(
+                            f"window classify/apply drift on "
+                            f"{point!r}: planned {planned}, "
+                            f"applied {applied.status}")
                     if applied.status == "applied":
                         result.applied += 1
                     elif applied.status == "buffered":
@@ -275,18 +302,8 @@ class StreamIngestor:
                     else:
                         result.late += 1
                     self._m_status[applied.status].inc()
-                    if applied.accepted:
-                        accepted.append(point)
                     touched.update(sid for sid, _ in applied.appended)
                     evicted.extend(applied.evicted)
-                if accepted:
-                    ids, rows = points_to_record(accepted,
-                                                 self._accepted_total)
-                    result.lsn = self._wal.append(OP_INSERT, ids, rows)
-                    self._accepted_total += len(accepted)
-                    self._applied_lsn = result.lsn
-                    self._accepted_since_snapshot += len(accepted)
-                result.accepted = len(accepted)
                 if evicted:
                     self._retire_segments_locked(evicted)
                     result.evicted_segments = len(evicted)
@@ -314,10 +331,12 @@ class StreamIngestor:
     def _sync_segment_locked(self, segment_id: int) -> None:
         """Fold a segment's un-encoded points and upsert its embedding.
 
-        Caller must hold ``self._lock``. Evicted segments are cleaned up
-        instead of encoded.
+        Caller must hold ``self._lock`` — this is the synchronous path
+        (``sync_encode=True`` and recovery), where the caller is the
+        only thread and holding the lock through the encode is free.
+        Evicted segments are cleaned up instead of encoded.
         """
-        if segment_id not in set(self._window.live_segments()):
+        if not self._window.has_segment(segment_id):
             self._prefix.pop(segment_id, None)
             self._dirty.discard(segment_id)
             return
@@ -334,6 +353,54 @@ class StreamIngestor:
             self._store.upsert_embeddings(state.embedding[None, :],
                                           [segment_id])
         self._dirty.discard(segment_id)
+
+    def _encode_segment(self, segment_id: int) -> None:
+        """Async re-embed of one segment, encoder *outside* the lock.
+
+        The batcher-worker path: snapshot the segment's pending points
+        under the lock, run the prefix fold unlocked (so a slow encode
+        batch never stalls ``ingest()`` or ``query()``), then re-acquire
+        to validate liveness and commit. The segment stays in
+        ``self._inflight`` until the commit, so the scheduler never
+        double-submits it; points that arrive mid-encode leave it dirty
+        for another round.
+        """
+        with self._lock:
+            if not self._window.has_segment(segment_id):
+                self._prefix.pop(segment_id, None)
+                self._dirty.discard(segment_id)
+                self._inflight.discard(segment_id)
+                return
+            segment = self._window.segment(segment_id)
+            state = self._prefix.get(segment_id)
+            if state is None:
+                state = self.encoder.init_prefix()
+            if state.length >= len(segment):
+                self._dirty.discard(segment_id)
+                self._inflight.discard(segment_id)
+                return
+            tail = segment.points()[state.length:]  # copy — safe unlocked
+        try:
+            if self._encode_hook is not None:
+                self._encode_hook()
+            state = self.encoder.extend_prefix(state, tail)
+        except BaseException:
+            with self._lock:
+                # Leave the segment dirty so the scheduler retries it.
+                self._inflight.discard(segment_id)
+            raise
+        with self._lock:
+            self._inflight.discard(segment_id)
+            if not self._window.has_segment(segment_id):
+                # Evicted mid-encode; its embedding is already gone.
+                self._prefix.pop(segment_id, None)
+                self._dirty.discard(segment_id)
+                return
+            self._prefix[segment_id] = state
+            self._store.upsert_embeddings(state.embedding[None, :],
+                                          [segment_id])
+            if state.length >= len(self._window.segment(segment_id)):
+                self._dirty.discard(segment_id)
 
     def _schedule_locked(self) -> None:
         """Submit dirty segments up to the in-flight budget.
@@ -352,9 +419,7 @@ class StreamIngestor:
     def _encode_batch(self, segment_ids: List[int]) -> List[None]:
         """Batcher worker: bring each submitted segment up to date."""
         for segment_id in segment_ids:
-            with self._lock:
-                self._inflight.discard(segment_id)
-                self._sync_segment_locked(segment_id)
+            self._encode_segment(segment_id)
         with self._lock:
             self._schedule_locked()
             self._set_gauges_locked()

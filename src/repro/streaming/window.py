@@ -37,8 +37,9 @@ access under its own lock.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -146,6 +147,11 @@ class SlidingWindowStore:
         self.config = config
         self._sources: Dict[int, _SourceState] = {}
         self._segments: Dict[int, Segment] = {}
+        # Lazy eviction heap: one (last_t, segment_id) entry per applied
+        # point; entries superseded by newer appends (or by eviction) are
+        # discarded when popped. Keeps eviction amortised O(1) per point
+        # instead of O(live segments).
+        self._evict_heap: List[Tuple[float, int]] = []
         self._next_segment_id = 0
         self._max_t = -np.inf
         self.applied = 0
@@ -168,6 +174,10 @@ class SlidingWindowStore:
 
     def segment(self, segment_id: int) -> Segment:
         return self._segments[segment_id]
+
+    def has_segment(self, segment_id: int) -> bool:
+        """Whether ``segment_id`` is still live (O(1))."""
+        return segment_id in self._segments
 
     def live_segments(self) -> List[int]:
         """Ids of all segments currently in the window, ascending."""
@@ -199,6 +209,60 @@ class SlidingWindowStore:
             "segments_rolled": self.segments_rolled,
             "segments_evicted": self.segments_evicted,
         }
+
+    # ----------------------------------------------------------- planning
+
+    def classify(self, points: Sequence[StreamPoint]) -> List[str]:
+        """Dry-run a batch through dedup -> lateness -> reorder, unmutated.
+
+        Returns the status :meth:`apply` would assign each point were the
+        batch applied in offer order (``"applied"``, ``"buffered"``,
+        ``"duplicate"`` or ``"late"``). The window itself is untouched.
+
+        This is what lets the ingester put durability *before* mutation:
+        it classifies the batch, fsyncs the accepted points into the WAL,
+        and only then applies them — so a failed WAL append leaves the
+        window unchanged and a retried batch re-classifies identically
+        instead of dedup-ing away points that were never made durable.
+
+        The shadow state below mirrors :meth:`apply`'s decision branches
+        exactly; ``tests/streaming/test_window.py`` property-tests the
+        agreement over adversarial arrival orders.
+        """
+        shadow: Dict[int, Tuple[List[int], Set[int], Set[int]]] = {}
+        max_t = self._max_t
+        statuses: List[str] = []
+        for point in points:
+            sh = shadow.get(point.source_id)
+            if sh is None:
+                state = self._sources.get(point.source_id)
+                sh = (([0], set(), set()) if state is None else
+                      ([state.applied_through], set(state.applied_above),
+                       set(state.buffer)))
+                shadow[point.source_id] = sh
+            through, above, buffered = sh
+            if (point.seq <= through[0] or point.seq in above
+                    or point.seq in buffered):
+                statuses.append("duplicate")
+                continue
+            if point.t < max_t - self.config.lateness_s:
+                statuses.append("late")
+                continue
+            max_t = max(max_t, point.t)
+            if point.seq == through[0] + 1:
+                statuses.append("applied")
+                through[0] = point.seq
+                above.discard(point.seq)
+            else:
+                statuses.append("buffered")
+                buffered.add(point.seq)
+                if len(buffered) > self.config.reorder_buffer:
+                    through[0] = min(buffered) - 1
+            while through[0] + 1 in buffered:
+                through[0] += 1
+                buffered.discard(through[0])
+                above.discard(through[0])
+        return statuses
 
     # ------------------------------------------------------------- mutation
 
@@ -257,6 +321,7 @@ class SlidingWindowStore:
         segment.xs.append(point.x)
         segment.ys.append(point.y)
         segment.last_seq = point.seq
+        heapq.heappush(self._evict_heap, (point.t, segment.segment_id))
         state.applied_through = point.seq
         state.applied_above.discard(point.seq)
         self.applied += 1
@@ -279,12 +344,25 @@ class SlidingWindowStore:
         self._drain_buffer(state, result)
 
     def _evict_stale(self, result: ApplyResult) -> None:
-        """Drop segments idle past the TTL horizon behind the watermark."""
+        """Drop segments idle past the TTL horizon behind the watermark.
+
+        Amortised O(1) per applied point: pop the lazy heap while its
+        top falls below the horizon. A popped entry either evicts its
+        segment (``last_t`` really is below the horizon) or is a stale
+        entry — superseded by a newer append, or for a segment already
+        gone — and is discarded. Every heap entry is popped at most
+        once, and the entry for a segment's newest point always carries
+        ``t == last_t``, so no evictable segment is ever missed.
+        """
         horizon = self.watermark - self.config.ttl_s
-        if not np.isfinite(horizon):
+        if not self._evict_heap or not np.isfinite(horizon):
             return
-        stale = [sid for sid, segment in self._segments.items()
-                 if segment.last_t < horizon]
+        stale: Set[int] = set()
+        while self._evict_heap and self._evict_heap[0][0] < horizon:
+            _, sid = heapq.heappop(self._evict_heap)
+            segment = self._segments.get(sid)
+            if segment is not None and segment.last_t < horizon:
+                stale.add(sid)
         for sid in sorted(stale):
             segment = self._segments.pop(sid)
             state = self._sources.get(segment.source_id)
@@ -375,6 +453,12 @@ class SlidingWindowStore:
             segment.times.append(float(row[2]))
             segment.xs.append(float(row[3]))
             segment.ys.append(float(row[4]))
+        # Seed the lazy eviction heap with each segment's newest point —
+        # the one entry whose presence the eviction invariant needs.
+        window._evict_heap = [(segment.last_t, sid)
+                              for sid, segment in window._segments.items()
+                              if segment.times]
+        heapq.heapify(window._evict_heap)
         return window
 
     def state_fingerprint(self) -> Dict:

@@ -60,6 +60,43 @@ def test_incremental_embeddings_are_bit_identical(tmp_path, encoder):
     ingestor.close()
 
 
+def test_wal_append_failure_leaves_window_unmutated(tmp_path, encoder):
+    """A failed WAL append must not ack, and must not poison the retry.
+
+    Regression test: the window used to be mutated before the append,
+    so after one transient WAL error the retried batch dedup'd away as
+    duplicates, returned lsn=None, and the 'acked' points were lost on
+    the next crash.
+    """
+    failures = {"left": 1}
+
+    def flaky_hook(point):
+        if point == "after_write" and failures["left"]:
+            failures["left"] -= 1
+            raise OSError("injected WAL append failure")
+
+    ingestor = StreamIngestor(encoder, tmp_path, _SYNC, wal_hook=flaky_hook)
+    points = in_order_points(1, 8)
+    with pytest.raises(OSError):
+        ingestor.ingest(points)
+    # The failed batch left no trace: nothing applied, nothing acked.
+    assert ingestor.stats()["window"]["window_points"] == 0
+    assert ingestor.stats()["accepted_total"] == 0
+    # The client retry is accepted in full — not absorbed as duplicates
+    # of points that were never made durable.
+    result = ingestor.ingest(points)
+    assert result.applied == 8 and result.duplicates == 0
+    assert result.lsn is not None
+    fingerprint = ingestor._window.state_fingerprint()
+    ingestor.close()
+
+    # Crash recovery sees every acked point.
+    recovered = StreamIngestor(encoder, tmp_path, _SYNC)
+    assert recovered._window.state_fingerprint() == fingerprint
+    assert recovered.stats()["window"]["window_points"] == 8
+    recovered.close()
+
+
 def test_wal_replay_recovers_identical_state(tmp_path, encoder):
     rng = np.random.default_rng(1)
     ingestor = StreamIngestor(encoder, tmp_path, _SYNC)
@@ -186,7 +223,14 @@ def test_overload_defers_reembeds_and_keeps_serving(tmp_path, encoder):
             assert stats["inflight_encodes"] <= config.max_pending_encodes
     assert degraded_seen, "encoder lag never produced a degraded ack"
 
-    # Queries keep working mid-lag and carry the freshness flag.
+    # Queries keep working mid-lag and carry the freshness flag. The
+    # encoder runs outside the ingester lock, so ingest no longer waits
+    # on it at all — give the very first async encode a moment to land
+    # before querying the table.
+    deadline = time.monotonic() + 10.0
+    while (ingestor.stats()["store_rows"] == 0
+           and time.monotonic() < deadline):
+        time.sleep(0.005)
     answer = ingestor.query(np.array([[500.0, 500.0], [510.0, 510.0]]), k=1)
     assert answer.segment_ids.shape == (1,)
 

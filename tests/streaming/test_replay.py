@@ -6,6 +6,7 @@ import pytest
 from repro.datasets.porto import (PortoConfig, StreamReplayConfig,
                                   generate_porto, replay_stream)
 from repro.exceptions import ServiceOverloadedError
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.retry import RetryPolicy
 from repro.streaming import SlidingWindowStore, SourceSupervisor, WindowConfig
 from repro.testing.faults import FlappingSource
@@ -111,6 +112,28 @@ def test_supervisor_gives_up_after_reconnect_exhaustion():
     assert stats["flaps"] == 4  # initial try + 3 retries
 
 
+def test_supervisor_retry_budget_is_per_outage_not_per_lifetime():
+    """A long-lived source that flaps more times than max_retries — but
+    makes progress between flaps — must never be abandoned: the retry
+    budget and backoff schedule reset after any connect that delivered
+    points."""
+    points = in_order_points(7, 40)
+    cuts = [4 * (i + 1) for i in range(9)]  # 9 flaps, 4 points each
+    source = FlappingSource(points, cut_after=cuts, rewind=0)
+    delivered = []
+    supervisor = SourceSupervisor(
+        7, source.connect, lambda batch: delivered.extend(batch),
+        batch_size=2,
+        reconnect=RetryPolicy(max_retries=2, base_delay_s=0.0),
+        breaker=CircuitBreaker(failure_threshold=100, reset_timeout_s=0.01),
+        sleep=_noop_sleep)
+    stats = supervisor.run()
+    assert stats["completed"]
+    assert stats["flaps"] == 9  # far past max_retries=2, all survived
+    assert {(p.source_id, p.seq) for p in delivered} == {
+        (p.source_id, p.seq) for p in points}
+
+
 def test_supervisor_retries_admission_sheds():
     points = in_order_points(7, 8)
     sheds = {"left": 3}
@@ -157,5 +180,7 @@ def test_jittered_backoff_is_seeded_and_bounded():
     base = [policy.delay(a) for a in range(1, 6)]
     for got, nominal in zip(d1, base):
         assert 0.5 * nominal <= got <= 1.5 * nominal
+        # max_delay_s caps the *jittered* delay, not just the nominal one.
+        assert got <= policy.max_delay_s
     rng3 = np.random.default_rng(1)
     assert [policy.delay(a, rng=rng3) for a in range(1, 6)] != d1

@@ -154,6 +154,49 @@ def test_snapshot_roundtrip_preserves_everything():
     assert rebuilt.stats() == window.stats()
 
 
+@pytest.mark.parametrize("seed", range(8))
+def test_classify_is_a_faithful_dry_run_of_apply(seed):
+    """`classify` must predict `apply` exactly, without mutating.
+
+    This is the contract the ingester's durability-before-mutation
+    ordering rests on: the WAL record is built from the dry run, so any
+    divergence between the two would log the wrong accepted set.
+    Adversarial arrival orders: shuffles, duplicates, late points, and
+    a buffer small enough to force-advance over gaps.
+    """
+    rng = np.random.default_rng(seed)
+    window = SlidingWindowStore(WindowConfig(lateness_s=4.0, ttl_s=40.0,
+                                             reorder_buffer=3,
+                                             max_segment_points=5))
+    stream = []
+    tail = []
+    for source in (1, 2, 3):
+        points = in_order_points(source, 30, seed=source,
+                                 t0=float(source) * 3.0)
+        # First few in order (guarantees "applied" coverage), the rest
+        # shuffled, plus a re-offered sample (duplicates) and injected
+        # stale timestamps.
+        stream.extend(points[:3])
+        rest = points[3:]
+        rng.shuffle(rest)
+        tail.extend(rest + list(rng.choice(points, size=6)))
+    rng.shuffle(tail)
+    stream.extend(tail)
+    stream = [p if rng.random() > 0.1 else
+              StreamPoint(p.source_id, p.seq, t=-50.0, x=p.x, y=p.y)
+              for p in stream]
+    statuses_seen = set()
+    for start in range(0, len(stream), 7):
+        batch = stream[start:start + 7]
+        before = window.state_fingerprint()
+        planned = window.classify(batch)
+        assert window.state_fingerprint() == before  # dry run, really
+        actual = [window.apply(point).status for point in batch]
+        assert planned == actual
+        statuses_seen.update(actual)
+    assert statuses_seen == {"applied", "buffered", "duplicate", "late"}
+
+
 def test_replay_of_accepted_sequence_reproduces_state():
     """The WAL-recovery contract: state = f(accepted points, in order)."""
     config = WindowConfig(lateness_s=3.0, reorder_buffer=4,
